@@ -1,0 +1,113 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! * `Rmjoin` materialization on/off (paper §V-B's constant-join
+//!   optimization);
+//! * partition count (paper §V-E: "the more partitions that exist, the
+//!   faster intermediate results will be propagated");
+//! * insert batch size during partition loading (the JDBC batching the
+//!   paper leans on in §IV-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbcp::{Driver, LocalDriver};
+use sqldb::{Database, EngineProfile};
+use sqloop::{ExecutionMode, SQLoop, SqloopConfig};
+use std::sync::Arc;
+
+fn driver_with_graph() -> Arc<LocalDriver> {
+    let g = graphgen::web_graph(400, 4, 17);
+    let db = Database::new(EngineProfile::Postgres);
+    let driver = Arc::new(LocalDriver::new(db));
+    let mut conn = driver.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), &g).unwrap();
+    driver
+}
+
+fn pr_config() -> SqloopConfig {
+    SqloopConfig {
+        mode: ExecutionMode::Sync,
+        threads: 1,
+        partitions: 16,
+        ..SqloopConfig::default()
+    }
+}
+
+fn ablation_materialize(c: &mut Criterion) {
+    let driver = driver_with_graph();
+    let query = workloads::queries::pagerank(5);
+    let mut group = c.benchmark_group("ablation/rmjoin");
+    group.sample_size(10);
+    for materialize in [true, false] {
+        let label = if materialize { "materialized" } else { "rejoin_each_task" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &materialize, |b, &m| {
+            let mut config = pr_config();
+            config.materialize_join = m;
+            let sq = SQLoop::new(driver.clone() as Arc<dyn Driver>).with_config(config);
+            b.iter(|| sq.execute(&query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn ablation_partitions(c: &mut Criterion) {
+    let driver = driver_with_graph();
+    let query = workloads::queries::pagerank(5);
+    let mut group = c.benchmark_group("ablation/partitions");
+    group.sample_size(10);
+    for partitions in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(partitions),
+            &partitions,
+            |b, &n| {
+                let mut config = pr_config();
+                config.partitions = n;
+                let sq = SQLoop::new(driver.clone() as Arc<dyn Driver>).with_config(config);
+                b.iter(|| sq.execute(&query).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_insert_batch(c: &mut Criterion) {
+    let driver = driver_with_graph();
+    let query = workloads::queries::pagerank(2);
+    let mut group = c.benchmark_group("ablation/insert_batch_rows");
+    group.sample_size(10);
+    for batch in [1usize, 64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &n| {
+            let mut config = pr_config();
+            config.insert_batch_rows = n;
+            let sq = SQLoop::new(driver.clone() as Arc<dyn Driver>).with_config(config);
+            b.iter(|| sq.execute(&query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn ablation_single_vs_parallel(c: &mut Criterion) {
+    let driver = driver_with_graph();
+    let query = workloads::queries::pagerank(5);
+    let mut group = c.benchmark_group("ablation/executor");
+    group.sample_size(10);
+    for mode in [ExecutionMode::Single, ExecutionMode::Sync, ExecutionMode::Async] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, &m| {
+                let mut config = pr_config();
+                config.mode = m;
+                let sq = SQLoop::new(driver.clone() as Arc<dyn Driver>).with_config(config);
+                b.iter(|| sq.execute(&query).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_materialize,
+    ablation_partitions,
+    ablation_insert_batch,
+    ablation_single_vs_parallel
+);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Engine micro-benchmarks: parsing, join algorithms per profile, hash
+//! aggregation, and update-join throughput — the statement-level costs
+//! underlying every figure.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqldb::{Database, EngineProfile};
+
+fn seeded_db(profile: EngineProfile, rows: usize) -> Database {
+    let db = Database::new(profile);
+    let mut s = db.connect();
+    s.execute("CREATE TABLE nodes (id INT PRIMARY KEY, v FLOAT)").unwrap();
+    s.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
+    for chunk in (0..rows).collect::<Vec<_>>().chunks(256) {
+        let values = chunk
+            .iter()
+            .map(|i| format!("({i}, {}.5)", i % 100))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.execute(&format!("INSERT INTO nodes VALUES {values}")).unwrap();
+        let edges = chunk
+            .iter()
+            .map(|i| format!("({i}, {}, 0.5)", (i * 7 + 3) % rows))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.execute(&format!("INSERT INTO edges VALUES {edges}")).unwrap();
+    }
+    s.execute("CREATE INDEX edges_src ON edges (src)").unwrap();
+    db
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let sql = "SELECT pr.node, COALESCE(pr.rank + pr.delta, 0.15), \
+               COALESCE(0.85 * SUM(ir.delta * ie.weight), 0.0) \
+               FROM pr LEFT JOIN edges AS ie ON pr.node = ie.dst \
+               LEFT JOIN pr AS ir ON ir.node = ie.src GROUP BY pr.node";
+    c.bench_function("parse/pagerank_step", |b| {
+        b.iter(|| sqldb::parser::parse_statement(black_box(sql)).unwrap())
+    });
+    c.bench_function("parse/simple_select", |b| {
+        b.iter(|| {
+            sqldb::parser::parse_statement(black_box("SELECT a, b FROM t WHERE a > 1")).unwrap()
+        })
+    });
+}
+
+/// The architectural difference between engines: hash join (PostgreSQL)
+/// vs index nested-loop (MySQL family) on an equi-join.
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join/nodes_join_edges");
+    for profile in EngineProfile::ALL {
+        let db = seeded_db(profile, 2000);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name()),
+            &db,
+            |b, db| {
+                let mut s = db.connect();
+                b.iter(|| {
+                    s.query(
+                        "SELECT nodes.id, edges.dst FROM nodes JOIN edges ON nodes.id = edges.src",
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let db = seeded_db(EngineProfile::Postgres, 4000);
+    c.bench_function("aggregate/group_by_sum", |b| {
+        let mut s = db.connect();
+        b.iter(|| {
+            s.query("SELECT dst, SUM(weight), COUNT(*) FROM edges GROUP BY dst")
+                .unwrap()
+        })
+    });
+}
+
+/// The Gather task's statement shape: update-join against a derived table.
+fn bench_update_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update/gather_shape");
+    for profile in [EngineProfile::Postgres, EngineProfile::MySql] {
+        let db = seeded_db(profile, 1000);
+        {
+            let mut s = db.connect();
+            s.execute("CREATE TABLE msg (id INT, val FLOAT)").unwrap();
+            s.execute("INSERT INTO msg SELECT src, SUM(weight) FROM edges GROUP BY src")
+                .unwrap();
+        }
+        let sql = sqloop::translate::translate_sql(
+            "UPDATE nodes SET v = v + inc.val FROM \
+             (SELECT id, SUM(val) AS val FROM msg GROUP BY id) AS inc \
+             WHERE nodes.id = inc.id",
+            profile,
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name()),
+            &db,
+            |b, db| {
+                let mut s = db.connect();
+                b.iter(|| s.execute(&sql).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    use dbcp::wire;
+    let result = sqldb::QueryResult {
+        columns: vec!["id".into(), "val".into()],
+        rows: (0..1000)
+            .map(|i| vec![sqldb::Value::Int(i), sqldb::Value::Float(i as f64 * 0.5)])
+            .collect(),
+    };
+    let resp = wire::Response::Rows(result);
+    c.bench_function("wire/encode_decode_1k_rows", |b| {
+        b.iter(|| {
+            let bytes = wire::encode_response(black_box(&resp));
+            wire::decode_response(bytes).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_joins,
+    bench_aggregate,
+    bench_update_join,
+    bench_wire_codec
+);
+criterion_main!(benches);

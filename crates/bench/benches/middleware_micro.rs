@@ -1,0 +1,75 @@
+//! Middleware micro-benchmarks: extended-CTE grammar parsing, query
+//! analysis, dialect translation, and partition bucketing — SQLoop's own
+//! per-statement costs ("SQLoop implementation is lightweight", paper §I).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sqldb::Value;
+use sqloop::parallel_sql::stable_hash;
+use sqloop::{analyze, parse, AnalysisOutcome, SqloopQuery};
+
+fn pagerank_sql() -> String {
+    workloads::queries::pagerank(100)
+}
+
+fn bench_grammar(c: &mut Criterion) {
+    let sql = pagerank_sql();
+    c.bench_function("grammar/parse_iterative_cte", |b| {
+        b.iter(|| parse(black_box(&sql)).unwrap())
+    });
+    let fib = "WITH RECURSIVE f(n, pn) AS (VALUES (0,1) UNION ALL \
+               SELECT n + pn, n FROM f WHERE n < 1000) SELECT SUM(n) FROM f";
+    c.bench_function("grammar/parse_recursive_cte", |b| {
+        b.iter(|| parse(black_box(fib)).unwrap())
+    });
+    c.bench_function("grammar/plain_passthrough_detect", |b| {
+        b.iter(|| parse(black_box("SELECT * FROM edges WHERE src = 5")).unwrap())
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let cte = match parse(&pagerank_sql()).unwrap() {
+        SqloopQuery::Iterative(c) => c,
+        _ => unreachable!(),
+    };
+    let cols = vec!["node".to_string(), "rank".to_string(), "delta".to_string()];
+    c.bench_function("analysis/pagerank_plan", |b| {
+        b.iter(|| match analyze(black_box(&cte), &cols).unwrap() {
+            AnalysisOutcome::Parallelizable(p) => p,
+            _ => unreachable!(),
+        })
+    });
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let gather = "UPDATE pr__pt3 SET delta = delta + inc.val FROM \
+                  (SELECT id, SUM(val) AS val FROM \
+                   (SELECT id, val FROM m1 UNION ALL SELECT id, val FROM m2) AS msgs \
+                   GROUP BY id) AS inc WHERE pr__pt3.node = inc.id";
+    for profile in sqldb::EngineProfile::ALL {
+        c.bench_function(&format!("translate/gather_for_{profile}"), |b| {
+            b.iter(|| sqloop::translate::translate_sql(black_box(gather), profile).unwrap())
+        });
+    }
+}
+
+fn bench_bucketing(c: &mut Criterion) {
+    let values: Vec<Value> = (0..10_000).map(Value::Int).collect();
+    c.bench_function("partition/bucket_10k_int_keys", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in &values {
+                acc = acc.wrapping_add(stable_hash(black_box(v)) % 256);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_grammar,
+    bench_analysis,
+    bench_translation,
+    bench_bucketing
+);
+criterion_main!(benches);

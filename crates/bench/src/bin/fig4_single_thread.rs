@@ -1,0 +1,190 @@
+//! Figure 4 — "SQLoop using a single thread": how intermediate results
+//! accelerate computation (paper §VI-B).
+//!
+//! Panels reproduced, each for PostgreSQL / MySQL / MariaDB:
+//!   * SSSP execution time, Sync vs Async vs AsyncP (top-left bar chart);
+//!   * PR convergence (sum-of-rank vs time) for the three methods;
+//!   * DQ execution time vs number of nodes explored.
+//!
+//! Usage: `cargo run --release -p sqloop-bench --bin fig4_single_thread --
+//!         [--exp pr|sssp|dq|all] [--scale f] [--partitions n]`
+//!
+//! Expected shape (paper): async 1.5–3× faster than sync for PR and DQ;
+//! AsyncP up to 3× faster for SSSP; identical ordering on every engine.
+
+use sqldb::EngineProfile;
+use sqloop::{ExecutionMode, PrioritySpec, SqloopConfig};
+use sqloop_bench::{convergence_time, env_with_graph, parse_args, time_it, write_csv, Table};
+use std::time::Duration;
+
+const MODES: [ExecutionMode; 3] = [
+    ExecutionMode::Sync,
+    ExecutionMode::Async,
+    ExecutionMode::AsyncPrio,
+];
+
+fn config(mode: ExecutionMode, partitions: usize, priority: PrioritySpec) -> SqloopConfig {
+    SqloopConfig {
+        mode,
+        threads: 1, // the whole point of Fig. 4
+        partitions,
+        priority: Some(priority),
+        ..SqloopConfig::default()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!("== Figure 4: single-threaded Sync vs Async vs AsyncP ==\n");
+    if args.exp == "sssp" || args.exp == "all" {
+        sssp_panel(&args);
+    }
+    if args.exp == "pr" || args.exp == "all" {
+        pr_panels(&args);
+    }
+    if args.exp == "dq" || args.exp == "all" {
+        dq_panels(&args);
+    }
+}
+
+/// Top-left panel: SSSP execution time per engine and method.
+fn sssp_panel(args: &sqloop_bench::BenchArgs) {
+    let dataset = graphgen::datasets::twitter_like(args.scale);
+    println!("SSSP on {} ({})", dataset.name, dataset.graph);
+    let source = 0;
+    let (dest, hops) = dataset
+        .graph
+        .node_at_distance(source, u64::MAX)
+        .expect("graph connected from 0");
+    println!("  path probe: {source} → {dest} ({hops} hops)\n");
+    let query = workloads::queries::sssp(source, dest);
+
+    let mut table = Table::new(&[
+        "engine", "method", "time (s)", "speedup vs Sync", "computes", "gathers", "stmts",
+    ]);
+    for profile in EngineProfile::ALL {
+        let mut sync_time = None;
+        for mode in MODES {
+            let env = env_with_graph(profile, &dataset.graph);
+            let sq = env.sqloop(config(
+                mode,
+                args.partitions,
+                PrioritySpec::lowest("SELECT MIN(delta) FROM {}"),
+            ));
+            let before = env.db.stats().statements;
+            let (report, elapsed) = time_it(|| sq.execute_detailed(&query).expect("sssp run"));
+            assert!(!report.result.rows.is_empty(), "destination should be reachable");
+            let secs = elapsed.as_secs_f64();
+            let speedup = sync_time.map(|s: f64| s / secs).unwrap_or(1.0);
+            sync_time.get_or_insert(secs);
+            table.row(vec![
+                profile.name().into(),
+                mode.label().into(),
+                format!("{secs:.3}"),
+                format!("{speedup:.2}x"),
+                report.computes.to_string(),
+                report.gathers.to_string(),
+                (env.db.stats().statements - before).to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    if let Some(p) = write_csv("fig4_sssp", &table.to_csv()) {
+        println!("  wrote {}\n", p.display());
+    }
+}
+
+/// Top row: PR convergence (sum of rank vs time) per engine.
+fn pr_panels(args: &sqloop_bench::BenchArgs) {
+    let dataset = graphgen::datasets::google_web_like(args.scale);
+    println!("PageRank on {} ({})", dataset.name, dataset.graph);
+    let query = workloads::queries::pagerank(args.iterations);
+
+    let mut summary = Table::new(&[
+        "engine",
+        "method",
+        "total time (s)",
+        "99% convergence (s)",
+        "final sum(rank)",
+    ]);
+    let mut curves = Table::new(&["engine", "method", "t (s)", "sum(rank)"]);
+    for profile in EngineProfile::ALL {
+        for mode in MODES {
+            let env = env_with_graph(profile, &dataset.graph);
+            let mut cfg = config(
+                mode,
+                args.partitions,
+                PrioritySpec::highest("SELECT SUM(delta) FROM {}"),
+            );
+            cfg.sample_interval = Some(Duration::from_millis(100));
+            cfg.progress_query = Some("SELECT SUM(rank) FROM {}".into());
+            let sq = env.sqloop(cfg);
+            let report = sq.execute_detailed(&query).expect("pr run");
+            let final_total: f64 = report
+                .result
+                .rows
+                .iter()
+                .map(|r| r[1].as_f64().unwrap_or(0.0))
+                .sum();
+            let conv = convergence_time(&report.samples, 0.99)
+                .map(|d| format!("{:.3}", d.as_secs_f64()))
+                .unwrap_or_else(|| "-".into());
+            summary.row(vec![
+                profile.name().into(),
+                mode.label().into(),
+                format!("{:.3}", report.elapsed.as_secs_f64()),
+                conv,
+                format!("{final_total:.2}"),
+            ]);
+            for s in &report.samples {
+                curves.row(vec![
+                    profile.name().into(),
+                    mode.label().into(),
+                    format!("{:.3}", s.elapsed.as_secs_f64()),
+                    format!("{:.3}", s.value),
+                ]);
+            }
+        }
+    }
+    println!("{}", summary.render());
+    if let Some(p) = write_csv("fig4_pr_summary", &summary.to_csv()) {
+        println!("  wrote {}", p.display());
+    }
+    if let Some(p) = write_csv("fig4_pr_curves", &curves.to_csv()) {
+        println!("  wrote {} (convergence series)\n", p.display());
+    }
+}
+
+/// Bottom row: DQ execution time vs number of explored nodes per engine.
+fn dq_panels(args: &sqloop_bench::BenchArgs) {
+    let dataset = graphgen::datasets::berkstan_like(args.scale);
+    println!("Descendant query on {} ({})", dataset.name, dataset.graph);
+    let mut table = Table::new(&["engine", "method", "hop limit", "nodes explored", "time (s)"]);
+    // hop limits sweep the explored-count axis like the paper's 10^1..10^5
+    let hop_limits = [3u64, 10, 30, 60, 100];
+    for profile in EngineProfile::ALL {
+        for mode in MODES {
+            for &hops in &hop_limits {
+                let env = env_with_graph(profile, &dataset.graph);
+                let sq = env.sqloop(config(
+                    mode,
+                    args.partitions,
+                    PrioritySpec::lowest("SELECT MIN(delta) FROM {}"),
+                ));
+                let query = workloads::queries::descendant_query(0, hops);
+                let (out, elapsed) = time_it(|| sq.execute(&query).expect("dq run"));
+                table.row(vec![
+                    profile.name().into(),
+                    mode.label().into(),
+                    hops.to_string(),
+                    out.rows.len().to_string(),
+                    format!("{:.3}", elapsed.as_secs_f64()),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    if let Some(p) = write_csv("fig4_dq", &table.to_csv()) {
+        println!("  wrote {}\n", p.display());
+    }
+}

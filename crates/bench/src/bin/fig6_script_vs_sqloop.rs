@@ -1,0 +1,164 @@
+//! Figure 6 — "Comparison of SQL scripts and SQLoop" (paper §VI-D):
+//! the hand-written multi-statement SQL script versus SQLoop's three
+//! parallel methods, for PageRank and the 100-clicks descendant query.
+//!
+//! Usage: `cargo run --release -p sqloop-bench --bin fig6_script_vs_sqloop --
+//!         [--exp pr|dq|all] [--scale f] [--threads 4] [--partitions n]`
+//!
+//! Expected shape (paper): SQLoop up to ~5× faster for PR, up to ~3× for
+//! DQ, on every engine; also reports the productivity comparison
+//! (script line count vs ~20-line iterative CTE).
+
+use dbcp::Driver;
+use sqldb::EngineProfile;
+use sqloop::{ExecutionMode, PrioritySpec, SqloopConfig};
+use sqloop_bench::{env_with_graph, parse_args, time_it, write_csv, Table};
+use workloads::{run_script, ScriptMode};
+
+const MODES: [ExecutionMode; 3] = [
+    ExecutionMode::Sync,
+    ExecutionMode::Async,
+    ExecutionMode::AsyncPrio,
+];
+
+fn main() {
+    let args = parse_args();
+    let threads = args.threads.iter().copied().max().unwrap_or(4);
+    println!("== Figure 6: SQL script vs SQLoop ({threads} threads) ==\n");
+
+    let (cte_lines, script_lines) = workloads::script::line_count_comparison(args.iterations);
+    println!(
+        "productivity: iterative CTE = {cte_lines} lines; equivalent unrolled script = {script_lines} lines\n"
+    );
+
+    if args.exp == "pr" || args.exp == "all" {
+        pr_comparison(&args, threads);
+    }
+    if args.exp == "dq" || args.exp == "all" {
+        dq_comparison(&args, threads);
+    }
+}
+
+fn pr_comparison(args: &sqloop_bench::BenchArgs, threads: usize) {
+    let dataset = graphgen::datasets::google_web_like(args.scale);
+    println!("PageRank on {} ({})", dataset.name, dataset.graph);
+    let query = workloads::queries::pagerank(args.iterations);
+    let mut table = Table::new(&[
+        "engine",
+        "SQL script (s)",
+        "Sync (s)",
+        "Async (s)",
+        "AsyncP (s)",
+        "best speedup",
+    ]);
+    for profile in EngineProfile::ALL {
+        // baseline: the script over a single connection
+        let env = env_with_graph(profile, &dataset.graph);
+        let mut conn = env.driver.connect().expect("connect");
+        let script = workloads::pagerank_script();
+        let (_, script_time) = time_it(|| {
+            run_script(
+                conn.as_mut(),
+                &script,
+                ScriptMode::FixedIterations(args.iterations),
+            )
+            .expect("script run")
+        });
+        let mut times = Vec::new();
+        for mode in MODES {
+            let env = env_with_graph(profile, &dataset.graph);
+            let sq = env.sqloop(SqloopConfig {
+                mode,
+                threads,
+                partitions: args.partitions,
+                priority: Some(PrioritySpec::highest("SELECT SUM(delta) FROM {}")),
+                ..SqloopConfig::default()
+            });
+            let (_, t) = time_it(|| sq.execute(&query).expect("pr run"));
+            times.push(t.as_secs_f64());
+        }
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        table.row(vec![
+            profile.name().into(),
+            format!("{:.3}", script_time.as_secs_f64()),
+            format!("{:.3}", times[0]),
+            format!("{:.3}", times[1]),
+            format!("{:.3}", times[2]),
+            format!("{:.2}x", script_time.as_secs_f64() / best),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(p) = write_csv("fig6_pr", &table.to_csv()) {
+        println!("  wrote {}\n", p.display());
+    }
+}
+
+fn dq_comparison(args: &sqloop_bench::BenchArgs, threads: usize) {
+    let dataset = graphgen::datasets::berkstan_like(args.scale);
+    // the paper picks two pages 100 clicks apart
+    let (target, hops) = dataset
+        .graph
+        .node_at_distance(0, 100)
+        .expect("deep graph");
+    println!(
+        "Descendant query on {} ({}); page 0 → page {target} ({hops} clicks)",
+        dataset.name, dataset.graph
+    );
+    let query = workloads::queries::descendant_clicks(0, target);
+    let mut table = Table::new(&[
+        "engine",
+        "SQL script (s)",
+        "Sync (s)",
+        "Async (s)",
+        "AsyncP (s)",
+        "best speedup",
+    ]);
+    for profile in EngineProfile::ALL {
+        let env = env_with_graph(profile, &dataset.graph);
+        let mut conn = env.driver.connect().expect("connect");
+        let script = workloads::descendant_script(0, target);
+        let (script_out, script_time) = time_it(|| {
+            run_script(
+                conn.as_mut(),
+                &script,
+                ScriptMode::UntilNoUpdates {
+                    max_iterations: 10_000,
+                },
+            )
+            .expect("script run")
+        });
+        let mut times = Vec::new();
+        let mut answers = Vec::new();
+        for mode in MODES {
+            let env = env_with_graph(profile, &dataset.graph);
+            let sq = env.sqloop(SqloopConfig {
+                mode,
+                threads,
+                partitions: args.partitions,
+                priority: Some(PrioritySpec::lowest("SELECT MIN(delta) FROM {}")),
+                ..SqloopConfig::default()
+            });
+            let (out, t) = time_it(|| sq.execute(&query).expect("dq run"));
+            times.push(t.as_secs_f64());
+            answers.push(out.rows.first().and_then(|r| r[0].as_f64()));
+        }
+        // every method must agree with the script on the click count
+        let script_answer = script_out.result.rows.first().and_then(|r| r[0].as_f64());
+        for a in &answers {
+            assert_eq!(*a, script_answer, "{profile}: click count mismatch");
+        }
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        table.row(vec![
+            profile.name().into(),
+            format!("{:.3}", script_time.as_secs_f64()),
+            format!("{:.3}", times[0]),
+            format!("{:.3}", times[1]),
+            format!("{:.3}", times[2]),
+            format!("{:.2}x", script_time.as_secs_f64() / best),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(p) = write_csv("fig6_dq", &table.to_csv()) {
+        println!("  wrote {}\n", p.display());
+    }
+}

@@ -1,0 +1,164 @@
+//! Benchmark environment setup and timing helpers.
+
+use dbcp::{Driver, LocalDriver};
+use graphgen::Graph;
+use sqldb::{Database, EngineProfile};
+use sqloop::{ProgressSample, SQLoop, SqloopConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One engine instance with the workload graph loaded as `edges`.
+#[derive(Debug, Clone)]
+pub struct BenchEnv {
+    /// The emulated engine.
+    pub profile: EngineProfile,
+    /// Shared database handle (for statistics).
+    pub db: Database,
+    /// Driver the middleware connects through.
+    pub driver: Arc<LocalDriver>,
+}
+
+impl BenchEnv {
+    /// A SQLoop instance over this environment.
+    pub fn sqloop(&self, config: SqloopConfig) -> SQLoop {
+        SQLoop::new(self.driver.clone() as Arc<dyn Driver>).with_config(config)
+    }
+}
+
+/// Builds a fresh engine of `profile` and loads `graph` into it.
+///
+/// # Panics
+/// Panics on load errors (benchmarks want loud failures).
+pub fn env_with_graph(profile: EngineProfile, graph: &Graph) -> BenchEnv {
+    let db = Database::new(profile);
+    let driver = Arc::new(LocalDriver::new(db.clone()));
+    let mut conn = driver.connect().expect("local connect");
+    workloads::load_edges(conn.as_mut(), graph).expect("load edges");
+    BenchEnv {
+        profile,
+        db,
+        driver,
+    }
+}
+
+/// Times a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// The paper's PR convergence time: the first moment the sampled progress
+/// metric reaches `fraction` (e.g. 0.99) of its final value (§VI-A).
+/// Returns `None` when there are no samples.
+pub fn convergence_time(samples: &[ProgressSample], fraction: f64) -> Option<Duration> {
+    let last = samples.last()?.value;
+    if last == 0.0 {
+        return samples.first().map(|s| s.elapsed);
+    }
+    samples
+        .iter()
+        .find(|s| s.value >= last * fraction)
+        .map(|s| s.elapsed)
+}
+
+/// Minimal CLI arguments shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Dataset scale factor (1.0 ≈ 50k-edge graphs).
+    pub scale: f64,
+    /// Which sub-experiment (`pr`, `sssp`, `dq`, `all`).
+    pub exp: String,
+    /// Partition count (paper default 256; benches default smaller).
+    pub partitions: usize,
+    /// Override iteration counts where applicable.
+    pub iterations: u64,
+    /// Thread counts to sweep (fig5) — parsed from `--threads 1,2,4`.
+    pub threads: Vec<usize>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> BenchArgs {
+        BenchArgs {
+            scale: 0.4,
+            exp: "all".into(),
+            partitions: 128,
+            iterations: 20,
+            threads: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+/// Parses `--scale`, `--exp`, `--partitions`, `--iterations`, `--threads`.
+///
+/// # Panics
+/// Panics on malformed values (benchmarks want loud failures).
+pub fn parse_args() -> BenchArgs {
+    let mut out = BenchArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--scale" => out.scale = value().parse().expect("bad --scale"),
+            "--exp" => out.exp = value(),
+            "--partitions" => out.partitions = value().parse().expect("bad --partitions"),
+            "--iterations" => out.iterations = value().parse().expect("bad --iterations"),
+            "--threads" => {
+                out.threads = value()
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("bad --threads"))
+                    .collect();
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_builds_for_every_profile() {
+        let g = graphgen::chain(20);
+        for p in EngineProfile::ALL {
+            let env = env_with_graph(p, &g);
+            assert_eq!(env.profile, p);
+            let mut c = env.driver.connect().unwrap();
+            let n = c.query("SELECT COUNT(*) FROM edges").unwrap();
+            assert_eq!(n.rows[0][0], sqldb::Value::Int(19));
+        }
+    }
+
+    #[test]
+    fn convergence_time_extraction() {
+        let mk = |ms: u64, v: f64| ProgressSample {
+            elapsed: Duration::from_millis(ms),
+            value: v,
+        };
+        let samples = vec![mk(10, 10.0), mk(20, 50.0), mk(30, 99.5), mk(40, 100.0)];
+        assert_eq!(
+            convergence_time(&samples, 0.99),
+            Some(Duration::from_millis(30))
+        );
+        assert_eq!(
+            convergence_time(&samples, 0.2),
+            Some(Duration::from_millis(20))
+        );
+        assert_eq!(convergence_time(&[], 0.99), None);
+    }
+
+    #[test]
+    fn time_it_measures() {
+        let (v, d) = time_it(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(5));
+    }
+}

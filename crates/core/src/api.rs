@@ -1,0 +1,277 @@
+//! The public middleware facade: accept SQLoop SQL, decide an execution
+//! strategy, run it, report what happened (paper Fig. 2).
+
+use crate::analysis::{analyze, AnalysisOutcome};
+use crate::config::{ExecutionMode, SqloopConfig};
+use crate::error::{SqloopError, SqloopResult};
+use crate::grammar::{parse, IterativeCte, SqloopQuery};
+use crate::parallel::run_iterative_parallel;
+use crate::progress::ProgressSample;
+use crate::single::{run_iterative_single, run_recursive};
+use crate::translate::translate_sql;
+use dbcp::{driver_for_url, Driver};
+use sqldb::{QueryResult, StmtOutput};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a statement ended up being executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// Regular SQL, translated and passed through to the engine.
+    Passthrough,
+    /// Recursive CTE, semi-naive single-threaded evaluation.
+    RecursiveSingle,
+    /// Iterative CTE on the single-threaded executor.
+    IterativeSingle {
+        /// Why parallelization was not used (`None` = requested by config).
+        fallback_reason: Option<String>,
+    },
+    /// Iterative CTE on the parallel engine.
+    IterativeParallel {
+        /// The scheduling policy used.
+        mode: ExecutionMode,
+    },
+}
+
+/// Everything a run reports (result + provenance + metrics).
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The rows of the final query (or the passthrough statement).
+    pub result: QueryResult,
+    /// How it ran.
+    pub strategy: Strategy,
+    /// Iterations/recursions performed (0 for passthrough).
+    pub iterations: u64,
+    /// Rows changed by the last iteration.
+    pub last_change: u64,
+    /// Compute tasks executed (parallel runs).
+    pub computes: u64,
+    /// Gather tasks executed (parallel runs).
+    pub gathers: u64,
+    /// Non-empty message tables created (parallel runs).
+    pub messages: u64,
+    /// Aggregate worker task time (parallel runs); `worker_busy / elapsed`
+    /// measures achieved overlap.
+    pub worker_busy: Duration,
+    /// Convergence samples (when sampling was configured).
+    pub samples: Vec<ProgressSample>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+/// The SQLoop middleware instance.
+///
+/// Owns a connection factory to one target engine plus a configuration;
+/// cheap to clone.
+///
+/// # Examples
+/// ```
+/// use sqloop::SQLoop;
+///
+/// # fn main() -> Result<(), sqloop::SqloopError> {
+/// let loop_ = SQLoop::connect("local://postgres")?;
+/// loop_.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")?;
+/// loop_.execute("INSERT INTO edges VALUES (1, 2, 1.0), (2, 1, 1.0)")?;
+/// let out = loop_.execute(
+///     "WITH ITERATIVE r(node, hops, delta) AS (
+///        SELECT src, 0.0, 1.0 FROM edges GROUP BY src
+///        ITERATE
+///        SELECT r.node, r.hops + r.delta, COALESCE(SUM(s.delta * e.weight), 0.0)
+///        FROM r LEFT JOIN edges AS e ON r.node = e.dst
+///        LEFT JOIN r AS s ON s.node = e.src
+///        GROUP BY r.node UNTIL 2 ITERATIONS)
+///      SELECT COUNT(*) FROM r",
+/// )?;
+/// assert_eq!(out.rows.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct SQLoop {
+    driver: Arc<dyn Driver>,
+    config: SqloopConfig,
+}
+
+impl std::fmt::Debug for SQLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SQLoop")
+            .field("engine", &self.driver.profile())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl SQLoop {
+    /// Wraps an existing driver with the default configuration.
+    pub fn new(driver: Arc<dyn Driver>) -> SQLoop {
+        SQLoop {
+            driver,
+            config: SqloopConfig::default(),
+        }
+    }
+
+    /// Connects by URL (`tcp://host:port`, `local://postgres|mysql|mariadb`)
+    /// — the paper's "the user connects by specifying only the URL and the
+    /// port number" (§IV-A).
+    ///
+    /// # Errors
+    /// Connection errors from the driver layer.
+    pub fn connect(url: &str) -> SqloopResult<SQLoop> {
+        Ok(SQLoop::new(driver_for_url(url)?))
+    }
+
+    /// Replaces the configuration (builder style).
+    pub fn with_config(mut self, config: SqloopConfig) -> SQLoop {
+        self.config = config;
+        self
+    }
+
+    /// Mutable access to the configuration.
+    pub fn config_mut(&mut self) -> &mut SqloopConfig {
+        &mut self.config
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &SqloopConfig {
+        &self.config
+    }
+
+    /// The underlying driver.
+    pub fn driver(&self) -> &Arc<dyn Driver> {
+        &self.driver
+    }
+
+    /// Executes one SQLoop statement and returns its rows.
+    ///
+    /// # Errors
+    /// Grammar, analysis, translation and engine errors.
+    pub fn execute(&self, sql: &str) -> SqloopResult<QueryResult> {
+        self.execute_detailed(sql).map(|r| r.result)
+    }
+
+    /// Executes one statement with full provenance and metrics.
+    ///
+    /// # Errors
+    /// See [`SQLoop::execute`].
+    pub fn execute_detailed(&self, sql: &str) -> SqloopResult<ExecutionReport> {
+        let started = Instant::now();
+        match parse(sql)? {
+            SqloopQuery::Plain(text) => {
+                let mut conn = self.driver.connect()?;
+                let translated = translate_sql(&text, conn.profile())?;
+                let out = conn.execute(&translated)?;
+                let result = match out {
+                    StmtOutput::Rows(r) => r,
+                    StmtOutput::Affected(n) => QueryResult {
+                        columns: vec!["rows_affected".into()],
+                        rows: vec![vec![sqldb::Value::Int(n as i64)]],
+                    },
+                    StmtOutput::Done => QueryResult::default(),
+                };
+                Ok(ExecutionReport {
+                    result,
+                    strategy: Strategy::Passthrough,
+                    iterations: 0,
+                    last_change: 0,
+                    computes: 0,
+                    gathers: 0,
+                    messages: 0,
+                    worker_busy: Duration::ZERO,
+                    samples: Vec::new(),
+                    elapsed: started.elapsed(),
+                })
+            }
+            SqloopQuery::Recursive(cte) => {
+                let mut conn = self.driver.connect()?;
+                let out = run_recursive(
+                    conn.as_mut(),
+                    &cte,
+                    self.config.max_iterations,
+                    self.config.keep_artifacts,
+                )?;
+                Ok(ExecutionReport {
+                    result: out.result,
+                    strategy: Strategy::RecursiveSingle,
+                    iterations: out.iterations,
+                    last_change: out.last_change,
+                    computes: 0,
+                    gathers: 0,
+                    messages: 0,
+                    worker_busy: Duration::ZERO,
+                    samples: Vec::new(),
+                    elapsed: started.elapsed(),
+                })
+            }
+            SqloopQuery::Iterative(cte) => self.execute_iterative(&cte, started),
+        }
+    }
+
+    fn execute_iterative(
+        &self,
+        cte: &IterativeCte,
+        started: Instant,
+    ) -> SqloopResult<ExecutionReport> {
+        let run_single = |reason: Option<String>| -> SqloopResult<ExecutionReport> {
+            let mut conn = self.driver.connect()?;
+            let out = run_iterative_single(
+                conn.as_mut(),
+                cte,
+                self.config.max_iterations,
+                self.config.keep_artifacts,
+            )?;
+            Ok(ExecutionReport {
+                result: out.result,
+                strategy: Strategy::IterativeSingle {
+                    fallback_reason: reason,
+                },
+                iterations: out.iterations,
+                last_change: out.last_change,
+                computes: 0,
+                gathers: 0,
+                messages: 0,
+                worker_busy: Duration::ZERO,
+                samples: Vec::new(),
+                elapsed: started.elapsed(),
+            })
+        };
+
+        if self.config.mode == ExecutionMode::Single {
+            return run_single(None);
+        }
+        let columns = self.resolve_columns(cte)?;
+        match analyze(cte, &columns)? {
+            AnalysisOutcome::NotParallelizable { reason } => run_single(Some(reason)),
+            AnalysisOutcome::Parallelizable(plan) => {
+                let run =
+                    run_iterative_parallel(&self.driver, cte, plan, &self.config)?;
+                Ok(ExecutionReport {
+                    result: run.outcome.result,
+                    strategy: Strategy::IterativeParallel {
+                        mode: self.config.mode,
+                    },
+                    iterations: run.outcome.iterations,
+                    last_change: run.outcome.last_change,
+                    computes: run.computes,
+                    gathers: run.gathers,
+                    messages: run.messages,
+                    worker_busy: run.worker_busy,
+                    samples: run.samples,
+                    elapsed: started.elapsed(),
+                })
+            }
+        }
+    }
+
+    /// Column names for analysis: the declared list, or a probe of the seed.
+    fn resolve_columns(&self, cte: &IterativeCte) -> SqloopResult<Vec<String>> {
+        if !cte.columns.is_empty() {
+            return Ok(cte.columns.clone());
+        }
+        let mut probe = cte.seed.clone();
+        probe.limit = Some(0);
+        let mut conn = self.driver.connect()?;
+        let sql = crate::translate::translate_query_to_sql(&probe, conn.profile());
+        let result = conn.query(&sql).map_err(SqloopError::from)?;
+        Ok(result.columns)
+    }
+}

@@ -1,0 +1,236 @@
+//! `sqloop-cli` — an interactive shell for the SQLoop middleware.
+//!
+//! ```text
+//! sqloop-cli [URL]            # default: local://postgres
+//!
+//! sqloop> CREATE TABLE edges (src INT, dst INT, weight FLOAT);
+//! sqloop> WITH ITERATIVE pr(...) AS (... UNTIL 10 ITERATIONS) SELECT ...;
+//! sqloop> \mode asyncp
+//! sqloop> \threads 8
+//! sqloop> \q
+//! ```
+//!
+//! Statements end with `;` and may span lines. Meta-commands start with `\`:
+//! `\mode single|sync|async|asyncp`, `\threads n`, `\partitions n`,
+//! `\priority lowest|highest <scalar query with {}>`, `\timing on|off`,
+//! `\engine` (show target), `\help`, `\q`.
+
+use sqloop::{ExecutionMode, PrioritySpec, SQLoop, Strategy};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let url = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "local://postgres".to_string());
+    let mut sqloop = match SQLoop::connect(&url) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect to {url}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut timing = true;
+    println!(
+        "SQLoop shell — connected to {url} ({})",
+        sqloop.driver().profile()
+    );
+    println!("statements end with ';'; \\help for meta-commands, \\q to quit");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        let prompt = if buffer.is_empty() { "sqloop> " } else { "   ...> " };
+        print!("{prompt}");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            if !meta_command(trimmed, &mut sqloop, &mut timing) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if !statement_complete(&buffer) {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        let sql = sql.trim().trim_end_matches(';');
+        if sql.is_empty() {
+            continue;
+        }
+        match sqloop.execute_detailed(sql) {
+            Ok(report) => {
+                print_result(&report.result);
+                let provenance = match &report.strategy {
+                    Strategy::Passthrough => "passthrough".to_string(),
+                    Strategy::RecursiveSingle => {
+                        format!("recursive, {} recursions", report.iterations)
+                    }
+                    Strategy::IterativeSingle { fallback_reason } => match fallback_reason {
+                        Some(r) => format!(
+                            "iterative (single-threaded: {r}), {} iterations",
+                            report.iterations
+                        ),
+                        None => format!(
+                            "iterative (single-threaded), {} iterations",
+                            report.iterations
+                        ),
+                    },
+                    Strategy::IterativeParallel { mode } => format!(
+                        "iterative ({mode}), {} iterations, {} computes / {} gathers",
+                        report.iterations, report.computes, report.gathers
+                    ),
+                };
+                if timing {
+                    println!("-- {provenance} in {:?}", report.elapsed);
+                } else {
+                    println!("-- {provenance}");
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+/// A statement is complete when a `;` appears outside quotes.
+fn statement_complete(buffer: &str) -> bool {
+    let mut in_single = false;
+    let mut in_double = false;
+    for c in buffer.chars() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            ';' if !in_single && !in_double => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Handles a `\…` command; returns `false` to exit the shell.
+fn meta_command(cmd: &str, sqloop: &mut SQLoop, timing: &mut bool) -> bool {
+    let mut parts = cmd.split_whitespace();
+    match parts.next().unwrap_or("") {
+        "\\q" | "\\quit" | "\\exit" => return false,
+        "\\help" | "\\?" => {
+            println!("\\mode single|sync|async|asyncp   set execution mode");
+            println!("\\threads N                       worker threads (connections)");
+            println!("\\partitions N                    hash partitions of R");
+            println!("\\priority lowest|highest <sql>   AsyncP priority ({{}} = partition)");
+            println!("\\timing on|off                   toggle elapsed-time display");
+            println!("\\engine                          show target engine + config");
+            println!("\\q                               quit");
+        }
+        "\\mode" => match parts.next().and_then(ExecutionMode::parse) {
+            Some(m) => {
+                sqloop.config_mut().mode = m;
+                println!("mode = {m}");
+            }
+            None => eprintln!("usage: \\mode single|sync|async|asyncp"),
+        },
+        "\\threads" => match parts.next().and_then(|v| v.parse().ok()) {
+            Some(n) if n >= 1 => {
+                sqloop.config_mut().threads = n;
+                println!("threads = {n}");
+            }
+            _ => eprintln!("usage: \\threads N"),
+        },
+        "\\partitions" => match parts.next().and_then(|v| v.parse().ok()) {
+            Some(n) if n >= 1 => {
+                sqloop.config_mut().partitions = n;
+                println!("partitions = {n}");
+            }
+            _ => eprintln!("usage: \\partitions N"),
+        },
+        "\\priority" => {
+            let order = parts.next().unwrap_or("");
+            let query: String = parts.collect::<Vec<_>>().join(" ");
+            let spec = match order {
+                "lowest" => Some(PrioritySpec::lowest(query.clone())),
+                "highest" => Some(PrioritySpec::highest(query.clone())),
+                _ => None,
+            };
+            match spec {
+                Some(s) if !query.is_empty() => {
+                    sqloop.config_mut().priority = Some(s);
+                    println!("priority = {order} of `{query}`");
+                }
+                _ => eprintln!("usage: \\priority lowest|highest SELECT ... FROM {{}}"),
+            }
+        }
+        "\\timing" => match parts.next() {
+            Some("on") => {
+                *timing = true;
+                println!("timing on");
+            }
+            Some("off") => {
+                *timing = false;
+                println!("timing off");
+            }
+            _ => eprintln!("usage: \\timing on|off"),
+        },
+        "\\engine" => {
+            println!("engine    : {}", sqloop.driver().profile());
+            let c = sqloop.config();
+            println!("mode      : {}", c.mode);
+            println!("threads   : {}", c.threads);
+            println!("partitions: {}", c.partitions);
+        }
+        other => eprintln!("unknown command {other}; \\help lists commands"),
+    }
+    true
+}
+
+fn print_result(result: &sqldb::QueryResult) {
+    if result.columns.is_empty() {
+        println!("ok");
+        return;
+    }
+    let mut widths: Vec<usize> = result.columns.iter().map(|c| c.len()).collect();
+    let rendered: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|v| v.to_string()).collect())
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        println!("| {joined} |");
+    };
+    line(&result.columns.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+")
+    );
+    // cap enormous outputs in the shell
+    const MAX_ROWS: usize = 500;
+    for row in rendered.iter().take(MAX_ROWS) {
+        line(row);
+    }
+    if rendered.len() > MAX_ROWS {
+        println!("… {} more rows", rendered.len() - MAX_ROWS);
+    }
+    println!("({} rows)", rendered.len());
+}

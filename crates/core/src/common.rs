@@ -1,0 +1,434 @@
+//! Helpers shared by the single-threaded and parallel executors: CTE table
+//! creation with type inference, AST table-reference rewriting, and
+//! termination-condition evaluation.
+
+use crate::error::{SqloopError, SqloopResult};
+use crate::grammar::{DataMode, Termination};
+use crate::translate::{translate_query_to_sql, translate_sql};
+use dbcp::Connection;
+use sqldb::ast::{SelectStmt, SetExpr, TableFactor};
+use sqldb::{DataType, Value};
+
+/// Quoted-name helpers for the scratch objects SQLoop manages.
+#[derive(Debug, Clone)]
+pub struct CteNames {
+    /// The CTE (and result table / view) name.
+    pub table: String,
+}
+
+impl CteNames {
+    /// Builds the name set for a CTE.
+    pub fn new(cte_name: &str) -> CteNames {
+        CteNames {
+            table: cte_name.to_owned(),
+        }
+    }
+
+    /// The single-threaded executor's temporary result table (`Rtmp`).
+    pub fn tmp(&self) -> String {
+        format!("{}__tmp", self.table)
+    }
+
+    /// Semi-naive working table for recursion step `i % 2`.
+    pub fn working(&self, parity: u64) -> String {
+        format!("{}__w{}", self.table, parity % 2)
+    }
+
+    /// The previous-iteration snapshot for `DELTA` termination conditions.
+    /// The paper lets the user reference it as `<R>delta`.
+    pub fn delta_snapshot(&self) -> String {
+        format!("{}delta", self.table)
+    }
+
+    /// Partition table `Rpt{i}`.
+    pub fn partition(&self, i: usize) -> String {
+        format!("{}__pt{}", self.table, i)
+    }
+
+    /// The materialized constant join (`Rmjoin`).
+    pub fn mjoin(&self) -> String {
+        format!("{}__mjoin", self.table)
+    }
+
+    /// Message table created by partition `p`'s `seq`-th Compute task.
+    pub fn message(&self, p: usize, seq: u64) -> String {
+        format!("{}__msg_{}_{}", self.table, p, seq)
+    }
+}
+
+/// The inferred shape of the CTE table `R`.
+#[derive(Debug, Clone)]
+pub struct CteSchema {
+    /// Column names (lower-cased); index 0 is the key column `Rid`.
+    pub columns: Vec<String>,
+    /// Column types.
+    pub types: Vec<DataType>,
+}
+
+impl CteSchema {
+    /// The key column name (`Rid`, paper §III-A).
+    pub fn key(&self) -> &str {
+        &self.columns[0]
+    }
+
+    /// Renders the `CREATE TABLE` column list body; `with_key` adds
+    /// `PRIMARY KEY` on the first column (the iterative CTE's `Rid`).
+    pub fn create_columns_sql(&self, with_key: bool) -> String {
+        self.columns
+            .iter()
+            .zip(&self.types)
+            .enumerate()
+            .map(|(i, (c, t))| {
+                if i == 0 && with_key {
+                    format!("{c} {t} PRIMARY KEY")
+                } else {
+                    format!("{c} {t}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Executes canonical SQL on `conn` after translating it for the engine.
+///
+/// # Errors
+/// Translation or engine errors.
+pub fn run(conn: &mut dyn Connection, canonical_sql: &str) -> SqloopResult<sqldb::StmtOutput> {
+    let sql = translate_sql(canonical_sql, conn.profile())?;
+    conn.execute(&sql).map_err(SqloopError::from)
+}
+
+/// Queries with canonical SQL after translation.
+///
+/// # Errors
+/// Translation or engine errors.
+pub fn run_query(
+    conn: &mut dyn Connection,
+    canonical_sql: &str,
+) -> SqloopResult<sqldb::QueryResult> {
+    let sql = translate_sql(canonical_sql, conn.profile())?;
+    conn.query(&sql).map_err(SqloopError::from)
+}
+
+/// Creates the CTE table `R`, typed by probing the seed query with
+/// `LIMIT 1`, and fills it with the seed result — entirely engine-side
+/// (paper §IV-B: `CREATE TABLE` then `INSERT INTO R R0`).
+///
+/// `promote_to_float` makes every non-key integer column FLOAT; iterative
+/// CTEs use it because seeds like `SELECT src, 0, 0.15` type columns from
+/// literals while later iterations store fractional values (the real
+/// engines solve this with SQL-level type inference the paper relies on).
+///
+/// # Errors
+/// Seed execution errors, or arity mismatch with the declared column list.
+pub fn create_cte_table(
+    conn: &mut dyn Connection,
+    name: &str,
+    declared_columns: &[String],
+    seed: &SelectStmt,
+    promote_to_float: bool,
+    with_key: bool,
+) -> SqloopResult<CteSchema> {
+    let profile = conn.profile();
+    // probe for column names/types
+    let mut probe = seed.clone();
+    probe.limit = Some(probe.limit.map_or(16, |l| l.min(16)));
+    let probe_sql = translate_query_to_sql(&probe, profile);
+    let probe_result = conn.query(&probe_sql)?;
+
+    let columns: Vec<String> = if declared_columns.is_empty() {
+        probe_result.columns.clone()
+    } else {
+        if declared_columns.len() != probe_result.columns.len() {
+            return Err(SqloopError::Semantic(format!(
+                "CTE declares {} columns but its seed returns {}",
+                declared_columns.len(),
+                probe_result.columns.len()
+            )));
+        }
+        declared_columns.to_vec()
+    };
+    let mut types = vec![None::<DataType>; columns.len()];
+    for row in &probe_result.rows {
+        for (i, v) in row.iter().enumerate() {
+            if types[i].is_none() {
+                types[i] = match v {
+                    Value::Null => None,
+                    Value::Int(_) => Some(DataType::Int),
+                    Value::Float(_) => Some(DataType::Float),
+                    Value::Text(_) => Some(DataType::Text),
+                    Value::Bool(_) => Some(DataType::Bool),
+                };
+            }
+        }
+    }
+    let types: Vec<DataType> = types
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let t = t.unwrap_or(DataType::Float);
+            if promote_to_float && i > 0 && t == DataType::Int {
+                DataType::Float
+            } else {
+                t
+            }
+        })
+        .collect();
+    let schema = CteSchema { columns, types };
+
+    run(conn, &format!("DROP TABLE IF EXISTS {name}"))?;
+    run(conn, &format!("DROP VIEW IF EXISTS {name}"))?;
+    run(
+        conn,
+        &format!(
+            "CREATE TABLE {name} ({})",
+            schema.create_columns_sql(with_key)
+        ),
+    )?;
+    // engine-side load: INSERT INTO R <seed>
+    let seed_sql = translate_query_to_sql(seed, profile);
+    conn.execute(&format!(
+        "INSERT INTO {} {}",
+        profile.dialect().quote(name),
+        seed_sql
+    ))?;
+    Ok(schema)
+}
+
+/// Rewrites every reference to table `from` into `to` (preserving aliases),
+/// implementing semi-naive evaluation's working-table substitution.
+pub fn rewrite_table_refs(query: &SelectStmt, from: &str, to: &str) -> SelectStmt {
+    let mut q = query.clone();
+    rewrite_set_expr(&mut q.body, from, to);
+    q
+}
+
+fn rewrite_set_expr(body: &mut SetExpr, from: &str, to: &str) {
+    match body {
+        SetExpr::Select(s) => {
+            for tr in &mut s.from {
+                rewrite_factor(&mut tr.base, from, to);
+                for j in &mut tr.joins {
+                    rewrite_factor(&mut j.factor, from, to);
+                }
+            }
+        }
+        SetExpr::Values(_) => {}
+        SetExpr::SetOp { left, right, .. } => {
+            rewrite_set_expr(left, from, to);
+            rewrite_set_expr(right, from, to);
+        }
+    }
+}
+
+fn rewrite_factor(factor: &mut TableFactor, from: &str, to: &str) {
+    match factor {
+        TableFactor::Table { name, alias } => {
+            if name == from {
+                // keep the original name visible via an alias so column
+                // qualifiers in the query still resolve
+                if alias.is_none() {
+                    *alias = Some(name.clone());
+                }
+                *name = to.to_owned();
+            }
+        }
+        TableFactor::Derived { subquery, .. } => {
+            rewrite_set_expr(&mut subquery.body, from, to);
+        }
+    }
+}
+
+/// Evaluates a data/delta termination condition (Table I, data rows).
+///
+/// # Errors
+/// Engine errors from the user's expression query.
+pub fn data_condition_satisfied(
+    conn: &mut dyn Connection,
+    cte_table: &str,
+    query: &SelectStmt,
+    mode: &DataMode,
+) -> SqloopResult<bool> {
+    let sql = translate_query_to_sql(query, conn.profile());
+    let result = conn.query(&sql)?;
+    match mode {
+        DataMode::Any => Ok(!result.rows.is_empty()),
+        DataMode::All => {
+            let total = run_query(conn, &format!("SELECT COUNT(*) FROM {cte_table}"))?;
+            let total = total
+                .scalar()
+                .and_then(Value::as_i64)
+                .unwrap_or(0);
+            Ok(result.rows.len() as i64 == total)
+        }
+        DataMode::Compare(cmp, threshold) => {
+            let scalar = result.scalar().ok_or_else(|| {
+                SqloopError::Semantic(
+                    "termination expression with a comparison must return one value".into(),
+                )
+            })?;
+            Ok(cmp.matches(scalar.total_cmp(threshold)))
+        }
+    }
+}
+
+/// Decides termination after one iteration.
+///
+/// * `Iterations(n)` — satisfied once `iterations_done >= n`.
+/// * `Updates(n)` — satisfied once the last iteration updated ≤ n rows
+///   (Example 3 of the paper uses `UNTIL 0 UPDATES` for "no more updates").
+/// * data/delta forms — the user's expression query, per [`DataMode`].
+///
+/// # Errors
+/// Engine errors from data/delta expression evaluation.
+pub fn termination_satisfied(
+    conn: &mut dyn Connection,
+    cte_table: &str,
+    tc: &Termination,
+    iterations_done: u64,
+    last_updates: u64,
+) -> SqloopResult<bool> {
+    match tc {
+        Termination::Iterations(n) => Ok(iterations_done >= *n),
+        Termination::Updates(n) => Ok(last_updates <= *n),
+        Termination::Data { query, mode } | Termination::Delta { query, mode } => {
+            data_condition_satisfied(conn, cte_table, query, mode)
+        }
+    }
+}
+
+/// Refreshes the `<R>delta` snapshot table from the live CTE table/view.
+///
+/// # Errors
+/// Engine errors.
+pub fn refresh_delta_snapshot(conn: &mut dyn Connection, names: &CteNames) -> SqloopResult<()> {
+    let snap = names.delta_snapshot();
+    run(conn, &format!("DROP TABLE IF EXISTS {snap}"))?;
+    run(
+        conn,
+        &format!("CREATE TABLE {snap} AS SELECT * FROM {}", names.table),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcp::{Driver, LocalDriver};
+    use sqldb::parser::parse_query;
+    use sqldb::{Database, EngineProfile};
+
+    fn conn() -> Box<dyn Connection> {
+        let db = Database::new(EngineProfile::Postgres);
+        let mut s = db.connect();
+        s.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
+        s.execute("INSERT INTO edges VALUES (1,2,1.0),(2,3,0.5),(2,1,0.5)").unwrap();
+        LocalDriver::new(db).connect().unwrap()
+    }
+
+    #[test]
+    fn names() {
+        let n = CteNames::new("pr");
+        assert_eq!(n.tmp(), "pr__tmp");
+        assert_eq!(n.working(0), "pr__w0");
+        assert_eq!(n.working(3), "pr__w1");
+        assert_eq!(n.delta_snapshot(), "prdelta");
+        assert_eq!(n.partition(7), "pr__pt7");
+        assert_eq!(n.message(3, 9), "pr__msg_3_9");
+    }
+
+    #[test]
+    fn create_cte_table_infers_and_promotes() {
+        let mut c = conn();
+        let seed = parse_query(
+            "SELECT src, 0, 0.15 FROM (SELECT src FROM edges UNION SELECT dst FROM edges) AS a GROUP BY src",
+        )
+        .unwrap();
+        let cols = vec!["node".to_string(), "rank".to_string(), "delta".to_string()];
+        let schema = create_cte_table(c.as_mut(), "pr", &cols, &seed, true, true).unwrap();
+        assert_eq!(schema.columns, cols);
+        assert_eq!(schema.types[0], DataType::Int);
+        assert_eq!(schema.types[1], DataType::Float, "int literal promoted");
+        let r = c.query("SELECT COUNT(*) FROM pr").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+        // fractional updates now succeed
+        c.execute("UPDATE pr SET rank = 0.5 WHERE node = 1").unwrap();
+    }
+
+    #[test]
+    fn create_cte_table_arity_mismatch() {
+        let mut c = conn();
+        let seed = parse_query("SELECT src FROM edges").unwrap();
+        let cols = vec!["a".to_string(), "b".to_string()];
+        assert!(matches!(
+            create_cte_table(c.as_mut(), "x", &cols, &seed, false, true),
+            Err(SqloopError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn rewrite_table_refs_adds_alias() {
+        let q = parse_query("SELECT fib.n FROM fib WHERE n < 10").unwrap();
+        let r = rewrite_table_refs(&q, "fib", "fib__w0");
+        let sql = translate_query_to_sql(&r, EngineProfile::Postgres);
+        assert!(sql.contains("\"fib__w0\" AS \"fib\""), "{sql}");
+        // aliased references untouched
+        let q = parse_query("SELECT s.n FROM fib AS s").unwrap();
+        let r = rewrite_table_refs(&q, "fib", "fib__w1");
+        let sql = translate_query_to_sql(&r, EngineProfile::Postgres);
+        assert!(sql.contains("\"fib__w1\" AS \"s\""), "{sql}");
+    }
+
+    #[test]
+    fn rewrite_reaches_derived_tables() {
+        let q = parse_query("SELECT x.a FROM (SELECT a FROM r) AS x").unwrap();
+        let r = rewrite_table_refs(&q, "r", "r2");
+        let sql = translate_query_to_sql(&r, EngineProfile::Postgres);
+        assert!(sql.contains("\"r2\""), "{sql}");
+    }
+
+    #[test]
+    fn data_condition_modes() {
+        let mut c = conn();
+        c.execute("CREATE TABLE r (id INT PRIMARY KEY, v FLOAT)").unwrap();
+        c.execute("INSERT INTO r VALUES (1, 1.0), (2, 5.0)").unwrap();
+        let q = parse_query("SELECT id FROM r WHERE v > 2").unwrap();
+        // ANY: one row satisfies
+        assert!(data_condition_satisfied(c.as_mut(), "r", &q, &DataMode::Any).unwrap());
+        // ALL: not all rows satisfy
+        assert!(!data_condition_satisfied(c.as_mut(), "r", &q, &DataMode::All).unwrap());
+        // compare: COUNT = 1
+        let qc = parse_query("SELECT COUNT(*) FROM r WHERE v > 2").unwrap();
+        let mode = DataMode::Compare(crate::grammar::TcCompare::Equal, Value::Int(1));
+        assert!(data_condition_satisfied(c.as_mut(), "r", &qc, &mode).unwrap());
+        let mode = DataMode::Compare(crate::grammar::TcCompare::Greater, Value::Int(5));
+        assert!(!data_condition_satisfied(c.as_mut(), "r", &qc, &mode).unwrap());
+    }
+
+    #[test]
+    fn termination_metadata_forms() {
+        let mut c = conn();
+        assert!(termination_satisfied(c.as_mut(), "r", &Termination::Iterations(3), 3, 99).unwrap());
+        assert!(!termination_satisfied(c.as_mut(), "r", &Termination::Iterations(3), 2, 0).unwrap());
+        assert!(termination_satisfied(c.as_mut(), "r", &Termination::Updates(0), 1, 0).unwrap());
+        assert!(!termination_satisfied(c.as_mut(), "r", &Termination::Updates(0), 1, 5).unwrap());
+        assert!(termination_satisfied(c.as_mut(), "r", &Termination::Updates(10), 1, 7).unwrap());
+    }
+
+    #[test]
+    fn delta_snapshot_refresh() {
+        let mut c = conn();
+        c.execute("CREATE TABLE r (id INT PRIMARY KEY, v FLOAT)").unwrap();
+        c.execute("INSERT INTO r VALUES (1, 1.0)").unwrap();
+        let names = CteNames::new("r");
+        refresh_delta_snapshot(c.as_mut(), &names).unwrap();
+        c.execute("UPDATE r SET v = 2.0").unwrap();
+        let r = c.query("SELECT r.v, rdelta.v FROM r JOIN rdelta ON r.id = rdelta.id").unwrap();
+        assert_eq!(r.rows[0], vec![Value::Float(2.0), Value::Float(1.0)]);
+        // refresh again replaces the snapshot
+        refresh_delta_snapshot(c.as_mut(), &names).unwrap();
+        let r = c.query("SELECT v FROM rdelta").unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(2.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Middleware configuration.
+
+use std::time::Duration;
+
+/// Which execution method runs a parallelizable iterative CTE (paper §V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Force the single-threaded executor (the paper's fallback; also the
+    /// only option for queries outside the parallelizable class).
+    Single,
+    /// Two-phase Compute/Gather with a barrier per iteration.
+    Sync,
+    /// Gather-then-Compute pairs, round-robin, no barrier — uses
+    /// intermediate results of the current iteration (the default, as in
+    /// the paper's headline results).
+    #[default]
+    Async,
+    /// Async with priority scheduling over partitions (`AsyncP`).
+    AsyncPrio,
+}
+
+impl ExecutionMode {
+    /// Short label used in reports ("Sync", "Async", "AsyncP").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutionMode::Single => "Single",
+            ExecutionMode::Sync => "Sync",
+            ExecutionMode::Async => "Async",
+            ExecutionMode::AsyncPrio => "AsyncP",
+        }
+    }
+
+    /// Parses a label (case-insensitive).
+    pub fn parse(s: &str) -> Option<ExecutionMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "single" => Some(ExecutionMode::Single),
+            "sync" => Some(ExecutionMode::Sync),
+            "async" => Some(ExecutionMode::Async),
+            "asyncp" | "async-prio" | "asyncprio" => Some(ExecutionMode::AsyncPrio),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// User-supplied priority function for `AsyncP` (paper §V-E: "finding a
+/// priority function can be difficult and thus, SQLoop uses the user's input
+/// to define it").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrioritySpec {
+    /// A scalar query template; `{}` is replaced by the partition table
+    /// name. Example (PageRank): `SELECT SUM(delta) FROM {}`.
+    pub query_template: String,
+    /// When `true`, *larger* values are scheduled first (PageRank's
+    /// sum-of-delta); when `false`, smaller values win (SSSP's
+    /// least-distance).
+    pub descending: bool,
+}
+
+impl PrioritySpec {
+    /// Priority by largest scalar (e.g. PageRank pending rank).
+    pub fn highest(query_template: impl Into<String>) -> PrioritySpec {
+        PrioritySpec {
+            query_template: query_template.into(),
+            descending: true,
+        }
+    }
+
+    /// Priority by smallest scalar (e.g. SSSP least tentative distance).
+    pub fn lowest(query_template: impl Into<String>) -> PrioritySpec {
+        PrioritySpec {
+            query_template: query_template.into(),
+            descending: false,
+        }
+    }
+
+    /// Instantiates the template for one partition table.
+    pub fn query_for(&self, partition_table: &str) -> String {
+        self.query_template.replace("{}", partition_table)
+    }
+}
+
+/// Full middleware configuration.
+///
+/// Defaults follow the paper: 256 partitions, half the available CPUs as
+/// worker threads, asynchronous execution, constant-join materialization on.
+#[derive(Debug, Clone)]
+pub struct SqloopConfig {
+    /// Parallel execution method.
+    pub mode: ExecutionMode,
+    /// Worker threads (= engine connections). Default: half the CPUs
+    /// (paper §V-B: "SQLoop uses half of the available CPUs").
+    pub threads: usize,
+    /// Number of hash partitions of `R`. Default 256 (paper §V-B).
+    pub partitions: usize,
+    /// Priority function for [`ExecutionMode::AsyncPrio`].
+    pub priority: Option<PrioritySpec>,
+    /// Safety cap on iterations for non-`ITERATIONS` termination conditions.
+    pub max_iterations: u64,
+    /// Materialize the constant part of the join (`Rmjoin`, paper §V-B).
+    /// Disable only for the ablation study.
+    pub materialize_join: bool,
+    /// Rows per batched `INSERT` while loading partitions.
+    pub insert_batch_rows: usize,
+    /// Keep scratch tables (partitions, message tables) after execution —
+    /// useful for debugging; the final CTE view always remains queryable
+    /// until the next run reuses the name.
+    pub keep_artifacts: bool,
+    /// Progress sampling interval for convergence reports (`None` = off).
+    pub sample_interval: Option<Duration>,
+    /// Scalar query over the CTE view for the progress sampler, e.g.
+    /// `SELECT SUM(rank) FROM {}` (`{}` = CTE name).
+    pub progress_query: Option<String>,
+}
+
+impl Default for SqloopConfig {
+    fn default() -> SqloopConfig {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        SqloopConfig {
+            mode: ExecutionMode::default(),
+            threads: (cpus / 2).max(1),
+            partitions: 256,
+            priority: None,
+            max_iterations: 100_000,
+            materialize_join: true,
+            insert_batch_rows: 512,
+            keep_artifacts: false,
+            sample_interval: None,
+            progress_query: None,
+        }
+    }
+}
+
+impl SqloopConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns a message for zero threads/partitions or an `AsyncP` mode
+    /// without a priority spec.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads == 0 {
+            return Err("threads must be at least 1".into());
+        }
+        if self.partitions == 0 {
+            return Err("partitions must be at least 1".into());
+        }
+        if self.insert_batch_rows == 0 {
+            return Err("insert_batch_rows must be at least 1".into());
+        }
+        if self.mode == ExecutionMode::AsyncPrio && self.priority.is_none() {
+            return Err("AsyncP mode requires a priority specification".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = SqloopConfig::default();
+        assert_eq!(c.partitions, 256);
+        assert!(c.threads >= 1);
+        assert_eq!(c.mode, ExecutionMode::Async);
+        assert!(c.materialize_join);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = SqloopConfig::default();
+        c.threads = 0;
+        assert!(c.validate().is_err());
+        let mut c = SqloopConfig::default();
+        c.partitions = 0;
+        assert!(c.validate().is_err());
+        let mut c = SqloopConfig::default();
+        c.mode = ExecutionMode::AsyncPrio;
+        assert!(c.validate().is_err());
+        c.priority = Some(PrioritySpec::highest("SELECT SUM(delta) FROM {}"));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn priority_template_instantiation() {
+        let p = PrioritySpec::lowest("SELECT MIN(delta) FROM {}");
+        assert_eq!(p.query_for("sssp__pt3"), "SELECT MIN(delta) FROM sssp__pt3");
+        assert!(!p.descending);
+    }
+
+    #[test]
+    fn mode_labels_roundtrip() {
+        for m in [
+            ExecutionMode::Single,
+            ExecutionMode::Sync,
+            ExecutionMode::Async,
+            ExecutionMode::AsyncPrio,
+        ] {
+            assert_eq!(ExecutionMode::parse(m.label()), Some(m));
+        }
+        assert_eq!(ExecutionMode::parse("AsyncP"), Some(ExecutionMode::AsyncPrio));
+        assert_eq!(ExecutionMode::parse("turbo"), None);
+    }
+}

@@ -1,0 +1,67 @@
+//! Middleware error type.
+
+use sqldb::DbError;
+use std::fmt;
+
+/// Errors produced by the SQLoop middleware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqloopError {
+    /// The extended CTE grammar could not be parsed.
+    Grammar(String),
+    /// The query is valid but violates a middleware assumption
+    /// (e.g. the iterative part returns a different key set).
+    Semantic(String),
+    /// Configuration problem (zero partitions, bad priority query, …).
+    Config(String),
+    /// An underlying engine/driver error.
+    Db(DbError),
+}
+
+impl fmt::Display for SqloopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqloopError::Grammar(m) => write!(f, "grammar error: {m}"),
+            SqloopError::Semantic(m) => write!(f, "semantic error: {m}"),
+            SqloopError::Config(m) => write!(f, "configuration error: {m}"),
+            SqloopError::Db(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqloopError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqloopError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for SqloopError {
+    fn from(e: DbError) -> Self {
+        SqloopError::Db(e)
+    }
+}
+
+/// Result alias for middleware operations.
+pub type SqloopResult<T> = Result<T, SqloopError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SqloopError::from(DbError::NotFound("table r".into()));
+        assert!(e.to_string().contains("not found"));
+        assert!(std::error::Error::source(&e).is_some());
+        let g = SqloopError::Grammar("expected UNTIL".into());
+        assert!(std::error::Error::source(&g).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SqloopError>();
+    }
+}

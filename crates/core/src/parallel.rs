@@ -1,0 +1,908 @@
+//! The parallel execution engine: worker pool, Compute/Gather task
+//! scheduling, message-table registry, and the three scheduling policies of
+//! paper §V-E (Sync, Async, AsyncP).
+//!
+//! The master thread owns all scheduling state; workers are dumb statement
+//! runners, each holding its own engine connection (the paper's "each thread
+//! opens a new connection with the target database engine").
+
+use crate::analysis::ParallelPlan;
+use crate::common::{
+    create_cte_table, refresh_delta_snapshot, run, run_query, termination_satisfied, CteNames,
+};
+use crate::config::{ExecutionMode, SqloopConfig};
+use crate::error::{SqloopError, SqloopResult};
+use crate::grammar::{IterativeCte, Termination};
+use crate::parallel_sql::SqlGen;
+use crate::progress::{ProgressSample, Sampler};
+use crate::single::RunOutcome;
+use crate::translate::translate_query_to_sql;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dbcp::{Connection, Driver};
+use sqldb::{Row, StmtOutput, Value};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Report of one parallel run.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// Result and iteration counts.
+    pub outcome: RunOutcome,
+    /// Compute tasks executed.
+    pub computes: u64,
+    /// Gather tasks executed.
+    pub gathers: u64,
+    /// Non-empty message tables created.
+    pub messages: u64,
+    /// Aggregate worker time spent executing tasks. On a multi-core host,
+    /// `worker_busy / wall` approaches the worker-thread count; on this
+    /// reproduction's single-CPU substrate it stays near 1 however many
+    /// threads run (see EXPERIMENTS.md).
+    pub worker_busy: std::time::Duration,
+    /// Convergence samples (when a sampler was configured).
+    pub samples: Vec<ProgressSample>,
+}
+
+#[derive(Debug, Clone)]
+enum TaskKind {
+    Compute { msg_table: String },
+    Gather { read_until: usize },
+}
+
+#[derive(Debug)]
+struct Task {
+    partition: usize,
+    kind: TaskKind,
+    stmts: Vec<String>,
+}
+
+#[derive(Debug)]
+struct Done {
+    partition: usize,
+    kind: TaskKind,
+    changed: u64,
+    /// `Rows` outputs of the task's statements, in order (Compute: the
+    /// message-row count, then the touched-partition list when routing).
+    rows_outputs: Vec<sqldb::QueryResult>,
+    elapsed: std::time::Duration,
+    error: Option<SqloopError>,
+}
+
+#[derive(Debug, Clone)]
+struct PartState {
+    pending: bool,
+    cursor: usize,
+    in_flight: bool,
+    computes: u64,
+    msg_seq: u64,
+    priority: f64,
+    /// Strict Gather→Compute alternation (paper Fig. 3): set after a
+    /// Gather so the next visit runs the Compute instead of re-gathering.
+    prefer_compute: bool,
+    /// Round bookkeeping for the blind Async scheduler.
+    round_gathered: bool,
+    /// See [`PartState::round_gathered`].
+    round_computed: bool,
+}
+
+#[derive(Debug)]
+struct MsgState {
+    name: String,
+    live: bool,
+    /// Destination partitions with matching rows (`None` = broadcast).
+    targets: Option<Vec<usize>>,
+}
+
+/// Runs a parallelizable iterative CTE with the configured scheduler.
+///
+/// # Errors
+/// Engine/translation errors from any task, configuration errors, or the
+/// `max_iterations` safety cap.
+pub fn run_iterative_parallel(
+    driver: &Arc<dyn Driver>,
+    cte: &IterativeCte,
+    plan: ParallelPlan,
+    config: &SqloopConfig,
+) -> SqloopResult<ParallelRun> {
+    config.validate().map_err(SqloopError::Config)?;
+    let mut main = driver.connect()?;
+    let names = CteNames::new(&cte.name);
+    let schema = create_cte_table(main.as_mut(), &cte.name, &cte.columns, &cte.seed, true, true)?;
+    let gen = Arc::new(SqlGen::new(
+        names.clone(),
+        schema,
+        plan,
+        config.partitions,
+        config.materialize_join,
+    ));
+
+    // Rmjoin while R is still a base table (paper §V-B), plus the join index
+    if config.materialize_join {
+        run(
+            main.as_mut(),
+            &format!("DROP TABLE IF EXISTS {}", names.mjoin()),
+        )?;
+        run(main.as_mut(), &gen.create_mjoin_sql())?;
+    }
+    // the index may already exist from a previous run on the edge table
+    let _ = run(main.as_mut(), &gen.join_index_sql());
+
+    // hash-partition R on Rid, middleware-side
+    let col_list = gen.schema().columns.join(", ");
+    let rows = run_query(
+        main.as_mut(),
+        &format!("SELECT {col_list} FROM {}", names.table),
+    )?
+    .rows;
+    let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); config.partitions];
+    for row in rows {
+        let b = gen.bucket(&row[0]);
+        buckets[b].push(row);
+    }
+    for (x, bucket) in buckets.iter().enumerate() {
+        run(
+            main.as_mut(),
+            &format!("DROP TABLE IF EXISTS {}", names.partition(x)),
+        )?;
+        run(main.as_mut(), &gen.create_partition_sql(x))?;
+        for chunk in bucket.chunks(config.insert_batch_rows) {
+            run(main.as_mut(), &gen.insert_partition_sql(x, chunk))?;
+        }
+        if let Some(sql) = gen.init_hidden_sql(x) {
+            run(main.as_mut(), &sql)?;
+        }
+    }
+    // R becomes the union view (paper §V-B)
+    run(main.as_mut(), &format!("DROP TABLE {}", names.table))?;
+    run(main.as_mut(), &gen.create_view_sql())?;
+    if cte.termination.needs_delta_snapshot() {
+        refresh_delta_snapshot(main.as_mut(), &names)?;
+    }
+
+    // convergence sampler
+    let sampler = match (&config.sample_interval, &config.progress_query) {
+        (Some(iv), Some(q)) => Some(Sampler::start(
+            driver.connect()?,
+            q.replace("{}", &cte.name),
+            *iv,
+        )),
+        _ => None,
+    };
+
+    // worker pool: one connection per thread
+    let (task_tx, task_rx) = unbounded::<Task>();
+    let (done_tx, done_rx) = unbounded::<Done>();
+    let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(config.threads);
+    for i in 0..config.threads {
+        let conn = driver.connect()?;
+        let rx = task_rx.clone();
+        let tx = done_tx.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("sqloop-worker-{i}"))
+                .spawn(move || worker_loop(conn, rx, tx))
+                .map_err(|e| SqloopError::Config(format!("spawn worker: {e}")))?,
+        );
+    }
+    drop(task_rx);
+    drop(done_tx);
+
+    let mut scheduler = Scheduler {
+        gen: &gen,
+        config,
+        tc: &cte.termination,
+        cte_name: &cte.name,
+        main: main.as_mut(),
+        task_tx: &task_tx,
+        done_rx: &done_rx,
+        parts: vec![
+            PartState {
+                pending: true,
+                cursor: 0,
+                in_flight: false,
+                computes: 0,
+                msg_seq: 0,
+                priority: 0.0,
+                prefer_compute: false,
+                round_gathered: false,
+                round_computed: false,
+            };
+            config.partitions
+        ],
+        msgs: Vec::new(),
+        in_flight: 0,
+        computes: 0,
+        gathers: 0,
+        messages: 0,
+        rr: 0,
+        all_msgs: Vec::new(),
+        needs_delta: cte.termination.needs_delta_snapshot(),
+        worker_busy: std::time::Duration::ZERO,
+    };
+
+    let sched_result = match config.mode {
+        ExecutionMode::Sync => scheduler.run_sync(),
+        ExecutionMode::Async | ExecutionMode::AsyncPrio => scheduler.run_async(),
+        ExecutionMode::Single => Err(SqloopError::Config(
+            "single mode must use the single-threaded executor".into(),
+        )),
+    };
+    let stats = SchedStats {
+        computes: scheduler.computes,
+        gathers: scheduler.gathers,
+        messages: scheduler.messages,
+        worker_busy: scheduler.worker_busy,
+        all_msgs: std::mem::take(&mut scheduler.all_msgs),
+    };
+    drop(scheduler);
+
+    // stop workers and collect them
+    drop(task_tx);
+    for h in handles {
+        let _ = h.join();
+    }
+    let samples = sampler.map(Sampler::stop).unwrap_or_default();
+
+    let finish = |main: &mut dyn Connection| -> SqloopResult<()> {
+        if !config.keep_artifacts {
+            for sql in gen.cleanup_sql() {
+                let _ = run(main, &sql);
+            }
+            for m in &stats.all_msgs {
+                let _ = run(main, &format!("DROP TABLE IF EXISTS {m}"));
+            }
+        }
+        Ok(())
+    };
+
+    match sched_result {
+        Ok((rounds, last_change)) => {
+            let final_sql = translate_query_to_sql(&cte.final_query, main.profile());
+            let result = main.query(&final_sql)?;
+            finish(main.as_mut())?;
+            Ok(ParallelRun {
+                outcome: RunOutcome {
+                    result,
+                    iterations: rounds,
+                    last_change,
+                },
+                computes: stats.computes,
+                gathers: stats.gathers,
+                messages: stats.messages,
+                worker_busy: stats.worker_busy,
+                samples,
+            })
+        }
+        Err(e) => {
+            finish(main.as_mut())?;
+            Err(e)
+        }
+    }
+}
+
+struct SchedStats {
+    computes: u64,
+    gathers: u64,
+    messages: u64,
+    worker_busy: std::time::Duration,
+    all_msgs: Vec<String>,
+}
+
+fn worker_loop(mut conn: Box<dyn Connection>, rx: Receiver<Task>, tx: Sender<Done>) {
+    for task in rx.iter() {
+        let started = std::time::Instant::now();
+        let mut changed = 0u64;
+        let mut rows_outputs = Vec::new();
+        let mut error = None;
+        for sql in &task.stmts {
+            match run(conn.as_mut(), sql) {
+                Ok(StmtOutput::Affected(n)) => changed += n,
+                Ok(StmtOutput::Rows(r)) => rows_outputs.push(r),
+                Ok(StmtOutput::Done) => {}
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        let done = Done {
+            partition: task.partition,
+            kind: task.kind,
+            changed,
+            rows_outputs,
+            elapsed: started.elapsed(),
+            error,
+        };
+        if tx.send(done).is_err() {
+            return;
+        }
+    }
+}
+
+struct Scheduler<'a> {
+    gen: &'a SqlGen,
+    config: &'a SqloopConfig,
+    tc: &'a Termination,
+    cte_name: &'a str,
+    main: &'a mut dyn Connection,
+    task_tx: &'a Sender<Task>,
+    done_rx: &'a Receiver<Done>,
+    parts: Vec<PartState>,
+    msgs: Vec<MsgState>,
+    in_flight: usize,
+    computes: u64,
+    gathers: u64,
+    messages: u64,
+    rr: usize,
+    all_msgs: Vec<String>,
+    needs_delta: bool,
+    worker_busy: std::time::Duration,
+}
+
+impl Scheduler<'_> {
+    // -- task construction -------------------------------------------------
+
+    fn build_compute(&mut self, x: usize) -> Task {
+        let seq = self.parts[x].msg_seq;
+        self.parts[x].msg_seq += 1;
+        let msg = self.gen.names().message(x, seq);
+        self.all_msgs.push(msg.clone());
+        let mut stmts = vec![
+            format!("DROP TABLE IF EXISTS {msg}"),
+            self.gen.compute_message_sql(x, &msg),
+            self.gen.message_count_sql(&msg),
+        ];
+        if self.gen.routing_enabled() {
+            stmts.push(self.gen.touched_partitions_sql(&msg));
+        }
+        stmts.push(self.gen.compute_update_sql(x));
+        Task {
+            partition: x,
+            kind: TaskKind::Compute { msg_table: msg },
+            stmts,
+        }
+    }
+
+    /// Unread live message tables for `x`; advances the cursor over dead
+    /// prefixes. `None` when there is nothing to read.
+    fn build_gather(&mut self, x: usize) -> Option<Task> {
+        let len = self.msgs.len();
+        let tables: Vec<&str> = self.msgs[self.parts[x].cursor..len]
+            .iter()
+            .filter(|m| {
+                m.live
+                    && m.targets
+                        .as_ref()
+                        .map(|t| t.contains(&x))
+                        .unwrap_or(true)
+            })
+            .map(|m| m.name.as_str())
+            .collect();
+        if tables.is_empty() {
+            self.parts[x].cursor = len;
+            return None;
+        }
+        let sql = self.gen.gather_sql(x, &tables);
+        Some(Task {
+            partition: x,
+            kind: TaskKind::Gather { read_until: len },
+            stmts: vec![sql],
+        })
+    }
+
+    fn dispatch(&mut self, task: Task) -> SqloopResult<()> {
+        self.parts[task.partition].in_flight = true;
+        self.in_flight += 1;
+        self.task_tx
+            .send(task)
+            .map_err(|_| SqloopError::Config("worker pool shut down unexpectedly".into()))
+    }
+
+    /// Processes one completion; returns the number of changed rows.
+    fn handle_done(&mut self, d: Done) -> SqloopResult<u64> {
+        self.in_flight -= 1;
+        self.parts[d.partition].in_flight = false;
+        self.worker_busy += d.elapsed;
+        if let Some(e) = d.error {
+            return Err(e);
+        }
+        let mut refresh = false;
+        match &d.kind {
+            TaskKind::Compute { msg_table } => {
+                self.computes += 1;
+                self.parts[d.partition].computes += 1;
+                self.parts[d.partition].pending = false;
+                self.parts[d.partition].prefer_compute = false;
+                let msg_rows = d
+                    .rows_outputs
+                    .first()
+                    .and_then(|r| r.scalar().and_then(Value::as_i64))
+                    .unwrap_or(0);
+                if msg_rows > 0 {
+                    self.messages += 1;
+                    // normalize SQL truncating modulo to rem_euclid buckets
+                    let n = self.parts.len() as i64;
+                    let targets = d.rows_outputs.get(1).map(|r| {
+                        let mut t: Vec<usize> = r
+                            .rows
+                            .iter()
+                            .filter_map(|row| row[0].as_i64())
+                            .map(|p| (((p % n) + n) % n) as usize)
+                            .collect();
+                        t.sort_unstable();
+                        t.dedup();
+                        t
+                    });
+                    self.msgs.push(MsgState {
+                        name: msg_table.clone(),
+                        live: true,
+                        targets,
+                    });
+                } else {
+                    let _ = run(self.main, &format!("DROP TABLE IF EXISTS {msg_table}"));
+                }
+            }
+            TaskKind::Gather { read_until } => {
+                self.gathers += 1;
+                self.parts[d.partition].cursor = *read_until;
+                if d.changed > 0 {
+                    self.parts[d.partition].pending = true;
+                    self.parts[d.partition].prefer_compute = true;
+                    refresh = true;
+                }
+                self.gc_messages();
+            }
+        }
+        if self.config.mode == ExecutionMode::AsyncPrio && refresh {
+            self.refresh_priority(d.partition);
+        }
+        Ok(d.changed)
+    }
+
+    /// Drops message tables every partition has consumed (GC; the paper
+    /// leaves this implicit).
+    fn gc_messages(&mut self) {
+        let min_cursor = self.parts.iter().map(|p| p.cursor).min().unwrap_or(0);
+        for i in 0..min_cursor.min(self.msgs.len()) {
+            if self.msgs[i].live {
+                let name = self.msgs[i].name.clone();
+                let _ = run(self.main, &format!("DROP TABLE IF EXISTS {name}"));
+                self.msgs[i].live = false;
+            }
+        }
+    }
+
+    fn refresh_priority(&mut self, x: usize) {
+        let spec = match &self.config.priority {
+            Some(s) => s,
+            None => return,
+        };
+        let sql = spec.query_for(&self.gen.names().partition(x));
+        let worst = if spec.descending {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
+        let v = run_query(self.main, &sql)
+            .ok()
+            .and_then(|r| r.scalar().and_then(Value::as_f64))
+            .unwrap_or(worst);
+        self.parts[x].priority = if v.is_nan() { worst } else { v };
+    }
+
+    fn init_priorities(&mut self) {
+        if self.config.mode == ExecutionMode::AsyncPrio {
+            for x in 0..self.parts.len() {
+                self.refresh_priority(x);
+            }
+        }
+    }
+
+    fn tc_check(&mut self, rounds: u64, changed: u64) -> SqloopResult<bool> {
+        let done =
+            termination_satisfied(self.main, self.cte_name, self.tc, rounds, changed)?;
+        if self.needs_delta {
+            refresh_delta_snapshot(self.main, &CteNames::new(self.cte_name))?;
+        }
+        Ok(done)
+    }
+
+    // -- Sync: two-phase rounds with a barrier (paper §V-E) -----------------
+
+    fn run_sync(&mut self) -> SqloopResult<(u64, u64)> {
+        let mut rounds = 0u64;
+        loop {
+            // phase 1: every partition computes
+            let compute_tasks: Vec<Task> =
+                (0..self.parts.len()).map(|x| self.build_compute(x)).collect();
+            let mut changed = self.run_phase(compute_tasks.into())?;
+            // phase 2: every partition with unread messages gathers
+            let mut gather_tasks = VecDeque::new();
+            for x in 0..self.parts.len() {
+                if let Some(t) = self.build_gather(x) {
+                    gather_tasks.push_back(t);
+                }
+            }
+            changed += self.run_phase(gather_tasks)?;
+            rounds += 1;
+            if self.tc_check(rounds, changed)? {
+                return Ok((rounds, changed));
+            }
+            if rounds >= self.config.max_iterations {
+                return Err(SqloopError::Semantic(format!(
+                    "termination condition not satisfied within {rounds} iterations"
+                )));
+            }
+        }
+    }
+
+    fn run_phase(&mut self, mut queue: VecDeque<Task>) -> SqloopResult<u64> {
+        let mut changed = 0u64;
+        let mut first_error: Option<SqloopError> = None;
+        loop {
+            while self.in_flight < self.config.threads && first_error.is_none() {
+                match queue.pop_front() {
+                    Some(t) => self.dispatch(t)?,
+                    None => break,
+                }
+            }
+            if self.in_flight == 0 && (queue.is_empty() || first_error.is_some()) {
+                return match first_error {
+                    Some(e) => Err(e),
+                    None => Ok(changed),
+                };
+            }
+            let d = self
+                .done_rx
+                .recv()
+                .map_err(|_| SqloopError::Config("worker pool died".into()))?;
+            match self.handle_done(d) {
+                Ok(n) => changed += n,
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+    }
+
+    // -- Async / AsyncP (paper §V-E) ----------------------------------------
+
+    fn compute_allowed(&self, x: usize) -> bool {
+        match self.tc {
+            Termination::Iterations(n) => self.parts[x].computes < *n,
+            _ => true,
+        }
+    }
+
+    /// Blind round-robin scheduler (`Async`, paper Fig. 3): every round,
+    /// every partition gets a Gather (when unread message tables exist) and
+    /// a Compute — no barrier between rounds, so tasks of round *i+1* start
+    /// while stragglers of round *i* are still running, and Gathers consume
+    /// whatever intermediate results already exist. The speedup over Sync
+    /// comes purely from that freshness; like the paper's Async, it does
+    /// not skip idle partitions — that is AsyncP's job.
+    fn pick_blind(&mut self) -> Option<Task> {
+        let n = self.parts.len();
+        for i in 0..n {
+            let x = (self.rr + i) % n;
+            if self.parts[x].in_flight {
+                continue;
+            }
+            if !self.parts[x].round_gathered {
+                self.parts[x].round_gathered = true;
+                if let Some(t) = self.build_gather(x) {
+                    // stay on x so its Compute follows immediately — the
+                    // G,C pairing of paper Fig. 3 is what lets a message
+                    // produced earlier in this round be consumed (gathered
+                    // *and* applied) later in the same round
+                    self.rr = x;
+                    return Some(t);
+                }
+            }
+            if !self.parts[x].round_computed && self.compute_allowed(x) {
+                self.parts[x].round_computed = true;
+                self.rr = (x + 1) % n;
+                return Some(self.build_compute(x));
+            }
+        }
+        None
+    }
+
+    /// True once every partition has used (or been denied) both of its
+    /// slots in the current blind round.
+    fn round_complete(&self) -> bool {
+        self.parts
+            .iter()
+            .enumerate()
+            .all(|(x, p)| p.round_gathered && (p.round_computed || !self.compute_allowed(x)))
+    }
+
+    fn reset_round_flags(&mut self) {
+        for p in &mut self.parts {
+            p.round_gathered = false;
+            p.round_computed = false;
+        }
+    }
+
+    /// Priority scheduler (`AsyncP`, paper §V-E): schedules only partitions
+    /// that can contribute — pending deltas or unread messages — ordered by
+    /// the user's priority function, with strict G→C pairing per partition.
+    fn pick_prio(&mut self) -> Option<Task> {
+        let n = self.parts.len();
+        let desc = self
+            .config
+            .priority
+            .as_ref()
+            .map(|p| p.descending)
+            .unwrap_or(true);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (self.parts[a].priority, self.parts[b].priority);
+            if desc {
+                pb.total_cmp(&pa)
+            } else {
+                pa.total_cmp(&pb)
+            }
+        });
+        // pass 1: productive partitions — gather-then-compute pairs, best
+        // priority first (gathering right before the compute batches every
+        // unread table into one statement)
+        for &x in &order {
+            if self.parts[x].in_flight {
+                continue;
+            }
+            let can_compute = self.parts[x].pending && self.compute_allowed(x);
+            if !can_compute {
+                continue;
+            }
+            if self.parts[x].prefer_compute {
+                return Some(self.build_compute(x));
+            }
+            if let Some(t) = self.build_gather(x) {
+                return Some(t);
+            }
+            return Some(self.build_compute(x));
+        }
+        // pass 2: bulk gathers — partitions with enough unread tables to be
+        // worth a statement of their own
+        const GATHER_BATCH: usize = 4;
+        for &x in &order {
+            if self.parts[x].in_flight {
+                continue;
+            }
+            if self.unread_count(x) >= GATHER_BATCH {
+                if let Some(t) = self.build_gather(x) {
+                    return Some(t);
+                }
+            }
+        }
+        // pass 3: nothing productive anywhere — drain stragglers so the
+        // registry empties and termination can be detected
+        if self.in_flight == 0 {
+            for &x in &order {
+                if let Some(t) = self.build_gather(x) {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Live unread message tables targeted at partition `x`.
+    fn unread_count(&self, x: usize) -> usize {
+        let len = self.msgs.len();
+        self.msgs[self.parts[x].cursor..len]
+            .iter()
+            .filter(|m| {
+                m.live
+                    && m.targets
+                        .as_ref()
+                        .map(|t| t.contains(&x))
+                        .unwrap_or(true)
+            })
+            .count()
+    }
+
+    fn run_async(&mut self) -> SqloopResult<(u64, u64)> {
+        match self.config.mode {
+            ExecutionMode::AsyncPrio => self.run_async_prio(),
+            _ => self.run_async_blind(),
+        }
+    }
+
+    fn run_async_blind(&mut self) -> SqloopResult<(u64, u64)> {
+        let mut rounds = 0u64;
+        let mut round_changed = 0u64;
+        let mut first_error: Option<SqloopError> = None;
+        loop {
+            while first_error.is_none() && self.in_flight < self.config.threads {
+                if let Some(t) = self.pick_blind() {
+                    self.dispatch(t)?;
+                    continue;
+                }
+                if !self.round_complete() {
+                    break; // remaining slots belong to busy partitions
+                }
+                // round boundary: decisions need the round's full effect,
+                // so wait for in-flight tasks (a soft join, much weaker
+                // than Sync's two barriers per round — within the round
+                // gathers freely consumed same-round messages)
+                if self.in_flight > 0 {
+                    break;
+                }
+                rounds += 1;
+                let done = match self.tc {
+                    // capped partitions can hold pending deltas forever, so
+                    // Iterations completes once caps are hit and messages
+                    // are drained
+                    Termination::Iterations(n) => {
+                        let all_capped = self.parts.iter().all(|p| p.computes >= *n);
+                        all_capped && !self.any_unread_messages()
+                    }
+                    Termination::Updates(n) => round_changed <= *n,
+                    Termination::Data { .. } | Termination::Delta { .. } => {
+                        self.tc_check(rounds, round_changed)?
+                    }
+                };
+                if done {
+                    self.drain()?;
+                    return Ok((self.report_rounds(rounds), round_changed));
+                }
+                if rounds >= self.config.max_iterations {
+                    self.drain()?;
+                    return Err(SqloopError::Semantic(format!(
+                        "termination condition not satisfied within {rounds} rounds"
+                    )));
+                }
+                round_changed = 0;
+                self.reset_round_flags();
+            }
+            if self.in_flight == 0 {
+                if let Some(e) = first_error {
+                    return Err(e);
+                }
+                if !self.round_complete() {
+                    continue; // new round was just opened; dispatch again
+                }
+                // quiescent with an Iterations cap: everything drained
+                rounds += 1;
+                return Ok((self.report_rounds(rounds), round_changed));
+            }
+            let d = self
+                .done_rx
+                .recv()
+                .map_err(|_| SqloopError::Config("worker pool died".into()))?;
+            match self.handle_done(d) {
+                Ok(c) => round_changed += c,
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_async_prio(&mut self) -> SqloopResult<(u64, u64)> {
+        self.init_priorities();
+        let tasks_per_round = (2 * self.parts.len()).max(1);
+        let mut rounds = 0u64;
+        let mut wave_changed = 0u64;
+        let mut wave_tasks = 0usize;
+        let mut first_error: Option<SqloopError> = None;
+        loop {
+            if first_error.is_none() {
+                while self.in_flight < self.config.threads {
+                    match self.pick_prio() {
+                        Some(t) => self.dispatch(t)?,
+                        None => break,
+                    }
+                }
+            }
+            if self.in_flight == 0 {
+                if let Some(e) = first_error {
+                    return Err(e);
+                }
+                // quiescent: nothing can contribute any more
+                rounds += 1;
+                return Ok((self.report_rounds(rounds), wave_changed));
+            }
+            let d = self
+                .done_rx
+                .recv()
+                .map_err(|_| SqloopError::Config("worker pool died".into()))?;
+            match self.handle_done(d) {
+                Ok(c) => wave_changed += c,
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                    continue;
+                }
+            }
+            wave_tasks += 1;
+            if wave_tasks >= tasks_per_round {
+                rounds += 1;
+                wave_tasks = 0;
+                // virtual-iteration boundary: evaluate data/delta conditions
+                match self.tc {
+                    Termination::Data { .. } | Termination::Delta { .. } => {
+                        if self.tc_check(rounds, wave_changed)? {
+                            self.drain()?;
+                            return Ok((self.report_rounds(rounds), wave_changed));
+                        }
+                    }
+                    Termination::Updates(n) => {
+                        if wave_changed <= *n && !self.any_work_left() {
+                            self.drain()?;
+                            return Ok((self.report_rounds(rounds), wave_changed));
+                        }
+                    }
+                    Termination::Iterations(_) => {}
+                }
+                if rounds >= self.config.max_iterations {
+                    self.drain()?;
+                    return Err(SqloopError::Semantic(format!(
+                        "termination condition not satisfied within {rounds} rounds"
+                    )));
+                }
+                wave_changed = 0;
+            }
+        }
+    }
+
+    /// True when any live message table is unread by one of its targets.
+    fn any_unread_messages(&self) -> bool {
+        let len = self.msgs.len();
+        self.parts.iter().enumerate().any(|(x, p)| {
+            self.msgs[p.cursor..len].iter().any(|m| {
+                m.live
+                    && m.targets
+                        .as_ref()
+                        .map(|t| t.contains(&x))
+                        .unwrap_or(true)
+            })
+        })
+    }
+
+    fn any_work_left(&self) -> bool {
+        let len = self.msgs.len();
+        self.parts.iter().enumerate().any(|(x, p)| {
+            p.in_flight
+                || p.pending
+                || self.msgs[p.cursor..len].iter().any(|m| {
+                    m.live
+                        && m.targets
+                            .as_ref()
+                            .map(|t| t.contains(&x))
+                            .unwrap_or(true)
+                })
+        })
+    }
+
+    /// Reported iteration count: per-partition compute rounds when the
+    /// condition is `ITERATIONS n`, otherwise scheduler waves.
+    fn report_rounds(&self, waves: u64) -> u64 {
+        match self.tc {
+            Termination::Iterations(_) => {
+                self.parts.iter().map(|p| p.computes).max().unwrap_or(0)
+            }
+            _ => waves,
+        }
+    }
+
+    /// Waits for all in-flight tasks after a termination decision.
+    fn drain(&mut self) -> SqloopResult<()> {
+        while self.in_flight > 0 {
+            let d = self
+                .done_rx
+                .recv()
+                .map_err(|_| SqloopError::Config("worker pool died".into()))?;
+            let _ = self.handle_done(d)?;
+        }
+        Ok(())
+    }
+}

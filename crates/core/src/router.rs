@@ -1,0 +1,169 @@
+//! Multi-engine routing (paper §I: "it is possible to create connections
+//! with multiple RDBMSs on different machines by specifying the URL of each
+//! target database engine and use SQLoop to redirect the queries on
+//! demand").
+//!
+//! A [`SqloopRouter`] holds one configured [`SQLoop`] per named target; the
+//! same iterative/recursive CTE text runs on whichever engine the caller
+//! names — the translation module adapts it per dialect automatically.
+
+use crate::api::{ExecutionReport, SQLoop};
+use crate::config::SqloopConfig;
+use crate::error::{SqloopError, SqloopResult};
+use sqldb::QueryResult;
+use std::collections::BTreeMap;
+
+/// A registry of named SQLoop targets.
+#[derive(Debug, Default)]
+pub struct SqloopRouter {
+    targets: BTreeMap<String, SQLoop>,
+}
+
+impl SqloopRouter {
+    /// Creates an empty router.
+    pub fn new() -> SqloopRouter {
+        SqloopRouter::default()
+    }
+
+    /// Registers `name` → a middleware instance connected to `url`
+    /// (`local://…` or `tcp://host:port`).
+    ///
+    /// # Errors
+    /// Connection errors, or [`SqloopError::Config`] for duplicate names.
+    pub fn add_url(&mut self, name: &str, url: &str) -> SqloopResult<()> {
+        self.add(name, SQLoop::connect(url)?)
+    }
+
+    /// Registers a pre-built middleware instance under `name`.
+    ///
+    /// # Errors
+    /// Returns [`SqloopError::Config`] for duplicate names.
+    pub fn add(&mut self, name: &str, sqloop: SQLoop) -> SqloopResult<()> {
+        if self.targets.contains_key(name) {
+            return Err(SqloopError::Config(format!(
+                "target '{name}' is already registered"
+            )));
+        }
+        self.targets.insert(name.to_owned(), sqloop);
+        Ok(())
+    }
+
+    /// Registered target names (sorted).
+    pub fn targets(&self) -> Vec<&str> {
+        self.targets.keys().map(String::as_str).collect()
+    }
+
+    /// The middleware instance for `name`.
+    ///
+    /// # Errors
+    /// Returns [`SqloopError::Config`] for unknown targets.
+    pub fn target(&self, name: &str) -> SqloopResult<&SQLoop> {
+        self.targets
+            .get(name)
+            .ok_or_else(|| SqloopError::Config(format!("unknown target '{name}'")))
+    }
+
+    /// Mutable access (e.g. to adjust one target's [`SqloopConfig`]).
+    ///
+    /// # Errors
+    /// Returns [`SqloopError::Config`] for unknown targets.
+    pub fn target_mut(&mut self, name: &str) -> SqloopResult<&mut SQLoop> {
+        self.targets
+            .get_mut(name)
+            .ok_or_else(|| SqloopError::Config(format!("unknown target '{name}'")))
+    }
+
+    /// Executes one statement on the named target.
+    ///
+    /// # Errors
+    /// Unknown target, or any middleware/engine error.
+    pub fn execute_on(&self, name: &str, sql: &str) -> SqloopResult<QueryResult> {
+        self.target(name)?.execute(sql)
+    }
+
+    /// Executes one statement on *every* target, returning
+    /// `(name, report)` pairs in name order — useful for cross-engine
+    /// comparisons like the paper's evaluation.
+    ///
+    /// # Errors
+    /// Fails on the first target that errors (earlier targets keep their
+    /// effects).
+    pub fn execute_everywhere(
+        &self,
+        sql: &str,
+    ) -> SqloopResult<Vec<(String, ExecutionReport)>> {
+        let mut out = Vec::with_capacity(self.targets.len());
+        for (name, sqloop) in &self.targets {
+            out.push((name.clone(), sqloop.execute_detailed(sql)?));
+        }
+        Ok(out)
+    }
+
+    /// Applies one configuration to every registered target.
+    pub fn configure_all(&mut self, config: &SqloopConfig) {
+        for sqloop in self.targets.values_mut() {
+            *sqloop.config_mut() = config.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecutionMode;
+
+    fn router() -> SqloopRouter {
+        let mut r = SqloopRouter::new();
+        r.add_url("pg", "local://postgres").unwrap();
+        r.add_url("my", "local://mysql").unwrap();
+        r
+    }
+
+    #[test]
+    fn routes_to_named_targets() {
+        let r = router();
+        r.execute_on("pg", "CREATE TABLE t (a INT)").unwrap();
+        r.execute_on("pg", "INSERT INTO t VALUES (1)").unwrap();
+        // the other engine has its own catalog
+        assert!(r.execute_on("my", "SELECT * FROM t").is_err());
+        let out = r.execute_on("pg", "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(out.rows[0][0], sqldb::Value::Int(1));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_targets_rejected() {
+        let mut r = router();
+        assert!(matches!(
+            r.add_url("pg", "local://mariadb"),
+            Err(SqloopError::Config(_))
+        ));
+        assert!(matches!(
+            r.execute_on("nope", "SELECT 1"),
+            Err(SqloopError::Config(_))
+        ));
+        assert_eq!(r.targets(), vec!["my", "pg"]);
+    }
+
+    #[test]
+    fn execute_everywhere_runs_the_same_cte_on_all_engines() {
+        let mut r = router();
+        r.add_url("maria", "local://mariadb").unwrap();
+        let mut config = crate::SqloopConfig::default();
+        config.mode = ExecutionMode::Single;
+        r.configure_all(&config);
+        for name in ["pg", "my", "maria"] {
+            r.execute_on(name, "CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+                .unwrap();
+            r.execute_on(name, "INSERT INTO edges VALUES (1,2,1.0),(2,3,1.0)")
+                .unwrap();
+        }
+        let fib = "WITH RECURSIVE f(n, pn) AS (VALUES (0,1) UNION ALL \
+                   SELECT n + pn, n FROM f WHERE n < 100) SELECT SUM(n) FROM f";
+        let results = r.execute_everywhere(fib).unwrap();
+        assert_eq!(results.len(), 3);
+        let first = &results[0].1.result.rows;
+        for (name, report) in &results {
+            assert_eq!(&report.result.rows, first, "{name}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Smoke test for the `sqloop-cli` shell binary: pipe a small session
+//! through stdin and check the rendered output.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+#[test]
+fn cli_runs_a_scripted_session() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sqloop-cli"))
+        .arg("local://mariadb")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sqloop-cli");
+    let script = "\
+\\engine
+CREATE TABLE edges (src INT, dst INT, weight FLOAT);
+INSERT INTO edges VALUES (1,2,1.0),(2,3,1.0),(3,4,1.0);
+\\mode single
+WITH RECURSIVE reach(node) AS (
+  SELECT 1 UNION SELECT edges.dst FROM reach JOIN edges ON reach.node = edges.src)
+SELECT COUNT(*) FROM reach;
+\\timing off
+SELECT COUNT(*) FROM edges;
+\\q
+";
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("cli exits");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(stdout.contains("engine    : MariaDB"), "{stdout}");
+    assert!(stdout.contains("mode = Single"), "{stdout}");
+    // reach(1) = {1,2,3,4}
+    assert!(stdout.contains("| 4"), "{stdout}");
+    // edge count under \timing off → provenance line without a duration
+    assert!(stdout.contains("| 3"), "{stdout}");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn cli_reports_errors_and_keeps_going() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sqloop-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sqloop-cli");
+    let script = "SELECT * FROM missing;\nSELECT 1 + 1;\n\\q\n";
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("cli exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not found"), "{stderr}");
+    assert!(stdout.contains("| 2"), "{stdout}");
+}

@@ -1,0 +1,154 @@
+//! TCP client driver: connect to a remote engine by URL.
+
+use crate::driver::{Connection, Driver};
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, MAGIC,
+};
+use sqldb::{DbError, DbResult, EngineProfile, IsolationLevel, StmtOutput};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Driver that opens wire-protocol connections to a remote server.
+#[derive(Debug, Clone)]
+pub struct TcpDriver {
+    addr: String,
+    profile: EngineProfile,
+}
+
+impl TcpDriver {
+    /// Connects once to discover the remote engine profile, then acts as a
+    /// factory for further connections.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Connection`] when the server is unreachable.
+    pub fn connect(addr: &str) -> DbResult<TcpDriver> {
+        let mut probe = TcpConnection::open(addr)?;
+        let profile = probe.fetch_profile()?;
+        Ok(TcpDriver {
+            addr: addr.to_owned(),
+            profile,
+        })
+    }
+
+    /// The remote address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl Driver for TcpDriver {
+    fn connect(&self) -> DbResult<Box<dyn Connection>> {
+        Ok(Box::new(TcpConnection::open(&self.addr)?))
+    }
+
+    fn profile(&self) -> EngineProfile {
+        self.profile
+    }
+}
+
+/// One wire-protocol connection.
+#[derive(Debug)]
+pub struct TcpConnection {
+    stream: TcpStream,
+    profile: EngineProfile,
+}
+
+impl TcpConnection {
+    /// Opens and handshakes a connection.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Connection`] on network or handshake failure.
+    pub fn open(addr: &str) -> DbResult<TcpConnection> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| DbError::Connection(format!("connect {addr}: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| DbError::Connection(format!("nodelay: {e}")))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .map_err(|e| DbError::Connection(format!("timeout: {e}")))?;
+        let mut conn = TcpConnection {
+            stream,
+            profile: EngineProfile::Postgres,
+        };
+        conn.stream
+            .write_all(&MAGIC)
+            .map_err(|e| DbError::Connection(format!("handshake: {e}")))?;
+        let mut echo = [0u8; 2];
+        conn.stream
+            .read_exact(&mut echo)
+            .map_err(|e| DbError::Connection(format!("handshake: {e}")))?;
+        if echo != MAGIC {
+            return Err(DbError::Connection("bad handshake echo".into()));
+        }
+        let profile = conn.fetch_profile()?;
+        conn.profile = profile;
+        Ok(conn)
+    }
+
+    fn round_trip(&mut self, req: &Request) -> DbResult<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let frame = read_frame(&mut self.stream)?;
+        decode_response(frame)
+    }
+
+    fn fetch_profile(&mut self) -> DbResult<EngineProfile> {
+        match self.round_trip(&Request::Profile)? {
+            Response::ProfileIs(p) => Ok(p),
+            other => Err(DbError::Connection(format!(
+                "unexpected profile response {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Connection for TcpConnection {
+    fn execute(&mut self, sql: &str) -> DbResult<StmtOutput> {
+        self.round_trip(&Request::Execute(sql.to_owned()))?
+            .into_output()
+    }
+
+    fn execute_batch(&mut self, statements: &[String]) -> DbResult<Vec<StmtOutput>> {
+        match self.round_trip(&Request::Batch(statements.to_vec()))? {
+            Response::BatchResults(items) => {
+                items.into_iter().map(Response::into_output).collect()
+            }
+            Response::Error(e) => Err(e),
+            other => Err(DbError::Connection(format!(
+                "unexpected batch response {other:?}"
+            ))),
+        }
+    }
+
+    fn begin(&mut self) -> DbResult<()> {
+        self.round_trip(&Request::Begin)?.into_output().map(|_| ())
+    }
+
+    fn commit(&mut self) -> DbResult<()> {
+        self.round_trip(&Request::Commit)?.into_output().map(|_| ())
+    }
+
+    fn rollback(&mut self) -> DbResult<()> {
+        self.round_trip(&Request::Rollback)?
+            .into_output()
+            .map(|_| ())
+    }
+
+    fn set_isolation(&mut self, level: IsolationLevel) -> DbResult<()> {
+        self.round_trip(&Request::SetIsolation(level))?
+            .into_output()
+            .map(|_| ())
+    }
+
+    fn profile(&self) -> EngineProfile {
+        self.profile
+    }
+}
+
+impl Drop for TcpConnection {
+    fn drop(&mut self) {
+        // best-effort goodbye so the server can clean up promptly
+        let _ = write_frame(&mut self.stream, &encode_request(&Request::Close));
+    }
+}

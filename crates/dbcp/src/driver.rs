@@ -1,0 +1,227 @@
+//! Driver traits and the in-process driver.
+//!
+//! Mirrors the slice of JDBC the paper's middleware depends on (§IV-A):
+//! statement execution, result sets, statement batching, transaction
+//! demarcation and isolation control — behind a [`Driver`] that can mint any
+//! number of concurrent [`Connection`]s, which is how SQLoop turns worker
+//! threads into engine-side parallelism.
+
+use sqldb::{Database, DbError, DbResult, EngineProfile, IsolationLevel, QueryResult, Session, StmtOutput};
+
+/// One open connection to a database engine (JDBC `Connection` +
+/// `Statement` rolled together, as SQLoop uses one statement per connection).
+pub trait Connection: Send {
+    /// Executes one SQL statement.
+    ///
+    /// # Errors
+    /// Parse/validation/execution errors from the engine, or transport
+    /// failures for remote connections.
+    fn execute(&mut self, sql: &str) -> DbResult<StmtOutput>;
+
+    /// Executes a batch of statements in one round trip (JDBC
+    /// `addBatch`/`executeBatch`), stopping at the first error.
+    ///
+    /// # Errors
+    /// The first failing statement's error; earlier statements keep their
+    /// effects per the connection's autocommit/transaction state.
+    fn execute_batch(&mut self, statements: &[String]) -> DbResult<Vec<StmtOutput>> {
+        let mut out = Vec::with_capacity(statements.len());
+        for s in statements {
+            out.push(self.execute(s)?);
+        }
+        Ok(out)
+    }
+
+    /// Executes a query and returns its rows.
+    ///
+    /// # Errors
+    /// As [`Connection::execute`], plus an error when the statement is not a
+    /// query.
+    fn query(&mut self, sql: &str) -> DbResult<QueryResult> {
+        match self.execute(sql)? {
+            StmtOutput::Rows(r) => Ok(r),
+            _ => Err(DbError::Invalid("statement did not return rows".into())),
+        }
+    }
+
+    /// Opens a transaction.
+    ///
+    /// # Errors
+    /// When a transaction is already open.
+    fn begin(&mut self) -> DbResult<()>;
+
+    /// Commits the open transaction.
+    ///
+    /// # Errors
+    /// Transport failures (remote); the engine commit itself is infallible.
+    fn commit(&mut self) -> DbResult<()>;
+
+    /// Rolls back the open transaction.
+    ///
+    /// # Errors
+    /// Transport failures or undo-application errors.
+    fn rollback(&mut self) -> DbResult<()>;
+
+    /// Sets the transaction isolation level.
+    ///
+    /// # Errors
+    /// Transport failures (remote).
+    fn set_isolation(&mut self, level: IsolationLevel) -> DbResult<()>;
+
+    /// The engine profile on the other side of this connection.
+    fn profile(&self) -> EngineProfile;
+}
+
+/// A connection factory (JDBC `DataSource` analog).
+pub trait Driver: Send + Sync {
+    /// Opens a new connection.
+    ///
+    /// # Errors
+    /// Transport failures for remote drivers.
+    fn connect(&self) -> DbResult<Box<dyn Connection>>;
+
+    /// The target engine's profile.
+    fn profile(&self) -> EngineProfile;
+}
+
+/// In-process driver wrapping a [`Database`] instance directly.
+#[derive(Debug, Clone)]
+pub struct LocalDriver {
+    db: Database,
+}
+
+impl LocalDriver {
+    /// Wraps a database.
+    pub fn new(db: Database) -> LocalDriver {
+        LocalDriver { db }
+    }
+
+    /// The wrapped database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl Driver for LocalDriver {
+    fn connect(&self) -> DbResult<Box<dyn Connection>> {
+        Ok(Box::new(LocalConnection {
+            session: self.db.connect(),
+            profile: self.db.profile(),
+        }))
+    }
+
+    fn profile(&self) -> EngineProfile {
+        self.db.profile()
+    }
+}
+
+/// In-process connection: a thin adapter over a [`Session`].
+#[derive(Debug)]
+pub struct LocalConnection {
+    session: Session,
+    profile: EngineProfile,
+}
+
+impl LocalConnection {
+    /// Wraps an existing session.
+    pub fn from_session(session: Session, profile: EngineProfile) -> LocalConnection {
+        LocalConnection { session, profile }
+    }
+}
+
+impl Connection for LocalConnection {
+    fn execute(&mut self, sql: &str) -> DbResult<StmtOutput> {
+        self.session.execute(sql)
+    }
+
+    fn begin(&mut self) -> DbResult<()> {
+        self.session.begin()
+    }
+
+    fn commit(&mut self) -> DbResult<()> {
+        self.session.commit()
+    }
+
+    fn rollback(&mut self) -> DbResult<()> {
+        self.session.rollback()
+    }
+
+    fn set_isolation(&mut self, level: IsolationLevel) -> DbResult<()> {
+        self.session.set_isolation(level);
+        Ok(())
+    }
+
+    fn profile(&self) -> EngineProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqldb::Value;
+
+    fn driver() -> LocalDriver {
+        let db = Database::new(EngineProfile::Postgres);
+        let mut s = db.connect();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)").unwrap();
+        LocalDriver::new(db)
+    }
+
+    #[test]
+    fn local_driver_roundtrip() {
+        let d = driver();
+        let mut c = d.connect().unwrap();
+        let r = c.query("SELECT SUM(v) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(3.0));
+        assert_eq!(c.profile(), EngineProfile::Postgres);
+    }
+
+    #[test]
+    fn batch_execution() {
+        let d = driver();
+        let mut c = d.connect().unwrap();
+        let out = c
+            .execute_batch(&[
+                "INSERT INTO t VALUES (3, 3.0)".into(),
+                "INSERT INTO t VALUES (4, 4.0)".into(),
+            ])
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let r = c.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn transactions_through_the_trait() {
+        let d = driver();
+        let mut c = d.connect().unwrap();
+        c.begin().unwrap();
+        c.execute("DELETE FROM t").unwrap();
+        c.rollback().unwrap();
+        let r = c.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn concurrent_connections_from_one_driver() {
+        let d = std::sync::Arc::new(driver());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    let mut c = d.connect().unwrap();
+                    c.execute(&format!("INSERT INTO t VALUES ({}, 0.0)", 10 + i))
+                        .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut c = d.connect().unwrap();
+        let r = c.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(6));
+    }
+}

@@ -1,0 +1,178 @@
+//! A small blocking connection pool.
+
+use crate::driver::{Connection, Driver};
+use parking_lot::{Condvar, Mutex};
+use sqldb::{DbError, DbResult};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct PoolState {
+    idle: Vec<Box<dyn Connection>>,
+    total: usize,
+}
+
+/// A fixed-capacity connection pool over any [`Driver`].
+///
+/// SQLoop's thread pool opens one connection per worker; this pool exists
+/// for applications embedding the middleware that want bounded connection
+/// reuse instead.
+pub struct Pool {
+    driver: Arc<dyn Driver>,
+    state: Mutex<PoolState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A checked-out connection; returns to the pool on drop.
+pub struct PooledConnection<'a> {
+    pool: &'a Pool,
+    conn: Option<Box<dyn Connection>>,
+}
+
+impl std::fmt::Debug for PooledConnection<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledConnection").finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    /// Creates a pool that will open at most `capacity` connections.
+    pub fn new(driver: Arc<dyn Driver>, capacity: usize) -> Pool {
+        Pool {
+            driver,
+            state: Mutex::new(PoolState {
+                idle: Vec::new(),
+                total: 0,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Checks out a connection, opening one lazily while under capacity and
+    /// otherwise waiting up to `timeout` for a return.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Connection`] on open failure or checkout timeout.
+    pub fn get(&self, timeout: Duration) -> DbResult<PooledConnection<'_>> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(conn) = state.idle.pop() {
+                return Ok(PooledConnection {
+                    pool: self,
+                    conn: Some(conn),
+                });
+            }
+            if state.total < self.capacity {
+                state.total += 1;
+                drop(state);
+                match self.driver.connect() {
+                    Ok(conn) => {
+                        return Ok(PooledConnection {
+                            pool: self,
+                            conn: Some(conn),
+                        })
+                    }
+                    Err(e) => {
+                        self.state.lock().total -= 1;
+                        self.available.notify_one();
+                        return Err(e);
+                    }
+                }
+            }
+            if self
+                .available
+                .wait_for(&mut state, timeout)
+                .timed_out()
+            {
+                return Err(DbError::Connection(
+                    "timed out waiting for a pooled connection".into(),
+                ));
+            }
+        }
+    }
+
+    /// Number of connections currently open (idle + checked out).
+    pub fn open_connections(&self) -> usize {
+        self.state.lock().total
+    }
+
+    fn put_back(&self, conn: Box<dyn Connection>) {
+        self.state.lock().idle.push(conn);
+        self.available.notify_one();
+    }
+}
+
+impl PooledConnection<'_> {
+    /// The underlying connection.
+    pub fn conn(&mut self) -> &mut dyn Connection {
+        self.conn.as_mut().expect("present until drop").as_mut()
+    }
+}
+
+impl Drop for PooledConnection<'_> {
+    fn drop(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.pool.put_back(conn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::LocalDriver;
+    use sqldb::{Database, EngineProfile, Value};
+
+    fn pool(cap: usize) -> Pool {
+        let db = Database::new(EngineProfile::Postgres);
+        let mut s = db.connect();
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        Pool::new(Arc::new(LocalDriver::new(db)), cap)
+    }
+
+    #[test]
+    fn checkout_and_reuse() {
+        let p = pool(2);
+        {
+            let mut c = p.get(Duration::from_secs(1)).unwrap();
+            let r = c.conn().query("SELECT a FROM t").unwrap();
+            assert_eq!(r.rows[0][0], Value::Int(1));
+        }
+        assert_eq!(p.open_connections(), 1);
+        let _c1 = p.get(Duration::from_secs(1)).unwrap();
+        let _c2 = p.get(Duration::from_secs(1)).unwrap();
+        assert_eq!(p.open_connections(), 2);
+    }
+
+    #[test]
+    fn capacity_enforced_with_timeout() {
+        let p = pool(1);
+        let _held = p.get(Duration::from_secs(1)).unwrap();
+        let err = p.get(Duration::from_millis(50));
+        assert!(matches!(err, Err(DbError::Connection(_))));
+    }
+
+    #[test]
+    fn waiting_checkout_succeeds_after_return() {
+        let p = Arc::new(pool(1));
+        let held = p.get(Duration::from_secs(1)).unwrap();
+        let p2 = p.clone();
+        let h = std::thread::spawn(move || {
+            let mut c = p2.get(Duration::from_secs(5)).unwrap();
+            c.conn().query("SELECT a FROM t").unwrap().rows.len()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(held);
+        assert_eq!(h.join().unwrap(), 1);
+    }
+}

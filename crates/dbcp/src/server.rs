@@ -1,0 +1,161 @@
+//! TCP server exposing a database over the wire protocol.
+//!
+//! One OS thread per client connection, each owning one engine session —
+//! matching the paper's observation that "for each new connection … the
+//! database system spawns a new process to accommodate the additional
+//! computational needs" (§I).
+
+use crate::wire::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response, MAGIC,
+};
+use sqldb::{Database, DbError, DbResult, StmtOutput};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running database server.
+///
+/// Dropping the handle signals shutdown; the listener thread exits after the
+/// next accept wake-up and client threads exit when their peers disconnect.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `db` to `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Connection`] when binding fails.
+    pub fn bind(db: Database, addr: &str) -> DbResult<Server> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| DbError::Connection(format!("bind {addr}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| DbError::Connection(format!("local_addr: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("dbcp-accept".into())
+            .spawn(move || accept_loop(listener, db, flag))
+            .map_err(|e| DbError::Connection(format!("spawn: {e}")))?;
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the accept loop to finish.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // poke the listener so accept() returns
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, db: Database, shutdown: Arc<AtomicBool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let db = db.clone();
+                let _ = std::thread::Builder::new()
+                    .name("dbcp-conn".into())
+                    .spawn(move || {
+                        let _ = serve_client(stream, db);
+                    });
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn serve_client(mut stream: TcpStream, db: Database) -> DbResult<()> {
+    stream
+        .set_nodelay(true)
+        .map_err(|e| DbError::Connection(format!("nodelay: {e}")))?;
+    // handshake
+    let mut magic = [0u8; 2];
+    stream
+        .read_exact(&mut magic)
+        .map_err(|e| DbError::Connection(format!("handshake read: {e}")))?;
+    if magic != MAGIC {
+        return Err(DbError::Connection("bad protocol magic".into()));
+    }
+    stream
+        .write_all(&MAGIC)
+        .map_err(|e| DbError::Connection(format!("handshake write: {e}")))?;
+
+    let mut session = db.connect();
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // peer went away; session drop rolls back
+        };
+        let request = decode_request(frame)?;
+        let response = match request {
+            Request::Close => return Ok(()),
+            Request::Execute(sql) => Response::from_result(session.execute(&sql)),
+            Request::Batch(stmts) => {
+                let mut items = Vec::with_capacity(stmts.len());
+                let mut failed = None;
+                for s in &stmts {
+                    match session.execute(s) {
+                        Ok(out) => items.push(Response::from_result(Ok(out))),
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                match failed {
+                    Some(e) => Response::Error(e),
+                    None => Response::BatchResults(items),
+                }
+            }
+            Request::Begin => Response::from_result(session.begin().map(|()| StmtOutput::Done)),
+            Request::Commit => Response::from_result(session.commit().map(|()| StmtOutput::Done)),
+            Request::Rollback => {
+                Response::from_result(session.rollback().map(|()| StmtOutput::Done))
+            }
+            Request::SetIsolation(level) => {
+                session.set_isolation(level);
+                Response::Done
+            }
+            Request::Profile => Response::ProfileIs(db.profile()),
+        };
+        write_frame(&mut stream, &encode_response(&response))?;
+    }
+}

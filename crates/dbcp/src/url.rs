@@ -1,0 +1,122 @@
+//! Connection-URL parsing: `tcp://host:port` and `local://<profile>`.
+//!
+//! The paper's middleware connects to a target engine given only "the URL
+//! and the port number" (§IV-A); this module is that entry point.
+
+use crate::client::TcpDriver;
+use crate::driver::{Driver, LocalDriver};
+use sqldb::{Database, DbError, DbResult, EngineProfile};
+use std::sync::Arc;
+
+/// A parsed connection URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectionUrl {
+    /// `tcp://host:port` — a remote wire-protocol server.
+    Tcp {
+        /// `host:port` string.
+        addr: String,
+    },
+    /// `local://postgres|mysql|mariadb` — a fresh in-process engine.
+    Local {
+        /// Requested engine profile.
+        profile: EngineProfile,
+    },
+}
+
+impl ConnectionUrl {
+    /// Parses a URL string.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Connection`] for unknown schemes or malformed
+    /// authority parts.
+    ///
+    /// # Examples
+    /// ```
+    /// use dbcp::ConnectionUrl;
+    /// let u = ConnectionUrl::parse("tcp://127.0.0.1:5433")?;
+    /// assert!(matches!(u, ConnectionUrl::Tcp { .. }));
+    /// # Ok::<(), sqldb::DbError>(())
+    /// ```
+    pub fn parse(url: &str) -> DbResult<ConnectionUrl> {
+        let (scheme, rest) = url
+            .split_once("://")
+            .ok_or_else(|| DbError::Connection(format!("missing scheme in url '{url}'")))?;
+        match scheme {
+            "tcp" | "sqloop" => {
+                if rest.is_empty() || !rest.contains(':') {
+                    return Err(DbError::Connection(format!(
+                        "tcp url must be host:port, got '{rest}'"
+                    )));
+                }
+                Ok(ConnectionUrl::Tcp {
+                    addr: rest.to_owned(),
+                })
+            }
+            "local" => {
+                let profile = EngineProfile::parse(rest).ok_or_else(|| {
+                    DbError::Connection(format!("unknown engine profile '{rest}'"))
+                })?;
+                Ok(ConnectionUrl::Local { profile })
+            }
+            other => Err(DbError::Connection(format!("unknown scheme '{other}'"))),
+        }
+    }
+}
+
+/// Builds a driver from a URL. `local://` URLs create a *fresh, empty*
+/// in-process database (use [`LocalDriver::new`] to share an existing one).
+///
+/// # Errors
+/// Returns [`DbError::Connection`] on parse or connect failure.
+pub fn driver_for_url(url: &str) -> DbResult<Arc<dyn Driver>> {
+    match ConnectionUrl::parse(url)? {
+        ConnectionUrl::Tcp { addr } => Ok(Arc::new(TcpDriver::connect(&addr)?)),
+        ConnectionUrl::Local { profile } => Ok(Arc::new(LocalDriver::new(Database::new(profile)))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_tcp() {
+        assert_eq!(
+            ConnectionUrl::parse("tcp://10.0.0.1:5433").unwrap(),
+            ConnectionUrl::Tcp {
+                addr: "10.0.0.1:5433".into()
+            }
+        );
+        // the paper-flavored scheme alias
+        assert!(matches!(
+            ConnectionUrl::parse("sqloop://db.example.com:9000").unwrap(),
+            ConnectionUrl::Tcp { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_local() {
+        assert_eq!(
+            ConnectionUrl::parse("local://mysql").unwrap(),
+            ConnectionUrl::Local {
+                profile: EngineProfile::MySql
+            }
+        );
+    }
+
+    #[test]
+    fn bad_urls_rejected() {
+        assert!(ConnectionUrl::parse("nourl").is_err());
+        assert!(ConnectionUrl::parse("ftp://x:1").is_err());
+        assert!(ConnectionUrl::parse("tcp://noport").is_err());
+        assert!(ConnectionUrl::parse("local://oracle").is_err());
+    }
+
+    #[test]
+    fn local_driver_from_url() {
+        let d = driver_for_url("local://mariadb").unwrap();
+        assert_eq!(d.profile(), EngineProfile::MariaDb);
+        let mut c = d.connect().unwrap();
+        c.execute("CREATE TABLE t (a INT)").unwrap();
+    }
+}

@@ -1,0 +1,492 @@
+//! Binary wire protocol: length-prefixed frames, tagged messages.
+//!
+//! Layout: every frame is `u32` big-endian payload length followed by the
+//! payload; the first payload byte is the message tag. Values use a 1-byte
+//! type tag. The protocol is versioned by a magic handshake byte pair.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sqldb::{DbError, DbResult, EngineProfile, IsolationLevel, QueryResult, StmtOutput, Value};
+
+/// Protocol magic sent by clients on connect.
+pub const MAGIC: [u8; 2] = [0xD8, 0x01];
+
+/// Maximum accepted frame size (64 MiB) — guards against corrupt lengths.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute one statement.
+    Execute(String),
+    /// Execute a batch of statements.
+    Batch(Vec<String>),
+    /// `BEGIN`.
+    Begin,
+    /// `COMMIT`.
+    Commit,
+    /// `ROLLBACK`.
+    Rollback,
+    /// Set the isolation level.
+    SetIsolation(IsolationLevel),
+    /// Ask for the engine profile.
+    Profile,
+    /// Close the connection.
+    Close,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Execution failed.
+    Error(DbError),
+    /// A result set.
+    Rows(QueryResult),
+    /// Rows affected.
+    Affected(u64),
+    /// Success without payload.
+    Done,
+    /// Batch results (each a non-error output).
+    BatchResults(Vec<Response>),
+    /// The engine profile.
+    ProfileIs(EngineProfile),
+}
+
+impl Response {
+    /// Converts a successful response into a statement output.
+    ///
+    /// # Errors
+    /// Returns the carried error for `Error`, or [`DbError::Connection`]
+    /// for a protocol-inappropriate message.
+    pub fn into_output(self) -> DbResult<StmtOutput> {
+        match self {
+            Response::Rows(r) => Ok(StmtOutput::Rows(r)),
+            Response::Affected(n) => Ok(StmtOutput::Affected(n)),
+            Response::Done => Ok(StmtOutput::Done),
+            Response::Error(e) => Err(e),
+            other => Err(DbError::Connection(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Builds a response from an execution result.
+    pub fn from_result(result: DbResult<StmtOutput>) -> Response {
+        match result {
+            Ok(StmtOutput::Rows(r)) => Response::Rows(r),
+            Ok(StmtOutput::Affected(n)) => Response::Affected(n),
+            Ok(StmtOutput::Done) => Response::Done,
+            Err(e) => Response::Error(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// encoding
+// ---------------------------------------------------------------------
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(2);
+            buf.put_f64(*f);
+        }
+        Value::Text(s) => {
+            buf.put_u8(3);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(4);
+            buf.put_u8(u8::from(*b));
+        }
+    }
+}
+
+fn put_result(buf: &mut BytesMut, r: &QueryResult) {
+    buf.put_u32(r.columns.len() as u32);
+    for c in &r.columns {
+        put_str(buf, c);
+    }
+    buf.put_u32(r.rows.len() as u32);
+    for row in &r.rows {
+        for v in row {
+            put_value(buf, v);
+        }
+    }
+}
+
+fn profile_tag(p: EngineProfile) -> u8 {
+    match p {
+        EngineProfile::Postgres => 0,
+        EngineProfile::MySql => 1,
+        EngineProfile::MariaDb => 2,
+    }
+}
+
+fn error_parts(e: &DbError) -> (u8, String) {
+    match e {
+        DbError::Parse(m) => (0, m.clone()),
+        DbError::NotFound(m) => (1, m.clone()),
+        DbError::AlreadyExists(m) => (2, m.clone()),
+        DbError::Invalid(m) => (3, m.clone()),
+        DbError::Eval(m) => (4, m.clone()),
+        DbError::LockTimeout(m) => (5, m.clone()),
+        DbError::TxnAborted(m) => (6, m.clone()),
+        DbError::Unsupported(m) => (7, m.clone()),
+        DbError::Connection(m) => (8, m.clone()),
+    }
+}
+
+fn error_from_parts(kind: u8, msg: String) -> DbError {
+    match kind {
+        0 => DbError::Parse(msg),
+        1 => DbError::NotFound(msg),
+        2 => DbError::AlreadyExists(msg),
+        3 => DbError::Invalid(msg),
+        4 => DbError::Eval(msg),
+        5 => DbError::LockTimeout(msg),
+        6 => DbError::TxnAborted(msg),
+        7 => DbError::Unsupported(msg),
+        _ => DbError::Connection(msg),
+    }
+}
+
+/// Encodes a request payload (without the length prefix).
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut buf = BytesMut::new();
+    match req {
+        Request::Execute(sql) => {
+            buf.put_u8(1);
+            put_str(&mut buf, sql);
+        }
+        Request::Batch(stmts) => {
+            buf.put_u8(2);
+            buf.put_u32(stmts.len() as u32);
+            for s in stmts {
+                put_str(&mut buf, s);
+            }
+        }
+        Request::Begin => buf.put_u8(3),
+        Request::Commit => buf.put_u8(4),
+        Request::Rollback => buf.put_u8(5),
+        Request::SetIsolation(level) => {
+            buf.put_u8(6);
+            buf.put_u8(match level {
+                IsolationLevel::ReadCommitted => 0,
+                IsolationLevel::Serializable => 1,
+            });
+        }
+        Request::Profile => buf.put_u8(7),
+        Request::Close => buf.put_u8(8),
+    }
+    buf.freeze()
+}
+
+/// Encodes a response payload (without the length prefix).
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_response_into(resp, &mut buf);
+    buf.freeze()
+}
+
+fn encode_response_into(resp: &Response, buf: &mut BytesMut) {
+    match resp {
+        Response::Error(e) => {
+            buf.put_u8(0);
+            let (kind, msg) = error_parts(e);
+            buf.put_u8(kind);
+            put_str(buf, &msg);
+        }
+        Response::Rows(r) => {
+            buf.put_u8(1);
+            put_result(buf, r);
+        }
+        Response::Affected(n) => {
+            buf.put_u8(2);
+            buf.put_u64(*n);
+        }
+        Response::Done => buf.put_u8(3),
+        Response::BatchResults(items) => {
+            buf.put_u8(4);
+            buf.put_u32(items.len() as u32);
+            for item in items {
+                encode_response_into(item, buf);
+            }
+        }
+        Response::ProfileIs(p) => {
+            buf.put_u8(5);
+            buf.put_u8(profile_tag(*p));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// decoding
+// ---------------------------------------------------------------------
+
+fn need(buf: &mut Bytes, n: usize, what: &str) -> DbResult<()> {
+    if buf.remaining() < n {
+        Err(DbError::Connection(format!("truncated frame reading {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_str(buf: &mut Bytes) -> DbResult<String> {
+    need(buf, 4, "string length")?;
+    let len = buf.get_u32() as usize;
+    need(buf, len, "string body")?;
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| DbError::Connection("invalid UTF-8 in frame".into()))
+}
+
+fn get_value(buf: &mut Bytes) -> DbResult<Value> {
+    need(buf, 1, "value tag")?;
+    match buf.get_u8() {
+        0 => Ok(Value::Null),
+        1 => {
+            need(buf, 8, "int")?;
+            Ok(Value::Int(buf.get_i64()))
+        }
+        2 => {
+            need(buf, 8, "float")?;
+            Ok(Value::Float(buf.get_f64()))
+        }
+        3 => Ok(Value::Text(get_str(buf)?)),
+        4 => {
+            need(buf, 1, "bool")?;
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        t => Err(DbError::Connection(format!("unknown value tag {t}"))),
+    }
+}
+
+fn get_result(buf: &mut Bytes) -> DbResult<QueryResult> {
+    need(buf, 4, "column count")?;
+    let ncols = buf.get_u32() as usize;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        columns.push(get_str(buf)?);
+    }
+    need(buf, 4, "row count")?;
+    let nrows = buf.get_u32() as usize;
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(get_value(buf)?);
+        }
+        rows.push(row);
+    }
+    Ok(QueryResult { columns, rows })
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+/// Returns [`DbError::Connection`] on malformed frames.
+pub fn decode_request(mut buf: Bytes) -> DbResult<Request> {
+    need(&mut buf, 1, "request tag")?;
+    match buf.get_u8() {
+        1 => Ok(Request::Execute(get_str(&mut buf)?)),
+        2 => {
+            need(&mut buf, 4, "batch count")?;
+            let n = buf.get_u32() as usize;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(get_str(&mut buf)?);
+            }
+            Ok(Request::Batch(v))
+        }
+        3 => Ok(Request::Begin),
+        4 => Ok(Request::Commit),
+        5 => Ok(Request::Rollback),
+        6 => {
+            need(&mut buf, 1, "isolation")?;
+            Ok(Request::SetIsolation(match buf.get_u8() {
+                0 => IsolationLevel::ReadCommitted,
+                _ => IsolationLevel::Serializable,
+            }))
+        }
+        7 => Ok(Request::Profile),
+        8 => Ok(Request::Close),
+        t => Err(DbError::Connection(format!("unknown request tag {t}"))),
+    }
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+/// Returns [`DbError::Connection`] on malformed frames.
+pub fn decode_response(mut buf: Bytes) -> DbResult<Response> {
+    decode_response_inner(&mut buf)
+}
+
+fn decode_response_inner(buf: &mut Bytes) -> DbResult<Response> {
+    need(buf, 1, "response tag")?;
+    match buf.get_u8() {
+        0 => {
+            need(buf, 1, "error kind")?;
+            let kind = buf.get_u8();
+            let msg = get_str(buf)?;
+            Ok(Response::Error(error_from_parts(kind, msg)))
+        }
+        1 => Ok(Response::Rows(get_result(buf)?)),
+        2 => {
+            need(buf, 8, "affected")?;
+            Ok(Response::Affected(buf.get_u64()))
+        }
+        3 => Ok(Response::Done),
+        4 => {
+            need(buf, 4, "batch count")?;
+            let n = buf.get_u32() as usize;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_response_inner(buf)?);
+            }
+            Ok(Response::BatchResults(items))
+        }
+        5 => {
+            need(buf, 1, "profile")?;
+            Ok(Response::ProfileIs(match buf.get_u8() {
+                0 => EngineProfile::Postgres,
+                1 => EngineProfile::MySql,
+                _ => EngineProfile::MariaDb,
+            }))
+        }
+        t => Err(DbError::Connection(format!("unknown response tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// framing over std::io
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+/// Returns [`DbError::Connection`] on I/O failure.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> DbResult<()> {
+    let len = payload.len() as u32;
+    if len > MAX_FRAME {
+        return Err(DbError::Connection(format!("frame too large: {len}")));
+    }
+    w.write_all(&len.to_be_bytes())
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| DbError::Connection(format!("write failed: {e}")))
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+/// Returns [`DbError::Connection`] on I/O failure, oversized frames, or a
+/// cleanly closed peer.
+pub fn read_frame(r: &mut impl std::io::Read) -> DbResult<Bytes> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)
+        .map_err(|e| DbError::Connection(format!("read failed: {e}")))?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(DbError::Connection(format!("frame too large: {len}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| DbError::Connection(format!("read failed: {e}")))?;
+    Ok(Bytes::from(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let enc = encode_request(&req);
+        assert_eq!(decode_request(enc).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let enc = encode_response(&resp);
+        assert_eq!(decode_response(enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Execute("SELECT 1".into()));
+        roundtrip_req(Request::Batch(vec!["a".into(), "b".into()]));
+        roundtrip_req(Request::Begin);
+        roundtrip_req(Request::Commit);
+        roundtrip_req(Request::Rollback);
+        roundtrip_req(Request::SetIsolation(IsolationLevel::Serializable));
+        roundtrip_req(Request::Profile);
+        roundtrip_req(Request::Close);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Done);
+        roundtrip_resp(Response::Affected(42));
+        roundtrip_resp(Response::Error(DbError::LockTimeout("t".into())));
+        roundtrip_resp(Response::ProfileIs(EngineProfile::MariaDb));
+        roundtrip_resp(Response::Rows(QueryResult {
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Float(f64::INFINITY), Value::Text("it's".into())],
+                vec![Value::Bool(true), Value::Float(-0.0)],
+            ],
+        }));
+        roundtrip_resp(Response::BatchResults(vec![
+            Response::Affected(1),
+            Response::Done,
+        ]));
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let enc = encode_response(&Response::Affected(42));
+        for cut in 0..enc.len() {
+            let sliced = enc.slice(0..cut);
+            assert!(decode_response(sliced).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn framing_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(&read_frame(&mut r).unwrap()[..], b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().len(), 0);
+        assert!(read_frame(&mut r).is_err()); // EOF
+    }
+
+    #[test]
+    fn all_error_kinds_roundtrip() {
+        let errors = vec![
+            DbError::Parse("a".into()),
+            DbError::NotFound("b".into()),
+            DbError::AlreadyExists("c".into()),
+            DbError::Invalid("d".into()),
+            DbError::Eval("e".into()),
+            DbError::LockTimeout("f".into()),
+            DbError::TxnAborted("g".into()),
+            DbError::Unsupported("h".into()),
+            DbError::Connection("i".into()),
+        ];
+        for e in errors {
+            roundtrip_resp(Response::Error(e));
+        }
+    }
+}

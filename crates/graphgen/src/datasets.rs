@@ -1,0 +1,131 @@
+//! Named dataset stand-ins for the paper's evaluation (§VI-A).
+//!
+//! The paper uses three SNAP datasets: web-Google (5,105,039 edges, for
+//! PageRank), a Twitter ego network (1,768,149 edges, for SSSP), and
+//! web-BerkStan (7,600,595 edges, for the descendant query). Those exact
+//! files are not redistributable here, so each stand-in generator preserves
+//! the structural property its experiment depends on; `scale` trades size
+//! for runtime with `scale = 1.0` targeting laptop-sized graphs (~50k edges)
+//! rather than the paper's testbed sizes.
+
+use crate::generate::{ego_network, two_domain_web, web_graph};
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Fixed seed so every run of the benchmark suite sees identical graphs.
+pub const DATASET_SEED: u64 = 0x5100_1007;
+
+/// A named dataset: graph plus provenance for reports.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short name used in experiment output.
+    pub name: &'static str,
+    /// Which SNAP dataset this stands in for.
+    pub stands_in_for: &'static str,
+    /// The generated graph.
+    pub graph: Graph,
+}
+
+/// Summary row for experiment reports.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// SNAP dataset this stands in for.
+    pub stands_in_for: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+}
+
+impl Dataset {
+    /// Builds the report summary.
+    pub fn summary(&self) -> DatasetSummary {
+        DatasetSummary {
+            name: self.name.to_string(),
+            stands_in_for: self.stands_in_for.to_string(),
+            nodes: self.graph.node_count(),
+            edges: self.graph.edge_count(),
+        }
+    }
+}
+
+/// Power-law web graph (stand-in for SNAP web-Google; PageRank workload).
+pub fn google_web_like(scale: f64) -> Dataset {
+    let nodes = scaled(6_000, scale);
+    Dataset {
+        name: "web-google-like",
+        stands_in_for: "SNAP web-Google (5,105,039 edges)",
+        graph: web_graph(nodes, 8, DATASET_SEED),
+    }
+}
+
+/// Ego/social network (stand-in for the SNAP Twitter dataset; SSSP workload).
+pub fn twitter_like(scale: f64) -> Dataset {
+    let circles = scaled(60, scale);
+    Dataset {
+        name: "twitter-like",
+        stands_in_for: "SNAP Twitter ego networks (1,768,149 edges)",
+        graph: ego_network(circles, 40, 6, DATASET_SEED + 1),
+    }
+}
+
+/// Two-domain deep web graph (stand-in for SNAP web-BerkStan; descendant
+/// query workload — contains click-paths well over 100 hops at any scale ≥ 1).
+pub fn berkstan_like(scale: f64) -> Dataset {
+    let width = scaled(12, scale);
+    Dataset {
+        name: "web-berkstan-like",
+        stands_in_for: "SNAP web-BerkStan (7,600,595 edges)",
+        graph: two_domain_web(130, width, DATASET_SEED + 2),
+    }
+}
+
+fn scaled(base: usize, scale: f64) -> usize {
+    assert!(scale > 0.0, "scale must be positive");
+    ((base as f64 * scale).round() as usize).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_sizes_are_laptop_friendly() {
+        let g = google_web_like(1.0);
+        assert!(g.graph.edge_count() > 20_000, "{}", g.graph);
+        assert!(g.graph.edge_count() < 200_000, "{}", g.graph);
+        let t = twitter_like(1.0);
+        assert!(t.graph.edge_count() > 5_000, "{}", t.graph);
+        let b = berkstan_like(1.0);
+        assert!(b.graph.edge_count() > 5_000, "{}", b.graph);
+    }
+
+    #[test]
+    fn berkstan_like_supports_100_click_queries() {
+        let d = berkstan_like(0.5);
+        let hops = d.graph.bfs_hops(0);
+        assert!(hops.values().any(|&h| h >= 100));
+    }
+
+    #[test]
+    fn scaling_shrinks_graphs() {
+        let small = google_web_like(0.1);
+        let big = google_web_like(1.0);
+        assert!(small.graph.edge_count() < big.graph.edge_count() / 4);
+    }
+
+    #[test]
+    fn summaries_serialize() {
+        let s = twitter_like(0.1).summary();
+        assert_eq!(s.name, "twitter-like");
+        assert!(s.edges > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let _ = google_web_like(0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Seeded synthetic graph generators.
+//!
+//! Each generator reproduces the *structural property* of one SNAP dataset
+//! that the paper's corresponding experiment exercises (DESIGN.md §2):
+//! power-law in-degrees for PageRank convergence, community structure with a
+//! traversal frontier for SSSP, and long click-paths for the descendant
+//! query. All generators are deterministic in their seed.
+
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Preferential-attachment web graph (stand-in for SNAP `web-Google`).
+///
+/// Every new node links to `edges_per_node` targets chosen proportionally to
+/// current in-degree (plus one smoothing), yielding the heavy-tailed
+/// in-degree distribution that makes PageRank converge unevenly across
+/// partitions — the effect the asynchronous schedulers exploit.
+///
+/// # Panics
+/// Panics if `nodes < 2` or `edges_per_node == 0`.
+pub fn web_graph(nodes: usize, edges_per_node: usize, seed: u64) -> Graph {
+    assert!(nodes >= 2, "need at least two nodes");
+    assert!(edges_per_node >= 1, "need at least one edge per node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(nodes * edges_per_node);
+    // repeated-endpoint list implements preferential attachment in O(1)
+    let mut targets: Vec<NodeId> = vec![0, 1];
+    edges.push((0, 1));
+    edges.push((1, 0));
+    for v in 2..nodes as NodeId {
+        for _ in 0..edges_per_node {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != v {
+                edges.push((v, t));
+                targets.push(t);
+            }
+        }
+        targets.push(v);
+    }
+    // sprinkle back-links so the graph is not a DAG (web graphs have cycles)
+    let back_links = nodes / 10;
+    for _ in 0..back_links {
+        let s = rng.gen_range(0..nodes as NodeId);
+        let d = rng.gen_range(0..nodes as NodeId);
+        if s != d {
+            edges.push((s, d));
+        }
+    }
+    Graph::from_edges(edges).simplified()
+}
+
+/// Ego/social network with dense circles and sparse bridges (stand-in for
+/// the SNAP Twitter ego-network dataset).
+///
+/// Nodes are grouped into circles of `circle_size`; within a circle each
+/// node links to `intra_links` random members; consecutive circles are
+/// bridged by a single edge, which gives SSSP a real frontier to traverse —
+/// only a few partitions are active at a time, the property prioritized
+/// scheduling exploits (paper §VI-B).
+///
+/// # Panics
+/// Panics if `circles == 0` or `circle_size < 2`.
+pub fn ego_network(circles: usize, circle_size: usize, intra_links: usize, seed: u64) -> Graph {
+    assert!(circles >= 1, "need at least one circle");
+    assert!(circle_size >= 2, "circles need at least two members");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for c in 0..circles {
+        let base = (c * circle_size) as NodeId;
+        for i in 0..circle_size as NodeId {
+            let u = base + i;
+            for _ in 0..intra_links.max(1) {
+                let v = base + rng.gen_range(0..circle_size) as NodeId;
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+            // ring inside the circle keeps it strongly connected
+            edges.push((u, base + (i + 1) % circle_size as NodeId));
+        }
+        if c + 1 < circles {
+            // one bridge to the next circle
+            let from = base + rng.gen_range(0..circle_size) as NodeId;
+            let to = ((c + 1) * circle_size) as NodeId + rng.gen_range(0..circle_size) as NodeId;
+            edges.push((from, to));
+        }
+    }
+    Graph::from_edges(edges).simplified()
+}
+
+/// Two-domain hyperlink graph with deep click-paths (stand-in for SNAP
+/// `web-BerkStan`).
+///
+/// Pages form `depth` layers per domain; most links go one layer deeper
+/// within the domain (long shortest paths — the descendant query's "how many
+/// clicks" structure), some stay in-layer, and a few cross domains. The
+/// returned graph contains paths of length ≥ `depth - 1` from node 0.
+///
+/// # Panics
+/// Panics if `depth == 0` or `width == 0`.
+pub fn two_domain_web(depth: usize, width: usize, seed: u64) -> Graph {
+    assert!(depth >= 1 && width >= 1, "need positive depth and width");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let node = |domain: usize, layer: usize, i: usize| -> NodeId {
+        ((domain * depth + layer) * width + i) as NodeId
+    };
+    let mut edges = Vec::new();
+    for domain in 0..2 {
+        for layer in 0..depth {
+            for i in 0..width {
+                let u = node(domain, layer, i);
+                if layer + 1 < depth {
+                    // the "next click" chain: guarantees a path down the layers
+                    edges.push((u, node(domain, layer + 1, i)));
+                    // one extra deeper link for branching
+                    edges.push((u, node(domain, layer + 1, rng.gen_range(0..width))));
+                }
+                // in-layer link
+                if width > 1 {
+                    let j = rng.gen_range(0..width);
+                    if j != i {
+                        edges.push((u, node(domain, layer, j)));
+                    }
+                }
+                // occasional cross-domain link at matching depth
+                if rng.gen_bool(0.05) {
+                    edges.push((u, node(1 - domain, layer, rng.gen_range(0..width))));
+                }
+            }
+        }
+    }
+    Graph::from_edges(edges).simplified()
+}
+
+/// Uniform random digraph `G(n, m)` (baseline/testing).
+///
+/// # Panics
+/// Panics if `nodes < 2`.
+pub fn uniform_random(nodes: usize, edges: usize, seed: u64) -> Graph {
+    assert!(nodes >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut list = Vec::with_capacity(edges);
+    while list.len() < edges {
+        let s = rng.gen_range(0..nodes as NodeId);
+        let d = rng.gen_range(0..nodes as NodeId);
+        if s != d {
+            list.push((s, d));
+        }
+    }
+    Graph::from_edges(list)
+}
+
+/// A simple directed chain `0 → 1 → … → n-1` (tests and DQ depth probes).
+///
+/// # Panics
+/// Panics if `nodes < 2`.
+pub fn chain(nodes: usize) -> Graph {
+    assert!(nodes >= 2, "need at least two nodes");
+    Graph::from_edges((0..nodes as NodeId - 1).map(|i| (i, i + 1)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(web_graph(200, 3, 42), web_graph(200, 3, 42));
+        assert_ne!(web_graph(200, 3, 42), web_graph(200, 3, 43));
+        assert_eq!(ego_network(5, 10, 3, 1), ego_network(5, 10, 3, 1));
+        assert_eq!(two_domain_web(10, 5, 7), two_domain_web(10, 5, 7));
+        assert_eq!(uniform_random(50, 200, 9), uniform_random(50, 200, 9));
+    }
+
+    #[test]
+    fn web_graph_has_heavy_tail() {
+        let g = web_graph(2000, 3, 7);
+        // in-degree distribution: max should far exceed the mean
+        let mut indeg = std::collections::HashMap::new();
+        for &(_, d) in g.edges() {
+            *indeg.entry(d).or_insert(0usize) += 1;
+        }
+        let max = *indeg.values().max().unwrap();
+        let mean = g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            max as f64 > mean * 10.0,
+            "expected heavy tail, max={max} mean={mean}"
+        );
+    }
+
+    #[test]
+    fn ego_network_is_traversable_across_circles() {
+        let g = ego_network(8, 12, 3, 3);
+        let d = g.bfs_hops(0);
+        // nodes in the last circle are reachable
+        let last_circle_node = (7 * 12) as NodeId;
+        assert!(
+            d.keys().any(|&n| n >= last_circle_node),
+            "bridges should connect circles"
+        );
+    }
+
+    #[test]
+    fn two_domain_web_has_deep_paths() {
+        let depth = 120;
+        let g = two_domain_web(depth, 4, 11);
+        let d = g.bfs_hops(0);
+        let max_hops = d.values().copied().max().unwrap();
+        assert!(
+            max_hops >= (depth as u64) - 1,
+            "expected ≥{} hops, got {max_hops}",
+            depth - 1
+        );
+    }
+
+    #[test]
+    fn chain_depth() {
+        let g = chain(101);
+        let d = g.bfs_hops(0);
+        assert_eq!(d[&100], 100);
+    }
+
+    #[test]
+    fn uniform_random_has_requested_edges() {
+        let g = uniform_random(100, 500, 5);
+        assert_eq!(g.edge_count(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_graph_panics() {
+        let _ = web_graph(1, 1, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Directed-graph container used by the workloads and benches.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Node identifier (contiguous `0..node_count` for generated graphs).
+pub type NodeId = u64;
+
+/// A directed graph stored as an edge list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    edges: Vec<(NodeId, NodeId)>,
+    nodes: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list; the node set is the union of all
+    /// endpoints. Duplicate edges are kept (they model multi-links, as SNAP
+    /// edge lists do after deduplication upstream — dedupe first if needed).
+    pub fn from_edges(edges: Vec<(NodeId, NodeId)>) -> Graph {
+        let mut nodes: Vec<NodeId> = edges
+            .iter()
+            .flat_map(|&(s, d)| [s, d])
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        nodes.sort_unstable();
+        Graph { edges, nodes }
+    }
+
+    /// The edge list.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// All node ids, sorted.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Removes duplicate edges and self-loops, preserving first occurrence.
+    pub fn simplified(&self) -> Graph {
+        let mut seen = HashSet::with_capacity(self.edges.len());
+        let edges: Vec<_> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(s, d)| s != d && seen.insert((s, d)))
+            .collect();
+        Graph::from_edges(edges)
+    }
+
+    /// Out-degree per node (absent key = 0).
+    pub fn out_degrees(&self) -> HashMap<NodeId, usize> {
+        let mut d = HashMap::with_capacity(self.nodes.len());
+        for &(s, _) in &self.edges {
+            *d.entry(s).or_insert(0) += 1;
+        }
+        d
+    }
+
+    /// Edges with the paper's weights: `weight(src→dst) = 1 / outdegree(src)`
+    /// (§III-C).
+    pub fn weighted_edges(&self) -> Vec<(NodeId, NodeId, f64)> {
+        let deg = self.out_degrees();
+        self.edges
+            .iter()
+            .map(|&(s, d)| (s, d, 1.0 / deg[&s] as f64))
+            .collect()
+    }
+
+    /// Forward adjacency lists.
+    pub fn adjacency(&self) -> HashMap<NodeId, Vec<NodeId>> {
+        let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::with_capacity(self.nodes.len());
+        for &(s, d) in &self.edges {
+            adj.entry(s).or_default().push(d);
+        }
+        adj
+    }
+
+    /// Unweighted BFS hop counts from `source` (unreachable nodes absent).
+    pub fn bfs_hops(&self, source: NodeId) -> HashMap<NodeId, u64> {
+        let adj = self.adjacency();
+        let mut dist = HashMap::new();
+        if !self.nodes.contains(&source) {
+            return dist;
+        }
+        dist.insert(source, 0u64);
+        let mut queue = VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[&u];
+            if let Some(next) = adj.get(&u) {
+                for &v in next {
+                    if !dist.contains_key(&v) {
+                        dist.insert(v, du + 1);
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Finds a node roughly `hops` BFS steps from `source` (the farthest
+    /// reachable one if the graph is shallower). Returns `(node, actual_hops)`.
+    pub fn node_at_distance(&self, source: NodeId, hops: u64) -> Option<(NodeId, u64)> {
+        let dist = self.bfs_hops(source);
+        dist.iter()
+            .filter(|&(_, &d)| d <= hops)
+            .max_by_key(|&(node, &d)| (d, std::cmp::Reverse(*node)))
+            .map(|(&n, &d)| (n, d))
+    }
+
+    /// Serializes as `src,dst` CSV lines (no header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.edges.len() * 8);
+        for &(s, d) in &self.edges {
+            out.push_str(&format!("{s},{d}\n"));
+        }
+        out
+    }
+
+    /// Parses `src,dst` CSV (ignores blank lines and `#` comments, accepts
+    /// tab or comma separators — SNAP files use tabs).
+    ///
+    /// # Errors
+    /// Returns a message naming the first malformed line.
+    pub fn from_csv(text: &str) -> Result<Graph, String> {
+        let mut edges = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split(|c| c == ',' || c == '\t' || c == ' ');
+            let parse = |p: Option<&str>| -> Result<NodeId, String> {
+                p.ok_or_else(|| format!("line {}: missing field", i + 1))?
+                    .trim()
+                    .parse::<NodeId>()
+                    .map_err(|_| format!("line {}: bad node id", i + 1))
+            };
+            let s = parse(parts.next())?;
+            let d = parse(parts.next())?;
+            edges.push((s, d));
+        }
+        Ok(Graph::from_edges(edges))
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph({} nodes, {} edges)",
+            self.node_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        Graph::from_edges(vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.nodes(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn weights_are_one_over_outdegree() {
+        let g = diamond();
+        let w = g.weighted_edges();
+        for (s, _, weight) in w {
+            if s == 0 {
+                assert_eq!(weight, 0.5);
+            } else {
+                assert_eq!(weight, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_hops_diamond() {
+        let g = diamond();
+        let d = g.bfs_hops(0);
+        assert_eq!(d[&0], 0);
+        assert_eq!(d[&1], 1);
+        assert_eq!(d[&3], 2);
+        // from a leaf nothing else is reachable
+        let d = g.bfs_hops(3);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn node_at_distance_picks_farthest_within_budget() {
+        let g = Graph::from_edges(vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(g.node_at_distance(0, 2), Some((2, 2)));
+        assert_eq!(g.node_at_distance(0, 100), Some((4, 4)));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let g = diamond();
+        let csv = g.to_csv();
+        let g2 = Graph::from_csv(&csv).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn csv_accepts_snap_style_comments_and_tabs() {
+        let g = Graph::from_csv("# comment\n0\t1\n1\t2\n").unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(Graph::from_csv("0,x").is_err());
+    }
+
+    #[test]
+    fn simplified_removes_loops_and_dupes() {
+        let g = Graph::from_edges(vec![(0, 1), (0, 1), (1, 1), (1, 2)]);
+        let s = g.simplified();
+        assert_eq!(s.edge_count(), 2);
+    }
+}

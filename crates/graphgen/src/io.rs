@@ -1,0 +1,83 @@
+//! Reading and writing edge lists on disk (SNAP-compatible format).
+//!
+//! The paper's datasets come from the SNAP collection as `src<TAB>dst` text
+//! files with `#` comment headers; these helpers let the stand-in graphs be
+//! exported in the same format (e.g. to compare against other systems) and
+//! real SNAP files be imported when available.
+
+use crate::graph::Graph;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Writes `graph` as a SNAP-style edge list (tab separated, `#` header).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_edge_list(graph: &Graph, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# Directed graph: {} ", path.display())?;
+    writeln!(
+        w,
+        "# Nodes: {} Edges: {}",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
+    writeln!(w, "# FromNodeId\tToNodeId")?;
+    for &(s, d) in graph.edges() {
+        writeln!(w, "{s}\t{d}")?;
+    }
+    w.flush()
+}
+
+/// Reads a SNAP-style edge list (`#` comments skipped; tab, comma or space
+/// separated).
+///
+/// # Errors
+/// Propagates I/O errors; malformed lines become
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn load_edge_list(path: &Path) -> std::io::Result<Graph> {
+    let text = std::fs::read_to_string(path)?;
+    Graph::from_csv(&text)
+        .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidData, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::web_graph;
+
+    #[test]
+    fn roundtrip_via_disk() {
+        let g = web_graph(100, 3, 9);
+        let dir = std::env::temp_dir().join("graphgen_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("web.txt");
+        save_edge_list(&g, &path).unwrap();
+        let back = load_edge_list(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snap_header_is_skipped_on_load() {
+        let dir = std::env::temp_dir().join("graphgen_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.txt");
+        std::fs::write(&path, "# Nodes: 3 Edges: 2\n0\t1\n1\t2\n").unwrap();
+        let g = load_edge_list(&path).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_file_is_invalid_data() {
+        let dir = std::env::temp_dir().join("graphgen_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "0\tnot-a-node\n").unwrap();
+        let err = load_edge_list(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

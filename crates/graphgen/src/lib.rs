@@ -1,0 +1,29 @@
+//! # graphgen — deterministic graph generators for the SQLoop reproduction
+//!
+//! Synthetic stand-ins for the SNAP datasets of the paper's evaluation
+//! (web-Google, Twitter ego networks, web-BerkStan), plus generic random
+//! graphs and CSV import/export. All generators are seeded and reproducible;
+//! see DESIGN.md §2 for why each stand-in preserves the behaviour the
+//! corresponding experiment measures.
+//!
+//! ```
+//! use graphgen::{datasets, Graph};
+//!
+//! let d = datasets::google_web_like(0.1);
+//! assert!(d.graph.edge_count() > 1000);
+//! // the paper's edge weights: 1/outdegree
+//! let w = d.graph.weighted_edges();
+//! assert_eq!(w.len(), d.graph.edge_count());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod generate;
+mod graph;
+pub mod io;
+
+pub use datasets::{Dataset, DatasetSummary, DATASET_SEED};
+pub use generate::{chain, ego_network, two_domain_web, uniform_random, web_graph};
+pub use graph::{Graph, NodeId};
+pub use io::{load_edge_list, save_edge_list};

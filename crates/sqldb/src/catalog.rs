@@ -1,0 +1,241 @@
+//! The database catalog: tables, views, and index → table mapping.
+
+use crate::ast::SelectStmt;
+use crate::error::{DbError, DbResult};
+use crate::storage::Table;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared handle to a table behind its own reader-writer lock.
+///
+/// Per-table locks are what let SQLoop's partitioned execution proceed in
+/// parallel: workers touching different partition tables never contend.
+pub type TableHandle = Arc<RwLock<Table>>;
+
+/// Catalog of schema objects. Cheap to share (`Arc` inside the `Database`).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, TableHandle>>,
+    views: RwLock<HashMap<String, Arc<SelectStmt>>>,
+    /// index name → table name (indexes live inside their `Table`).
+    indexes: RwLock<HashMap<String, String>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a new table.
+    ///
+    /// # Errors
+    /// Returns [`DbError::AlreadyExists`] when a table or view of that name
+    /// exists (unless `if_not_exists`, which makes it a no-op returning
+    /// `Ok(false)`).
+    pub fn create_table(
+        &self,
+        name: &str,
+        table: Table,
+        if_not_exists: bool,
+    ) -> DbResult<bool> {
+        if self.views.read().contains_key(name) {
+            return Err(DbError::AlreadyExists(format!("view {name}")));
+        }
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            if if_not_exists {
+                return Ok(false);
+            }
+            return Err(DbError::AlreadyExists(format!("table {name}")));
+        }
+        tables.insert(name.to_owned(), Arc::new(RwLock::new(table)));
+        Ok(true)
+    }
+
+    /// Fetches a table handle.
+    ///
+    /// # Errors
+    /// Returns [`DbError::NotFound`] when no such table exists.
+    pub fn table(&self, name: &str) -> DbResult<TableHandle> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NotFound(format!("table {name}")))
+    }
+
+    /// True when a table of this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Drops a table.
+    ///
+    /// # Errors
+    /// Returns [`DbError::NotFound`] unless `if_exists`.
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> DbResult<bool> {
+        let mut tables = self.tables.write();
+        if tables.remove(name).is_none() {
+            if if_exists {
+                return Ok(false);
+            }
+            return Err(DbError::NotFound(format!("table {name}")));
+        }
+        // drop index registrations pointing at this table
+        self.indexes.write().retain(|_, t| t != name);
+        Ok(true)
+    }
+
+    /// Registers a view.
+    ///
+    /// # Errors
+    /// Returns [`DbError::AlreadyExists`] when the name is taken and
+    /// `or_replace` is false.
+    pub fn create_view(&self, name: &str, query: SelectStmt, or_replace: bool) -> DbResult<()> {
+        if self.tables.read().contains_key(name) {
+            return Err(DbError::AlreadyExists(format!("table {name}")));
+        }
+        let mut views = self.views.write();
+        if views.contains_key(name) && !or_replace {
+            return Err(DbError::AlreadyExists(format!("view {name}")));
+        }
+        views.insert(name.to_owned(), Arc::new(query));
+        Ok(())
+    }
+
+    /// Fetches a view definition if one exists.
+    pub fn view(&self, name: &str) -> Option<Arc<SelectStmt>> {
+        self.views.read().get(name).cloned()
+    }
+
+    /// Drops a view.
+    ///
+    /// # Errors
+    /// Returns [`DbError::NotFound`] unless `if_exists`.
+    pub fn drop_view(&self, name: &str, if_exists: bool) -> DbResult<bool> {
+        let mut views = self.views.write();
+        if views.remove(name).is_none() {
+            if if_exists {
+                return Ok(false);
+            }
+            return Err(DbError::NotFound(format!("view {name}")));
+        }
+        Ok(true)
+    }
+
+    /// Records that index `index_name` lives on `table_name`.
+    ///
+    /// # Errors
+    /// Returns [`DbError::AlreadyExists`] for duplicate index names.
+    pub fn register_index(&self, index_name: &str, table_name: &str) -> DbResult<()> {
+        let mut idx = self.indexes.write();
+        if idx.contains_key(index_name) {
+            return Err(DbError::AlreadyExists(format!("index {index_name}")));
+        }
+        idx.insert(index_name.to_owned(), table_name.to_owned());
+        Ok(())
+    }
+
+    /// True when an index of this name is registered.
+    pub fn has_index(&self, index_name: &str) -> bool {
+        self.indexes.read().contains_key(index_name)
+    }
+
+    /// Resolves which table an index lives on and unregisters it.
+    ///
+    /// # Errors
+    /// Returns [`DbError::NotFound`] unless `if_exists`.
+    pub fn unregister_index(&self, index_name: &str, if_exists: bool) -> DbResult<Option<String>> {
+        let mut idx = self.indexes.write();
+        match idx.remove(index_name) {
+            Some(t) => Ok(Some(t)),
+            None if if_exists => Ok(None),
+            None => Err(DbError::NotFound(format!("index {index_name}"))),
+        }
+    }
+
+    /// Names of all tables (sorted, for deterministic listings).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Names of all views (sorted).
+    pub fn view_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.views.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::types::{Column, DataType, Schema};
+
+    fn new_table() -> Table {
+        Table::new(Schema::new(vec![Column::new("a", DataType::Int)], None).unwrap())
+    }
+
+    #[test]
+    fn create_and_drop_table() {
+        let c = Catalog::new();
+        assert!(c.create_table("t", new_table(), false).unwrap());
+        assert!(c.has_table("t"));
+        assert!(c.create_table("t", new_table(), false).is_err());
+        assert!(!c.create_table("t", new_table(), true).unwrap());
+        assert!(c.drop_table("t", false).unwrap());
+        assert!(!c.has_table("t"));
+        assert!(c.drop_table("t", false).is_err());
+        assert!(!c.drop_table("t", true).unwrap());
+    }
+
+    #[test]
+    fn views_and_tables_share_namespace() {
+        let c = Catalog::new();
+        c.create_table("t", new_table(), false).unwrap();
+        let q = parse_query("SELECT 1").unwrap();
+        assert!(c.create_view("t", q.clone(), false).is_err());
+        c.create_view("v", q.clone(), false).unwrap();
+        assert!(c.create_table("v", new_table(), false).is_err());
+        assert!(c.view("v").is_some());
+        // replace
+        assert!(c.create_view("v", q.clone(), false).is_err());
+        c.create_view("v", q, true).unwrap();
+        assert!(c.drop_view("v", false).unwrap());
+        assert!(c.view("v").is_none());
+    }
+
+    #[test]
+    fn index_registry() {
+        let c = Catalog::new();
+        c.create_table("t", new_table(), false).unwrap();
+        c.register_index("i", "t").unwrap();
+        assert!(c.has_index("i"));
+        assert!(c.register_index("i", "t").is_err());
+        assert_eq!(c.unregister_index("i", false).unwrap(), Some("t".into()));
+        assert!(c.unregister_index("i", false).is_err());
+        assert_eq!(c.unregister_index("i", true).unwrap(), None);
+    }
+
+    #[test]
+    fn dropping_table_unregisters_its_indexes() {
+        let c = Catalog::new();
+        c.create_table("t", new_table(), false).unwrap();
+        c.register_index("i", "t").unwrap();
+        c.drop_table("t", false).unwrap();
+        assert!(!c.has_index("i"));
+    }
+
+    #[test]
+    fn sorted_listings() {
+        let c = Catalog::new();
+        c.create_table("b", new_table(), false).unwrap();
+        c.create_table("a", new_table(), false).unwrap();
+        assert_eq!(c.table_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

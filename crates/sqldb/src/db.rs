@@ -1,0 +1,576 @@
+//! Database instance and sessions.
+//!
+//! A [`Database`] is the engine's top-level object; each [`Session`] is the
+//! analog of one server connection. The SQLoop middleware opens one session
+//! per worker thread, which is how it obtains parallelism from the engine
+//! without controlling its internals (paper §I): sessions executing
+//! statements against *different* tables proceed concurrently because
+//! locking is per table.
+
+use crate::ast::Statement;
+use crate::catalog::Catalog;
+use crate::dialect_check::validate;
+use crate::error::{DbError, DbResult};
+use crate::exec::{Executor, QueryResult, StmtOutput};
+use crate::parser::{parse_script, parse_statement};
+use crate::profile::EngineProfile;
+use crate::stats::{Stats, StatsSnapshot};
+use crate::txn::{apply_undo, IsolationLevel, LockManager, LockMode, UndoLog};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default lock wait budget (compare MySQL's `innodb_lock_wait_timeout`).
+pub const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_secs(10);
+
+#[derive(Debug)]
+struct Shared {
+    catalog: Catalog,
+    locks: LockManager,
+    profile: EngineProfile,
+    stats: Stats,
+    next_session: AtomicU64,
+}
+
+/// A shared, thread-safe database instance.
+///
+/// Cloning is cheap (reference counted); all clones see the same data.
+///
+/// # Examples
+/// ```
+/// use sqldb::{Database, EngineProfile};
+///
+/// # fn main() -> Result<(), sqldb::DbError> {
+/// let db = Database::new(EngineProfile::Postgres);
+/// let mut session = db.connect();
+/// session.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")?;
+/// session.execute("INSERT INTO t VALUES (1, 0.5)")?;
+/// let rows = session.query("SELECT v FROM t")?;
+/// assert_eq!(rows.rows.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Database {
+    shared: Arc<Shared>,
+}
+
+impl Database {
+    /// Creates an empty database emulating `profile`.
+    pub fn new(profile: EngineProfile) -> Database {
+        Database {
+            shared: Arc::new(Shared {
+                catalog: Catalog::new(),
+                locks: LockManager::new(),
+                profile,
+                stats: Stats::new(),
+                next_session: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Opens a new session (the analog of one JDBC connection).
+    pub fn connect(&self) -> Session {
+        let sid = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        Session {
+            shared: self.shared.clone(),
+            sid,
+            in_txn: false,
+            undo: UndoLog::new(),
+            held: HashSet::new(),
+            isolation: IsolationLevel::default(),
+            lock_timeout: DEFAULT_LOCK_TIMEOUT,
+        }
+    }
+
+    /// The engine profile this database emulates.
+    pub fn profile(&self) -> EngineProfile {
+        self.shared.profile
+    }
+
+    /// Snapshot of the execution statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Names of all user tables (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        self.shared.catalog.table_names()
+    }
+
+    /// Direct catalog access for tooling/tests.
+    pub fn catalog(&self) -> &Catalog {
+        &self.shared.catalog
+    }
+}
+
+/// One connection's execution context: autocommit/transaction state, held
+/// locks, and isolation level.
+///
+/// Dropping a session rolls back any open transaction and releases its locks.
+#[derive(Debug)]
+pub struct Session {
+    shared: Arc<Shared>,
+    sid: u64,
+    in_txn: bool,
+    undo: UndoLog,
+    held: HashSet<String>,
+    isolation: IsolationLevel,
+    lock_timeout: Duration,
+}
+
+impl Session {
+    /// This session's id (unique within the database).
+    pub fn id(&self) -> u64 {
+        self.sid
+    }
+
+    /// Sets the transaction isolation level (JDBC
+    /// `Connection.setTransactionIsolation` analog).
+    pub fn set_isolation(&mut self, level: IsolationLevel) {
+        self.isolation = level;
+    }
+
+    /// Sets the lock wait budget.
+    pub fn set_lock_timeout(&mut self, timeout: Duration) {
+        self.lock_timeout = timeout;
+    }
+
+    /// True while a `BEGIN` transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.in_txn
+    }
+
+    /// Parses and executes one SQL statement.
+    ///
+    /// # Errors
+    /// Parse, validation, lock-timeout and execution errors. A failed
+    /// statement is rolled back atomically; an open transaction stays usable.
+    pub fn execute(&mut self, sql: &str) -> DbResult<StmtOutput> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Executes an already-parsed statement.
+    ///
+    /// # Errors
+    /// See [`Session::execute`].
+    pub fn execute_statement(&mut self, stmt: &Statement) -> DbResult<StmtOutput> {
+        self.shared.stats.add_statements(1);
+        match stmt {
+            Statement::Begin => {
+                if self.in_txn {
+                    return Err(DbError::Invalid("transaction already open".into()));
+                }
+                self.in_txn = true;
+                return Ok(StmtOutput::Done);
+            }
+            Statement::Commit => {
+                self.commit()?;
+                return Ok(StmtOutput::Done);
+            }
+            Statement::Rollback => {
+                self.rollback()?;
+                return Ok(StmtOutput::Done);
+            }
+            _ => {}
+        }
+        validate(stmt, &self.shared.profile.dialect())?;
+
+        // plan and acquire logical locks in sorted order (deadlock avoidance)
+        let (reads, writes) = collect_lock_sets(stmt, &self.shared.catalog);
+        let mut all: Vec<&String> = reads.union(&writes).collect();
+        all.sort();
+        let mut newly_shared: Vec<String> = Vec::new();
+        for name in all {
+            let mode = if writes.contains(name) {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
+            self.shared.locks.acquire(
+                self.sid,
+                name,
+                mode,
+                self.lock_timeout,
+                &self.shared.stats,
+            )?;
+            self.held.insert(name.clone());
+            if mode == LockMode::Shared {
+                newly_shared.push(name.clone());
+            }
+        }
+
+        let mark = self.undo.len();
+        let executor = Executor::new(
+            &self.shared.catalog,
+            self.shared.profile,
+            &self.shared.stats,
+        );
+        let result = executor.run_statement(stmt, &mut self.undo);
+        match result {
+            Ok(output) => {
+                if self.in_txn {
+                    // ReadCommitted drops read locks at statement end
+                    if self.isolation == IsolationLevel::ReadCommitted {
+                        for name in newly_shared {
+                            if !writes.contains(&name) {
+                                self.shared.locks.release(self.sid, &name);
+                                self.held.remove(&name);
+                            }
+                        }
+                    }
+                } else {
+                    self.undo.clear();
+                    self.release_all();
+                }
+                Ok(output)
+            }
+            Err(e) => {
+                // statement-level atomicity
+                let tail = self.undo.split_off(mark);
+                let _ = apply_undo(&self.shared.catalog, tail);
+                if !self.in_txn {
+                    self.release_all();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Executes a `;`-separated script, stopping at the first error.
+    ///
+    /// # Errors
+    /// See [`Session::execute`]; earlier statements keep their effects
+    /// according to autocommit/transaction state.
+    pub fn execute_script(&mut self, sql: &str) -> DbResult<Vec<StmtOutput>> {
+        let stmts = parse_script(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Executes a query statement and returns its rows.
+    ///
+    /// # Errors
+    /// As [`Session::execute`], plus [`DbError::Invalid`] if the statement
+    /// is not a query.
+    pub fn query(&mut self, sql: &str) -> DbResult<QueryResult> {
+        match self.execute(sql)? {
+            StmtOutput::Rows(r) => Ok(r),
+            _ => Err(DbError::Invalid("statement did not return rows".into())),
+        }
+    }
+
+    /// Opens a transaction.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Invalid`] when one is already open.
+    pub fn begin(&mut self) -> DbResult<()> {
+        self.execute_statement(&Statement::Begin).map(|_| ())
+    }
+
+    /// Commits the open transaction (no-op when autocommitting).
+    ///
+    /// # Errors
+    /// Currently infallible; returns `DbResult` for API stability.
+    pub fn commit(&mut self) -> DbResult<()> {
+        self.undo.clear();
+        self.release_all();
+        self.in_txn = false;
+        Ok(())
+    }
+
+    /// Rolls back the open transaction (no-op when autocommitting).
+    ///
+    /// # Errors
+    /// Propagates storage errors from undo application (not expected).
+    pub fn rollback(&mut self) -> DbResult<()> {
+        let ops = self.undo.take_all();
+        let result = apply_undo(&self.shared.catalog, ops);
+        self.release_all();
+        self.in_txn = false;
+        result
+    }
+
+    fn release_all(&mut self) {
+        if !self.held.is_empty() {
+            self.shared.locks.release_all(self.sid, &self.held);
+            self.held.clear();
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // best-effort rollback; never panic in drop
+        let ops = self.undo.take_all();
+        let _ = apply_undo(&self.shared.catalog, ops);
+        self.release_all();
+    }
+}
+
+/// Computes the (read, write) table-lock sets for a statement, expanding
+/// views to their underlying tables.
+fn collect_lock_sets(stmt: &Statement, catalog: &Catalog) -> (HashSet<String>, HashSet<String>) {
+    use crate::ast::*;
+    let mut reads = HashSet::new();
+    let mut writes = HashSet::new();
+
+    fn add_query(q: &SelectStmt, catalog: &Catalog, reads: &mut HashSet<String>, depth: usize) {
+        add_set_expr(&q.body, catalog, reads, depth);
+    }
+
+    fn add_set_expr(s: &SetExpr, catalog: &Catalog, reads: &mut HashSet<String>, depth: usize) {
+        match s {
+            SetExpr::Select(sel) => {
+                for tr in &sel.from {
+                    add_table_ref(tr, catalog, reads, depth);
+                }
+            }
+            SetExpr::Values(_) => {}
+            SetExpr::SetOp { left, right, .. } => {
+                add_set_expr(left, catalog, reads, depth);
+                add_set_expr(right, catalog, reads, depth);
+            }
+        }
+    }
+
+    fn add_table_ref(tr: &TableRef, catalog: &Catalog, reads: &mut HashSet<String>, depth: usize) {
+        add_factor(&tr.base, catalog, reads, depth);
+        for j in &tr.joins {
+            add_factor(&j.factor, catalog, reads, depth);
+        }
+    }
+
+    fn add_factor(f: &TableFactor, catalog: &Catalog, reads: &mut HashSet<String>, depth: usize) {
+        if depth > 16 {
+            return;
+        }
+        match f {
+            TableFactor::Table { name, .. } => {
+                if let Some(view) = catalog.view(name) {
+                    add_query(&view, catalog, reads, depth + 1);
+                } else {
+                    reads.insert(name.clone());
+                }
+            }
+            TableFactor::Derived { subquery, .. } => add_query(subquery, catalog, reads, depth),
+        }
+    }
+
+    match stmt {
+        Statement::Select(q) => add_query(q, catalog, &mut reads, 0),
+        Statement::Explain(inner) => {
+            if let Statement::Select(q) = inner.as_ref() {
+                add_query(q, catalog, &mut reads, 0);
+            }
+        }
+        Statement::Insert(i) => {
+            writes.insert(i.table.clone());
+            if let InsertSource::Select(q) = &i.source {
+                add_query(q, catalog, &mut reads, 0);
+            }
+        }
+        Statement::Update(u) => {
+            writes.insert(u.table.clone());
+            for tr in &u.from {
+                add_table_ref(tr, catalog, &mut reads, 0);
+            }
+        }
+        Statement::Delete { table, .. } | Statement::Truncate { name: table } => {
+            writes.insert(table.clone());
+        }
+        Statement::CreateTable(ct) => {
+            if let Some(q) = &ct.as_select {
+                add_query(q, catalog, &mut reads, 0);
+            }
+        }
+        Statement::CreateIndex(ci) => {
+            writes.insert(ci.table.clone());
+        }
+        Statement::DropTable { name, .. } => {
+            writes.insert(name.clone());
+        }
+        _ => {}
+    }
+    reads.retain(|t| !writes.contains(t));
+    (reads, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let db = Database::new(EngineProfile::Postgres);
+        let mut s = db.connect();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)").unwrap();
+        db
+    }
+
+    #[test]
+    fn autocommit_roundtrip() {
+        let db = db();
+        let mut s = db.connect();
+        let r = s.query("SELECT SUM(v) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(3.0));
+    }
+
+    #[test]
+    fn transaction_commit_and_rollback() {
+        let db = db();
+        let mut s = db.connect();
+        s.execute("BEGIN").unwrap();
+        s.execute("UPDATE t SET v = 0.0").unwrap();
+        s.execute("ROLLBACK").unwrap();
+        assert_eq!(
+            s.query("SELECT SUM(v) FROM t").unwrap().rows[0][0],
+            Value::Float(3.0)
+        );
+        s.execute("BEGIN").unwrap();
+        s.execute("UPDATE t SET v = 0.0").unwrap();
+        s.execute("COMMIT").unwrap();
+        assert_eq!(
+            s.query("SELECT SUM(v) FROM t").unwrap().rows[0][0],
+            Value::Float(0.0)
+        );
+    }
+
+    #[test]
+    fn statement_atomicity_on_error() {
+        let db = db();
+        let mut s = db.connect();
+        // second row violates the primary key; the first must not persist
+        let err = s.execute("INSERT INTO t VALUES (3, 3.0), (1, 9.9)");
+        assert!(err.is_err());
+        assert_eq!(
+            s.query("SELECT COUNT(*) FROM t").unwrap().rows[0][0],
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn failed_statement_keeps_transaction_usable() {
+        let db = db();
+        let mut s = db.connect();
+        s.execute("BEGIN").unwrap();
+        s.execute("UPDATE t SET v = 5.0 WHERE id = 1").unwrap();
+        assert!(s.execute("INSERT INTO t VALUES (1, 0.0)").is_err());
+        s.execute("COMMIT").unwrap();
+        assert_eq!(
+            s.query("SELECT v FROM t WHERE id = 1").unwrap().rows[0][0],
+            Value::Float(5.0)
+        );
+    }
+
+    #[test]
+    fn dropped_session_rolls_back() {
+        let db = db();
+        {
+            let mut s = db.connect();
+            s.execute("BEGIN").unwrap();
+            s.execute("DELETE FROM t").unwrap();
+        } // dropped without commit
+        let mut s = db.connect();
+        assert_eq!(
+            s.query("SELECT COUNT(*) FROM t").unwrap().rows[0][0],
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn write_lock_blocks_concurrent_writer() {
+        let db = db();
+        let mut a = db.connect();
+        a.execute("BEGIN").unwrap();
+        a.execute("UPDATE t SET v = 9.0 WHERE id = 1").unwrap();
+        let mut b = db.connect();
+        b.set_lock_timeout(Duration::from_millis(50));
+        assert!(matches!(
+            b.execute("UPDATE t SET v = 8.0 WHERE id = 2"),
+            Err(DbError::LockTimeout(_))
+        ));
+        a.execute("COMMIT").unwrap();
+        b.execute("UPDATE t SET v = 8.0 WHERE id = 2").unwrap();
+    }
+
+    #[test]
+    fn concurrent_sessions_on_disjoint_tables() {
+        let db = db();
+        let mut s = db.connect();
+        s.execute("CREATE TABLE u (id INT PRIMARY KEY)").unwrap();
+        let db2 = db.clone();
+        let h = std::thread::spawn(move || {
+            let mut s2 = db2.connect();
+            for i in 0..100 {
+                s2.execute(&format!("INSERT INTO u VALUES ({i})")).unwrap();
+            }
+        });
+        for _ in 0..100 {
+            s.query("SELECT COUNT(*) FROM t").unwrap();
+        }
+        h.join().unwrap();
+        let n = s.query("SELECT COUNT(*) FROM u").unwrap();
+        assert_eq!(n.rows[0][0], Value::Int(100));
+    }
+
+    #[test]
+    fn script_execution() {
+        let db = Database::new(EngineProfile::MariaDb);
+        let mut s = db.connect();
+        let out = s
+            .execute_script(
+                "CREATE TABLE x (a INT); INSERT INTO x VALUES (1); INSERT INTO x VALUES (2); SELECT COUNT(*) FROM x;",
+            )
+            .unwrap();
+        assert_eq!(out.len(), 4);
+        match &out[3] {
+            StmtOutput::Rows(r) => assert_eq!(r.rows[0][0], Value::Int(2)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn dialect_enforced_per_profile() {
+        let db = Database::new(EngineProfile::MySql);
+        let mut s = db.connect();
+        s.execute("CREATE TABLE r (id INT PRIMARY KEY, d FLOAT)").unwrap();
+        s.execute("CREATE TABLE m (id INT PRIMARY KEY, v FLOAT)").unwrap();
+        assert!(matches!(
+            s.execute("UPDATE r SET d = m.v FROM m WHERE r.id = m.id"),
+            Err(DbError::Unsupported(_))
+        ));
+        s.execute("UPDATE r JOIN m ON r.id = m.id SET d = m.v").unwrap();
+    }
+
+    #[test]
+    fn stats_track_statements() {
+        let db = db();
+        let before = db.stats().statements;
+        let mut s = db.connect();
+        s.query("SELECT * FROM t").unwrap();
+        assert!(db.stats().statements > before);
+    }
+
+    #[test]
+    fn view_lock_expansion() {
+        let db = db();
+        let mut s = db.connect();
+        s.execute("CREATE VIEW vw AS SELECT * FROM t").unwrap();
+        // a reader of the view locks `t`; a writer of t must then wait
+        s.execute("BEGIN").unwrap();
+        s.set_isolation(IsolationLevel::Serializable);
+        s.query("SELECT * FROM vw").unwrap();
+        let mut w = db.connect();
+        w.set_lock_timeout(Duration::from_millis(50));
+        assert!(w.execute("DELETE FROM t").is_err());
+        s.execute("COMMIT").unwrap();
+        w.execute("DELETE FROM t").unwrap();
+    }
+}

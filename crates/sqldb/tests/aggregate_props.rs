@@ -1,0 +1,159 @@
+//! Property tests over the engine's aggregate semantics (NULL skipping,
+//! COUNT(*) vs COUNT(expr), AVG over mixed types), against hand-computed
+//! reference values, plus grouping correctness on random data.
+
+use proptest::prelude::*;
+use sqldb::{Database, EngineProfile, StmtOutput, Value};
+
+fn load(values: &[(i64, Option<f64>)]) -> Database {
+    let db = Database::new(EngineProfile::Postgres);
+    let mut s = db.connect();
+    s.execute("CREATE TABLE t (g INT, v FLOAT)").unwrap();
+    for (g, v) in values {
+        let v = match v {
+            Some(f) => format!("{f}"),
+            None => "NULL".to_string(),
+        };
+        s.execute(&format!("INSERT INTO t VALUES ({g}, {v})")).unwrap();
+    }
+    db
+}
+
+fn query_rows(db: &Database, sql: &str) -> Vec<Vec<Value>> {
+    let mut s = db.connect();
+    match s.execute(sql).unwrap() {
+        StmtOutput::Rows(r) => r.rows,
+        _ => panic!("expected rows"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aggregates_match_reference(
+        values in proptest::collection::vec(
+            (0i64..5, proptest::option::of(-100.0f64..100.0)),
+            0..60,
+        )
+    ) {
+        let db = load(&values);
+        let rows = query_rows(
+            &db,
+            "SELECT g, SUM(v), COUNT(*), COUNT(v), MIN(v), MAX(v), AVG(v) \
+             FROM t GROUP BY g ORDER BY g",
+        );
+        // reference computation
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<i64, Vec<Option<f64>>> = BTreeMap::new();
+        for (g, v) in &values {
+            groups.entry(*g).or_default().push(*v);
+        }
+        prop_assert_eq!(rows.len(), groups.len());
+        for (row, (g, vs)) in rows.iter().zip(&groups) {
+            prop_assert_eq!(row[0].as_i64().unwrap(), *g);
+            let non_null: Vec<f64> = vs.iter().filter_map(|v| *v).collect();
+            // SUM: NULL when every input was NULL
+            match &row[1] {
+                Value::Null => prop_assert!(non_null.is_empty()),
+                v => {
+                    let expect: f64 = non_null.iter().sum();
+                    prop_assert!((v.as_f64().unwrap() - expect).abs() < 1e-9);
+                }
+            }
+            // COUNT(*) counts all rows, COUNT(v) non-NULL only
+            prop_assert_eq!(row[2].as_i64().unwrap(), vs.len() as i64);
+            prop_assert_eq!(row[3].as_i64().unwrap(), non_null.len() as i64);
+            // MIN / MAX skip NULLs
+            match &row[4] {
+                Value::Null => prop_assert!(non_null.is_empty()),
+                v => prop_assert_eq!(
+                    v.as_f64().unwrap(),
+                    non_null.iter().cloned().fold(f64::INFINITY, f64::min)
+                ),
+            }
+            match &row[5] {
+                Value::Null => prop_assert!(non_null.is_empty()),
+                v => prop_assert_eq!(
+                    v.as_f64().unwrap(),
+                    non_null.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                ),
+            }
+            // AVG = SUM / COUNT over non-NULLs
+            match &row[6] {
+                Value::Null => prop_assert!(non_null.is_empty()),
+                v => {
+                    let expect = non_null.iter().sum::<f64>() / non_null.len() as f64;
+                    prop_assert!((v.as_f64().unwrap() - expect).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    /// LEFT JOIN preserves every left row exactly once per match (or once
+    /// with NULLs), regardless of profile.
+    #[test]
+    fn left_join_row_preservation(
+        left in proptest::collection::vec(0i64..10, 1..25),
+        right in proptest::collection::vec(0i64..10, 0..25),
+    ) {
+        for profile in EngineProfile::ALL {
+            let db = Database::new(profile);
+            let mut s = db.connect();
+            s.execute("CREATE TABLE l (k INT)").unwrap();
+            s.execute("CREATE TABLE r (k INT)").unwrap();
+            for k in &left {
+                s.execute(&format!("INSERT INTO l VALUES ({k})")).unwrap();
+            }
+            for k in &right {
+                s.execute(&format!("INSERT INTO r VALUES ({k})")).unwrap();
+            }
+            let rows = match s
+                .execute("SELECT l.k, r.k FROM l LEFT JOIN r ON l.k = r.k")
+                .unwrap()
+            {
+                StmtOutput::Rows(r) => r.rows,
+                _ => unreachable!(),
+            };
+            let expected: usize = left
+                .iter()
+                .map(|k| right.iter().filter(|r| *r == k).count().max(1))
+                .sum();
+            prop_assert_eq!(rows.len(), expected, "{}", profile);
+            // unmatched rows carry NULL on the right
+            for row in &rows {
+                let lk = row[0].as_i64().unwrap();
+                if right.contains(&lk) {
+                    prop_assert_eq!(row[1].as_i64(), Some(lk));
+                } else {
+                    prop_assert!(row[1].is_null());
+                }
+            }
+        }
+    }
+
+    /// UNION deduplicates exactly; UNION ALL preserves multiplicity.
+    #[test]
+    fn union_semantics(
+        a in proptest::collection::vec(0i64..8, 0..20),
+        b in proptest::collection::vec(0i64..8, 0..20),
+    ) {
+        let db = Database::new(EngineProfile::Postgres);
+        let mut s = db.connect();
+        s.execute("CREATE TABLE a (k INT)").unwrap();
+        s.execute("CREATE TABLE b (k INT)").unwrap();
+        for k in &a {
+            s.execute(&format!("INSERT INTO a VALUES ({k})")).unwrap();
+        }
+        for k in &b {
+            s.execute(&format!("INSERT INTO b VALUES ({k})")).unwrap();
+        }
+        let all = query_rows(&db, "SELECT k FROM a UNION ALL SELECT k FROM b");
+        prop_assert_eq!(all.len(), a.len() + b.len());
+        let set = query_rows(&db, "SELECT k FROM a UNION SELECT k FROM b");
+        let mut distinct: Vec<i64> = a.iter().chain(b.iter()).cloned().collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(set.len(), distinct.len());
+    }
+}

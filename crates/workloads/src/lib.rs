@@ -1,0 +1,37 @@
+//! # workloads — the SQLoop evaluation workloads
+//!
+//! The three queries of the paper's evaluation (§VI-A) — PageRank, single
+//! source shortest path, and the descendant query — plus extension
+//! workloads, native in-memory oracles for correctness checks, graph
+//! loading, and the hand-written SQL-script baseline of §VI-D.
+//!
+//! ```
+//! use dbcp::{Driver, LocalDriver};
+//! use sqldb::{Database, EngineProfile};
+//! use sqloop::SQLoop;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), sqloop::SqloopError> {
+//! let db = Database::new(EngineProfile::Postgres);
+//! let driver = LocalDriver::new(db);
+//! let mut conn = driver.connect()?;
+//! workloads::load_edges(conn.as_mut(), &graphgen::chain(10))?;
+//!
+//! let sqloop = SQLoop::new(Arc::new(driver));
+//! let out = sqloop.execute(&workloads::queries::sssp(0, 9))?;
+//! assert_eq!(out.rows[0][0], sqldb::Value::Float(9.0)); // unit weights on a chain
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod load;
+pub mod oracle;
+pub mod queries;
+pub mod script;
+
+pub use load::load_edges;
+pub use script::{
+    descendant_script, pagerank_script, run_script, ScriptBaseline, ScriptMode, ScriptRunResult,
+};

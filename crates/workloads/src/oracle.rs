@@ -1,0 +1,214 @@
+//! Native in-memory reference implementations — correctness oracles the SQL
+//! results are diffed against in tests.
+
+use graphgen::{Graph, NodeId};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Delta-accumulative PageRank (the exact iteration the paper's Example 2
+/// encodes, after [11]/Maiter): `rank += delta`,
+/// `delta' = 0.85 * Σ_in delta_src * weight`, seeded with `delta = 0.15`.
+///
+/// Returns `node → rank` after `iterations` synchronous rounds.
+pub fn pagerank(graph: &Graph, iterations: u64) -> HashMap<NodeId, f64> {
+    let weighted = graph.weighted_edges();
+    let mut rank: HashMap<NodeId, f64> = HashMap::new();
+    let mut delta: HashMap<NodeId, f64> = HashMap::new();
+    for &n in graph.nodes() {
+        rank.insert(n, 0.0);
+        delta.insert(n, 0.15);
+    }
+    for _ in 0..iterations {
+        let mut incoming: HashMap<NodeId, f64> = HashMap::new();
+        for &(s, d, w) in &weighted {
+            *incoming.entry(d).or_insert(0.0) += delta[&s] * w;
+        }
+        for &n in graph.nodes() {
+            *rank.get_mut(&n).expect("seeded") += delta[&n];
+            delta.insert(n, 0.85 * incoming.get(&n).copied().unwrap_or(0.0));
+        }
+    }
+    rank
+}
+
+/// Dijkstra over the paper's `1/outdegree` weights. Unreachable nodes are
+/// absent; the source maps to `0.0`.
+pub fn sssp(graph: &Graph, source: NodeId) -> HashMap<NodeId, f64> {
+    let weighted = graph.weighted_edges();
+    let mut adj: HashMap<NodeId, Vec<(NodeId, f64)>> = HashMap::new();
+    for (s, d, w) in weighted {
+        adj.entry(s).or_default().push((d, w));
+    }
+    let mut dist: HashMap<NodeId, f64> = HashMap::new();
+    // min-heap via reversed ordering
+    let mut heap: BinaryHeap<(std::cmp::Reverse<Ordered>, NodeId)> = BinaryHeap::new();
+    dist.insert(source, 0.0);
+    heap.push((std::cmp::Reverse(ordered(0.0)), source));
+    while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+        let d = d.0;
+        if d > dist.get(&u).copied().unwrap_or(f64::INFINITY) {
+            continue;
+        }
+        if let Some(next) = adj.get(&u) {
+            for &(v, w) in next {
+                let nd = d + w;
+                if nd < dist.get(&v).copied().unwrap_or(f64::INFINITY) {
+                    dist.insert(v, nd);
+                    heap.push((std::cmp::Reverse(ordered(nd)), v));
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Totally ordered f64 wrapper for the Dijkstra heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ordered(f64);
+
+#[allow(non_snake_case)]
+fn ordered(v: f64) -> Ordered {
+    Ordered(v)
+}
+
+impl Eq for Ordered {}
+
+impl PartialOrd for Ordered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ordered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Unnormalized HITS step, iterated `rounds` times from all-ones:
+/// `auth' = Σ_in hub`, `hub' = Σ_out auth` (both from the previous round).
+pub fn hits_like(graph: &Graph, rounds: u64) -> HashMap<NodeId, (f64, f64)> {
+    let mut auth: HashMap<NodeId, f64> = graph.nodes().iter().map(|&n| (n, 1.0)).collect();
+    let mut hub: HashMap<NodeId, f64> = auth.clone();
+    for _ in 0..rounds {
+        let mut new_auth: HashMap<NodeId, f64> =
+            graph.nodes().iter().map(|&n| (n, 0.0)).collect();
+        let mut new_hub: HashMap<NodeId, f64> =
+            graph.nodes().iter().map(|&n| (n, 0.0)).collect();
+        for &(s, d) in graph.edges() {
+            *new_auth.get_mut(&d).expect("node seeded") += hub[&s];
+            *new_hub.get_mut(&s).expect("node seeded") += auth[&d];
+        }
+        auth = new_auth;
+        hub = new_hub;
+    }
+    graph
+        .nodes()
+        .iter()
+        .map(|&n| (n, (auth[&n], hub[&n])))
+        .collect()
+}
+
+/// BFS hop counts (the descendant query's semantics): `node → clicks`.
+pub fn descendants(graph: &Graph, source: NodeId, max_hops: u64) -> HashMap<NodeId, u64> {
+    graph
+        .bfs_hops(source)
+        .into_iter()
+        .filter(|&(_, h)| h <= max_hops)
+        .collect()
+}
+
+/// Weakly-connected components by min-label propagation: `node → component`
+/// where the component id is the smallest node id in it.
+pub fn connected_components(graph: &Graph) -> HashMap<NodeId, NodeId> {
+    let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for &(s, d) in graph.edges() {
+        adj.entry(s).or_default().push(d);
+        adj.entry(d).or_default().push(s);
+    }
+    let mut label: HashMap<NodeId, NodeId> =
+        graph.nodes().iter().map(|&n| (n, n)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &n in graph.nodes() {
+            let mut best = label[&n];
+            if let Some(nb) = adj.get(&n) {
+                for &m in nb {
+                    best = best.min(label[&m]);
+                }
+            }
+            if best < label[&n] {
+                label.insert(n, best);
+                changed = true;
+            }
+        }
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::{chain, web_graph, Graph};
+
+    fn diamond() -> Graph {
+        Graph::from_edges(vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn pagerank_total_rank_grows_towards_n() {
+        let g = web_graph(100, 3, 1);
+        let r10 = pagerank(&g, 10);
+        let r50 = pagerank(&g, 50);
+        let t10: f64 = r10.values().sum();
+        let t50: f64 = r50.values().sum();
+        assert!(t50 > t10);
+        // closed graph: total converges to n (all nodes have out-edges here)
+        assert!(t50 <= g.node_count() as f64 + 1e-6);
+    }
+
+    #[test]
+    fn pagerank_is_deterministic() {
+        let g = web_graph(50, 3, 2);
+        assert_eq!(pagerank(&g, 5), pagerank(&g, 5));
+    }
+
+    #[test]
+    fn sssp_diamond() {
+        let g = diamond();
+        let d = sssp(&g, 0);
+        assert_eq!(d[&0], 0.0);
+        assert_eq!(d[&1], 0.5);
+        assert_eq!(d[&2], 0.5);
+        assert_eq!(d[&3], 1.5); // 0.5 + 1.0 through either middle node
+    }
+
+    #[test]
+    fn sssp_unreachable_absent() {
+        let g = Graph::from_edges(vec![(0, 1), (2, 3)]);
+        let d = sssp(&g, 0);
+        assert!(d.contains_key(&1));
+        assert!(!d.contains_key(&2));
+        assert!(!d.contains_key(&3));
+    }
+
+    #[test]
+    fn descendants_chain() {
+        let g = chain(10);
+        let d = descendants(&g, 0, 5);
+        assert_eq!(d.len(), 6); // hops 0..=5
+        assert_eq!(d[&5], 5);
+        assert!(!d.contains_key(&6));
+    }
+
+    #[test]
+    fn components() {
+        let g = Graph::from_edges(vec![(0, 1), (1, 2), (5, 6)]);
+        let c = connected_components(&g);
+        assert_eq!(c[&0], 0);
+        assert_eq!(c[&1], 0);
+        assert_eq!(c[&2], 0);
+        assert_eq!(c[&5], 5);
+        assert_eq!(c[&6], 5);
+    }
+}

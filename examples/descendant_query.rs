@@ -1,0 +1,65 @@
+//! The descendant query (paper §VI-A): which pages are within n clicks of a
+//! page, on a deep two-domain web graph (the web-BerkStan stand-in).
+//!
+//! Run with: `cargo run --release --example descendant_query [-- <scale>]`
+
+use dbcp::{Driver, LocalDriver};
+use sqldb::{Database, EngineProfile};
+use sqloop::{ExecutionMode, PrioritySpec, SQLoop, SqloopConfig};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.3);
+    let dataset = graphgen::datasets::berkstan_like(scale);
+    println!("dataset: {} ({})", dataset.name, dataset.graph);
+
+    let db = Database::new(EngineProfile::Postgres);
+    let driver = LocalDriver::new(db);
+    let mut conn = driver.connect()?;
+    workloads::load_edges(conn.as_mut(), &dataset.graph)?;
+    drop(conn);
+
+    // explore progressively deeper, reporting explored pages vs time —
+    // the x-axis of the paper's Fig. 4 bottom row
+    for hops in [5u64, 20, 60, 100] {
+        let oracle = workloads::oracle::descendants(&dataset.graph, 0, hops);
+        let query = workloads::queries::descendant_query(0, hops);
+        let config = SqloopConfig {
+            mode: ExecutionMode::AsyncPrio,
+            threads: 4,
+            partitions: 32,
+            priority: Some(PrioritySpec::lowest("SELECT MIN(delta) FROM {}")),
+            ..SqloopConfig::default()
+        };
+        let sqloop = SQLoop::new(Arc::new(driver.clone())).with_config(config);
+        let report = sqloop.execute_detailed(&query)?;
+        println!(
+            "≤{hops:>3} clicks: {:>6} pages discovered (oracle {:>6}) in {:>8.2?}",
+            report.result.rows.len(),
+            oracle.len(),
+            report.elapsed,
+        );
+    }
+
+    // the paper's Fig. 6 question: how many clicks between two far pages?
+    if let Some((target, hops)) = dataset.graph.node_at_distance(0, 100) {
+        let query = workloads::queries::descendant_clicks(0, target);
+        let sqloop = SQLoop::new(Arc::new(driver.clone())).with_config(SqloopConfig {
+            mode: ExecutionMode::Async,
+            threads: 4,
+            partitions: 32,
+            ..SqloopConfig::default()
+        });
+        let report = sqloop.execute_detailed(&query)?;
+        println!(
+            "page 0 → page {target}: {:?} clicks (BFS says {hops}) in {:.2?}",
+            report.result.rows.first().map(|r| r[0].clone()),
+            report.elapsed
+        );
+    }
+    Ok(())
+}

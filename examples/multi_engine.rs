@@ -1,0 +1,61 @@
+//! One query, three engines: the same iterative CTE text runs unmodified on
+//! the PostgreSQL, MySQL and MariaDB profiles — SQLoop's translation module
+//! rewrites the generated statements per dialect (paper §IV-B), which you
+//! can see in the printed samples.
+//!
+//! Run with: `cargo run --release --example multi_engine`
+
+use dbcp::{Driver, LocalDriver};
+use sqldb::{Database, EngineProfile};
+use sqloop::translate::translate_sql;
+use sqloop::{ExecutionMode, SQLoop, SqloopConfig};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = graphgen::web_graph(400, 4, 5);
+    let query = workloads::queries::pagerank(15);
+
+    // show what the translation module does with a gather-style statement
+    let sample = "UPDATE r SET delta = LEAST(delta, inc.val) \
+                  FROM (SELECT id, MIN(val) AS val FROM m GROUP BY id) AS inc \
+                  WHERE r.node = inc.id AND inc.val < Infinity";
+    println!("canonical statement:\n  {sample}\n");
+    for profile in EngineProfile::ALL {
+        println!("{profile} gets:\n  {}\n", translate_sql(sample, profile)?);
+    }
+
+    for profile in EngineProfile::ALL {
+        let db = Database::new(profile);
+        let driver = LocalDriver::new(db.clone());
+        let mut conn = driver.connect()?;
+        workloads::load_edges(conn.as_mut(), &graph)?;
+        drop(conn);
+
+        let sqloop = SQLoop::new(Arc::new(driver)).with_config(SqloopConfig {
+            mode: ExecutionMode::Async,
+            threads: 4,
+            partitions: 16,
+            ..SqloopConfig::default()
+        });
+        let report = sqloop.execute_detailed(&query)?;
+        let total: f64 = report
+            .result
+            .rows
+            .iter()
+            .map(|r| r[1].as_f64().unwrap_or(0.0))
+            .sum();
+        let stats = db.stats();
+        println!(
+            "{:<11} {:>8.2?}  sum(rank)={:.2}  stmts={:<6} index-probes={:<8} nl-pairs={}",
+            profile.name(),
+            report.elapsed,
+            total,
+            stats.statements,
+            stats.index_lookups,
+            stats.rows_joined,
+        );
+    }
+    println!("\n(the engines differ architecturally: PostgreSQL hash-joins, the\n\
+              MySQL family nested-loops — visible in the probe/pair counters)");
+    Ok(())
+}

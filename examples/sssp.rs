@@ -1,0 +1,67 @@
+//! Single-source shortest path on an ego/social network (the paper's
+//! Example 3 workload): a traversal query where prioritized asynchronous
+//! execution shines.
+//!
+//! Run with: `cargo run --release --example sssp [-- <scale>]`
+
+use dbcp::{Driver, LocalDriver};
+use sqldb::{Database, EngineProfile};
+use sqloop::{ExecutionMode, PrioritySpec, SQLoop, SqloopConfig};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.3);
+    let dataset = graphgen::datasets::twitter_like(scale);
+    println!("dataset: {} ({})", dataset.name, dataset.graph);
+
+    let source = 0;
+    // pick a destination a few circles away
+    let (destination, hops) = dataset
+        .graph
+        .node_at_distance(source, 10_000)
+        .expect("graph is connected from node 0");
+    println!("source {source} → destination {destination} ({hops} hops away)");
+
+    let db = Database::new(EngineProfile::Postgres);
+    let driver = LocalDriver::new(db);
+    let mut conn = driver.connect()?;
+    workloads::load_edges(conn.as_mut(), &dataset.graph)?;
+    drop(conn);
+
+    let oracle = workloads::oracle::sssp(&dataset.graph, source);
+    let expected = oracle.get(&destination).copied();
+    let query = workloads::queries::sssp(source, destination);
+
+    for mode in [
+        ExecutionMode::Single,
+        ExecutionMode::Sync,
+        ExecutionMode::Async,
+        ExecutionMode::AsyncPrio,
+    ] {
+        let config = SqloopConfig {
+            mode,
+            threads: 4,
+            partitions: 32,
+            // least tentative distance first — the paper's SSSP priority
+            priority: Some(PrioritySpec::lowest("SELECT MIN(delta) FROM {}")),
+            ..SqloopConfig::default()
+        };
+        let sqloop = SQLoop::new(Arc::new(driver.clone())).with_config(config);
+        let report = sqloop.execute_detailed(&query)?;
+        let got = report.result.rows.first().and_then(|r| r[0].as_f64());
+        println!(
+            "{:<7} {:>9.2?}  distance={:?} (oracle {:?})  computes={} gathers={}",
+            mode.label(),
+            report.elapsed,
+            got,
+            expected,
+            report.computes,
+            report.gathers,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Concurrency across the middleware: two iterative CTEs running at the
+//! same time against one database, and regular OLTP-ish traffic on other
+//! tables while an iterative query runs (the paper's §IV-C assumption:
+//! only the tables involved in the CTE are frozen; "the rest of the tables
+//! and queries … can still be executed in parallel").
+
+use dbcp::{Driver, LocalDriver};
+use sqldb::{Database, EngineProfile, Value};
+use sqloop::{ExecutionMode, SQLoop, SqloopConfig};
+use std::sync::Arc;
+
+fn driver_with_graph(g: &graphgen::Graph) -> (Database, Arc<LocalDriver>) {
+    let db = Database::new(EngineProfile::Postgres);
+    let driver = Arc::new(LocalDriver::new(db.clone()));
+    let mut conn = driver.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), g).unwrap();
+    (db, driver)
+}
+
+#[test]
+fn two_iterative_ctes_run_concurrently() {
+    let g = graphgen::web_graph(80, 3, 3);
+    let (_, driver) = driver_with_graph(&g);
+    let mk = |mode| {
+        SQLoop::new(driver.clone() as Arc<dyn Driver>).with_config(SqloopConfig {
+            mode,
+            threads: 2,
+            partitions: 8,
+            ..SqloopConfig::default()
+        })
+    };
+    // distinct CTE names → disjoint scratch tables; both share `edges`
+    // read-only, so they interleave freely
+    let a = std::thread::spawn({
+        let sq = mk(ExecutionMode::Sync);
+        move || sq.execute(&workloads::queries::pagerank(6)).unwrap()
+    });
+    let b = std::thread::spawn({
+        let sq = mk(ExecutionMode::Async);
+        move || sq.execute(&workloads::queries::sssp_all(0)).unwrap()
+    });
+    let pr = a.join().unwrap();
+    let ss = b.join().unwrap();
+    assert_eq!(pr.rows.len(), g.node_count());
+    assert_eq!(ss.rows.len(), g.node_count());
+    // both still correct
+    let oracle = workloads::oracle::sssp(&g, 0);
+    for row in &ss.rows {
+        let node = row[0].as_i64().unwrap() as u64;
+        let d = row[1].as_f64().unwrap();
+        match oracle.get(&node) {
+            Some(&e) => assert!((d - e).abs() < 1e-9),
+            None => assert!(d.is_infinite()),
+        }
+    }
+}
+
+#[test]
+fn unrelated_tables_stay_transactional_during_an_iterative_run() {
+    let g = graphgen::web_graph(60, 3, 5);
+    let (db, driver) = driver_with_graph(&g);
+    {
+        let mut s = db.connect();
+        s.execute("CREATE TABLE accounts (id INT PRIMARY KEY, balance FLOAT)")
+            .unwrap();
+        s.execute("INSERT INTO accounts VALUES (1, 100.0), (2, 100.0)").unwrap();
+    }
+    let sq = SQLoop::new(driver.clone() as Arc<dyn Driver>).with_config(SqloopConfig {
+        mode: ExecutionMode::Async,
+        threads: 2,
+        partitions: 8,
+        ..SqloopConfig::default()
+    });
+    let worker = std::thread::spawn(move || sq.execute(&workloads::queries::pagerank(8)).unwrap());
+    // concurrent transactional transfers on an unrelated table
+    let mut s = db.connect();
+    for _ in 0..50 {
+        s.execute("BEGIN").unwrap();
+        s.execute("UPDATE accounts SET balance = balance - 1.0 WHERE id = 1")
+            .unwrap();
+        s.execute("UPDATE accounts SET balance = balance + 1.0 WHERE id = 2")
+            .unwrap();
+        s.execute("COMMIT").unwrap();
+    }
+    // money is conserved at every point; check the final state
+    let total = s.query("SELECT SUM(balance) FROM accounts").unwrap();
+    assert_eq!(total.rows[0][0], Value::Float(200.0));
+    let moved = s
+        .query("SELECT balance FROM accounts WHERE id = 2")
+        .unwrap();
+    assert_eq!(moved.rows[0][0], Value::Float(150.0));
+    let pr = worker.join().unwrap();
+    assert_eq!(pr.rows.len(), g.node_count());
+}
+
+#[test]
+fn same_cte_name_reruns_are_safe_sequentially() {
+    // the middleware reuses scratch names per CTE; back-to-back runs must
+    // fully clean up and reinitialize
+    let g = graphgen::web_graph(50, 3, 8);
+    let (_, driver) = driver_with_graph(&g);
+    // one worker keeps message-table registration order (and thus float
+    // summation order) deterministic, so the runs compare bit-exactly
+    let sq = SQLoop::new(driver as Arc<dyn Driver>).with_config(SqloopConfig {
+        mode: ExecutionMode::Sync,
+        threads: 1,
+        partitions: 4,
+        ..SqloopConfig::default()
+    });
+    let first = sq.execute(&workloads::queries::pagerank(5)).unwrap();
+    let second = sq.execute(&workloads::queries::pagerank(5)).unwrap();
+    assert_eq!(first.rows, second.rows);
+}

@@ -1,0 +1,161 @@
+//! Cross-cutting tests: dialect enforcement through the full stack, the
+//! SQL-script baseline's equivalence with the iterative CTE, and artifact
+//! hygiene.
+
+use dbcp::{Driver, LocalDriver};
+use sqldb::{Database, DbError, EngineProfile};
+use sqloop::{ExecutionMode, SQLoop, SqloopConfig, SqloopError};
+use std::sync::Arc;
+use workloads::{run_script, ScriptMode};
+
+fn driver_with_graph(profile: EngineProfile, g: &graphgen::Graph) -> Arc<LocalDriver> {
+    let db = Database::new(profile);
+    let driver = Arc::new(LocalDriver::new(db));
+    let mut conn = driver.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), g).unwrap();
+    driver
+}
+
+#[test]
+fn untranslated_sql_fails_on_mysql_but_sqloop_succeeds() {
+    let g = graphgen::chain(10);
+    let driver = driver_with_graph(EngineProfile::MySql, &g);
+    // raw PostgreSQL-style join update is rejected by the engine…
+    let mut conn = driver.connect().unwrap();
+    conn.execute("CREATE TABLE r (id INT PRIMARY KEY, v FLOAT)").unwrap();
+    conn.execute("CREATE TABLE m (id INT PRIMARY KEY, v FLOAT)").unwrap();
+    let err = conn.execute("UPDATE r SET v = m.v FROM m WHERE r.id = m.id");
+    assert!(matches!(err, Err(DbError::Unsupported(_))), "{err:?}");
+    drop(conn);
+    // …but through the middleware the translation module rewrites it
+    let sq = SQLoop::new(driver as Arc<dyn Driver>);
+    sq.execute("UPDATE r SET v = m.v FROM m WHERE r.id = m.id").unwrap();
+}
+
+#[test]
+fn infinity_workloads_run_on_engines_without_the_literal() {
+    // SSSP seeds distances with Infinity; MySQL/MariaDB have no such literal
+    let g = graphgen::chain(15);
+    for profile in [EngineProfile::MySql, EngineProfile::MariaDb] {
+        let driver = driver_with_graph(profile, &g);
+        let sq = SQLoop::new(driver as Arc<dyn Driver>).with_config(SqloopConfig {
+            mode: ExecutionMode::Single,
+            ..SqloopConfig::default()
+        });
+        let out = sq.execute(&workloads::queries::sssp(0, 14)).unwrap();
+        let d = out.rows[0][0].as_f64().unwrap();
+        assert_eq!(d, 14.0, "{profile}");
+    }
+}
+
+#[test]
+fn script_baseline_matches_iterative_cte_results() {
+    let g = graphgen::web_graph(60, 3, 4);
+    for profile in EngineProfile::ALL {
+        let driver = driver_with_graph(profile, &g);
+        // script over a single connection
+        let mut conn = driver.connect().unwrap();
+        let script = workloads::pagerank_script();
+        let script_out =
+            run_script(conn.as_mut(), &script, ScriptMode::FixedIterations(6)).unwrap();
+        drop(conn);
+        // same computation through the middleware
+        let sq = SQLoop::new(driver as Arc<dyn Driver>).with_config(SqloopConfig {
+            mode: ExecutionMode::Sync,
+            threads: 2,
+            partitions: 8,
+            ..SqloopConfig::default()
+        });
+        let cte_out = sq.execute(&workloads::queries::pagerank(6)).unwrap();
+        assert_eq!(script_out.result.rows.len(), cte_out.rows.len(), "{profile}");
+        for (a, b) in script_out.result.rows.iter().zip(&cte_out.rows) {
+            assert_eq!(a[0], b[0], "{profile}");
+            let (x, y) = (a[1].as_f64().unwrap(), b[1].as_f64().unwrap());
+            assert!((x - y).abs() < 1e-9, "{profile}: {x} vs {y}");
+        }
+        assert_eq!(script_out.iterations, 6);
+    }
+}
+
+#[test]
+fn descendant_script_agrees_with_cte() {
+    let g = graphgen::two_domain_web(30, 3, 6);
+    let (target, hops) = g.node_at_distance(0, 25).unwrap();
+    let driver = driver_with_graph(EngineProfile::Postgres, &g);
+    let mut conn = driver.connect().unwrap();
+    let script = workloads::descendant_script(0, target);
+    let out = run_script(
+        conn.as_mut(),
+        &script,
+        ScriptMode::UntilNoUpdates { max_iterations: 500 },
+    )
+    .unwrap();
+    drop(conn);
+    assert_eq!(out.result.rows[0][0].as_f64().unwrap(), hops as f64);
+    let sq = SQLoop::new(driver as Arc<dyn Driver>).with_config(SqloopConfig {
+        mode: ExecutionMode::Async,
+        threads: 2,
+        partitions: 8,
+        ..SqloopConfig::default()
+    });
+    let cte = sq
+        .execute(&workloads::queries::descendant_clicks(0, target))
+        .unwrap();
+    assert_eq!(cte.rows[0][0].as_f64().unwrap(), hops as f64);
+}
+
+#[test]
+fn no_scratch_tables_leak_across_a_full_workload_suite() {
+    let g = graphgen::web_graph(40, 3, 8);
+    let db = Database::new(EngineProfile::Postgres);
+    let driver = Arc::new(LocalDriver::new(db.clone()));
+    let mut conn = driver.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), &g).unwrap();
+    drop(conn);
+    let sq = SQLoop::new(driver as Arc<dyn Driver>).with_config(SqloopConfig {
+        mode: ExecutionMode::Async,
+        threads: 2,
+        partitions: 8,
+        ..SqloopConfig::default()
+    });
+    sq.execute(&workloads::queries::pagerank(4)).unwrap();
+    sq.execute(&workloads::queries::sssp(0, 5)).unwrap();
+    sq.execute(
+        "WITH RECURSIVE reach(node) AS (SELECT 0 UNION \
+         SELECT edges.dst FROM reach JOIN edges ON reach.node = edges.src) \
+         SELECT COUNT(*) FROM reach",
+    )
+    .unwrap();
+    let tables = db.table_names();
+    assert_eq!(tables, vec!["edges".to_string()], "leftovers: {tables:?}");
+}
+
+#[test]
+fn grammar_error_reported_not_panicked() {
+    let driver = driver_with_graph(EngineProfile::Postgres, &graphgen::chain(3));
+    let sq = SQLoop::new(driver as Arc<dyn Driver>);
+    let err = sq.execute("WITH ITERATIVE broken AS (SELECT 1) SELECT 2");
+    assert!(matches!(err, Err(SqloopError::Grammar(_))), "{err:?}");
+}
+
+#[test]
+fn keep_artifacts_preserves_the_cte_view() {
+    let g = graphgen::chain(8);
+    let db = Database::new(EngineProfile::Postgres);
+    let driver = Arc::new(LocalDriver::new(db.clone()));
+    let mut conn = driver.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), &g).unwrap();
+    drop(conn);
+    let sq = SQLoop::new(driver.clone() as Arc<dyn Driver>).with_config(SqloopConfig {
+        mode: ExecutionMode::Sync,
+        threads: 1,
+        partitions: 4,
+        keep_artifacts: true,
+        ..SqloopConfig::default()
+    });
+    sq.execute(&workloads::queries::pagerank(2)).unwrap();
+    // the CTE view and its partitions remain queryable
+    let mut conn = driver.connect().unwrap();
+    let n = conn.query("SELECT COUNT(*) FROM pagerank").unwrap();
+    assert_eq!(n.rows[0][0], sqldb::Value::Int(g.node_count() as i64));
+}
