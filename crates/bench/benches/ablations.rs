@@ -36,7 +36,11 @@ fn ablation_materialize(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/rmjoin");
     group.sample_size(10);
     for materialize in [true, false] {
-        let label = if materialize { "materialized" } else { "rejoin_each_task" };
+        let label = if materialize {
+            "materialized"
+        } else {
+            "rejoin_each_task"
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &materialize, |b, &m| {
             let mut config = pr_config();
             config.materialize_join = m;
@@ -88,17 +92,17 @@ fn ablation_single_vs_parallel(c: &mut Criterion) {
     let query = workloads::queries::pagerank(5);
     let mut group = c.benchmark_group("ablation/executor");
     group.sample_size(10);
-    for mode in [ExecutionMode::Single, ExecutionMode::Sync, ExecutionMode::Async] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mode.label()),
-            &mode,
-            |b, &m| {
-                let mut config = pr_config();
-                config.mode = m;
-                let sq = SQLoop::new(driver.clone() as Arc<dyn Driver>).with_config(config);
-                b.iter(|| sq.execute(&query).unwrap())
-            },
-        );
+    for mode in [
+        ExecutionMode::Single,
+        ExecutionMode::Sync,
+        ExecutionMode::Async,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &m| {
+            let mut config = pr_config();
+            config.mode = m;
+            let sq = SQLoop::new(driver.clone() as Arc<dyn Driver>).with_config(config);
+            b.iter(|| sq.execute(&query).unwrap())
+        });
     }
     group.finish();
 }

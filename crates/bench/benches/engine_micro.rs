@@ -8,21 +8,25 @@ use sqldb::{Database, EngineProfile};
 fn seeded_db(profile: EngineProfile, rows: usize) -> Database {
     let db = Database::new(profile);
     let mut s = db.connect();
-    s.execute("CREATE TABLE nodes (id INT PRIMARY KEY, v FLOAT)").unwrap();
-    s.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
+    s.execute("CREATE TABLE nodes (id INT PRIMARY KEY, v FLOAT)")
+        .unwrap();
+    s.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+        .unwrap();
     for chunk in (0..rows).collect::<Vec<_>>().chunks(256) {
         let values = chunk
             .iter()
             .map(|i| format!("({i}, {}.5)", i % 100))
             .collect::<Vec<_>>()
             .join(", ");
-        s.execute(&format!("INSERT INTO nodes VALUES {values}")).unwrap();
+        s.execute(&format!("INSERT INTO nodes VALUES {values}"))
+            .unwrap();
         let edges = chunk
             .iter()
             .map(|i| format!("({i}, {}, 0.5)", (i * 7 + 3) % rows))
             .collect::<Vec<_>>()
             .join(", ");
-        s.execute(&format!("INSERT INTO edges VALUES {edges}")).unwrap();
+        s.execute(&format!("INSERT INTO edges VALUES {edges}"))
+            .unwrap();
     }
     s.execute("CREATE INDEX edges_src ON edges (src)").unwrap();
     db
@@ -49,19 +53,13 @@ fn bench_joins(c: &mut Criterion) {
     let mut group = c.benchmark_group("join/nodes_join_edges");
     for profile in EngineProfile::ALL {
         let db = seeded_db(profile, 2000);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(profile.name()),
-            &db,
-            |b, db| {
-                let mut s = db.connect();
-                b.iter(|| {
-                    s.query(
-                        "SELECT nodes.id, edges.dst FROM nodes JOIN edges ON nodes.id = edges.src",
-                    )
+        group.bench_with_input(BenchmarkId::from_parameter(profile.name()), &db, |b, db| {
+            let mut s = db.connect();
+            b.iter(|| {
+                s.query("SELECT nodes.id, edges.dst FROM nodes JOIN edges ON nodes.id = edges.src")
                     .unwrap()
-                })
-            },
-        );
+            })
+        });
     }
     group.finish();
 }
@@ -95,14 +93,10 @@ fn bench_update_join(c: &mut Criterion) {
             profile,
         )
         .unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(profile.name()),
-            &db,
-            |b, db| {
-                let mut s = db.connect();
-                b.iter(|| s.execute(&sql).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(profile.name()), &db, |b, db| {
+            let mut s = db.connect();
+            b.iter(|| s.execute(&sql).unwrap())
+        });
     }
     group.finish();
 }

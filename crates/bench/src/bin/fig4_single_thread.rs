@@ -60,7 +60,13 @@ fn sssp_panel(args: &sqloop_bench::BenchArgs) {
     let query = workloads::queries::sssp(source, dest);
 
     let mut table = Table::new(&[
-        "engine", "method", "time (s)", "speedup vs Sync", "computes", "gathers", "stmts",
+        "engine",
+        "method",
+        "time (s)",
+        "speedup vs Sync",
+        "computes",
+        "gathers",
+        "stmts",
     ]);
     for profile in EngineProfile::ALL {
         let mut sync_time = None;
@@ -73,7 +79,10 @@ fn sssp_panel(args: &sqloop_bench::BenchArgs) {
             ));
             let before = env.db.stats().statements;
             let (report, elapsed) = time_it(|| sq.execute_detailed(&query).expect("sssp run"));
-            assert!(!report.result.rows.is_empty(), "destination should be reachable");
+            assert!(
+                !report.result.rows.is_empty(),
+                "destination should be reachable"
+            );
             let secs = elapsed.as_secs_f64();
             let speedup = sync_time.map(|s: f64| s / secs).unwrap_or(1.0);
             sync_time.get_or_insert(secs);
@@ -159,7 +168,13 @@ fn pr_panels(args: &sqloop_bench::BenchArgs) {
 fn dq_panels(args: &sqloop_bench::BenchArgs) {
     let dataset = graphgen::datasets::berkstan_like(args.scale);
     println!("Descendant query on {} ({})", dataset.name, dataset.graph);
-    let mut table = Table::new(&["engine", "method", "hop limit", "nodes explored", "time (s)"]);
+    let mut table = Table::new(&[
+        "engine",
+        "method",
+        "hop limit",
+        "nodes explored",
+        "time (s)",
+    ]);
     // hop limits sweep the explored-count axis like the paper's 10^1..10^5
     let hop_limits = [3u64, 10, 30, 60, 100];
     for profile in EngineProfile::ALL {

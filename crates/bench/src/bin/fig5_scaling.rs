@@ -35,7 +35,12 @@ fn pr_scaling(args: &sqloop_bench::BenchArgs) {
     println!("PageRank on {} ({})", dataset.name, dataset.graph);
     let query = workloads::queries::pagerank(args.iterations);
     let mut table = Table::new(&[
-        "engine", "method", "threads", "time (s)", "speedup vs 1", "overlap",
+        "engine",
+        "method",
+        "threads",
+        "time (s)",
+        "speedup vs 1",
+        "overlap",
     ]);
     for profile in EngineProfile::ALL {
         for mode in MODES {
@@ -79,7 +84,12 @@ fn sssp_scaling(args: &sqloop_bench::BenchArgs) {
         .expect("connected");
     let query = workloads::queries::sssp(0, dest);
     let mut table = Table::new(&[
-        "engine", "method", "threads", "time (s)", "speedup vs 1", "overlap",
+        "engine",
+        "method",
+        "threads",
+        "time (s)",
+        "speedup vs 1",
+        "overlap",
     ]);
     for profile in EngineProfile::ALL {
         for mode in MODES {

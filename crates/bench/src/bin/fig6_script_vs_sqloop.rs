@@ -96,10 +96,7 @@ fn pr_comparison(args: &sqloop_bench::BenchArgs, threads: usize) {
 fn dq_comparison(args: &sqloop_bench::BenchArgs, threads: usize) {
     let dataset = graphgen::datasets::berkstan_like(args.scale);
     // the paper picks two pages 100 clicks apart
-    let (target, hops) = dataset
-        .graph
-        .node_at_distance(0, 100)
-        .expect("deep graph");
+    let (target, hops) = dataset.graph.node_at_distance(0, 100).expect("deep graph");
     println!(
         "Descendant query on {} ({}); page 0 → page {target} ({hops} clicks)",
         dataset.name, dataset.graph

@@ -34,14 +34,14 @@ fn main() {
 
     // (type, Tc syntax, description)
     let cases: Vec<(&str, String, &str)> = vec![
-        (
-            "Metadata",
-            "12 ITERATIONS".into(),
-            "after n iterations",
-        ),
+        ("Metadata", "12 ITERATIONS".into(), "after n iterations"),
         // `n UPDATES` is demonstrated on a traversal (SSSP), which quiesces
         // naturally — PageRank's float deltas shrink but never stop changing
-        ("Metadata", "__SSSP_0_UPDATES__".into(), "when Ri updates ≤ n rows"),
+        (
+            "Metadata",
+            "__SSSP_0_UPDATES__".into(),
+            "when Ri updates ≤ n rows",
+        ),
         (
             "Data",
             "SELECT Node FROM pr WHERE Rank > 0.01".into(),
@@ -78,7 +78,12 @@ fn main() {
         ),
     ];
 
-    let mut table = Table::new(&["type", "Tc syntax", "satisfied after (iterations)", "meaning"]);
+    let mut table = Table::new(&[
+        "type",
+        "Tc syntax",
+        "satisfied after (iterations)",
+        "meaning",
+    ]);
     for (kind, tc, meaning) in cases {
         let sq = env.sqloop(SqloopConfig {
             mode: ExecutionMode::Single,

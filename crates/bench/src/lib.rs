@@ -11,6 +11,4 @@ pub mod report;
 pub mod runner;
 
 pub use report::{write_csv, Table};
-pub use runner::{
-    convergence_time, env_with_graph, parse_args, time_it, BenchArgs, BenchEnv,
-};
+pub use runner::{convergence_time, env_with_graph, parse_args, time_it, BenchArgs, BenchEnv};

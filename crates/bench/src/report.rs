@@ -76,7 +76,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -117,7 +121,11 @@ pub fn append_log<T: std::fmt::Debug>(name: &str, record: &T) {
     }
     let path = dir.join(format!("{name}.log"));
     use std::io::Write as _;
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
         let _ = writeln!(f, "{record:?}");
     }
 }

@@ -147,24 +147,11 @@ fn try_analyze(cte: &IterativeCte, columns: &[String]) -> SqloopResult<ParallelP
     let key = &columns[0];
 
     // ON conditions
-    let edge_dst_col = extract_join_key(
-        tr.joins[0].on.as_ref(),
-        &base_alias,
-        key,
-        &edge_alias,
-    )
-    .ok_or_else(|| {
-        SqloopError::Semantic("edge join must be `R.key = E.<col>`".into())
-    })?;
-    let edge_src_col = extract_join_key(
-        tr.joins[1].on.as_ref(),
-        &source_alias,
-        key,
-        &edge_alias,
-    )
-    .ok_or_else(|| {
-        SqloopError::Semantic("self-join must be `S.key = E.<col>`".into())
-    })?;
+    let edge_dst_col = extract_join_key(tr.joins[0].on.as_ref(), &base_alias, key, &edge_alias)
+        .ok_or_else(|| SqloopError::Semantic("edge join must be `R.key = E.<col>`".into()))?;
+    let edge_src_col =
+        extract_join_key(tr.joins[1].on.as_ref(), &source_alias, key, &edge_alias)
+            .ok_or_else(|| SqloopError::Semantic("self-join must be `S.key = E.<col>`".into()))?;
 
     // GROUP BY R.key
     let group_ok = select.group_by.len() == 1
@@ -197,8 +184,7 @@ fn try_analyze(cte: &IterativeCte, columns: &[String]) -> SqloopResult<ParallelP
     };
     match first {
         Expr::Column { table, name }
-            if *name == *key
-                && table.as_deref().map(|t| t == base_alias).unwrap_or(true) => {}
+            if *name == *key && table.as_deref().map(|t| t == base_alias).unwrap_or(true) => {}
         _ => return bail("first projection must be the CTE key column"),
     }
 
@@ -247,20 +233,12 @@ fn try_analyze(cte: &IterativeCte, columns: &[String]) -> SqloopResult<ParallelP
                     let mut source_side = Vec::new();
                     let mut base_ok = true;
                     for d in &disjuncts {
-                        if let Ok(e) = rewrite_side_refs(
-                            d,
-                            &sides,
-                            RefSide::SourceOrEdge,
-                            &mut edge_cols_used,
-                        ) {
+                        if let Ok(e) =
+                            rewrite_side_refs(d, &sides, RefSide::SourceOrEdge, &mut edge_cols_used)
+                        {
                             source_side.push(e);
-                        } else if rewrite_side_refs(
-                            d,
-                            &sides,
-                            RefSide::Base,
-                            &mut edge_cols_used,
-                        )
-                        .is_err()
+                        } else if rewrite_side_refs(d, &sides, RefSide::Base, &mut edge_cols_used)
+                            .is_err()
                         {
                             base_ok = false;
                         }
@@ -316,8 +294,7 @@ fn extract_join_key(
         };
         let l = as_col(left)?;
         let r = as_col(right)?;
-        let is_key =
-            |c: &(Option<String>, String)| c.1 == key && c.0.as_deref() == Some(key_alias);
+        let is_key = |c: &(Option<String>, String)| c.1 == key && c.0.as_deref() == Some(key_alias);
         let edge_col = |c: &(Option<String>, String)| {
             if c.0.as_deref() == Some(edge_alias) {
                 Some(c.1.clone())
@@ -392,12 +369,10 @@ fn extract_aggregate_shape(
 ) -> SqloopResult<(AggregateFunction, Expr)> {
     // strip COALESCE wrapper
     let inner = match expr {
-        Expr::Function { name, args } if name == "coalesce" && !args.is_empty() => {
-            match &args[0] {
-                FunctionArg::Expr(e) => e,
-                FunctionArg::Wildcard => return bail("COALESCE(*) is not valid"),
-            }
-        }
+        Expr::Function { name, args } if name == "coalesce" && !args.is_empty() => match &args[0] {
+            FunctionArg::Expr(e) => e,
+            FunctionArg::Wildcard => return bail("COALESCE(*) is not valid"),
+        },
         other => other,
     };
     // strip an optional constant scale
@@ -612,7 +587,7 @@ mod tests {
              WHERE Neighbor.Delta < Neighbor.Distance OR sssp.Delta < sssp.Distance \
              GROUP BY sssp.node UNTIL 0 UPDATES) SELECT * FROM sssp",
         );
-        let out = analyze(&cte, &vec!["node".into(), "distance".into(), "delta".into()]).unwrap();
+        let out = analyze(&cte, &["node".into(), "distance".into(), "delta".into()]).unwrap();
         let plan = match out {
             AnalysisOutcome::Parallelizable(p) => p,
             AnalysisOutcome::NotParallelizable { reason } => panic!("{reason}"),
@@ -641,7 +616,7 @@ mod tests {
              WHERE Neighbor.Delta < 100 AND IncomingEdges.weight > 0 \
              GROUP BY sssp.node UNTIL 0 UPDATES) SELECT * FROM sssp",
         );
-        let out = analyze(&cte, &vec!["node".into(), "distance".into(), "delta".into()]).unwrap();
+        let out = analyze(&cte, &["node".into(), "distance".into(), "delta".into()]).unwrap();
         match out {
             AnalysisOutcome::Parallelizable(p) => {
                 assert_eq!(p.source_filter.len(), 2);
@@ -662,7 +637,7 @@ mod tests {
              LEFT JOIN r AS s ON s.id = e.src \
              GROUP BY r.id UNTIL 3 ITERATIONS) SELECT * FROM r",
         );
-        let out = analyze(&cte, &vec!["id".into(), "v".into(), "d".into()]).unwrap();
+        let out = analyze(&cte, &["id".into(), "v".into(), "d".into()]).unwrap();
         match out {
             AnalysisOutcome::Parallelizable(p) => {
                 assert_eq!(p.aggregate, AggregateFunction::Count);
@@ -682,7 +657,7 @@ mod tests {
              LEFT JOIN r AS s ON s.id = e.src \
              GROUP BY r.id UNTIL 3 ITERATIONS) SELECT * FROM r",
         );
-        let out = analyze(&cte, &vec!["id".into(), "v".into()]).unwrap();
+        let out = analyze(&cte, &["id".into(), "v".into()]).unwrap();
         assert!(matches!(out, AnalysisOutcome::NotParallelizable { .. }));
     }
 
@@ -697,7 +672,7 @@ mod tests {
              LEFT JOIN weights AS w ON w.id = e.src \
              GROUP BY r.id UNTIL 3 ITERATIONS) SELECT * FROM r",
         );
-        let out = analyze(&cte, &vec!["id".into(), "v".into(), "d".into()]).unwrap();
+        let out = analyze(&cte, &["id".into(), "v".into(), "d".into()]).unwrap();
         assert!(matches!(out, AnalysisOutcome::NotParallelizable { .. }));
     }
 
@@ -712,7 +687,7 @@ mod tests {
              LEFT JOIN r AS s ON s.id = e.src \
              GROUP BY r.id UNTIL 3 ITERATIONS) SELECT * FROM r",
         );
-        let out = analyze(&cte, &vec!["id".into(), "a".into(), "b".into()]).unwrap();
+        let out = analyze(&cte, &["id".into(), "a".into(), "b".into()]).unwrap();
         assert!(matches!(out, AnalysisOutcome::NotParallelizable { .. }));
     }
 
@@ -727,7 +702,7 @@ mod tests {
              LEFT JOIN r AS s ON s.id = e.src \
              GROUP BY r.v UNTIL 3 ITERATIONS) SELECT * FROM r",
         );
-        let out = analyze(&cte, &vec!["id".into(), "v".into(), "d".into()]).unwrap();
+        let out = analyze(&cte, &["id".into(), "v".into(), "d".into()]).unwrap();
         assert!(matches!(out, AnalysisOutcome::NotParallelizable { .. }));
     }
 
@@ -742,7 +717,7 @@ mod tests {
              LEFT JOIN r AS s ON s.id = e.src \
              GROUP BY r.id UNTIL 3 ITERATIONS) SELECT * FROM r",
         );
-        let out = analyze(&cte, &vec!["id".into(), "v".into(), "d".into()]).unwrap();
+        let out = analyze(&cte, &["id".into(), "v".into(), "d".into()]).unwrap();
         assert!(matches!(out, AnalysisOutcome::NotParallelizable { .. }));
     }
 }

@@ -5,8 +5,8 @@ use crate::analysis::{analyze, AnalysisOutcome};
 use crate::config::{ExecutionMode, SqloopConfig};
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{parse, IterativeCte, SqloopQuery};
-use crate::parallel::run_iterative_parallel;
-use crate::progress::ProgressSample;
+use crate::parallel::run_iterative_parallel_traced;
+use crate::progress::{ProgressSample, RecoveryCounters};
 use crate::single::{run_iterative_single, run_recursive};
 use crate::translate::translate_sql;
 use dbcp::{driver_for_url, Driver};
@@ -55,6 +55,10 @@ pub struct ExecutionReport {
     pub worker_busy: Duration,
     /// Convergence samples (when sampling was configured).
     pub samples: Vec<ProgressSample>,
+    /// Fault-recovery counters (all zero unless faults were injected or
+    /// encountered; `downgraded` marks a parallel run that finished on the
+    /// single-threaded executor).
+    pub recovery: RecoveryCounters,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -178,6 +182,7 @@ impl SQLoop {
                     messages: 0,
                     worker_busy: Duration::ZERO,
                     samples: Vec::new(),
+                    recovery: RecoveryCounters::default(),
                     elapsed: started.elapsed(),
                 })
             }
@@ -199,6 +204,7 @@ impl SQLoop {
                     messages: 0,
                     worker_busy: Duration::ZERO,
                     samples: Vec::new(),
+                    recovery: RecoveryCounters::default(),
                     elapsed: started.elapsed(),
                 })
             }
@@ -231,6 +237,7 @@ impl SQLoop {
                 messages: 0,
                 worker_busy: Duration::ZERO,
                 samples: Vec::new(),
+                recovery: RecoveryCounters::default(),
                 elapsed: started.elapsed(),
             })
         };
@@ -242,22 +249,61 @@ impl SQLoop {
         match analyze(cte, &columns)? {
             AnalysisOutcome::NotParallelizable { reason } => run_single(Some(reason)),
             AnalysisOutcome::Parallelizable(plan) => {
-                let run =
-                    run_iterative_parallel(&self.driver, cte, plan, &self.config)?;
-                Ok(ExecutionReport {
-                    result: run.outcome.result,
-                    strategy: Strategy::IterativeParallel {
-                        mode: self.config.mode,
-                    },
-                    iterations: run.outcome.iterations,
-                    last_change: run.outcome.last_change,
-                    computes: run.computes,
-                    gathers: run.gathers,
-                    messages: run.messages,
-                    worker_busy: run.worker_busy,
-                    samples: run.samples,
-                    elapsed: started.elapsed(),
-                })
+                let (result, recovery) =
+                    run_iterative_parallel_traced(&self.driver, cte, plan, &self.config);
+                match result {
+                    Ok(run) => Ok(ExecutionReport {
+                        result: run.outcome.result,
+                        strategy: Strategy::IterativeParallel {
+                            mode: self.config.mode,
+                        },
+                        iterations: run.outcome.iterations,
+                        last_change: run.outcome.last_change,
+                        computes: run.computes,
+                        gathers: run.gathers,
+                        messages: run.messages,
+                        worker_busy: run.worker_busy,
+                        samples: run.samples,
+                        recovery: run.recovery,
+                        elapsed: started.elapsed(),
+                    }),
+                    // budget exhausted on a transient fault: the engine is
+                    // flaky, not the query — degrade to the single-threaded
+                    // executor rather than surfacing the error
+                    Err(e) if self.config.downgrade_on_failure && e.is_retryable() => {
+                        eprintln!(
+                            "sqloop: parallel execution failed ({e}); \
+                             downgrading to the single-threaded executor"
+                        );
+                        let reason = Some(format!("downgraded after fault: {e}"));
+                        // the rerun talks to the same flaky engine; retry it
+                        // whole (every scratch CREATE is preceded by a DROP
+                        // IF EXISTS, so a rerun is idempotent) rather than
+                        // letting one more transient fault kill the query
+                        let mut attempt: u32 = 0;
+                        let mut report = loop {
+                            match run_single(reason.clone()) {
+                                Ok(r) => break r,
+                                Err(e)
+                                    if e.is_retryable() && attempt < self.config.task_retries =>
+                                {
+                                    attempt += 1;
+                                    std::thread::sleep(
+                                        self.config.retry_backoff * (1 << attempt.min(10)),
+                                    );
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        };
+                        report.recovery = RecoveryCounters {
+                            downgraded: true,
+                            ..recovery
+                        };
+                        report.elapsed = started.elapsed();
+                        Ok(report)
+                    }
+                    Err(e) => Err(e),
+                }
             }
         }
     }

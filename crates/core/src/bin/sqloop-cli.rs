@@ -39,7 +39,11 @@ fn main() {
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
-        let prompt = if buffer.is_empty() { "sqloop> " } else { "   ...> " };
+        let prompt = if buffer.is_empty() {
+            "sqloop> "
+        } else {
+            "   ...> "
+        };
         print!("{prompt}");
         let _ = std::io::stdout().flush();
         let mut line = String::new();
@@ -94,6 +98,9 @@ fn main() {
                     println!("-- {provenance} in {:?}", report.elapsed);
                 } else {
                     println!("-- {provenance}");
+                }
+                if !report.recovery.is_clean() {
+                    println!("-- recovery: {}", report.recovery);
                 }
             }
             Err(e) => eprintln!("error: {e}"),
@@ -215,7 +222,13 @@ fn print_result(result: &sqldb::QueryResult) {
             .join(" | ");
         println!("| {joined} |");
     };
-    line(&result.columns.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    line(
+        &result
+            .columns
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>(),
+    );
     println!(
         "|{}|",
         widths

@@ -256,10 +256,7 @@ pub fn data_condition_satisfied(
         DataMode::Any => Ok(!result.rows.is_empty()),
         DataMode::All => {
             let total = run_query(conn, &format!("SELECT COUNT(*) FROM {cte_table}"))?;
-            let total = total
-                .scalar()
-                .and_then(Value::as_i64)
-                .unwrap_or(0);
+            let total = total.scalar().and_then(Value::as_i64).unwrap_or(0);
             Ok(result.rows.len() as i64 == total)
         }
         DataMode::Compare(cmp, threshold) => {
@@ -322,8 +319,10 @@ mod tests {
     fn conn() -> Box<dyn Connection> {
         let db = Database::new(EngineProfile::Postgres);
         let mut s = db.connect();
-        s.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
-        s.execute("INSERT INTO edges VALUES (1,2,1.0),(2,3,0.5),(2,1,0.5)").unwrap();
+        s.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+            .unwrap();
+        s.execute("INSERT INTO edges VALUES (1,2,1.0),(2,3,0.5),(2,1,0.5)")
+            .unwrap();
         LocalDriver::new(db).connect().unwrap()
     }
 
@@ -353,7 +352,8 @@ mod tests {
         let r = c.query("SELECT COUNT(*) FROM pr").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(3));
         // fractional updates now succeed
-        c.execute("UPDATE pr SET rank = 0.5 WHERE node = 1").unwrap();
+        c.execute("UPDATE pr SET rank = 0.5 WHERE node = 1")
+            .unwrap();
     }
 
     #[test]
@@ -391,8 +391,10 @@ mod tests {
     #[test]
     fn data_condition_modes() {
         let mut c = conn();
-        c.execute("CREATE TABLE r (id INT PRIMARY KEY, v FLOAT)").unwrap();
-        c.execute("INSERT INTO r VALUES (1, 1.0), (2, 5.0)").unwrap();
+        c.execute("CREATE TABLE r (id INT PRIMARY KEY, v FLOAT)")
+            .unwrap();
+        c.execute("INSERT INTO r VALUES (1, 1.0), (2, 5.0)")
+            .unwrap();
         let q = parse_query("SELECT id FROM r WHERE v > 2").unwrap();
         // ANY: one row satisfies
         assert!(data_condition_satisfied(c.as_mut(), "r", &q, &DataMode::Any).unwrap());
@@ -409,8 +411,12 @@ mod tests {
     #[test]
     fn termination_metadata_forms() {
         let mut c = conn();
-        assert!(termination_satisfied(c.as_mut(), "r", &Termination::Iterations(3), 3, 99).unwrap());
-        assert!(!termination_satisfied(c.as_mut(), "r", &Termination::Iterations(3), 2, 0).unwrap());
+        assert!(
+            termination_satisfied(c.as_mut(), "r", &Termination::Iterations(3), 3, 99).unwrap()
+        );
+        assert!(
+            !termination_satisfied(c.as_mut(), "r", &Termination::Iterations(3), 2, 0).unwrap()
+        );
         assert!(termination_satisfied(c.as_mut(), "r", &Termination::Updates(0), 1, 0).unwrap());
         assert!(!termination_satisfied(c.as_mut(), "r", &Termination::Updates(0), 1, 5).unwrap());
         assert!(termination_satisfied(c.as_mut(), "r", &Termination::Updates(10), 1, 7).unwrap());
@@ -419,12 +425,15 @@ mod tests {
     #[test]
     fn delta_snapshot_refresh() {
         let mut c = conn();
-        c.execute("CREATE TABLE r (id INT PRIMARY KEY, v FLOAT)").unwrap();
+        c.execute("CREATE TABLE r (id INT PRIMARY KEY, v FLOAT)")
+            .unwrap();
         c.execute("INSERT INTO r VALUES (1, 1.0)").unwrap();
         let names = CteNames::new("r");
         refresh_delta_snapshot(c.as_mut(), &names).unwrap();
         c.execute("UPDATE r SET v = 2.0").unwrap();
-        let r = c.query("SELECT r.v, rdelta.v FROM r JOIN rdelta ON r.id = rdelta.id").unwrap();
+        let r = c
+            .query("SELECT r.v, rdelta.v FROM r JOIN rdelta ON r.id = rdelta.id")
+            .unwrap();
         assert_eq!(r.rows[0], vec![Value::Float(2.0), Value::Float(1.0)]);
         // refresh again replaces the snapshot
         refresh_delta_snapshot(c.as_mut(), &names).unwrap();

@@ -116,6 +116,21 @@ pub struct SqloopConfig {
     /// Scalar query over the CTE view for the progress sampler, e.g.
     /// `SELECT SUM(rank) FROM {}` (`{}` = CTE name).
     pub progress_query: Option<String>,
+    /// Replays of a failed Compute/Gather task on a transient error
+    /// (0 = fail on first error). Replay resumes at the failed statement,
+    /// which is safe because faults surface before a statement takes
+    /// effect; see DESIGN.md "Fault tolerance".
+    pub task_retries: u32,
+    /// Attempts a worker makes to (re)open its engine connection after a
+    /// drop, before giving up on the task at hand.
+    pub reconnect_attempts: u32,
+    /// Base backoff between retry attempts (grows exponentially with
+    /// seeded jitter).
+    pub retry_backoff: Duration,
+    /// When parallel execution fails on a transient fault even after
+    /// retries, rerun the query on the single-threaded executor instead
+    /// of surfacing the error.
+    pub downgrade_on_failure: bool,
 }
 
 impl Default for SqloopConfig {
@@ -134,6 +149,10 @@ impl Default for SqloopConfig {
             keep_artifacts: false,
             sample_interval: None,
             progress_query: None,
+            task_retries: 3,
+            reconnect_attempts: 3,
+            retry_backoff: Duration::from_millis(5),
+            downgrade_on_failure: true,
         }
     }
 }
@@ -157,6 +176,9 @@ impl SqloopConfig {
         if self.mode == ExecutionMode::AsyncPrio && self.priority.is_none() {
             return Err("AsyncP mode requires a priority specification".into());
         }
+        if self.reconnect_attempts == 0 {
+            return Err("reconnect_attempts must be at least 1".into());
+        }
         Ok(())
     }
 }
@@ -176,15 +198,34 @@ mod tests {
     }
 
     #[test]
+    fn recovery_defaults_are_sane() {
+        let c = SqloopConfig::default();
+        assert!(c.task_retries >= 1, "tasks should replay by default");
+        assert!(c.reconnect_attempts >= 1);
+        assert!(c.downgrade_on_failure, "downgrade is the safe default");
+        let c = SqloopConfig {
+            reconnect_attempts: 0,
+            ..SqloopConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
     fn validation_catches_bad_configs() {
-        let mut c = SqloopConfig::default();
-        c.threads = 0;
+        let c = SqloopConfig {
+            threads: 0,
+            ..SqloopConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SqloopConfig::default();
-        c.partitions = 0;
+        let c = SqloopConfig {
+            partitions: 0,
+            ..SqloopConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SqloopConfig::default();
-        c.mode = ExecutionMode::AsyncPrio;
+        let mut c = SqloopConfig {
+            mode: ExecutionMode::AsyncPrio,
+            ..SqloopConfig::default()
+        };
         assert!(c.validate().is_err());
         c.priority = Some(PrioritySpec::highest("SELECT SUM(delta) FROM {}"));
         assert!(c.validate().is_ok());
@@ -207,7 +248,10 @@ mod tests {
         ] {
             assert_eq!(ExecutionMode::parse(m.label()), Some(m));
         }
-        assert_eq!(ExecutionMode::parse("AsyncP"), Some(ExecutionMode::AsyncPrio));
+        assert_eq!(
+            ExecutionMode::parse("AsyncP"),
+            Some(ExecutionMode::AsyncPrio)
+        );
         assert_eq!(ExecutionMode::parse("turbo"), None);
     }
 }

@@ -15,6 +15,38 @@ pub enum SqloopError {
     Config(String),
     /// An underlying engine/driver error.
     Db(DbError),
+    /// A parallel Compute/Gather task failed after `attempt` attempts;
+    /// `source` is the error of the last attempt. Produced when the
+    /// scheduler's replay budget is exhausted (or immediately for errors
+    /// that replay cannot fix).
+    Task {
+        /// The partition whose task failed.
+        partition: usize,
+        /// Attempts made (1 = the original dispatch, no replays).
+        attempt: u32,
+        /// The last attempt's error.
+        source: Box<SqloopError>,
+    },
+}
+
+impl SqloopError {
+    /// True when a retry/replay or a fallback executor could plausibly
+    /// succeed: transient connectivity and congestion failures. Grammar,
+    /// semantic and configuration errors are deterministic and not
+    /// retryable. A [`SqloopError::Task`] delegates to the error of its
+    /// last attempt, so "budget exhausted on a transient fault" stays
+    /// retryable (the downgrade path uses this) while "task hit a
+    /// semantic error" does not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            SqloopError::Db(e) => matches!(
+                e,
+                DbError::Connection(_) | DbError::LockTimeout(_) | DbError::TxnAborted(_)
+            ),
+            SqloopError::Task { source, .. } => source.is_retryable(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for SqloopError {
@@ -24,6 +56,14 @@ impl fmt::Display for SqloopError {
             SqloopError::Semantic(m) => write!(f, "semantic error: {m}"),
             SqloopError::Config(m) => write!(f, "configuration error: {m}"),
             SqloopError::Db(e) => write!(f, "engine error: {e}"),
+            SqloopError::Task {
+                partition,
+                attempt,
+                source,
+            } => write!(
+                f,
+                "task on partition {partition} failed after {attempt} attempt(s): {source}"
+            ),
         }
     }
 }
@@ -32,6 +72,7 @@ impl std::error::Error for SqloopError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SqloopError::Db(e) => Some(e),
+            SqloopError::Task { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -63,5 +104,55 @@ mod tests {
     fn send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SqloopError>();
+    }
+
+    #[test]
+    fn task_display_and_source() {
+        let e = SqloopError::Task {
+            partition: 7,
+            attempt: 3,
+            source: Box::new(SqloopError::from(DbError::Connection("dropped".into()))),
+        };
+        let text = e.to_string();
+        assert!(text.contains("partition 7"), "{text}");
+        assert!(text.contains("3 attempt"), "{text}");
+        assert!(text.contains("dropped"), "{text}");
+        let src = std::error::Error::source(&e).expect("task has a source");
+        assert!(src.to_string().contains("dropped"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(SqloopError::from(DbError::Connection("x".into())).is_retryable());
+        assert!(SqloopError::from(DbError::LockTimeout("x".into())).is_retryable());
+        assert!(SqloopError::from(DbError::TxnAborted("x".into())).is_retryable());
+        assert!(!SqloopError::from(DbError::Parse("x".into())).is_retryable());
+        assert!(!SqloopError::from(DbError::NotFound("x".into())).is_retryable());
+        assert!(!SqloopError::Grammar("x".into()).is_retryable());
+        assert!(!SqloopError::Semantic("x".into()).is_retryable());
+        assert!(!SqloopError::Config("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn task_retryability_delegates_to_its_source() {
+        let transient = SqloopError::Task {
+            partition: 0,
+            attempt: 4,
+            source: Box::new(SqloopError::from(DbError::LockTimeout("busy".into()))),
+        };
+        assert!(transient.is_retryable());
+        let fatal = SqloopError::Task {
+            partition: 0,
+            attempt: 1,
+            source: Box::new(SqloopError::Semantic("bad plan".into())),
+        };
+        assert!(!fatal.is_retryable());
+        // nesting keeps delegating
+        let nested = SqloopError::Task {
+            partition: 1,
+            attempt: 2,
+            source: Box::new(transient),
+        };
+        assert!(nested.is_retryable());
     }
 }

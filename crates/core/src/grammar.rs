@@ -431,14 +431,27 @@ SELECT SUM(n) FROM Fibonacci";
                  ITERATE SELECT r.id, r.v FROM r GROUP BY r.id UNTIL {tc}) SELECT * FROM r"
             )
         };
-        let cases: Vec<(&str, fn(&Termination) -> bool)> = vec![
+        type TerminationCheck = fn(&Termination) -> bool;
+        let cases: Vec<(&str, TerminationCheck)> = vec![
             ("5 ITERATIONS", |t| matches!(t, Termination::Iterations(5))),
             ("10 UPDATES", |t| matches!(t, Termination::Updates(10))),
             ("SELECT id FROM r WHERE v > 0", |t| {
-                matches!(t, Termination::Data { mode: DataMode::All, .. })
+                matches!(
+                    t,
+                    Termination::Data {
+                        mode: DataMode::All,
+                        ..
+                    }
+                )
             }),
             ("ANY SELECT id FROM r WHERE v > 3", |t| {
-                matches!(t, Termination::Data { mode: DataMode::Any, .. })
+                matches!(
+                    t,
+                    Termination::Data {
+                        mode: DataMode::Any,
+                        ..
+                    }
+                )
             }),
             ("SELECT COUNT(*) FROM r > 7", |t| {
                 matches!(
@@ -450,10 +463,22 @@ SELECT SUM(n) FROM Fibonacci";
                 )
             }),
             ("DELTA SELECT id FROM r", |t| {
-                matches!(t, Termination::Delta { mode: DataMode::All, .. })
+                matches!(
+                    t,
+                    Termination::Delta {
+                        mode: DataMode::All,
+                        ..
+                    }
+                )
             }),
             ("ANY DELTA SELECT id FROM r", |t| {
-                matches!(t, Termination::Delta { mode: DataMode::Any, .. })
+                matches!(
+                    t,
+                    Termination::Delta {
+                        mode: DataMode::Any,
+                        ..
+                    }
+                )
             }),
             ("DELTA SELECT SUM(v) FROM r < 0.001", |t| {
                 matches!(
@@ -485,8 +510,7 @@ SELECT SUM(n) FROM Fibonacci";
         let bad = "WITH RECURSIVE r AS (SELECT 1) SELECT 2";
         assert!(matches!(parse(bad), Err(SqloopError::Grammar(_))));
         // dangling count
-        let bad =
-            "WITH ITERATIVE r AS (SELECT 1 ITERATE SELECT 2 UNTIL 5 BANANAS) SELECT 3";
+        let bad = "WITH ITERATIVE r AS (SELECT 1 ITERATE SELECT 2 UNTIL 5 BANANAS) SELECT 3";
         assert!(matches!(parse(bad), Err(SqloopError::Grammar(_))));
     }
 

@@ -51,7 +51,7 @@ pub use api::{ExecutionReport, SQLoop, Strategy};
 pub use config::{ExecutionMode, PrioritySpec, SqloopConfig};
 pub use error::{SqloopError, SqloopResult};
 pub use grammar::{parse, IterativeCte, RecursiveCte, SqloopQuery, Termination};
-pub use parallel::{run_iterative_parallel, ParallelRun};
-pub use progress::{ProgressSample, Sampler};
+pub use parallel::{run_iterative_parallel, run_iterative_parallel_traced, ParallelRun};
+pub use progress::{ProgressSample, RecoveryCounters, Sampler};
 pub use router::SqloopRouter;
 pub use single::{run_iterative_single, run_recursive, RunOutcome};

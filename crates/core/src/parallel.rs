@@ -5,6 +5,22 @@
 //! The master thread owns all scheduling state; workers are dumb statement
 //! runners, each holding its own engine connection (the paper's "each thread
 //! opens a new connection with the target database engine").
+//!
+//! ## Fault recovery
+//!
+//! Task failures are classified by [`SqloopError::is_retryable`]. A task
+//! that fails transiently (connection drop, lock timeout) is **replayed**:
+//! the worker reports the index of the failed statement along with the
+//! partial results, and the master re-dispatches the task resuming at that
+//! statement, up to [`SqloopConfig::task_retries`] replays. Resuming at the
+//! failed statement (rather than rerunning the whole task) is what keeps
+//! replay safe for the one non-idempotent statement in a Compute task — the
+//! final delta-advancing UPDATE — because a failed statement surfaced its
+//! error before taking effect. Workers that lose their engine connection
+//! reconnect under the configured retry policy before running the next
+//! task. When the replay budget is exhausted the scheduler aborts with
+//! [`SqloopError::Task`]; the facade then optionally downgrades the run to
+//! the single-threaded executor (see `api.rs`).
 
 use crate::analysis::ParallelPlan;
 use crate::common::{
@@ -14,12 +30,12 @@ use crate::config::{ExecutionMode, SqloopConfig};
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{IterativeCte, Termination};
 use crate::parallel_sql::SqlGen;
-use crate::progress::{ProgressSample, Sampler};
+use crate::progress::{ProgressSample, RecoveryCounters, Sampler};
 use crate::single::RunOutcome;
 use crate::translate::translate_query_to_sql;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use dbcp::{Connection, Driver};
-use sqldb::{Row, StmtOutput, Value};
+use dbcp::{Connection, Driver, RetryPolicy};
+use sqldb::{DbError, Row, StmtOutput, Value};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -42,6 +58,8 @@ pub struct ParallelRun {
     pub worker_busy: std::time::Duration,
     /// Convergence samples (when a sampler was configured).
     pub samples: Vec<ProgressSample>,
+    /// What fault recovery had to do (all zero on a clean run).
+    pub recovery: RecoveryCounters,
 }
 
 #[derive(Debug, Clone)]
@@ -55,18 +73,32 @@ struct Task {
     partition: usize,
     kind: TaskKind,
     stmts: Vec<String>,
+    /// 1-based attempt number of this dispatch.
+    attempt: u32,
+    /// Replay resume point: the worker executes `stmts[start_at..]`.
+    start_at: usize,
+    /// Changed-row count accumulated by earlier attempts' statements.
+    acc_changed: u64,
+    /// `Rows` outputs accumulated by earlier attempts' statements.
+    acc_rows: Vec<sqldb::QueryResult>,
 }
 
 #[derive(Debug)]
 struct Done {
-    partition: usize,
-    kind: TaskKind,
+    /// The task itself, returned so a failed one can be replayed.
+    task: Task,
+    /// Rows changed by this attempt's statements.
     changed: u64,
-    /// `Rows` outputs of the task's statements, in order (Compute: the
-    /// message-row count, then the touched-partition list when routing).
+    /// `Rows` outputs of this attempt's statements, in order (a full
+    /// Compute: the message-row count, then the touched-partition list
+    /// when routing).
     rows_outputs: Vec<sqldb::QueryResult>,
     elapsed: std::time::Duration,
-    error: Option<SqloopError>,
+    /// `(failed statement index, error)` — the statement at that index
+    /// did not take effect.
+    error: Option<(usize, SqloopError)>,
+    /// Engine reconnects this worker performed while running the task.
+    reconnects: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -97,18 +129,49 @@ struct MsgState {
 /// Runs a parallelizable iterative CTE with the configured scheduler.
 ///
 /// # Errors
-/// Engine/translation errors from any task, configuration errors, or the
-/// `max_iterations` safety cap.
+/// Engine/translation errors from any task (after the configured replay
+/// budget), configuration errors, or the `max_iterations` safety cap.
 pub fn run_iterative_parallel(
     driver: &Arc<dyn Driver>,
     cte: &IterativeCte,
     plan: ParallelPlan,
     config: &SqloopConfig,
 ) -> SqloopResult<ParallelRun> {
+    run_iterative_parallel_traced(driver, cte, plan, config).0
+}
+
+/// Like [`run_iterative_parallel`], but also returns the recovery counters
+/// when the run *fails* — a `ParallelRun` never materializes on that path,
+/// yet the downgrade report still wants to show what recovery attempted.
+pub fn run_iterative_parallel_traced(
+    driver: &Arc<dyn Driver>,
+    cte: &IterativeCte,
+    plan: ParallelPlan,
+    config: &SqloopConfig,
+) -> (SqloopResult<ParallelRun>, RecoveryCounters) {
+    let mut recovery = RecoveryCounters::default();
+    let result = run_parallel_inner(driver, cte, plan, config, &mut recovery);
+    (result, recovery)
+}
+
+fn run_parallel_inner(
+    driver: &Arc<dyn Driver>,
+    cte: &IterativeCte,
+    plan: ParallelPlan,
+    config: &SqloopConfig,
+    recovery_out: &mut RecoveryCounters,
+) -> SqloopResult<ParallelRun> {
     config.validate().map_err(SqloopError::Config)?;
     let mut main = driver.connect()?;
     let names = CteNames::new(&cte.name);
-    let schema = create_cte_table(main.as_mut(), &cte.name, &cte.columns, &cte.seed, true, true)?;
+    let schema = create_cte_table(
+        main.as_mut(),
+        &cte.name,
+        &cte.columns,
+        &cte.seed,
+        true,
+        true,
+    )?;
     let gen = Arc::new(SqlGen::new(
         names.clone(),
         schema,
@@ -170,18 +233,26 @@ pub fn run_iterative_parallel(
         _ => None,
     };
 
-    // worker pool: one connection per thread
+    // worker pool: one connection per thread, opened lazily inside the
+    // worker under a retry policy — a refused connect becomes a retryable
+    // task failure instead of aborting the whole run before it starts
     let (task_tx, task_rx) = unbounded::<Task>();
     let (done_tx, done_rx) = unbounded::<Done>();
     let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(config.threads);
     for i in 0..config.threads {
-        let conn = driver.connect()?;
+        let drv = Arc::clone(driver);
+        let policy = RetryPolicy {
+            max_attempts: config.reconnect_attempts,
+            base_delay: config.retry_backoff,
+            jitter_seed: i as u64 + 1,
+            ..RetryPolicy::default()
+        };
         let rx = task_rx.clone();
         let tx = done_tx.clone();
         handles.push(
             std::thread::Builder::new()
                 .name(format!("sqloop-worker-{i}"))
-                .spawn(move || worker_loop(conn, rx, tx))
+                .spawn(move || worker_loop(drv, policy, rx, tx))
                 .map_err(|e| SqloopError::Config(format!("spawn worker: {e}")))?,
         );
     }
@@ -219,6 +290,10 @@ pub fn run_iterative_parallel(
         all_msgs: Vec::new(),
         needs_delta: cte.termination.needs_delta_snapshot(),
         worker_busy: std::time::Duration::ZERO,
+        retries: 0,
+        reconnects: 0,
+        task_failures: 0,
+        aborting: false,
     };
 
     let sched_result = match config.mode {
@@ -234,8 +309,15 @@ pub fn run_iterative_parallel(
         messages: scheduler.messages,
         worker_busy: scheduler.worker_busy,
         all_msgs: std::mem::take(&mut scheduler.all_msgs),
+        recovery: RecoveryCounters {
+            task_retries: scheduler.retries,
+            worker_reconnects: scheduler.reconnects,
+            task_failures: scheduler.task_failures,
+            downgraded: false,
+        },
     };
     drop(scheduler);
+    *recovery_out = stats.recovery;
 
     // stop workers and collect them
     drop(task_tx);
@@ -272,6 +354,7 @@ pub fn run_iterative_parallel(
                 messages: stats.messages,
                 worker_busy: stats.worker_busy,
                 samples,
+                recovery: stats.recovery,
             })
         }
         Err(e) => {
@@ -287,32 +370,60 @@ struct SchedStats {
     messages: u64,
     worker_busy: std::time::Duration,
     all_msgs: Vec<String>,
+    recovery: RecoveryCounters,
 }
 
-fn worker_loop(mut conn: Box<dyn Connection>, rx: Receiver<Task>, tx: Sender<Done>) {
+fn worker_loop(driver: Arc<dyn Driver>, policy: RetryPolicy, rx: Receiver<Task>, tx: Sender<Done>) {
+    let mut conn: Option<Box<dyn Connection>> = None;
+    let mut ever_connected = false;
     for task in rx.iter() {
         let started = std::time::Instant::now();
         let mut changed = 0u64;
         let mut rows_outputs = Vec::new();
         let mut error = None;
-        for sql in &task.stmts {
-            match run(conn.as_mut(), sql) {
+        let mut reconnects = 0u32;
+        let mut at = task.start_at;
+        while at < task.stmts.len() {
+            if conn.is_none() {
+                match policy.run(|_| driver.connect()) {
+                    Ok(c) => {
+                        if ever_connected {
+                            reconnects += 1;
+                        }
+                        ever_connected = true;
+                        conn = Some(c);
+                    }
+                    Err(e) => {
+                        error = Some((at, SqloopError::from(e)));
+                        break;
+                    }
+                }
+            }
+            let c = conn.as_mut().expect("connection was just ensured");
+            match run(c.as_mut(), &task.stmts[at]) {
                 Ok(StmtOutput::Affected(n)) => changed += n,
                 Ok(StmtOutput::Rows(r)) => rows_outputs.push(r),
                 Ok(StmtOutput::Done) => {}
                 Err(e) => {
-                    error = Some(e);
+                    // a transport failure leaves the connection in an
+                    // unknown state: discard it so the next statement —
+                    // here or in a replayed task — reconnects
+                    if matches!(e, SqloopError::Db(DbError::Connection(_))) {
+                        conn = None;
+                    }
+                    error = Some((at, e));
                     break;
                 }
             }
+            at += 1;
         }
         let done = Done {
-            partition: task.partition,
-            kind: task.kind,
+            task,
             changed,
             rows_outputs,
             elapsed: started.elapsed(),
             error,
+            reconnects,
         };
         if tx.send(done).is_err() {
             return;
@@ -338,6 +449,15 @@ struct Scheduler<'a> {
     all_msgs: Vec<String>,
     needs_delta: bool,
     worker_busy: std::time::Duration,
+    /// Replay dispatches of failed tasks.
+    retries: u64,
+    /// Worker reconnects reported via [`Done::reconnects`].
+    reconnects: u64,
+    /// Task failures observed (each failed attempt counts once).
+    task_failures: u64,
+    /// Set on the first unrecoverable task failure: stop replaying, let
+    /// the remaining in-flight tasks drain so the run can abort cleanly.
+    aborting: bool,
 }
 
 impl Scheduler<'_> {
@@ -361,6 +481,10 @@ impl Scheduler<'_> {
             partition: x,
             kind: TaskKind::Compute { msg_table: msg },
             stmts,
+            attempt: 1,
+            start_at: 0,
+            acc_changed: 0,
+            acc_rows: Vec::new(),
         }
     }
 
@@ -370,13 +494,7 @@ impl Scheduler<'_> {
         let len = self.msgs.len();
         let tables: Vec<&str> = self.msgs[self.parts[x].cursor..len]
             .iter()
-            .filter(|m| {
-                m.live
-                    && m.targets
-                        .as_ref()
-                        .map(|t| t.contains(&x))
-                        .unwrap_or(true)
-            })
+            .filter(|m| m.live && m.targets.as_ref().map(|t| t.contains(&x)).unwrap_or(true))
             .map(|m| m.name.as_str())
             .collect();
         if tables.is_empty() {
@@ -388,6 +506,10 @@ impl Scheduler<'_> {
             partition: x,
             kind: TaskKind::Gather { read_until: len },
             stmts: vec![sql],
+            attempt: 1,
+            start_at: 0,
+            acc_changed: 0,
+            acc_rows: Vec::new(),
         })
     }
 
@@ -400,22 +522,52 @@ impl Scheduler<'_> {
     }
 
     /// Processes one completion; returns the number of changed rows.
+    ///
+    /// A failed task whose error is retryable is re-dispatched resuming at
+    /// the failed statement (carrying the partial results along), until the
+    /// replay budget runs out — then the failure is wrapped as
+    /// [`SqloopError::Task`] and the scheduler aborts.
     fn handle_done(&mut self, d: Done) -> SqloopResult<u64> {
         self.in_flight -= 1;
-        self.parts[d.partition].in_flight = false;
+        let x = d.task.partition;
+        self.parts[x].in_flight = false;
         self.worker_busy += d.elapsed;
-        if let Some(e) = d.error {
-            return Err(e);
+        self.reconnects += u64::from(d.reconnects);
+        if let Some((failed_at, e)) = d.error {
+            self.task_failures += 1;
+            let mut task = d.task;
+            task.acc_changed += d.changed;
+            task.acc_rows.extend(d.rows_outputs);
+            task.start_at = failed_at;
+            if e.is_retryable() && task.attempt <= self.config.task_retries && !self.aborting {
+                task.attempt += 1;
+                self.retries += 1;
+                self.dispatch(task)?;
+                return Ok(0);
+            }
+            self.aborting = true;
+            return Err(SqloopError::Task {
+                partition: x,
+                attempt: task.attempt,
+                source: Box::new(e),
+            });
         }
+        let Task {
+            kind,
+            acc_changed,
+            mut acc_rows,
+            ..
+        } = d.task;
+        acc_rows.extend(d.rows_outputs);
+        let changed = acc_changed + d.changed;
         let mut refresh = false;
-        match &d.kind {
+        match &kind {
             TaskKind::Compute { msg_table } => {
                 self.computes += 1;
-                self.parts[d.partition].computes += 1;
-                self.parts[d.partition].pending = false;
-                self.parts[d.partition].prefer_compute = false;
-                let msg_rows = d
-                    .rows_outputs
+                self.parts[x].computes += 1;
+                self.parts[x].pending = false;
+                self.parts[x].prefer_compute = false;
+                let msg_rows = acc_rows
                     .first()
                     .and_then(|r| r.scalar().and_then(Value::as_i64))
                     .unwrap_or(0);
@@ -423,7 +575,7 @@ impl Scheduler<'_> {
                     self.messages += 1;
                     // normalize SQL truncating modulo to rem_euclid buckets
                     let n = self.parts.len() as i64;
-                    let targets = d.rows_outputs.get(1).map(|r| {
+                    let targets = acc_rows.get(1).map(|r| {
                         let mut t: Vec<usize> = r
                             .rows
                             .iter()
@@ -445,19 +597,19 @@ impl Scheduler<'_> {
             }
             TaskKind::Gather { read_until } => {
                 self.gathers += 1;
-                self.parts[d.partition].cursor = *read_until;
-                if d.changed > 0 {
-                    self.parts[d.partition].pending = true;
-                    self.parts[d.partition].prefer_compute = true;
+                self.parts[x].cursor = *read_until;
+                if changed > 0 {
+                    self.parts[x].pending = true;
+                    self.parts[x].prefer_compute = true;
                     refresh = true;
                 }
                 self.gc_messages();
             }
         }
         if self.config.mode == ExecutionMode::AsyncPrio && refresh {
-            self.refresh_priority(d.partition);
+            self.refresh_priority(x);
         }
-        Ok(d.changed)
+        Ok(changed)
     }
 
     /// Drops message tables every partition has consumed (GC; the paper
@@ -500,8 +652,7 @@ impl Scheduler<'_> {
     }
 
     fn tc_check(&mut self, rounds: u64, changed: u64) -> SqloopResult<bool> {
-        let done =
-            termination_satisfied(self.main, self.cte_name, self.tc, rounds, changed)?;
+        let done = termination_satisfied(self.main, self.cte_name, self.tc, rounds, changed)?;
         if self.needs_delta {
             refresh_delta_snapshot(self.main, &CteNames::new(self.cte_name))?;
         }
@@ -514,8 +665,9 @@ impl Scheduler<'_> {
         let mut rounds = 0u64;
         loop {
             // phase 1: every partition computes
-            let compute_tasks: Vec<Task> =
-                (0..self.parts.len()).map(|x| self.build_compute(x)).collect();
+            let compute_tasks: Vec<Task> = (0..self.parts.len())
+                .map(|x| self.build_compute(x))
+                .collect();
             let mut changed = self.run_phase(compute_tasks.into())?;
             // phase 2: every partition with unread messages gathers
             let mut gather_tasks = VecDeque::new();
@@ -696,13 +848,7 @@ impl Scheduler<'_> {
         let len = self.msgs.len();
         self.msgs[self.parts[x].cursor..len]
             .iter()
-            .filter(|m| {
-                m.live
-                    && m.targets
-                        .as_ref()
-                        .map(|t| t.contains(&x))
-                        .unwrap_or(true)
-            })
+            .filter(|m| m.live && m.targets.as_ref().map(|t| t.contains(&x)).unwrap_or(true))
             .count()
     }
 
@@ -858,13 +1004,9 @@ impl Scheduler<'_> {
     fn any_unread_messages(&self) -> bool {
         let len = self.msgs.len();
         self.parts.iter().enumerate().any(|(x, p)| {
-            self.msgs[p.cursor..len].iter().any(|m| {
-                m.live
-                    && m.targets
-                        .as_ref()
-                        .map(|t| t.contains(&x))
-                        .unwrap_or(true)
-            })
+            self.msgs[p.cursor..len]
+                .iter()
+                .any(|m| m.live && m.targets.as_ref().map(|t| t.contains(&x)).unwrap_or(true))
         })
     }
 
@@ -873,13 +1015,9 @@ impl Scheduler<'_> {
         self.parts.iter().enumerate().any(|(x, p)| {
             p.in_flight
                 || p.pending
-                || self.msgs[p.cursor..len].iter().any(|m| {
-                    m.live
-                        && m.targets
-                            .as_ref()
-                            .map(|t| t.contains(&x))
-                            .unwrap_or(true)
-                })
+                || self.msgs[p.cursor..len]
+                    .iter()
+                    .any(|m| m.live && m.targets.as_ref().map(|t| t.contains(&x)).unwrap_or(true))
         })
     }
 
@@ -887,9 +1025,7 @@ impl Scheduler<'_> {
     /// condition is `ITERATIONS n`, otherwise scheduler waves.
     fn report_rounds(&self, waves: u64) -> u64 {
         match self.tc {
-            Termination::Iterations(_) => {
-                self.parts.iter().map(|p| p.computes).max().unwrap_or(0)
-            }
+            Termination::Iterations(_) => self.parts.iter().map(|p| p.computes).max().unwrap_or(0),
             _ => waves,
         }
     }

@@ -145,11 +145,7 @@ impl SqlGen {
         let values = rows
             .iter()
             .map(|row| {
-                let vals = row
-                    .iter()
-                    .map(value_literal)
-                    .collect::<Vec<_>>()
-                    .join(", ");
+                let vals = row.iter().map(value_literal).collect::<Vec<_>>().join(", ");
                 format!("({vals})")
             })
             .collect::<Vec<_>>()
@@ -314,11 +310,7 @@ impl SqlGen {
             sets.push(format!("{AVG_SUM_COL} = 0.0"));
             sets.push(format!("{AVG_CNT_COL} = 0.0"));
         }
-        format!(
-            "UPDATE {} SET {}",
-            self.names.partition(x),
-            sets.join(", ")
-        )
+        format!("UPDATE {} SET {}", self.names.partition(x), sets.join(", "))
     }
 
     /// Counts rows of a freshly created message table (so empty tables can
@@ -543,7 +535,10 @@ mod tests {
     fn gather_sql_folds_with_the_right_operator() {
         let g = pagerank_gen(4, true);
         let sql = g.gather_sql(0, &["m1", "m2"]);
-        assert!(sql.contains("delta + inc.val") || sql.contains("\"delta\" + inc.val"), "{sql}");
+        assert!(
+            sql.contains("delta + inc.val") || sql.contains("\"delta\" + inc.val"),
+            "{sql}"
+        );
         assert!(sql.contains("UNION ALL"), "{sql}");
         assert!(sql.contains("SUM"), "{sql}");
     }

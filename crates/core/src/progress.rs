@@ -17,6 +17,47 @@ pub struct ProgressSample {
     pub value: f64,
 }
 
+/// Per-run fault-recovery counters: what the parallel engine had to do to
+/// keep the query alive (all zero on a fault-free run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Compute/Gather tasks that failed on a transient error and were
+    /// replayed (counted per replay dispatch, not per task).
+    pub task_retries: u64,
+    /// Worker threads that lost their engine connection and reopened it.
+    pub worker_reconnects: u64,
+    /// Task failures observed, transient or not (each replayed dispatch
+    /// that fails again counts once more).
+    pub task_failures: u64,
+    /// `true` when parallel execution was abandoned and the run finished
+    /// on the single-threaded executor.
+    pub downgraded: bool,
+}
+
+impl RecoveryCounters {
+    /// True when nothing had to be recovered.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryCounters::default()
+    }
+}
+
+impl std::fmt::Display for RecoveryCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} task failure(s), {} replay(s), {} reconnect(s){}",
+            self.task_failures,
+            self.task_retries,
+            self.worker_reconnects,
+            if self.downgraded {
+                ", downgraded to single-threaded"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
 /// A background sampling thread holding its own engine connection.
 #[derive(Debug)]
 pub struct Sampler {
@@ -91,7 +132,8 @@ mod tests {
     fn sampler_collects_monotone_progress() {
         let db = Database::new(EngineProfile::Postgres);
         let mut s = db.connect();
-        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)").unwrap();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+            .unwrap();
         s.execute("INSERT INTO t VALUES (1, 0.0)").unwrap();
         let driver = LocalDriver::new(db);
         let sampler = Sampler::start(
@@ -111,6 +153,24 @@ mod tests {
         }
         // values are within the written range
         assert!(samples.iter().all(|s| (0.0..=20.0).contains(&s.value)));
+    }
+
+    #[test]
+    fn recovery_counters_render_and_compare() {
+        let clean = RecoveryCounters::default();
+        assert!(clean.is_clean());
+        let busy = RecoveryCounters {
+            task_retries: 4,
+            worker_reconnects: 2,
+            task_failures: 5,
+            downgraded: true,
+        };
+        assert!(!busy.is_clean());
+        let text = busy.to_string();
+        assert!(text.contains("4 replay(s)"), "{text}");
+        assert!(text.contains("2 reconnect(s)"), "{text}");
+        assert!(text.contains("downgraded"), "{text}");
+        assert!(!clean.to_string().contains("downgraded"));
     }
 
     #[test]

@@ -88,10 +88,7 @@ impl SqloopRouter {
     /// # Errors
     /// Fails on the first target that errors (earlier targets keep their
     /// effects).
-    pub fn execute_everywhere(
-        &self,
-        sql: &str,
-    ) -> SqloopResult<Vec<(String, ExecutionReport)>> {
+    pub fn execute_everywhere(&self, sql: &str) -> SqloopResult<Vec<(String, ExecutionReport)>> {
         let mut out = Vec::with_capacity(self.targets.len());
         for (name, sqloop) in &self.targets {
             out.push((name.clone(), sqloop.execute_detailed(sql)?));
@@ -148,8 +145,10 @@ mod tests {
     fn execute_everywhere_runs_the_same_cte_on_all_engines() {
         let mut r = router();
         r.add_url("maria", "local://mariadb").unwrap();
-        let mut config = crate::SqloopConfig::default();
-        config.mode = ExecutionMode::Single;
+        let config = crate::SqloopConfig {
+            mode: ExecutionMode::Single,
+            ..crate::SqloopConfig::default()
+        };
         r.configure_all(&config);
         for name in ["pg", "my", "maria"] {
             r.execute_on(name, "CREATE TABLE edges (src INT, dst INT, weight FLOAT)")

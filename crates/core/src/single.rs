@@ -195,13 +195,8 @@ pub fn run_iterative_single(
         last_updates = updated;
         iterations += 1;
 
-        let done = termination_satisfied(
-            conn,
-            &cte.name,
-            &cte.termination,
-            iterations,
-            last_updates,
-        )?;
+        let done =
+            termination_satisfied(conn, &cte.name, &cte.termination, iterations, last_updates)?;
         if cte.termination.needs_delta_snapshot() {
             refresh_delta_snapshot(conn, &names)?;
         }
@@ -254,7 +249,8 @@ mod tests {
     fn conn_with_edges(profile: EngineProfile) -> Box<dyn Connection> {
         let db = Database::new(profile);
         let mut s = db.connect();
-        s.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
+        s.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+            .unwrap();
         // a small strongly-connected graph
         s.execute(
             "INSERT INTO edges VALUES \
@@ -335,12 +331,7 @@ mod tests {
         assert_eq!(out.result.rows.len(), 4);
         // total rank approaches n * 0.15 / (1 - 0.85) = 4 (for a closed graph
         // with no dangling mass the delta-PR total converges to n)
-        let total: f64 = out
-            .result
-            .rows
-            .iter()
-            .map(|r| r[1].as_f64().unwrap())
-            .sum();
+        let total: f64 = out.result.rows.iter().map(|r| r[1].as_f64().unwrap()).sum();
         assert!(total > 3.0 && total < 4.2, "total rank {total}");
     }
 

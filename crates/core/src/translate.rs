@@ -29,7 +29,11 @@ pub fn translate_statement(stmt: &Statement, target: EngineProfile) -> Statement
     if let Statement::Update(u) = &mut stmt {
         if u.join_on.is_none() && !u.from.is_empty() && !dialect.supports_update_from {
             // UPDATE t SET … FROM f WHERE p  →  UPDATE t JOIN f ON p SET …
-            u.join_on = Some(u.selection.take().unwrap_or(Expr::Literal(Value::Bool(true))));
+            u.join_on = Some(
+                u.selection
+                    .take()
+                    .unwrap_or(Expr::Literal(Value::Bool(true))),
+            );
         } else if u.join_on.is_some() && !dialect.supports_update_join {
             // UPDATE t JOIN f ON p SET … [WHERE q]  →  UPDATE t SET … FROM f WHERE p [AND q]
             let on = u.join_on.take().expect("checked above");
@@ -69,9 +73,7 @@ pub fn translate_query_to_sql(q: &SelectStmt, target: EngineProfile) -> String {
 fn rewrite_expr(e: &mut Expr, target: EngineProfile) {
     let dialect = target.dialect();
     match e {
-        Expr::Literal(Value::Float(f))
-            if f.is_infinite() && !dialect.supports_infinity_literal =>
-        {
+        Expr::Literal(Value::Float(f)) if f.is_infinite() && !dialect.supports_infinity_literal => {
             *e = Expr::Literal(Value::Float(if *f > 0.0 { 1e308 } else { -1e308 }));
         }
         Expr::Binary {
@@ -120,10 +122,10 @@ fn map_statement_exprs(stmt: &mut Statement, f: &mut impl FnMut(&mut Expr)) {
                 map_expr(e, f);
             }
         }
-        Statement::Delete { selection, .. } => {
-            if let Some(e) = selection {
-                map_expr(e, f);
-            }
+        Statement::Delete {
+            selection: Some(e), ..
+        } => {
+            map_expr(e, f);
         }
         Statement::CreateTable(ct) => {
             if let Some(q) = &mut ct.as_select {

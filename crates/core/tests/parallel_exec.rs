@@ -1,9 +1,9 @@
 //! End-to-end tests of the parallel execution engine against the
 //! single-threaded reference semantics.
 
-use dbcp::{Driver, LocalDriver};
+use dbcp::LocalDriver;
 use graphgen::web_graph;
-use sqldb::{Database, EngineProfile, Value};
+use sqldb::{Database, EngineProfile};
 use sqloop::{ExecutionMode, PrioritySpec, SQLoop, SqloopConfig, Strategy};
 use std::sync::Arc;
 
@@ -21,7 +21,8 @@ fn db_with_graph(profile: EngineProfile, nodes: usize) -> Database {
             .map(|(s, d, w)| format!("({s}, {d}, {w})"))
             .collect::<Vec<_>>()
             .join(", ");
-        s.execute(&format!("INSERT INTO edges VALUES {values}")).unwrap();
+        s.execute(&format!("INSERT INTO edges VALUES {values}"))
+            .unwrap();
     }
     db
 }
@@ -86,17 +87,19 @@ fn sync_parallel_pagerank_matches_single_threaded() {
     let sync = sqloop_for(&db, ExecutionMode::Sync, 3, 8)
         .execute_detailed(PAGERANK)
         .unwrap();
-    assert!(matches!(sync.strategy, Strategy::IterativeParallel { mode: ExecutionMode::Sync }));
+    assert!(matches!(
+        sync.strategy,
+        Strategy::IterativeParallel {
+            mode: ExecutionMode::Sync
+        }
+    ));
     assert_eq!(sync.iterations, 10);
     let a = ranks(&single.result);
     let b = ranks(&sync.result);
     assert_eq!(a.len(), b.len());
     for ((n1, r1), (n2, r2)) in a.iter().zip(&b) {
         assert_eq!(n1, n2);
-        assert!(
-            (r1 - r2).abs() < 1e-9,
-            "node {n1}: single={r1} sync={r2}"
-        );
+        assert!((r1 - r2).abs() < 1e-9, "node {n1}: single={r1} sync={r2}");
     }
 }
 
@@ -114,16 +117,21 @@ fn async_pagerank_converges_to_the_same_total() {
     let asn = sqloop_for(&db, ExecutionMode::Async, 3, 8)
         .execute(&query)
         .unwrap();
-    let total = |r: &sqldb::QueryResult| -> f64 {
-        r.rows.iter().map(|row| row[1].as_f64().unwrap()).sum()
-    };
+    let total =
+        |r: &sqldb::QueryResult| -> f64 { r.rows.iter().map(|row| row[1].as_f64().unwrap()).sum() };
     let t1 = total(&single);
     let t2 = total(&asn);
     let n = single.rows.len() as f64;
-    assert!((t1 - n).abs() / n < 0.01, "single not converged: {t1} vs {n}");
+    assert!(
+        (t1 - n).abs() / n < 0.01,
+        "single not converged: {t1} vs {n}"
+    );
     // async leaves the final gathered (not yet applied) deltas in flight
     // when the per-partition iteration cap hits, so its tolerance is looser
-    assert!((t2 - n).abs() / n < 0.02, "async not converged: {t2} vs {n}");
+    assert!(
+        (t2 - n).abs() / n < 0.02,
+        "async not converged: {t2} vs {n}"
+    );
     assert!(t2 <= n + 1e-6, "async overshot the rank mass: {t2} > {n}");
 }
 
@@ -141,8 +149,7 @@ fn sssp_identical_across_all_modes_and_engines() {
         ] {
             let mut sq = sqloop_for(&db, mode, 2, 6);
             if mode == ExecutionMode::AsyncPrio {
-                sq.config_mut().priority =
-                    Some(PrioritySpec::lowest("SELECT MIN(delta) FROM {}"));
+                sq.config_mut().priority = Some(PrioritySpec::lowest("SELECT MIN(delta) FROM {}"));
             }
             let out = sq.execute(SSSP).unwrap();
             assert_eq!(
@@ -210,8 +217,12 @@ WITH ITERATIVE reach(node, total, delta) AS (
   UNTIL 1 ITERATIONS)
 SELECT node, delta FROM reach ORDER BY node";
     let db = db_with_graph(EngineProfile::Postgres, 30);
-    let single = sqloop_for(&db, ExecutionMode::Single, 1, 1).execute(sql).unwrap();
-    let sync = sqloop_for(&db, ExecutionMode::Sync, 2, 4).execute(sql).unwrap();
+    let single = sqloop_for(&db, ExecutionMode::Single, 1, 1)
+        .execute(sql)
+        .unwrap();
+    let sync = sqloop_for(&db, ExecutionMode::Sync, 2, 4)
+        .execute(sql)
+        .unwrap();
     assert_eq!(single.rows.len(), sync.rows.len());
     for (a, b) in single.rows.iter().zip(&sync.rows) {
         assert_eq!(a[0], b[0]);
@@ -238,7 +249,9 @@ fn mysql_profile_runs_parallel_pagerank() {
     let single = sqloop_for(&db, ExecutionMode::Single, 1, 1)
         .execute(PAGERANK)
         .unwrap();
-    let sync = sqloop_for(&db, ExecutionMode::Sync, 2, 4).execute(PAGERANK).unwrap();
+    let sync = sqloop_for(&db, ExecutionMode::Sync, 2, 4)
+        .execute(PAGERANK)
+        .unwrap();
     let a = ranks(&single);
     let b = ranks(&sync);
     for ((n1, r1), (n2, r2)) in a.iter().zip(&b) {
@@ -251,9 +264,7 @@ fn mysql_profile_runs_parallel_pagerank() {
 fn plain_sql_passthrough_via_api() {
     let db = db_with_graph(EngineProfile::MariaDb, 20);
     let sq = sqloop_for(&db, ExecutionMode::Async, 2, 4);
-    let report = sq
-        .execute_detailed("SELECT COUNT(*) FROM edges")
-        .unwrap();
+    let report = sq.execute_detailed("SELECT COUNT(*) FROM edges").unwrap();
     assert_eq!(report.strategy, Strategy::Passthrough);
     assert!(report.result.rows[0][0].as_i64().unwrap() > 0);
 }

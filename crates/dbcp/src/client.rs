@@ -9,11 +9,32 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// Socket deadlines for a [`TcpConnection`]. A `None` means "wait
+/// forever" — only sensible on a trusted local loopback; the defaults
+/// keep a wedged or half-dead server from hanging the middleware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpTimeouts {
+    /// Deadline for reading a response frame.
+    pub read: Option<Duration>,
+    /// Deadline for writing a request frame.
+    pub write: Option<Duration>,
+}
+
+impl Default for TcpTimeouts {
+    fn default() -> TcpTimeouts {
+        TcpTimeouts {
+            read: Some(Duration::from_secs(120)),
+            write: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
 /// Driver that opens wire-protocol connections to a remote server.
 #[derive(Debug, Clone)]
 pub struct TcpDriver {
     addr: String,
     profile: EngineProfile,
+    timeouts: TcpTimeouts,
 }
 
 impl TcpDriver {
@@ -23,11 +44,21 @@ impl TcpDriver {
     /// # Errors
     /// Returns [`DbError::Connection`] when the server is unreachable.
     pub fn connect(addr: &str) -> DbResult<TcpDriver> {
-        let mut probe = TcpConnection::open(addr)?;
+        TcpDriver::connect_with(addr, TcpTimeouts::default())
+    }
+
+    /// As [`TcpDriver::connect`], with explicit socket timeouts applied to
+    /// the probe and every connection minted afterwards.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Connection`] when the server is unreachable.
+    pub fn connect_with(addr: &str, timeouts: TcpTimeouts) -> DbResult<TcpDriver> {
+        let mut probe = TcpConnection::open_with(addr, timeouts)?;
         let profile = probe.fetch_profile()?;
         Ok(TcpDriver {
             addr: addr.to_owned(),
             profile,
+            timeouts,
         })
     }
 
@@ -35,11 +66,19 @@ impl TcpDriver {
     pub fn addr(&self) -> &str {
         &self.addr
     }
+
+    /// The socket timeouts applied to minted connections.
+    pub fn timeouts(&self) -> TcpTimeouts {
+        self.timeouts
+    }
 }
 
 impl Driver for TcpDriver {
     fn connect(&self) -> DbResult<Box<dyn Connection>> {
-        Ok(Box::new(TcpConnection::open(&self.addr)?))
+        Ok(Box::new(TcpConnection::open_with(
+            &self.addr,
+            self.timeouts,
+        )?))
     }
 
     fn profile(&self) -> EngineProfile {
@@ -52,25 +91,41 @@ impl Driver for TcpDriver {
 pub struct TcpConnection {
     stream: TcpStream,
     profile: EngineProfile,
+    /// Set after any transport failure: the stream position is unknown
+    /// (a frame may be half-sent or half-read), so every later call
+    /// fast-fails instead of desynchronizing the protocol.
+    broken: bool,
 }
 
 impl TcpConnection {
-    /// Opens and handshakes a connection.
+    /// Opens and handshakes a connection with default timeouts.
     ///
     /// # Errors
     /// Returns [`DbError::Connection`] on network or handshake failure.
     pub fn open(addr: &str) -> DbResult<TcpConnection> {
+        TcpConnection::open_with(addr, TcpTimeouts::default())
+    }
+
+    /// Opens and handshakes a connection with explicit socket timeouts.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Connection`] on network or handshake failure.
+    pub fn open_with(addr: &str, timeouts: TcpTimeouts) -> DbResult<TcpConnection> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| DbError::Connection(format!("connect {addr}: {e}")))?;
         stream
             .set_nodelay(true)
             .map_err(|e| DbError::Connection(format!("nodelay: {e}")))?;
         stream
-            .set_read_timeout(Some(Duration::from_secs(120)))
-            .map_err(|e| DbError::Connection(format!("timeout: {e}")))?;
+            .set_read_timeout(timeouts.read)
+            .map_err(|e| DbError::Connection(format!("read timeout: {e}")))?;
+        stream
+            .set_write_timeout(timeouts.write)
+            .map_err(|e| DbError::Connection(format!("write timeout: {e}")))?;
         let mut conn = TcpConnection {
             stream,
             profile: EngineProfile::Postgres,
+            broken: false,
         };
         conn.stream
             .write_all(&MAGIC)
@@ -88,9 +143,18 @@ impl TcpConnection {
     }
 
     fn round_trip(&mut self, req: &Request) -> DbResult<Response> {
-        write_frame(&mut self.stream, &encode_request(req))?;
-        let frame = read_frame(&mut self.stream)?;
-        decode_response(frame)
+        if self.broken {
+            return Err(DbError::Connection(
+                "connection is broken after an earlier transport failure".into(),
+            ));
+        }
+        let result = write_frame(&mut self.stream, &encode_request(req))
+            .and_then(|()| read_frame(&mut self.stream))
+            .and_then(decode_response);
+        if matches!(result, Err(DbError::Connection(_))) {
+            self.broken = true;
+        }
+        result
     }
 
     fn fetch_profile(&mut self) -> DbResult<EngineProfile> {
@@ -111,9 +175,7 @@ impl Connection for TcpConnection {
 
     fn execute_batch(&mut self, statements: &[String]) -> DbResult<Vec<StmtOutput>> {
         match self.round_trip(&Request::Batch(statements.to_vec()))? {
-            Response::BatchResults(items) => {
-                items.into_iter().map(Response::into_output).collect()
-            }
+            Response::BatchResults(items) => items.into_iter().map(Response::into_output).collect(),
             Response::Error(e) => Err(e),
             other => Err(DbError::Connection(format!(
                 "unexpected batch response {other:?}"
@@ -141,6 +203,11 @@ impl Connection for TcpConnection {
             .map(|_| ())
     }
 
+    fn ping(&mut self) -> bool {
+        // a broken stream can never serve another frame
+        !self.broken && !matches!(self.execute("SELECT 1"), Err(DbError::Connection(_)))
+    }
+
     fn profile(&self) -> EngineProfile {
         self.profile
     }
@@ -148,7 +215,96 @@ impl Connection for TcpConnection {
 
 impl Drop for TcpConnection {
     fn drop(&mut self) {
-        // best-effort goodbye so the server can clean up promptly
-        let _ = write_frame(&mut self.stream, &encode_request(&Request::Close));
+        if !self.broken {
+            // best-effort goodbye so the server can clean up promptly
+            let _ = write_frame(&mut self.stream, &encode_request(&Request::Close));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A fake server that completes the handshake and profile probe, then
+    /// abandons the client per `mode`.
+    fn rogue_server(mode: &'static str) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut echo = [0u8; 2];
+            sock.read_exact(&mut echo).unwrap();
+            sock.write_all(&MAGIC).unwrap();
+            // answer the profile probe so open() succeeds
+            let _ = read_frame(&mut sock).unwrap();
+            let payload =
+                crate::wire::encode_response(&Response::ProfileIs(EngineProfile::Postgres));
+            write_frame(&mut sock, &payload).unwrap();
+            // first real request arrives…
+            let _ = read_frame(&mut sock);
+            match mode {
+                // …and the server dies mid-frame: a length prefix
+                // promising 100 bytes, then nothing
+                "half-frame" => {
+                    let _ = sock.write_all(&100u32.to_be_bytes());
+                    let _ = sock.write_all(&[1, 2, 3]);
+                    drop(sock);
+                }
+                // …and the server just closes
+                _ => drop(sock),
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_an_error_not_a_hang() {
+        let addr = rogue_server("half-frame");
+        let timeouts = TcpTimeouts {
+            read: Some(Duration::from_millis(500)),
+            write: Some(Duration::from_millis(500)),
+        };
+        let mut conn = TcpConnection::open_with(&addr, timeouts).unwrap();
+        let started = std::time::Instant::now();
+        let err = conn.execute("SELECT 1");
+        assert!(
+            matches!(err, Err(DbError::Connection(_))),
+            "expected a connection error, got {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the client hung instead of failing"
+        );
+    }
+
+    #[test]
+    fn broken_connection_fast_fails_later_calls() {
+        let addr = rogue_server("close");
+        let timeouts = TcpTimeouts {
+            read: Some(Duration::from_millis(500)),
+            write: Some(Duration::from_millis(500)),
+        };
+        let mut conn = TcpConnection::open_with(&addr, timeouts).unwrap();
+        assert!(conn.execute("SELECT 1").is_err());
+        // poisoned: the next call fails immediately, without touching the
+        // socket (which could block or desync)
+        let started = std::time::Instant::now();
+        let err = conn.execute("SELECT 1");
+        assert!(matches!(err, Err(DbError::Connection(_))), "{err:?}");
+        assert!(started.elapsed() < Duration::from_millis(100));
+        assert!(!conn.ping());
+    }
+
+    #[test]
+    fn connect_to_nothing_fails_cleanly() {
+        // bind-then-drop to get a port with no listener
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let err = TcpConnection::open(&format!("127.0.0.1:{port}"));
+        assert!(matches!(err, Err(DbError::Connection(_))));
     }
 }

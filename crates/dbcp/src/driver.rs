@@ -6,7 +6,9 @@
 //! number of concurrent [`Connection`]s, which is how SQLoop turns worker
 //! threads into engine-side parallelism.
 
-use sqldb::{Database, DbError, DbResult, EngineProfile, IsolationLevel, QueryResult, Session, StmtOutput};
+use sqldb::{
+    Database, DbError, DbResult, EngineProfile, IsolationLevel, QueryResult, Session, StmtOutput,
+};
 
 /// One open connection to a database engine (JDBC `Connection` +
 /// `Statement` rolled together, as SQLoop uses one statement per connection).
@@ -67,6 +69,14 @@ pub trait Connection: Send {
     /// # Errors
     /// Transport failures (remote).
     fn set_isolation(&mut self, level: IsolationLevel) -> DbResult<()>;
+
+    /// Liveness probe. Runs a trivial statement; any engine response —
+    /// even a statement error — proves the connection is alive. Only a
+    /// connectivity failure counts as dead. Pools use this to discard
+    /// broken connections instead of handing them out.
+    fn ping(&mut self) -> bool {
+        !matches!(self.execute("SELECT 1"), Err(DbError::Connection(_)))
+    }
 
     /// The engine profile on the other side of this connection.
     fn profile(&self) -> EngineProfile;
@@ -164,8 +174,10 @@ mod tests {
     fn driver() -> LocalDriver {
         let db = Database::new(EngineProfile::Postgres);
         let mut s = db.connect();
-        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)").unwrap();
-        s.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)").unwrap();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+            .unwrap();
+        s.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)")
+            .unwrap();
         LocalDriver::new(db)
     }
 

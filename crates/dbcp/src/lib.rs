@@ -9,7 +9,12 @@
 //! * a binary **wire protocol** over TCP ([`Server`], [`TcpDriver`]) so the
 //!   target engine can genuinely be remote, as the paper's middleware
 //!   permits;
-//! * a bounded connection [`Pool`].
+//! * a bounded connection [`Pool`] with liveness checking;
+//! * a [`RetryPolicy`] (bounded attempts, exponential backoff + jitter)
+//!   for transient connectivity failures;
+//! * a deterministic fault-injection decorator ([`ChaosDriver`]) for
+//!   resilience testing: seeded, reproducible connect refusals, statement
+//!   errors, latency, and mid-session connection drops.
 //!
 //! ## Quick start (remote engine)
 //!
@@ -31,16 +36,23 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod client;
 mod driver;
 mod pool;
+mod retry;
 mod server;
 mod url;
 pub mod wire;
 
-pub use client::{TcpConnection, TcpDriver};
+pub use chaos::{
+    connect_with_retry, with_chaos, ChaosConfig, ChaosConnection, ChaosDriver, ChaosStats,
+    FaultKind, FaultWeights, ScheduledFault,
+};
+pub use client::{TcpConnection, TcpDriver, TcpTimeouts};
 pub use driver::{Connection, Driver, LocalConnection, LocalDriver};
 pub use pool::{Pool, PooledConnection};
+pub use retry::{is_transient, RetryPolicy};
 pub use server::Server;
 pub use url::{driver_for_url, ConnectionUrl};
 
@@ -57,7 +69,8 @@ mod integration {
         assert_eq!(driver.profile(), EngineProfile::MariaDb);
 
         let mut c = driver.connect().unwrap();
-        c.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)").unwrap();
+        c.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+            .unwrap();
         let out = c
             .execute_batch(&[
                 "INSERT INTO t VALUES (1, 0.5)".into(),
@@ -135,7 +148,10 @@ mod integration {
             if n == Value::Int(1) {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "rollback never happened");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "rollback never happened"
+            );
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         server.shutdown();

@@ -1,6 +1,7 @@
-//! A small blocking connection pool.
+//! A small blocking connection pool with liveness checking.
 
 use crate::driver::{Connection, Driver};
+use crate::retry::RetryPolicy;
 use parking_lot::{Condvar, Mutex};
 use sqldb::{DbError, DbResult};
 use std::sync::Arc;
@@ -15,12 +16,16 @@ struct PoolState {
 ///
 /// SQLoop's thread pool opens one connection per worker; this pool exists
 /// for applications embedding the middleware that want bounded connection
-/// reuse instead.
+/// reuse instead. Connections are liveness-probed on checkout and on
+/// return ([`Connection::ping`]); dead ones are discarded and their slot
+/// freed, so a flaky network or a chaos drop never recycles a broken
+/// connection to the next caller.
 pub struct Pool {
     driver: Arc<dyn Driver>,
     state: Mutex<PoolState>,
     available: Condvar,
     capacity: usize,
+    connect_retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for Pool {
@@ -46,6 +51,16 @@ impl std::fmt::Debug for PooledConnection<'_> {
 impl Pool {
     /// Creates a pool that will open at most `capacity` connections.
     pub fn new(driver: Arc<dyn Driver>, capacity: usize) -> Pool {
+        Pool::with_retry(driver, capacity, RetryPolicy::none())
+    }
+
+    /// As [`Pool::new`], with transient connect failures retried under
+    /// `connect_retry` before checkout gives up.
+    pub fn with_retry(
+        driver: Arc<dyn Driver>,
+        capacity: usize,
+        connect_retry: RetryPolicy,
+    ) -> Pool {
         Pool {
             driver,
             state: Mutex::new(PoolState {
@@ -54,27 +69,37 @@ impl Pool {
             }),
             available: Condvar::new(),
             capacity: capacity.max(1),
+            connect_retry,
         }
     }
 
-    /// Checks out a connection, opening one lazily while under capacity and
-    /// otherwise waiting up to `timeout` for a return.
+    /// Checks out a live connection, opening one lazily while under
+    /// capacity and otherwise waiting up to `timeout` for a return. Idle
+    /// connections that fail the liveness probe are discarded (freeing
+    /// their capacity slot) rather than handed out.
     ///
     /// # Errors
     /// Returns [`DbError::Connection`] on open failure or checkout timeout.
     pub fn get(&self, timeout: Duration) -> DbResult<PooledConnection<'_>> {
         let mut state = self.state.lock();
         loop {
-            if let Some(conn) = state.idle.pop() {
-                return Ok(PooledConnection {
-                    pool: self,
-                    conn: Some(conn),
-                });
+            while let Some(mut conn) = state.idle.pop() {
+                // probe outside any fairness concern: the lock is held, but
+                // ping is one round trip on an idle connection
+                if conn.ping() {
+                    return Ok(PooledConnection {
+                        pool: self,
+                        conn: Some(conn),
+                    });
+                }
+                state.total -= 1;
+                drop(conn);
+                self.available.notify_one();
             }
             if state.total < self.capacity {
                 state.total += 1;
                 drop(state);
-                match self.driver.connect() {
+                match self.connect_retry.run(|_| self.driver.connect()) {
                     Ok(conn) => {
                         return Ok(PooledConnection {
                             pool: self,
@@ -88,11 +113,7 @@ impl Pool {
                     }
                 }
             }
-            if self
-                .available
-                .wait_for(&mut state, timeout)
-                .timed_out()
-            {
+            if self.available.wait_for(&mut state, timeout).timed_out() {
                 return Err(DbError::Connection(
                     "timed out waiting for a pooled connection".into(),
                 ));
@@ -105,8 +126,19 @@ impl Pool {
         self.state.lock().total
     }
 
-    fn put_back(&self, conn: Box<dyn Connection>) {
-        self.state.lock().idle.push(conn);
+    /// Returns a connection to the idle set — or discards it when the
+    /// liveness probe fails, freeing its capacity slot. Waiters are
+    /// notified either way (a freed slot lets them open a fresh one).
+    fn put_back(&self, mut conn: Box<dyn Connection>) {
+        let alive = conn.ping();
+        let mut state = self.state.lock();
+        if alive {
+            state.idle.push(conn);
+        } else {
+            state.total -= 1;
+            drop(conn);
+        }
+        drop(state);
         self.available.notify_one();
     }
 }
@@ -129,15 +161,20 @@ impl Drop for PooledConnection<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{ChaosConfig, ChaosDriver, FaultWeights};
     use crate::driver::LocalDriver;
     use sqldb::{Database, EngineProfile, Value};
 
-    fn pool(cap: usize) -> Pool {
+    fn local_driver() -> Arc<LocalDriver> {
         let db = Database::new(EngineProfile::Postgres);
         let mut s = db.connect();
         s.execute("CREATE TABLE t (a INT)").unwrap();
         s.execute("INSERT INTO t VALUES (1)").unwrap();
-        Pool::new(Arc::new(LocalDriver::new(db)), cap)
+        Arc::new(LocalDriver::new(db))
+    }
+
+    fn pool(cap: usize) -> Pool {
+        Pool::new(local_driver(), cap)
     }
 
     #[test]
@@ -174,5 +211,97 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         drop(held);
         assert_eq!(h.join().unwrap(), 1);
+    }
+
+    /// A connection dropped mid-session must not be recycled: put_back
+    /// discards it and frees the slot.
+    #[test]
+    fn broken_connection_is_discarded_on_return() {
+        let chaos = Arc::new(ChaosDriver::new(
+            local_driver(),
+            ChaosConfig {
+                // fault exactly one statement, then heal
+                max_faults: Some(1),
+                weights: FaultWeights {
+                    connect_refused: 0,
+                    stmt_error: 0,
+                    latency: 0,
+                    drop: 1,
+                },
+                ..ChaosConfig::seeded(1, 1.0)
+            },
+        ));
+        let p = Pool::new(chaos, 2);
+        {
+            let mut c = p.get(Duration::from_secs(1)).unwrap();
+            // the single budgeted fault drops this connection
+            let err = c.conn().execute("SELECT a FROM t");
+            assert!(matches!(err, Err(DbError::Connection(_))), "{err:?}");
+            assert_eq!(p.open_connections(), 1);
+        }
+        // the dead connection was discarded, not pooled
+        assert_eq!(p.open_connections(), 0);
+        // and a fresh checkout works (outage healed)
+        let mut c = p.get(Duration::from_secs(1)).unwrap();
+        assert_eq!(
+            c.conn().query("SELECT a FROM t").unwrap().rows[0][0],
+            Value::Int(1)
+        );
+    }
+
+    /// A waiter blocked at capacity must wake up when a dead connection's
+    /// slot is freed, not time out.
+    #[test]
+    fn waiter_wakes_when_dead_connection_frees_a_slot() {
+        let chaos = Arc::new(ChaosDriver::new(
+            local_driver(),
+            ChaosConfig {
+                max_faults: Some(1),
+                weights: FaultWeights {
+                    connect_refused: 0,
+                    stmt_error: 0,
+                    latency: 0,
+                    drop: 1,
+                },
+                ..ChaosConfig::seeded(2, 1.0)
+            },
+        ));
+        let p = Arc::new(Pool::new(chaos, 1));
+        let mut held = p.get(Duration::from_secs(1)).unwrap();
+        let _ = held.conn().execute("SELECT a FROM t"); // drops the conn
+        let p2 = p.clone();
+        let h = std::thread::spawn(move || {
+            let mut c = p2.get(Duration::from_secs(5)).unwrap();
+            c.conn().query("SELECT a FROM t").unwrap().rows.len()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(held); // discards the dead conn, frees the slot
+        assert_eq!(h.join().unwrap(), 1);
+    }
+
+    /// Connect retries absorb injected refusals under a bounded policy.
+    #[test]
+    fn connect_retry_rides_through_refusals() {
+        let chaos = Arc::new(ChaosDriver::new(
+            local_driver(),
+            ChaosConfig {
+                max_faults: Some(2),
+                weights: FaultWeights {
+                    connect_refused: 1,
+                    stmt_error: 0,
+                    latency: 0,
+                    drop: 0,
+                },
+                ..ChaosConfig::seeded(3, 1.0)
+            },
+        ));
+        let stats = chaos.stats();
+        let p = Pool::with_retry(chaos, 1, RetryPolicy::new(4, Duration::ZERO));
+        let mut c = p.get(Duration::from_secs(1)).unwrap();
+        assert_eq!(
+            c.conn().query("SELECT a FROM t").unwrap().rows[0][0],
+            Value::Int(1)
+        );
+        assert_eq!(stats.connects_refused(), 2);
     }
 }

@@ -1,0 +1,170 @@
+//! Bounded retry with exponential backoff for transient connectivity
+//! failures.
+
+use sqldb::{DbError, DbResult};
+use std::time::Duration;
+
+/// True for errors worth retrying: connectivity failures and transactional
+/// congestion that a fresh attempt can clear. Deterministic statement
+/// errors (parse, semantic, missing objects) are not retried.
+pub fn is_transient(e: &DbError) -> bool {
+    matches!(
+        e,
+        DbError::Connection(_) | DbError::LockTimeout(_) | DbError::TxnAborted(_)
+    )
+}
+
+/// A bounded-attempt retry policy with exponential backoff and
+/// deterministic jitter.
+///
+/// Attempt *n* (0-based) sleeps `base_delay * 2^n` before running, capped
+/// at [`RetryPolicy::max_delay`], with up to 25% seeded jitter so callers
+/// retrying in lockstep spread out reproducibly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream; same seed → same delays.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(200),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` total attempts and `base_delay` backoff.
+    pub fn new(max_attempts: u32, base_delay: Duration) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy::new(1, Duration::ZERO)
+    }
+
+    /// The backoff to sleep before (0-based) retry `attempt`.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        if exp.is_zero() {
+            return exp;
+        }
+        // deterministic jitter in [0, 25%) of the exponential delay
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 31;
+        let jitter = exp.mul_f64((z % 1000) as f64 / 4000.0);
+        exp + jitter
+    }
+
+    /// Runs `op` until it succeeds, fails non-transiently, or the attempt
+    /// budget is exhausted. The closure receives the 0-based attempt index.
+    ///
+    /// # Errors
+    /// The last error when every attempt fails, or the first non-transient
+    /// error.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> DbResult<T>) -> DbResult<T> {
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) && attempt + 1 < self.max_attempts => {
+                    std::thread::sleep(self.delay_for(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(is_transient(&DbError::Connection("gone".into())));
+        assert!(is_transient(&DbError::LockTimeout("busy".into())));
+        assert!(is_transient(&DbError::TxnAborted("deadlock".into())));
+        assert!(!is_transient(&DbError::Parse("bad".into())));
+        assert!(!is_transient(&DbError::NotFound("t".into())));
+        assert!(!is_transient(&DbError::Invalid("dup key".into())));
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let policy = RetryPolicy::new(4, Duration::ZERO);
+        let mut calls = 0;
+        let out = policy.run(|attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err(DbError::Connection("flaky".into()))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 2);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn gives_up_after_budget() {
+        let policy = RetryPolicy::new(3, Duration::ZERO);
+        let mut calls = 0;
+        let out: DbResult<()> = policy.run(|_| {
+            calls += 1;
+            Err(DbError::Connection("still down".into()))
+        });
+        assert!(matches!(out, Err(DbError::Connection(_))));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn non_transient_fails_fast() {
+        let policy = RetryPolicy::new(5, Duration::ZERO);
+        let mut calls = 0;
+        let out: DbResult<()> = policy.run(|_| {
+            calls += 1;
+            Err(DbError::Parse("syntax".into()))
+        });
+        assert!(matches!(out, Err(DbError::Parse(_))));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(50),
+            jitter_seed: 7,
+        };
+        assert!(p.delay_for(0) >= Duration::from_millis(10));
+        assert!(p.delay_for(1) >= Duration::from_millis(20));
+        // capped at max_delay + 25% jitter
+        assert!(p.delay_for(6) <= Duration::from_millis(63));
+        // deterministic per seed
+        assert_eq!(p.delay_for(3), p.delay_for(3));
+    }
+}

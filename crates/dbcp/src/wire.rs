@@ -235,7 +235,9 @@ fn encode_response_into(resp: &Response, buf: &mut BytesMut) {
 
 fn need(buf: &mut Bytes, n: usize, what: &str) -> DbResult<()> {
     if buf.remaining() < n {
-        Err(DbError::Connection(format!("truncated frame reading {what}")))
+        Err(DbError::Connection(format!(
+            "truncated frame reading {what}"
+        )))
     } else {
         Ok(())
     }

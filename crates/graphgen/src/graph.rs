@@ -101,8 +101,8 @@ impl Graph {
             let du = dist[&u];
             if let Some(next) = adj.get(&u) {
                 for &v in next {
-                    if !dist.contains_key(&v) {
-                        dist.insert(v, du + 1);
+                    if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                        e.insert(du + 1);
                         queue.push_back(v);
                     }
                 }
@@ -142,7 +142,7 @@ impl Graph {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let mut parts = line.split(|c| c == ',' || c == '\t' || c == ' ');
+            let mut parts = line.split([',', '\t', ' ']);
             let parse = |p: Option<&str>| -> Result<NodeId, String> {
                 p.ok_or_else(|| format!("line {}: missing field", i + 1))?
                     .trim()

@@ -38,8 +38,7 @@ pub fn save_edge_list(graph: &Graph, path: &Path) -> std::io::Result<()> {
 /// [`std::io::ErrorKind::InvalidData`].
 pub fn load_edge_list(path: &Path) -> std::io::Result<Graph> {
     let text = std::fs::read_to_string(path)?;
-    Graph::from_csv(&text)
-        .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidData, m))
+    Graph::from_csv(&text).map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidData, m))
 }
 
 #[cfg(test)]

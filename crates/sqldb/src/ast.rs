@@ -566,8 +566,7 @@ impl Expr {
 
     /// True when the expression tree contains an aggregate call anywhere.
     pub fn contains_aggregate(&self) -> bool {
-        self.as_aggregate().is_some()
-            || self.children().iter().any(|c| c.contains_aggregate())
+        self.as_aggregate().is_some() || self.children().iter().any(|c| c.contains_aggregate())
     }
 
     /// Immediate child expressions (does not descend into subqueries).
@@ -659,8 +658,14 @@ mod tests {
 
     #[test]
     fn aggregate_function_parsing() {
-        assert_eq!(AggregateFunction::parse("SUM"), Some(AggregateFunction::Sum));
-        assert_eq!(AggregateFunction::parse("avg"), Some(AggregateFunction::Avg));
+        assert_eq!(
+            AggregateFunction::parse("SUM"),
+            Some(AggregateFunction::Sum)
+        );
+        assert_eq!(
+            AggregateFunction::parse("avg"),
+            Some(AggregateFunction::Avg)
+        );
         assert_eq!(AggregateFunction::parse("median"), None);
     }
 

@@ -275,9 +275,9 @@ fn bind_expr(
 ) -> DbResult<BoundExpr> {
     match expr {
         Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
-        Expr::Column { table, name } => Ok(BoundExpr::Column(
-            scope.resolve(table.as_deref(), name)?,
-        )),
+        Expr::Column { table, name } => {
+            Ok(BoundExpr::Column(scope.resolve(table.as_deref(), name)?))
+        }
         Expr::Binary { left, op, right } => Ok(BoundExpr::Binary {
             left: Box::new(bind_expr(left, scope, aggs)?),
             op: *op,
@@ -407,9 +407,7 @@ impl BoundExpr {
                 .get(*i)
                 .cloned()
                 .ok_or_else(|| DbError::Eval(format!("row too short for column {i}")))?),
-            BoundExpr::Binary { left, op, right } => {
-                eval_binary(left, *op, right, row, agg_values)
-            }
+            BoundExpr::Binary { left, op, right } => eval_binary(left, *op, right, row, agg_values),
             BoundExpr::Unary { op, expr } => {
                 let v = expr.eval(row, agg_values)?;
                 match op {
@@ -509,8 +507,13 @@ impl BoundExpr {
                 branches,
                 else_result,
             } => {
-                branches.iter().all(|(c, r)| c.is_constant() && r.is_constant())
-                    && else_result.as_ref().map(|e| e.is_constant()).unwrap_or(true)
+                branches
+                    .iter()
+                    .all(|(c, r)| c.is_constant() && r.is_constant())
+                    && else_result
+                        .as_ref()
+                        .map(|e| e.is_constant())
+                        .unwrap_or(true)
             }
             BoundExpr::IsNull { expr, .. } => expr.is_constant(),
             BoundExpr::InList { expr, list, .. } => {
@@ -674,9 +677,9 @@ fn eval_builtin(
             let v = args[0].eval(row, aggs)?;
             let f = match v {
                 Value::Null => return Ok(Value::Null),
-                ref v => v.as_f64().ok_or_else(|| {
-                    DbError::Eval(format!("{builtin:?} of {}", v.type_name()))
-                })?,
+                ref v => v
+                    .as_f64()
+                    .ok_or_else(|| DbError::Eval(format!("{builtin:?} of {}", v.type_name())))?,
             };
             Ok(Value::Float(match builtin {
                 Builtin::Round => f.round(),
@@ -780,10 +783,7 @@ mod tests {
         assert_eq!(s.resolve(Some("t"), "a").unwrap(), 0);
         assert_eq!(s.resolve(Some("u"), "a").unwrap(), 2);
         assert_eq!(s.resolve(None, "c").unwrap(), 3);
-        assert!(matches!(
-            s.resolve(None, "a"),
-            Err(DbError::Invalid(_))
-        ));
+        assert!(matches!(s.resolve(None, "a"), Err(DbError::Invalid(_))));
         assert!(matches!(s.resolve(None, "zzz"), Err(DbError::NotFound(_))));
     }
 
@@ -845,21 +845,18 @@ mod tests {
     #[test]
     fn casts() {
         let row = vec![Value::Int(0); 4];
-        assert_eq!(
-            eval("CAST('42' AS INT)", &row).unwrap(),
-            Value::Int(42)
-        );
-        assert_eq!(
-            eval("CAST(3.7 AS INT)", &row).unwrap(),
-            Value::Int(3)
-        );
+        assert_eq!(eval("CAST('42' AS INT)", &row).unwrap(), Value::Int(42));
+        assert_eq!(eval("CAST(3.7 AS INT)", &row).unwrap(), Value::Int(3));
         assert!(eval("CAST('xyz' AS INT)", &row).is_err());
     }
 
     #[test]
     fn between() {
         let row = vec![Value::Int(5), Value::Int(0), Value::Int(0), Value::Int(0)];
-        assert_eq!(eval("t.a BETWEEN 1 AND 10", &row).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval("t.a BETWEEN 1 AND 10", &row).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(
             eval("t.a NOT BETWEEN 1 AND 10", &row).unwrap(),
             Value::Bool(false)

@@ -34,12 +34,7 @@ impl Catalog {
     /// Returns [`DbError::AlreadyExists`] when a table or view of that name
     /// exists (unless `if_not_exists`, which makes it a no-op returning
     /// `Ok(false)`).
-    pub fn create_table(
-        &self,
-        name: &str,
-        table: Table,
-        if_not_exists: bool,
-    ) -> DbResult<bool> {
+    pub fn create_table(&self, name: &str, table: Table, if_not_exists: bool) -> DbResult<bool> {
         if self.views.read().contains_key(name) {
             return Err(DbError::AlreadyExists(format!("view {name}")));
         }

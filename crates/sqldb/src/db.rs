@@ -409,8 +409,10 @@ mod tests {
     fn db() -> Database {
         let db = Database::new(EngineProfile::Postgres);
         let mut s = db.connect();
-        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)").unwrap();
-        s.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)").unwrap();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+            .unwrap();
+        s.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)")
+            .unwrap();
         db
     }
 
@@ -540,13 +542,16 @@ mod tests {
     fn dialect_enforced_per_profile() {
         let db = Database::new(EngineProfile::MySql);
         let mut s = db.connect();
-        s.execute("CREATE TABLE r (id INT PRIMARY KEY, d FLOAT)").unwrap();
-        s.execute("CREATE TABLE m (id INT PRIMARY KEY, v FLOAT)").unwrap();
+        s.execute("CREATE TABLE r (id INT PRIMARY KEY, d FLOAT)")
+            .unwrap();
+        s.execute("CREATE TABLE m (id INT PRIMARY KEY, v FLOAT)")
+            .unwrap();
         assert!(matches!(
             s.execute("UPDATE r SET d = m.v FROM m WHERE r.id = m.id"),
             Err(DbError::Unsupported(_))
         ));
-        s.execute("UPDATE r JOIN m ON r.id = m.id SET d = m.v").unwrap();
+        s.execute("UPDATE r JOIN m ON r.id = m.id SET d = m.v")
+            .unwrap();
     }
 
     #[test]

@@ -30,13 +30,11 @@ pub fn validate(stmt: &Statement, dialect: &Dialect) -> DbResult<()> {
                 )));
             }
         }
-        Statement::CreateTable(ct) => {
-            if ct.unlogged && !dialect.supports_unlogged {
-                return Err(DbError::Unsupported(format!(
-                    "{} does not accept UNLOGGED tables",
-                    dialect.profile
-                )));
-            }
+        Statement::CreateTable(ct) if ct.unlogged && !dialect.supports_unlogged => {
+            return Err(DbError::Unsupported(format!(
+                "{} does not accept UNLOGGED tables",
+                dialect.profile
+            )));
         }
         _ => {}
     }
@@ -103,10 +101,10 @@ pub fn for_each_expr(stmt: &Statement, f: &mut impl FnMut(&Expr)) {
                 visit_expr(e, f);
             }
         }
-        Statement::Delete { selection, .. } => {
-            if let Some(e) = selection {
-                visit_expr(e, f);
-            }
+        Statement::Delete {
+            selection: Some(e), ..
+        } => {
+            visit_expr(e, f);
         }
         Statement::CreateTable(ct) => {
             if let Some(q) = &ct.as_select {

@@ -335,16 +335,16 @@ impl<'a> Executor<'a> {
         for o in order_by {
             // ordinal form: ORDER BY 1
             let bound = match &o.expr {
-                Expr::Literal(Value::Int(n)) if *n >= 1 && (*n as usize) <= result.columns.len() => {
+                Expr::Literal(Value::Int(n))
+                    if *n >= 1 && (*n as usize) <= result.columns.len() =>
+                {
                     BoundExpr::Column(*n as usize - 1)
                 }
                 e => {
                     // unqualified names resolve against output columns;
                     // qualified names are resolved by stripping the qualifier
                     match e {
-                        Expr::Column { name, .. } => {
-                            bind_scalar(&Expr::col(name.clone()), &scope)?
-                        }
+                        Expr::Column { name, .. } => bind_scalar(&Expr::col(name.clone()), &scope)?,
                         other => bind_scalar(other, &scope)?,
                     }
                 }
@@ -446,14 +446,10 @@ impl<'a> Executor<'a> {
             Statement::Select(q) => Ok(StmtOutput::Rows(self.run_query(q)?)),
             Statement::Explain(inner) => match inner.as_ref() {
                 Statement::Select(q) => {
-                    let lines =
-                        crate::explain::explain_query(self.catalog, self.profile, q)?;
+                    let lines = crate::explain::explain_query(self.catalog, self.profile, q)?;
                     Ok(StmtOutput::Rows(QueryResult {
                         columns: vec!["plan".into()],
-                        rows: lines
-                            .into_iter()
-                            .map(|l| vec![Value::Text(l)])
-                            .collect(),
+                        rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
                     }))
                 }
                 _ => Err(DbError::Unsupported(
@@ -497,7 +493,11 @@ impl<'a> Executor<'a> {
         if let Some(q) = &ct.as_select {
             let result = self.run_query(q)?;
             let schema = infer_schema(&result)?;
-            let created = self.catalog.create_table(&ct.name, Table::new(schema.clone()), ct.if_not_exists)?;
+            let created = self.catalog.create_table(
+                &ct.name,
+                Table::new(schema.clone()),
+                ct.if_not_exists,
+            )?;
             if created {
                 let handle = self.catalog.table(&ct.name)?;
                 let mut t = handle.write();
@@ -874,8 +874,8 @@ impl AggAcc {
         match self {
             AggAcc::Count(n) => {
                 let counts = match &v {
-                    None => true,              // COUNT(*)
-                    Some(v) => !v.is_null(),   // COUNT(expr)
+                    None => true,            // COUNT(*)
+                    Some(v) => !v.is_null(), // COUNT(expr)
                 };
                 if counts {
                     *n += 1;
@@ -1123,9 +1123,10 @@ mod tests {
         for p in EngineProfile::ALL {
             let ctx = seeded(p);
             ctx.exec("CREATE TABLE e (src INT, dst INT)").unwrap();
-            ctx.exec("INSERT INTO e VALUES (1,2),(2,3),(3,1),(1,3)").unwrap();
-            let mut r = ctx
-                .query("SELECT t.id, e.dst FROM t JOIN e ON t.id = e.src ORDER BY t.id, e.dst");
+            ctx.exec("INSERT INTO e VALUES (1,2),(2,3),(3,1),(1,3)")
+                .unwrap();
+            let mut r =
+                ctx.query("SELECT t.id, e.dst FROM t JOIN e ON t.id = e.src ORDER BY t.id, e.dst");
             r.rows.sort();
             results.push(r.rows);
         }
@@ -1179,7 +1180,9 @@ mod tests {
         let ctx = seeded(EngineProfile::Postgres);
         ctx.exec("CREATE TABLE t2 (id INT PRIMARY KEY, v FLOAT, tag TEXT)")
             .unwrap();
-        let out = ctx.exec("INSERT INTO t2 SELECT id, v * 2, tag FROM t").unwrap();
+        let out = ctx
+            .exec("INSERT INTO t2 SELECT id, v * 2, tag FROM t")
+            .unwrap();
         assert_eq!(out.rows_affected(), 3);
         let r = ctx.query("SELECT SUM(v) FROM t2");
         assert_eq!(r.rows[0][0], Value::Float(15.0));
@@ -1200,8 +1203,10 @@ mod tests {
     #[test]
     fn update_from_join_postgres_form() {
         let ctx = seeded(EngineProfile::Postgres);
-        ctx.exec("CREATE TABLE m (id INT PRIMARY KEY, nv FLOAT)").unwrap();
-        ctx.exec("INSERT INTO m VALUES (1, 100.0), (3, 300.0)").unwrap();
+        ctx.exec("CREATE TABLE m (id INT PRIMARY KEY, nv FLOAT)")
+            .unwrap();
+        ctx.exec("INSERT INTO m VALUES (1, 100.0), (3, 300.0)")
+            .unwrap();
         let out = ctx
             .exec("UPDATE t SET v = m.nv FROM m WHERE t.id = m.id")
             .unwrap();
@@ -1220,7 +1225,8 @@ mod tests {
     #[test]
     fn update_join_mysql_form() {
         let ctx = seeded(EngineProfile::MySql);
-        ctx.exec("CREATE TABLE m (id INT PRIMARY KEY, nv FLOAT)").unwrap();
+        ctx.exec("CREATE TABLE m (id INT PRIMARY KEY, nv FLOAT)")
+            .unwrap();
         ctx.exec("INSERT INTO m VALUES (2, 42.0)").unwrap();
         let out = ctx
             .exec("UPDATE t JOIN m ON t.id = m.id SET v = m.nv")
@@ -1235,9 +1241,15 @@ mod tests {
         let ctx = seeded(EngineProfile::Postgres);
         let out = ctx.exec("DELETE FROM t WHERE tag = 'a'").unwrap();
         assert_eq!(out.rows_affected(), 2);
-        assert_eq!(ctx.query("SELECT COUNT(*) FROM t").rows[0][0], Value::Int(1));
+        assert_eq!(
+            ctx.query("SELECT COUNT(*) FROM t").rows[0][0],
+            Value::Int(1)
+        );
         ctx.exec("TRUNCATE TABLE t").unwrap();
-        assert_eq!(ctx.query("SELECT COUNT(*) FROM t").rows[0][0], Value::Int(0));
+        assert_eq!(
+            ctx.query("SELECT COUNT(*) FROM t").rows[0][0],
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -1288,9 +1300,15 @@ mod tests {
         Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
             .run_statement(&stmt, &mut undo)
             .unwrap();
-        assert_eq!(ctx.query("SELECT SUM(v) FROM t").rows[0][0], Value::Float(0.0));
+        assert_eq!(
+            ctx.query("SELECT SUM(v) FROM t").rows[0][0],
+            Value::Float(0.0)
+        );
         crate::txn::apply_undo(&ctx.catalog, undo.take_all()).unwrap();
-        assert_eq!(ctx.query("SELECT SUM(v) FROM t").rows[0][0], Value::Float(7.5));
+        assert_eq!(
+            ctx.query("SELECT SUM(v) FROM t").rows[0][0],
+            Value::Float(7.5)
+        );
     }
 
     #[test]
@@ -1308,7 +1326,8 @@ mod tests {
             .unwrap();
         ctx.exec("INSERT INTO pr VALUES (1, 0.0, 0.15), (2, 0.0, 0.15), (3, 0.0, 0.15)")
             .unwrap();
-        ctx.exec("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
+        ctx.exec("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+            .unwrap();
         ctx.exec("INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 0.5), (2, 1, 0.5)")
             .unwrap();
         let r = ctx.query(

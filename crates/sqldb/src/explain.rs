@@ -134,11 +134,7 @@ fn explain_table_ref(
     Ok(())
 }
 
-fn join_description(
-    catalog: &Catalog,
-    profile: EngineProfile,
-    j: &Join,
-) -> DbResult<String> {
+fn join_description(catalog: &Catalog, profile: EngineProfile, j: &Join) -> DbResult<String> {
     let kind = match j.join_type {
         JoinType::Inner => "Join",
         JoinType::Left => "LeftJoin",
@@ -249,8 +245,10 @@ mod tests {
     fn db(profile: EngineProfile) -> Database {
         let db = Database::new(profile);
         let mut s = db.connect();
-        s.execute("CREATE TABLE nodes (id INT PRIMARY KEY, v FLOAT)").unwrap();
-        s.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
+        s.execute("CREATE TABLE nodes (id INT PRIMARY KEY, v FLOAT)")
+            .unwrap();
+        s.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+            .unwrap();
         s.execute("CREATE INDEX e_src ON edges (src)").unwrap();
         db
     }
@@ -294,11 +292,10 @@ mod tests {
     fn aggregates_views_and_subqueries_shown() {
         let d = db(EngineProfile::Postgres);
         let mut s = d.connect();
-        s.execute("CREATE VIEW vv AS SELECT src FROM edges").unwrap();
+        s.execute("CREATE VIEW vv AS SELECT src FROM edges")
+            .unwrap();
         let out = match s
-            .execute(
-                "EXPLAIN SELECT src, COUNT(*) FROM (SELECT src FROM vv) AS x GROUP BY src",
-            )
+            .execute("EXPLAIN SELECT src, COUNT(*) FROM (SELECT src FROM vv) AS x GROUP BY src")
             .unwrap()
         {
             crate::StmtOutput::Rows(r) => r,

@@ -88,7 +88,8 @@ fn extract_equi_key(
                 ref right,
             } = c
             {
-                if let (BoundExpr::Column(a), BoundExpr::Column(b)) = (left.as_ref(), right.as_ref())
+                if let (BoundExpr::Column(a), BoundExpr::Column(b)) =
+                    (left.as_ref(), right.as_ref())
                 {
                     let (a, b) = (*a, *b);
                     if a < left_arity && b >= left_arity && b < total_arity {
@@ -454,8 +455,7 @@ mod tests {
         let l = rel("l", &["id"], vec![vec![Value::Null], vec![Value::Int(1)]]);
         let r = rel("r", &["id"], vec![vec![Value::Null], vec![Value::Int(1)]]);
         let on = parse_expression("l.id = r.id").unwrap();
-        let out = join_rels(l, r, JoinType::Inner, Some(&on), JoinStrategy::Hash, &stats)
-            .unwrap();
+        let out = join_rels(l, r, JoinType::Inner, Some(&on), JoinStrategy::Hash, &stats).unwrap();
         assert_eq!(out.rows.len(), 1);
     }
 

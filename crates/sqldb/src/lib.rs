@@ -37,8 +37,8 @@
 pub mod ast;
 pub mod bind;
 pub mod catalog;
-pub mod dialect_check;
 mod db;
+pub mod dialect_check;
 mod error;
 pub mod exec;
 pub mod explain;

@@ -192,7 +192,9 @@ impl Parser {
     pub fn expect_ident(&mut self) -> DbResult<String> {
         match self.next_token() {
             Some(Token::Ident(s)) | Some(Token::QuotedIdent(s)) => Ok(s),
-            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -393,7 +395,9 @@ impl Parser {
             }));
         }
         if or_replace {
-            return Err(DbError::Parse("OR REPLACE only valid for CREATE VIEW".into()));
+            return Err(DbError::Parse(
+                "OR REPLACE only valid for CREATE VIEW".into(),
+            ));
         }
         let unlogged = self.eat_keyword("unlogged");
         self.eat_keyword("temporary");
@@ -564,10 +568,8 @@ impl Parser {
 
     fn parse_update(&mut self) -> DbResult<Statement> {
         let table = self.expect_ident()?;
-        let alias = if self.eat_keyword("as") {
-            Some(self.expect_ident()?)
-        } else if matches!(self.peek(), Some(Token::Ident(s))
-            if !is_reserved_after_table(s))
+        let alias = if self.eat_keyword("as")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved_after_table(s))
         {
             Some(self.expect_ident()?)
         } else {
@@ -577,7 +579,12 @@ impl Parser {
         let mut from = Vec::new();
         let mut join_on = None;
         if self.eat_keyword("join") || {
-            if self.peek_keyword("inner") && self.peek_at(1).map(|t| t.is_keyword("join")).unwrap_or(false) {
+            if self.peek_keyword("inner")
+                && self
+                    .peek_at(1)
+                    .map(|t| t.is_keyword("join"))
+                    .unwrap_or(false)
+            {
                 self.pos += 2;
                 true
             } else {
@@ -781,17 +788,19 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // alias.*
-        if let (Some(Token::Ident(t)), Some(Token::Symbol(Sym::Dot)), Some(Token::Symbol(Sym::Star))) =
-            (self.peek(), self.peek_at(1), self.peek_at(2))
+        if let (
+            Some(Token::Ident(t)),
+            Some(Token::Symbol(Sym::Dot)),
+            Some(Token::Symbol(Sym::Star)),
+        ) = (self.peek(), self.peek_at(1), self.peek_at(2))
         {
             let t = t.clone();
             self.pos += 3;
             return Ok(SelectItem::QualifiedWildcard(t));
         }
         let expr = self.parse_expr()?;
-        let alias = if self.eat_keyword("as") {
-            Some(self.expect_ident()?)
-        } else if matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved_projection_follower(s))
+        let alias = if self.eat_keyword("as")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved_projection_follower(s))
         {
             Some(self.expect_ident()?)
         } else {
@@ -849,9 +858,9 @@ impl Parser {
             return Ok(TableFactor::Derived { subquery, alias });
         }
         let name = self.expect_ident()?;
-        let alias = if self.eat_keyword("as") {
-            Some(self.expect_ident()?)
-        } else if matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved_after_table(s)) {
+        let alias = if self.eat_keyword("as")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved_after_table(s))
+        {
             Some(self.expect_ident()?)
         } else {
             None
@@ -1151,9 +1160,25 @@ impl Parser {
 fn is_reserved_after_table(word: &str) -> bool {
     matches!(
         word,
-        "join" | "inner" | "left" | "right" | "cross" | "outer" | "on" | "where" | "group"
-            | "having" | "order" | "limit" | "union" | "set" | "as" | "using" | "from"
-            | "iterate" | "until"
+        "join"
+            | "inner"
+            | "left"
+            | "right"
+            | "cross"
+            | "outer"
+            | "on"
+            | "where"
+            | "group"
+            | "having"
+            | "order"
+            | "limit"
+            | "union"
+            | "set"
+            | "as"
+            | "using"
+            | "from"
+            | "iterate"
+            | "until"
     )
 }
 
@@ -1172,8 +1197,8 @@ mod tests {
 
     #[test]
     fn parse_simple_select() {
-        let q = parse_query("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY a DESC LIMIT 10")
-            .unwrap();
+        let q =
+            parse_query("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY a DESC LIMIT 10").unwrap();
         assert_eq!(q.limit, Some(10));
         assert_eq!(q.order_by.len(), 1);
         assert!(!q.order_by[0].asc);
@@ -1205,12 +1230,18 @@ mod tests {
 
     #[test]
     fn parse_union_all_tree() {
-        let q = parse_query("SELECT src FROM e UNION SELECT dst FROM e UNION ALL VALUES (1)")
-            .unwrap();
+        let q =
+            parse_query("SELECT src FROM e UNION SELECT dst FROM e UNION ALL VALUES (1)").unwrap();
         match q.body {
             SetExpr::SetOp { op, left, .. } => {
                 assert_eq!(op, SetOperator::UnionAll);
-                assert!(matches!(*left, SetExpr::SetOp { op: SetOperator::Union, .. }));
+                assert!(matches!(
+                    *left,
+                    SetExpr::SetOp {
+                        op: SetOperator::Union,
+                        ..
+                    }
+                ));
             }
             _ => panic!("expected set op"),
         }
@@ -1261,10 +1292,7 @@ mod tests {
 
     #[test]
     fn parse_case_when_and_least() {
-        let e = parse_expression(
-            "CASE WHEN src = 1 THEN 0 ELSE Infinity END",
-        )
-        .unwrap();
+        let e = parse_expression("CASE WHEN src = 1 THEN 0 ELSE Infinity END").unwrap();
         assert!(matches!(e, Expr::Case { .. }));
         let e = parse_expression("LEAST(a.distance, a.delta)").unwrap();
         assert!(matches!(e, Expr::Function { .. }));
@@ -1287,10 +1315,7 @@ mod tests {
 
     #[test]
     fn parse_create_table_mysql_options() {
-        let s = parse_statement(
-            "CREATE TABLE t (a INT) ENGINE = MyISAM",
-        )
-        .unwrap();
+        let s = parse_statement("CREATE TABLE t (a INT) ENGINE = MyISAM").unwrap();
         assert!(matches!(s, Statement::CreateTable(_)));
     }
 
@@ -1316,10 +1341,8 @@ mod tests {
 
     #[test]
     fn parse_update_postgres_form() {
-        let s = parse_statement(
-            "UPDATE r SET delta = m.v FROM msg AS m WHERE r.id = m.id",
-        )
-        .unwrap();
+        let s =
+            parse_statement("UPDATE r SET delta = m.v FROM msg AS m WHERE r.id = m.id").unwrap();
         match s {
             Statement::Update(u) => {
                 assert_eq!(u.table, "r");
@@ -1333,10 +1356,9 @@ mod tests {
 
     #[test]
     fn parse_update_mysql_form() {
-        let s = parse_statement(
-            "UPDATE r JOIN msg ON r.id = msg.id SET delta = msg.v WHERE msg.v > 0",
-        )
-        .unwrap();
+        let s =
+            parse_statement("UPDATE r JOIN msg ON r.id = msg.id SET delta = msg.v WHERE msg.v > 0")
+                .unwrap();
         match s {
             Statement::Update(u) => {
                 assert!(u.join_on.is_some());
@@ -1368,10 +1390,9 @@ mod tests {
 
     #[test]
     fn parse_script_multiple_statements() {
-        let stmts = parse_script(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1412,24 +1433,46 @@ mod tests {
         // 1 + 2 * 3 = 7, not 9
         let e = parse_expression("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinaryOp::Add, right, .. } => {
-                assert!(matches!(*right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            Expr::Binary {
+                op: BinaryOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    *right,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             _ => panic!(),
         }
         // NOT binds tighter than AND
         let e = parse_expression("NOT a AND b").unwrap();
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn transaction_statements() {
-        assert!(matches!(parse_statement("BEGIN").unwrap(), Statement::Begin));
+        assert!(matches!(
+            parse_statement("BEGIN").unwrap(),
+            Statement::Begin
+        ));
         assert!(matches!(
             parse_statement("START TRANSACTION").unwrap(),
             Statement::Begin
         ));
-        assert!(matches!(parse_statement("COMMIT").unwrap(), Statement::Commit));
+        assert!(matches!(
+            parse_statement("COMMIT").unwrap(),
+            Statement::Commit
+        ));
         assert!(matches!(
             parse_statement("ROLLBACK").unwrap(),
             Statement::Rollback
@@ -1449,7 +1492,10 @@ mod tests {
         }
         assert!(matches!(
             parse_statement("DROP TABLE IF EXISTS t").unwrap(),
-            Statement::DropTable { if_exists: true, .. }
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
         ));
     }
 

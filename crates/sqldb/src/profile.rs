@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn quoting() {
-        assert_eq!(EngineProfile::Postgres.dialect().quote("a\"b"), "\"a\"\"b\"");
+        assert_eq!(
+            EngineProfile::Postgres.dialect().quote("a\"b"),
+            "\"a\"\"b\""
+        );
         assert_eq!(EngineProfile::MySql.dialect().quote("col"), "`col`");
     }
 

@@ -431,7 +431,11 @@ impl<'a> Renderer<'a> {
             } => {
                 self.push("(");
                 self.expr(expr);
-                self.push(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+                self.push(if *negated {
+                    " NOT BETWEEN "
+                } else {
+                    " BETWEEN "
+                });
                 self.expr(low);
                 self.push(" AND ");
                 self.expr(high);
@@ -530,8 +534,7 @@ mod tests {
         let s = parse_statement("UPDATE r SET d = m.v FROM msg AS m WHERE r.id = m.id").unwrap();
         let rendered = statement_to_sql(&s, &pg());
         assert!(rendered.contains("FROM"), "{rendered}");
-        let s =
-            parse_statement("UPDATE r JOIN msg ON r.id = msg.id SET d = msg.v").unwrap();
+        let s = parse_statement("UPDATE r JOIN msg ON r.id = msg.id SET d = msg.v").unwrap();
         let rendered = statement_to_sql(&s, &my());
         assert!(rendered.contains("JOIN"), "{rendered}");
         assert!(!rendered.contains(" FROM "), "{rendered}");

@@ -146,9 +146,7 @@ impl Table {
                     return Err(DbError::Invalid("primary key cannot be NULL".into()));
                 }
                 if idx.contains_key(new_key) {
-                    return Err(DbError::Invalid(format!(
-                        "duplicate primary key {new_key}"
-                    )));
+                    return Err(DbError::Invalid(format!("duplicate primary key {new_key}")));
                 }
                 idx.remove(old_key);
                 idx.insert(new_key.clone(), slot);

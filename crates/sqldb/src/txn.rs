@@ -83,12 +83,10 @@ impl LockManager {
         loop {
             let state = guard.entry(table.to_owned()).or_default();
             let granted = match mode {
-                LockMode::Shared => {
-                    state.writer.is_none() || state.writer == Some(sid)
-                }
+                LockMode::Shared => state.writer.is_none() || state.writer == Some(sid),
                 LockMode::Exclusive => {
-                    let no_other_readers =
-                        state.readers.is_empty() || (state.readers.len() == 1 && state.readers.contains(&sid));
+                    let no_other_readers = state.readers.is_empty()
+                        || (state.readers.len() == 1 && state.readers.contains(&sid));
                     (state.writer.is_none() || state.writer == Some(sid)) && no_other_readers
                 }
             };

@@ -153,9 +153,7 @@ impl Value {
             return Ok(Value::Null);
         }
         match (self, other) {
-            (Value::Int(_), Value::Int(0)) => {
-                Err(DbError::Eval("division by zero".into()))
-            }
+            (Value::Int(_), Value::Int(0)) => Err(DbError::Eval("division by zero".into())),
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a / b)),
             _ => {
                 let (a, b) = self.both_f64(other, "/")?;
@@ -239,7 +237,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -376,7 +374,7 @@ mod tests {
 
     #[test]
     fn total_order_sorts_null_first() {
-        let mut vals = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(1));

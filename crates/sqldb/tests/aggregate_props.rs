@@ -14,7 +14,8 @@ fn load(values: &[(i64, Option<f64>)]) -> Database {
             Some(f) => format!("{f}"),
             None => "NULL".to_string(),
         };
-        s.execute(&format!("INSERT INTO t VALUES ({g}, {v})")).unwrap();
+        s.execute(&format!("INSERT INTO t VALUES ({g}, {v})"))
+            .unwrap();
     }
     db
 }

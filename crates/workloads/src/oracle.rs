@@ -90,10 +90,8 @@ pub fn hits_like(graph: &Graph, rounds: u64) -> HashMap<NodeId, (f64, f64)> {
     let mut auth: HashMap<NodeId, f64> = graph.nodes().iter().map(|&n| (n, 1.0)).collect();
     let mut hub: HashMap<NodeId, f64> = auth.clone();
     for _ in 0..rounds {
-        let mut new_auth: HashMap<NodeId, f64> =
-            graph.nodes().iter().map(|&n| (n, 0.0)).collect();
-        let mut new_hub: HashMap<NodeId, f64> =
-            graph.nodes().iter().map(|&n| (n, 0.0)).collect();
+        let mut new_auth: HashMap<NodeId, f64> = graph.nodes().iter().map(|&n| (n, 0.0)).collect();
+        let mut new_hub: HashMap<NodeId, f64> = graph.nodes().iter().map(|&n| (n, 0.0)).collect();
         for &(s, d) in graph.edges() {
             *new_auth.get_mut(&d).expect("node seeded") += hub[&s];
             *new_hub.get_mut(&s).expect("node seeded") += auth[&d];
@@ -125,8 +123,7 @@ pub fn connected_components(graph: &Graph) -> HashMap<NodeId, NodeId> {
         adj.entry(s).or_default().push(d);
         adj.entry(d).or_default().push(s);
     }
-    let mut label: HashMap<NodeId, NodeId> =
-        graph.nodes().iter().map(|&n| (n, n)).collect();
+    let mut label: HashMap<NodeId, NodeId> = graph.nodes().iter().map(|&n| (n, n)).collect();
     let mut changed = true;
     while changed {
         changed = false;

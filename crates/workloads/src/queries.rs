@@ -86,11 +86,10 @@ SELECT sssp.Distance FROM sssp WHERE sssp.Node = {destination}"
 /// diff against the native oracle).
 pub fn sssp_all(source: NodeId) -> String {
     let q = sssp(source, 0);
-    let cut = q.rfind("SELECT sssp.Distance").expect("final query present");
-    format!(
-        "{}SELECT Node, Distance FROM sssp ORDER BY Node",
-        &q[..cut]
-    )
+    let cut = q
+        .rfind("SELECT sssp.Distance")
+        .expect("final query present");
+    format!("{}SELECT Node, Distance FROM sssp ORDER BY Node", &q[..cut])
 }
 
 /// Descendant query (paper §VI-A): which pages are within `max_hops` clicks

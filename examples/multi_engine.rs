@@ -55,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.rows_joined,
         );
     }
-    println!("\n(the engines differ architecturally: PostgreSQL hash-joins, the\n\
-              MySQL family nested-loops — visible in the probe/pair counters)");
+    println!(
+        "\n(the engines differ architecturally: PostgreSQL hash-joins, the\n\
+              MySQL family nested-loops — visible in the probe/pair counters)"
+    );
     Ok(())
 }

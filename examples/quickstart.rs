@@ -11,9 +11,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. regular SQL passes straight through
     sqloop.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")?;
-    sqloop.execute(
-        "INSERT INTO edges VALUES (1,2,0.5),(1,3,0.5),(2,3,1.0),(3,1,1.0)",
-    )?;
+    sqloop.execute("INSERT INTO edges VALUES (1,2,0.5),(1,3,0.5),(2,3,1.0),(3,1,1.0)")?;
 
     // 3. the paper's Example 1: a recursive CTE summing Fibonacci numbers
     let fib = sqloop.execute(
@@ -24,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          )
          SELECT SUM(n) FROM Fibonacci",
     )?;
-    println!("sum of Fibonacci rows below the 1000 guard: {}", fib.rows[0][0]);
+    println!(
+        "sum of Fibonacci rows below the 1000 guard: {}",
+        fib.rows[0][0]
+    );
 
     // 4. an iterative CTE: PageRank for 20 iterations (the paper's Example 2)
     let report = sqloop.execute_detailed(

@@ -1,0 +1,351 @@
+//! Fault-tolerance integration tests: the paper's workloads executed
+//! through the full middleware while a seeded [`dbcp::ChaosDriver`]
+//! injects connect refusals, statement errors, latency, and mid-session
+//! connection drops. Retry/replay must keep the results oracle-correct;
+//! an unrecoverable outage must degrade gracefully to the single-threaded
+//! executor and report the downgrade.
+
+use dbcp::{with_chaos, ChaosConfig, ChaosStats, Driver, FaultWeights, LocalDriver};
+use sqldb::{Database, EngineProfile};
+use sqloop::{ExecutionMode, PrioritySpec, SQLoop, SqloopConfig, SqloopError, Strategy};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Loads `graph` into a fresh database over a clean connection, then wraps
+/// the driver in chaos per `config`. Setup traffic is never faulted; the
+/// run's control connection (the first one the executor opens) is shielded
+/// via `skip_connections` so faults land on the workers, where recovery
+/// lives.
+fn chaotic_driver(graph: &graphgen::Graph, config: ChaosConfig) -> (Arc<dyn Driver>, ChaosStats) {
+    let db = Database::new(EngineProfile::Postgres);
+    let clean: Arc<dyn Driver> = Arc::new(LocalDriver::new(db));
+    let mut conn = clean.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), graph).unwrap();
+    let (driver, stats) = with_chaos(
+        clean,
+        ChaosConfig {
+            skip_connections: 1,
+            ..config
+        },
+    );
+    (driver, stats)
+}
+
+/// A recovery-friendly config: a generous replay budget so a seeded fault
+/// storm cannot realistically exhaust it, and zero backoff to keep the
+/// suite fast.
+fn recovering(mode: ExecutionMode) -> SqloopConfig {
+    let mut config = SqloopConfig {
+        mode,
+        threads: 3,
+        partitions: 8,
+        task_retries: 6,
+        retry_backoff: Duration::ZERO,
+        ..SqloopConfig::default()
+    };
+    if mode == ExecutionMode::AsyncPrio {
+        config.priority = Some(PrioritySpec::lowest("SELECT MIN(delta) FROM {}"));
+    }
+    config
+}
+
+/// All four fault kinds, weighted like a misbehaving network.
+fn storm(seed: u64, fault_rate: f64) -> ChaosConfig {
+    ChaosConfig {
+        weights: FaultWeights {
+            connect_refused: 1,
+            stmt_error: 4,
+            latency: 2,
+            drop: 1,
+        },
+        latency: Duration::from_millis(1),
+        ..ChaosConfig::seeded(seed, fault_rate)
+    }
+}
+
+#[test]
+fn sync_pagerank_matches_oracle_under_chaos() {
+    let graph = graphgen::web_graph(60, 3, 7);
+    let oracle = workloads::oracle::pagerank(&graph, 10);
+    let (driver, stats) = chaotic_driver(&graph, storm(42, 0.08));
+    let report = SQLoop::new(driver)
+        .with_config(recovering(ExecutionMode::Sync))
+        .execute_detailed(&workloads::queries::pagerank(10))
+        .unwrap();
+    assert!(stats.faults() > 0, "8% over a full run must inject faults");
+    assert!(
+        matches!(report.strategy, Strategy::IterativeParallel { .. }),
+        "recovery should keep the run parallel, got {:?}",
+        report.strategy
+    );
+    assert_eq!(report.result.rows.len(), oracle.len());
+    for row in &report.result.rows {
+        let node = row[0].as_i64().unwrap() as u64;
+        let rank = row[1].as_f64().unwrap();
+        let expected = oracle[&node];
+        assert!(
+            (rank - expected).abs() < 1e-9,
+            "node {node}: sql {rank} vs oracle {expected} (stats: {stats:?})"
+        );
+    }
+}
+
+#[test]
+fn sssp_matches_dijkstra_under_chaos_in_every_mode() {
+    let graph = graphgen::web_graph(80, 3, 5);
+    let oracle = workloads::oracle::sssp(&graph, 0);
+    // short runs can dodge the dice on one mode (worker op counts shift
+    // with thread scheduling), so injection is asserted across the sweep
+    let mut total_faults = 0;
+    for (i, mode) in [
+        ExecutionMode::Sync,
+        ExecutionMode::Async,
+        ExecutionMode::AsyncPrio,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (driver, stats) = chaotic_driver(&graph, storm(100 + i as u64, 0.10));
+        let out = SQLoop::new(driver)
+            .with_config(recovering(mode))
+            .execute(&workloads::queries::sssp_all(0))
+            .unwrap();
+        total_faults += stats.faults();
+        for row in &out.rows {
+            let node = row[0].as_i64().unwrap() as u64;
+            let d = row[1].as_f64().unwrap();
+            match oracle.get(&node) {
+                Some(&expected) => assert!(
+                    (d - expected).abs() < 1e-9,
+                    "{mode}: node {node} distance {d} vs {expected}"
+                ),
+                None => assert!(
+                    d.is_infinite(),
+                    "{mode}: node {node} should be unreachable, got {d}"
+                ),
+            }
+        }
+    }
+    assert!(total_faults > 0, "10% over three full runs must fault");
+}
+
+#[test]
+fn async_pagerank_converges_under_chaos() {
+    // async modes consume intermediate results, so equal-iteration ranks
+    // differ from the synchronous oracle; both converge to total rank = n
+    // on a closed graph (every node here has out-edges)
+    let graph = graphgen::web_graph(60, 3, 7);
+    let n = graph.node_count() as f64;
+    for (i, mode) in [ExecutionMode::Async, ExecutionMode::AsyncPrio]
+        .into_iter()
+        .enumerate()
+    {
+        let mut config = recovering(mode);
+        config.priority = Some(PrioritySpec::highest("SELECT SUM(delta) FROM {}"));
+        let (driver, stats) = chaotic_driver(&graph, storm(7 + i as u64, 0.05));
+        let out = SQLoop::new(driver)
+            .with_config(config)
+            .execute(&workloads::queries::pagerank(80))
+            .unwrap();
+        assert!(stats.faults() > 0, "{mode}: no faults injected");
+        let total: f64 = out.rows.iter().map(|r| r[1].as_f64().unwrap()).sum();
+        assert!(
+            (total - n).abs() / n < 0.02,
+            "{mode}: not converged under chaos: {total} vs {n}"
+        );
+        assert!(total <= n + 1e-6, "{mode}: overshot the rank mass");
+    }
+}
+
+#[test]
+fn replays_are_counted_in_the_report() {
+    // statement errors only, so every injected fault is a task failure the
+    // scheduler must replay (latency faults would not show up in counters)
+    let graph = graphgen::web_graph(50, 3, 3);
+    let chaos = ChaosConfig {
+        weights: FaultWeights {
+            connect_refused: 0,
+            stmt_error: 1,
+            latency: 0,
+            drop: 0,
+        },
+        ..ChaosConfig::seeded(17, 0.10)
+    };
+    let (driver, stats) = chaotic_driver(&graph, chaos);
+    let report = SQLoop::new(driver)
+        .with_config(recovering(ExecutionMode::Sync))
+        .execute_detailed(&workloads::queries::pagerank(8))
+        .unwrap();
+    assert!(stats.stmt_errors() > 0);
+    assert!(!report.recovery.is_clean());
+    assert!(
+        report.recovery.task_failures > 0 && report.recovery.task_retries > 0,
+        "injected statement errors must surface as counted replays: {:?}",
+        report.recovery
+    );
+    assert!(!report.recovery.downgraded);
+    // the rendered form the CLI prints
+    let text = report.recovery.to_string();
+    assert!(text.contains("replay"), "{text}");
+}
+
+/// A permanent outage of the message-table SQL (every statement touching a
+/// `__msg_` scratch table fails, forever) exhausts the replay budget; the
+/// run must finish on the single-threaded executor — which never uses
+/// message tables — with correct results and the downgrade reported.
+#[test]
+fn permanent_fault_downgrades_to_single_threaded() {
+    let graph = graphgen::web_graph(40, 3, 2);
+    let oracle = workloads::oracle::pagerank(&graph, 6);
+    let chaos = ChaosConfig {
+        match_substring: Some("__msg_".into()),
+        weights: FaultWeights {
+            connect_refused: 0,
+            stmt_error: 1,
+            latency: 0,
+            drop: 0,
+        },
+        ..ChaosConfig::seeded(1, 1.0)
+    };
+    let (driver, stats) = chaotic_driver(&graph, chaos);
+    let mut config = recovering(ExecutionMode::Sync);
+    config.task_retries = 2; // exhaust the budget quickly
+    let report = SQLoop::new(driver)
+        .with_config(config)
+        .execute_detailed(&workloads::queries::pagerank(6))
+        .unwrap();
+    match &report.strategy {
+        Strategy::IterativeSingle { fallback_reason } => {
+            let reason = fallback_reason.as_deref().unwrap_or_default();
+            assert!(reason.contains("downgraded"), "reason: {reason}");
+        }
+        other => panic!("expected a single-threaded downgrade, got {other:?}"),
+    }
+    assert!(report.recovery.downgraded);
+    assert!(report.recovery.task_failures > 0);
+    assert!(
+        report.recovery.task_retries > 0,
+        "the budget was spent before downgrading: {:?}",
+        report.recovery
+    );
+    assert!(stats.stmt_errors() > 0);
+    assert!(report.recovery.to_string().contains("downgraded"));
+    // and the answer is still right
+    assert_eq!(report.result.rows.len(), oracle.len());
+    for row in &report.result.rows {
+        let node = row[0].as_i64().unwrap() as u64;
+        let rank = row[1].as_f64().unwrap();
+        assert!((rank - oracle[&node]).abs() < 1e-9, "node {node}");
+    }
+}
+
+/// A storm that heals: every worker statement faults until the chaos
+/// budget drains. The parallel phase exhausts its replay budget and
+/// downgrades while faults remain, so the first single-threaded rerun
+/// attempts fault too — the downgrade path must retry the rerun instead
+/// of dying on one more transient error.
+#[test]
+fn downgrade_rerun_retries_through_the_tail_of_an_outage() {
+    let graph = graphgen::web_graph(30, 3, 2);
+    let oracle = workloads::oracle::pagerank(&graph, 6);
+    let chaos = ChaosConfig {
+        weights: FaultWeights {
+            connect_refused: 0,
+            stmt_error: 1,
+            latency: 0,
+            drop: 0,
+        },
+        // one worker with task_retries 2 burns 3 faults before the
+        // downgrade; the remaining budget lands on the rerun attempts
+        max_faults: Some(5),
+        ..ChaosConfig::seeded(5, 1.0)
+    };
+    let (driver, stats) = chaotic_driver(&graph, chaos);
+    let mut config = recovering(ExecutionMode::Sync);
+    config.threads = 1;
+    config.task_retries = 2;
+    let report = SQLoop::new(driver)
+        .with_config(config)
+        .execute_detailed(&workloads::queries::pagerank(6))
+        .unwrap();
+    assert!(report.recovery.downgraded);
+    assert_eq!(stats.faults(), 5, "the whole budget should be consumed");
+    assert_eq!(report.result.rows.len(), oracle.len());
+    for row in &report.result.rows {
+        let node = row[0].as_i64().unwrap() as u64;
+        let rank = row[1].as_f64().unwrap();
+        assert!((rank - oracle[&node]).abs() < 1e-9, "node {node}");
+    }
+}
+
+#[test]
+fn downgrade_can_be_disabled() {
+    let graph = graphgen::web_graph(30, 3, 2);
+    let chaos = ChaosConfig {
+        match_substring: Some("__msg_".into()),
+        weights: FaultWeights {
+            connect_refused: 0,
+            stmt_error: 1,
+            latency: 0,
+            drop: 0,
+        },
+        ..ChaosConfig::seeded(2, 1.0)
+    };
+    let (driver, _) = chaotic_driver(&graph, chaos);
+    let mut config = recovering(ExecutionMode::Sync);
+    config.task_retries = 1;
+    config.downgrade_on_failure = false;
+    let err = SQLoop::new(driver)
+        .with_config(config)
+        .execute(&workloads::queries::pagerank(4))
+        .unwrap_err();
+    match &err {
+        SqloopError::Task {
+            attempt, source, ..
+        } => {
+            // the original dispatch plus task_retries replays
+            assert_eq!(*attempt, 2);
+            assert!(source.is_retryable(), "outage errors are transient");
+        }
+        other => panic!("expected SqloopError::Task, got {other}"),
+    }
+    assert!(err.is_retryable(), "Task delegates to its source");
+}
+
+/// Scratch state left behind by the failed parallel attempt must not leak
+/// through the downgrade: after the run, only `edges` remains.
+#[test]
+fn downgrade_cleans_up_parallel_scratch_state() {
+    let graph = graphgen::web_graph(30, 3, 2);
+    let db = Database::new(EngineProfile::Postgres);
+    let clean: Arc<dyn Driver> = Arc::new(LocalDriver::new(db.clone()));
+    let mut conn = clean.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), &graph).unwrap();
+    let (driver, _) = with_chaos(
+        clean,
+        ChaosConfig {
+            match_substring: Some("__msg_".into()),
+            weights: FaultWeights {
+                connect_refused: 0,
+                stmt_error: 1,
+                latency: 0,
+                drop: 0,
+            },
+            skip_connections: 1,
+            ..ChaosConfig::seeded(3, 1.0)
+        },
+    );
+    let mut config = recovering(ExecutionMode::Sync);
+    config.task_retries = 1;
+    let report = SQLoop::new(driver)
+        .with_config(config)
+        .execute_detailed(&workloads::queries::pagerank(4))
+        .unwrap();
+    assert!(report.recovery.downgraded);
+    let leftovers: Vec<String> = db
+        .table_names()
+        .into_iter()
+        .filter(|t| t != "edges")
+        .collect();
+    assert!(leftovers.is_empty(), "leftover tables: {leftovers:?}");
+}

@@ -63,7 +63,8 @@ fn unrelated_tables_stay_transactional_during_an_iterative_run() {
         let mut s = db.connect();
         s.execute("CREATE TABLE accounts (id INT PRIMARY KEY, balance FLOAT)")
             .unwrap();
-        s.execute("INSERT INTO accounts VALUES (1, 100.0), (2, 100.0)").unwrap();
+        s.execute("INSERT INTO accounts VALUES (1, 100.0), (2, 100.0)")
+            .unwrap();
     }
     let sq = SQLoop::new(driver.clone() as Arc<dyn Driver>).with_config(SqloopConfig {
         mode: ExecutionMode::Async,

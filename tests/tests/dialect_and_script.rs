@@ -22,14 +22,17 @@ fn untranslated_sql_fails_on_mysql_but_sqloop_succeeds() {
     let driver = driver_with_graph(EngineProfile::MySql, &g);
     // raw PostgreSQL-style join update is rejected by the engine…
     let mut conn = driver.connect().unwrap();
-    conn.execute("CREATE TABLE r (id INT PRIMARY KEY, v FLOAT)").unwrap();
-    conn.execute("CREATE TABLE m (id INT PRIMARY KEY, v FLOAT)").unwrap();
+    conn.execute("CREATE TABLE r (id INT PRIMARY KEY, v FLOAT)")
+        .unwrap();
+    conn.execute("CREATE TABLE m (id INT PRIMARY KEY, v FLOAT)")
+        .unwrap();
     let err = conn.execute("UPDATE r SET v = m.v FROM m WHERE r.id = m.id");
     assert!(matches!(err, Err(DbError::Unsupported(_))), "{err:?}");
     drop(conn);
     // …but through the middleware the translation module rewrites it
     let sq = SQLoop::new(driver as Arc<dyn Driver>);
-    sq.execute("UPDATE r SET v = m.v FROM m WHERE r.id = m.id").unwrap();
+    sq.execute("UPDATE r SET v = m.v FROM m WHERE r.id = m.id")
+        .unwrap();
 }
 
 #[test]
@@ -67,7 +70,11 @@ fn script_baseline_matches_iterative_cte_results() {
             ..SqloopConfig::default()
         });
         let cte_out = sq.execute(&workloads::queries::pagerank(6)).unwrap();
-        assert_eq!(script_out.result.rows.len(), cte_out.rows.len(), "{profile}");
+        assert_eq!(
+            script_out.result.rows.len(),
+            cte_out.rows.len(),
+            "{profile}"
+        );
         for (a, b) in script_out.result.rows.iter().zip(&cte_out.rows) {
             assert_eq!(a[0], b[0], "{profile}");
             let (x, y) = (a[1].as_f64().unwrap(), b[1].as_f64().unwrap());
@@ -87,7 +94,9 @@ fn descendant_script_agrees_with_cte() {
     let out = run_script(
         conn.as_mut(),
         &script,
-        ScriptMode::UntilNoUpdates { max_iterations: 500 },
+        ScriptMode::UntilNoUpdates {
+            max_iterations: 500,
+        },
     )
     .unwrap();
     drop(conn);

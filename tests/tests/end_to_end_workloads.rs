@@ -103,12 +103,7 @@ fn descendant_query_matches_bfs() {
     let got: HashMap<u64, u64> = out
         .rows
         .iter()
-        .map(|r| {
-            (
-                r[0].as_i64().unwrap() as u64,
-                r[1].as_f64().unwrap() as u64,
-            )
-        })
+        .map(|r| (r[0].as_i64().unwrap() as u64, r[1].as_f64().unwrap() as u64))
         .collect();
     assert_eq!(got, oracle);
 }
@@ -179,7 +174,10 @@ fn pagerank_identical_across_engines() {
         for (a, b) in results[0].iter().zip(other) {
             assert_eq!(a[0], b[0], "{name}");
             let (x, y) = (a[1].as_f64().unwrap(), b[1].as_f64().unwrap());
-            assert!((x - y).abs() <= 1e-12 * x.abs().max(1.0), "{name}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= 1e-12 * x.abs().max(1.0),
+                "{name}: {x} vs {y}"
+            );
         }
     }
 }
@@ -196,7 +194,11 @@ fn delta_terminated_pagerank_converges() {
     let report = sq
         .execute_detailed(&workloads::queries::pagerank_until_converged(0.01))
         .unwrap();
-    assert!(report.iterations > 3, "too few iterations: {}", report.iterations);
+    assert!(
+        report.iterations > 3,
+        "too few iterations: {}",
+        report.iterations
+    );
     // converged total rank ≈ node count for a closed graph
     let total: f64 = report
         .result

@@ -33,8 +33,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         arb_literal_expr(),
         "[a-z][a-z0-9_]{0,6}".prop_map(Expr::col),
-        ("[a-z][a-z0-9_]{0,4}", "[a-z][a-z0-9_]{0,4}")
-            .prop_map(|(t, c)| Expr::qcol(t, c)),
+        ("[a-z][a-z0-9_]{0,4}", "[a-z][a-z0-9_]{0,4}").prop_map(|(t, c)| Expr::qcol(t, c)),
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![

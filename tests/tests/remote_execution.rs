@@ -29,7 +29,10 @@ fn parallel_pagerank_over_tcp() {
     let report = sq
         .execute_detailed(&workloads::queries::pagerank(8))
         .unwrap();
-    assert!(matches!(report.strategy, Strategy::IterativeParallel { .. }));
+    assert!(matches!(
+        report.strategy,
+        Strategy::IterativeParallel { .. }
+    ));
     assert_eq!(report.result.rows.len(), g.node_count());
     // same numbers as a local run
     let db = Database::new(EngineProfile::Postgres);

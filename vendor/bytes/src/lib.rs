@@ -1,0 +1,262 @@
+//! Offline stand-in for the `bytes` crate: `Bytes`, `BytesMut` and the
+//! big-endian `Buf`/`BufMut` accessors this workspace's wire protocol uses.
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Length of the unread remainder.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when nothing remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out a sub-range of the unread remainder.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::from(&self[..][range])
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read-side accessors (big-endian, like the real crate's defaults).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Copies out the next `len` bytes, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics when fewer than `len` bytes remain.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+    /// Reads one byte.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics when fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32;
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Panics
+    /// Panics when fewer than 8 bytes remain.
+    fn get_u64(&mut self) -> u64;
+    /// Reads a big-endian `i64`.
+    ///
+    /// # Panics
+    /// Panics when fewer than 8 bytes remain.
+    fn get_i64(&mut self) -> i64;
+    /// Reads a big-endian `f64`.
+    ///
+    /// # Panics
+    /// Panics when fewer than 8 bytes remain.
+    fn get_f64(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "copy_to_bytes past the end");
+        let out = Bytes::from(&self.data[self.pos..self.pos + len]);
+        self.pos += len;
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8 past the end");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take::<4>())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take::<8>())
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.take::<8>())
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take::<8>())
+    }
+}
+
+impl Bytes {
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.len() >= N, "read past the end of the buffer");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..self.pos + N]);
+        self.pos += N;
+        out
+    }
+}
+
+/// Write-side accessors (big-endian).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64);
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_f64(1.5);
+        w.put_slice(b"abc");
+        let mut r = w.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 1);
+        assert_eq!(r.get_i64(), -42);
+        assert_eq!(r.get_f64(), 1.5);
+        assert_eq!(r.copy_to_bytes(3).to_vec(), b"abc");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the end")]
+    fn reading_past_the_end_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        let _ = b.get_u32();
+    }
+}

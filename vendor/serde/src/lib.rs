@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`: marker traits and no-op derive macros.
+//! The workspace derives `Serialize`/`Deserialize` for API symmetry but
+//! never drives them through a serializer, so empty impls suffice.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,17 @@
+//! No-op derive macros for the offline `serde` stand-in: the workspace only
+//! decorates types with `#[derive(Serialize, Deserialize)]` and never
+//! serializes through a format crate, so empty expansions are sufficient.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
