@@ -77,7 +77,6 @@ fn sssp_panel(args: &sqloop_bench::BenchArgs) {
                 args.partitions,
                 PrioritySpec::lowest("SELECT MIN(delta) FROM {}"),
             ));
-            let before = env.db.stats().statements;
             let (report, elapsed) = time_it(|| sq.execute_detailed(&query).expect("sssp run"));
             assert!(
                 !report.result.rows.is_empty(),
@@ -86,6 +85,11 @@ fn sssp_panel(args: &sqloop_bench::BenchArgs) {
             let secs = elapsed.as_secs_f64();
             let speedup = sync_time.map(|s: f64| s / secs).unwrap_or(1.0);
             sync_time.get_or_insert(secs);
+            // per-run statement count comes straight off the report now
+            let stmts = report
+                .engine_stats
+                .map(|s| s.statements.to_string())
+                .unwrap_or_else(|| "-".into());
             table.row(vec![
                 profile.name().into(),
                 mode.label().into(),
@@ -93,7 +97,7 @@ fn sssp_panel(args: &sqloop_bench::BenchArgs) {
                 format!("{speedup:.2}x"),
                 report.computes.to_string(),
                 report.gathers.to_string(),
-                (env.db.stats().statements - before).to_string(),
+                stmts,
             ]);
         }
     }

@@ -19,6 +19,25 @@ const MODES: [ExecutionMode; 3] = [
     ExecutionMode::AsyncPrio,
 ];
 
+/// Engine statements this run executed (per-run delta; `-` over TCP).
+fn engine_stmts(report: &sqloop::ExecutionReport) -> String {
+    report
+        .engine_stats
+        .map(|s| s.statements.to_string())
+        .unwrap_or_else(|| "-".into())
+}
+
+/// p95 pool-checkout latency for this run, from the per-run metrics delta.
+fn pool_get_p95(report: &sqloop::ExecutionReport) -> String {
+    report
+        .metrics
+        .histograms
+        .get("dbcp.pool.get")
+        .filter(|h| h.count > 0)
+        .map(|h| h.percentile_us(0.95).to_string())
+        .unwrap_or_else(|| "-".into())
+}
+
 fn main() {
     let args = parse_args();
     println!("== Figure 5: scaling with worker threads ==\n");
@@ -41,6 +60,8 @@ fn pr_scaling(args: &sqloop_bench::BenchArgs) {
         "time (s)",
         "speedup vs 1",
         "overlap",
+        "stmts",
+        "pool get p95 (µs)",
     ]);
     for profile in EngineProfile::ALL {
         for mode in MODES {
@@ -65,6 +86,8 @@ fn pr_scaling(args: &sqloop_bench::BenchArgs) {
                     format!("{secs:.3}"),
                     format!("{speedup:.2}x"),
                     format!("{:.2}", report.worker_busy.as_secs_f64() / secs),
+                    engine_stmts(&report),
+                    pool_get_p95(&report),
                 ]);
             }
         }
@@ -90,6 +113,8 @@ fn sssp_scaling(args: &sqloop_bench::BenchArgs) {
         "time (s)",
         "speedup vs 1",
         "overlap",
+        "stmts",
+        "pool get p95 (µs)",
     ]);
     for profile in EngineProfile::ALL {
         for mode in MODES {
@@ -114,6 +139,8 @@ fn sssp_scaling(args: &sqloop_bench::BenchArgs) {
                     format!("{secs:.3}"),
                     format!("{speedup:.2}x"),
                     format!("{:.2}", report.worker_busy.as_secs_f64() / secs),
+                    engine_stmts(&report),
+                    pool_get_p95(&report),
                 ]);
             }
         }

@@ -5,11 +5,12 @@ use crate::analysis::{analyze, AnalysisOutcome};
 use crate::config::{ExecutionMode, SqloopConfig};
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{parse, IterativeCte, SqloopQuery};
-use crate::parallel::run_iterative_parallel_traced;
+use crate::parallel::run_iterative_parallel_observed;
 use crate::progress::{ProgressSample, RecoveryCounters};
-use crate::single::{run_iterative_single, run_recursive};
+use crate::single::{run_iterative_single_observed, run_recursive};
 use crate::translate::translate_sql;
 use dbcp::{driver_for_url, Driver};
+use obs::{EventKind, RegistrySnapshot, TraceData, TraceHandle, TraceSummary};
 use sqldb::{QueryResult, StmtOutput};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -61,6 +62,18 @@ pub struct ExecutionReport {
     pub recovery: RecoveryCounters,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// Trace summary of this run (when [`SqloopConfig::trace`] is enabled).
+    pub trace: Option<TraceSummary>,
+    /// Full trace data behind [`ExecutionReport::trace`] — spans and events
+    /// for timeline rendering or JSON export.
+    pub trace_data: Option<TraceData>,
+    /// Delta of the process-wide metrics registry over this run (pool,
+    /// retry, chaos, wire and engine-statement metrics). Empty when nothing
+    /// instrumented fired.
+    pub metrics: RegistrySnapshot,
+    /// Per-run delta of the engine's execution statistics, when the driver
+    /// can see the engine directly (`local://` drivers; `None` over TCP).
+    pub engine_stats: Option<sqldb::StatsSnapshot>,
 }
 
 /// The SQLoop middleware instance.
@@ -153,12 +166,32 @@ impl SQLoop {
         self.execute_detailed(sql).map(|r| r.result)
     }
 
-    /// Executes one statement with full provenance and metrics.
+    /// Executes one statement with full provenance and metrics: strategy,
+    /// iteration/task counts, per-run registry and engine-statistics deltas,
+    /// and — when [`SqloopConfig::trace`] is on — the run's trace (also
+    /// written as JSON when a trace path is configured).
     ///
     /// # Errors
     /// See [`SQLoop::execute`].
     pub fn execute_detailed(&self, sql: &str) -> SqloopResult<ExecutionReport> {
         let started = Instant::now();
+        let metrics_before = obs::global().snapshot();
+        let engine_before = self.driver.engine_stats();
+        let mut report = self.execute_inner(sql, started)?;
+        report.metrics = obs::global().snapshot().delta_since(&metrics_before);
+        report.engine_stats = match (self.driver.engine_stats(), engine_before) {
+            (Some(now), Some(before)) => Some(now.delta_since(&before)),
+            _ => None,
+        };
+        if let (Some(path), Some(data)) = (&self.config.trace.json_path, &report.trace_data) {
+            if let Err(e) = obs::write_trace_json(path, data, Some(&report.metrics)) {
+                eprintln!("sqloop: could not write trace to {}: {e}", path.display());
+            }
+        }
+        Ok(report)
+    }
+
+    fn execute_inner(&self, sql: &str, started: Instant) -> SqloopResult<ExecutionReport> {
         match parse(sql)? {
             SqloopQuery::Plain(text) => {
                 let mut conn = self.driver.connect()?;
@@ -184,6 +217,10 @@ impl SQLoop {
                     samples: Vec::new(),
                     recovery: RecoveryCounters::default(),
                     elapsed: started.elapsed(),
+                    trace: None,
+                    trace_data: None,
+                    metrics: RegistrySnapshot::default(),
+                    engine_stats: None,
                 })
             }
             SqloopQuery::Recursive(cte) => {
@@ -206,6 +243,10 @@ impl SQLoop {
                     samples: Vec::new(),
                     recovery: RecoveryCounters::default(),
                     elapsed: started.elapsed(),
+                    trace: None,
+                    trace_data: None,
+                    metrics: RegistrySnapshot::default(),
+                    engine_stats: None,
                 })
             }
             SqloopQuery::Iterative(cte) => self.execute_iterative(&cte, started),
@@ -217,13 +258,15 @@ impl SQLoop {
         cte: &IterativeCte,
         started: Instant,
     ) -> SqloopResult<ExecutionReport> {
+        let trace = TraceHandle::new(self.config.trace.enabled);
         let run_single = |reason: Option<String>| -> SqloopResult<ExecutionReport> {
             let mut conn = self.driver.connect()?;
-            let out = run_iterative_single(
+            let out = run_iterative_single_observed(
                 conn.as_mut(),
                 cte,
                 self.config.max_iterations,
                 self.config.keep_artifacts,
+                &trace,
             )?;
             Ok(ExecutionReport {
                 result: out.result,
@@ -239,73 +282,101 @@ impl SQLoop {
                 samples: Vec::new(),
                 recovery: RecoveryCounters::default(),
                 elapsed: started.elapsed(),
+                trace: None,
+                trace_data: None,
+                metrics: RegistrySnapshot::default(),
+                engine_stats: None,
             })
         };
 
-        if self.config.mode == ExecutionMode::Single {
-            return run_single(None);
-        }
-        let columns = self.resolve_columns(cte)?;
-        match analyze(cte, &columns)? {
-            AnalysisOutcome::NotParallelizable { reason } => run_single(Some(reason)),
-            AnalysisOutcome::Parallelizable(plan) => {
-                let (result, recovery) =
-                    run_iterative_parallel_traced(&self.driver, cte, plan, &self.config);
-                match result {
-                    Ok(run) => Ok(ExecutionReport {
-                        result: run.outcome.result,
-                        strategy: Strategy::IterativeParallel {
-                            mode: self.config.mode,
+        let mut report = if self.config.mode == ExecutionMode::Single {
+            run_single(None)?
+        } else {
+            let columns = self.resolve_columns(cte)?;
+            match analyze(cte, &columns)? {
+                AnalysisOutcome::NotParallelizable { reason } => run_single(Some(reason))?,
+                AnalysisOutcome::Parallelizable(plan) => {
+                    let (result, recovery) = run_iterative_parallel_observed(
+                        &self.driver,
+                        cte,
+                        plan,
+                        &self.config,
+                        &trace,
+                    );
+                    match result {
+                        Ok(run) => ExecutionReport {
+                            result: run.outcome.result,
+                            strategy: Strategy::IterativeParallel {
+                                mode: self.config.mode,
+                            },
+                            iterations: run.outcome.iterations,
+                            last_change: run.outcome.last_change,
+                            computes: run.computes,
+                            gathers: run.gathers,
+                            messages: run.messages,
+                            worker_busy: run.worker_busy,
+                            samples: run.samples,
+                            recovery: run.recovery,
+                            elapsed: started.elapsed(),
+                            trace: None,
+                            trace_data: None,
+                            metrics: RegistrySnapshot::default(),
+                            engine_stats: None,
                         },
-                        iterations: run.outcome.iterations,
-                        last_change: run.outcome.last_change,
-                        computes: run.computes,
-                        gathers: run.gathers,
-                        messages: run.messages,
-                        worker_busy: run.worker_busy,
-                        samples: run.samples,
-                        recovery: run.recovery,
-                        elapsed: started.elapsed(),
-                    }),
-                    // budget exhausted on a transient fault: the engine is
-                    // flaky, not the query — degrade to the single-threaded
-                    // executor rather than surfacing the error
-                    Err(e) if self.config.downgrade_on_failure && e.is_retryable() => {
-                        eprintln!(
-                            "sqloop: parallel execution failed ({e}); \
-                             downgrading to the single-threaded executor"
-                        );
-                        let reason = Some(format!("downgraded after fault: {e}"));
-                        // the rerun talks to the same flaky engine; retry it
-                        // whole (every scratch CREATE is preceded by a DROP
-                        // IF EXISTS, so a rerun is idempotent) rather than
-                        // letting one more transient fault kill the query
-                        let mut attempt: u32 = 0;
-                        let mut report = loop {
-                            match run_single(reason.clone()) {
-                                Ok(r) => break r,
-                                Err(e)
-                                    if e.is_retryable() && attempt < self.config.task_retries =>
-                                {
-                                    attempt += 1;
-                                    std::thread::sleep(
-                                        self.config.retry_backoff * (1 << attempt.min(10)),
-                                    );
+                        // budget exhausted on a transient fault: the engine
+                        // is flaky, not the query — degrade to the
+                        // single-threaded executor rather than surfacing
+                        // the error
+                        Err(e) if self.config.downgrade_on_failure && e.is_retryable() => {
+                            eprintln!(
+                                "sqloop: parallel execution failed ({e}); \
+                                 downgrading to the single-threaded executor"
+                            );
+                            trace.event(
+                                EventKind::Downgrade,
+                                None,
+                                None,
+                                format!("parallel execution failed: {e}"),
+                            );
+                            let reason = Some(format!("downgraded after fault: {e}"));
+                            // the rerun talks to the same flaky engine; retry
+                            // it whole (every scratch CREATE is preceded by a
+                            // DROP IF EXISTS, so a rerun is idempotent)
+                            // rather than letting one more transient fault
+                            // kill the query
+                            let mut attempt: u32 = 0;
+                            let mut report = loop {
+                                match run_single(reason.clone()) {
+                                    Ok(r) => break r,
+                                    Err(e)
+                                        if e.is_retryable()
+                                            && attempt < self.config.task_retries =>
+                                    {
+                                        attempt += 1;
+                                        std::thread::sleep(
+                                            self.config.retry_backoff * (1 << attempt.min(10)),
+                                        );
+                                    }
+                                    Err(e) => return Err(e),
                                 }
-                                Err(e) => return Err(e),
-                            }
-                        };
-                        report.recovery = RecoveryCounters {
-                            downgraded: true,
-                            ..recovery
-                        };
-                        report.elapsed = started.elapsed();
-                        Ok(report)
+                            };
+                            report.recovery = RecoveryCounters {
+                                downgraded: true,
+                                ..recovery
+                            };
+                            report
+                        }
+                        Err(e) => return Err(e),
                     }
-                    Err(e) => Err(e),
                 }
             }
+        };
+        if let Some(data) = trace.data() {
+            report.trace = Some(TraceSummary::from_data(&data));
+            report.trace_data = Some(data);
         }
+        report.elapsed = started.elapsed();
+        Ok(report)
     }
 
     /// Column names for analysis: the declared list, or a probe of the seed.

@@ -13,26 +13,42 @@
 //! Statements end with `;` and may span lines. Meta-commands start with `\`:
 //! `\mode single|sync|async|asyncp`, `\threads n`, `\partitions n`,
 //! `\priority lowest|highest <scalar query with {}>`, `\timing on|off`,
-//! `\engine` (show target), `\help`, `\q`.
+//! `\trace on|off|json <path>`, `\stats`, `\engine` (show target), `\help`,
+//! `\q`.
 
-use sqloop::{ExecutionMode, PrioritySpec, SQLoop, Strategy};
+use sqloop::{ExecutionMode, ExecutionReport, PrioritySpec, SQLoop, Strategy, TraceConfig};
 use std::io::{BufRead, Write};
+
+/// Shell state threaded through the meta-command handler.
+struct Shell {
+    sqloop: SQLoop,
+    timing: bool,
+    /// Registry baseline for `\stats` deltas (reset on every `\stats`).
+    stats_base: obs::RegistrySnapshot,
+    /// Engine counter baseline for `\stats` deltas (`None` over TCP).
+    engine_base: Option<sqldb::StatsSnapshot>,
+}
 
 fn main() {
     let url = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "local://postgres".to_string());
-    let mut sqloop = match SQLoop::connect(&url) {
+    let sqloop = match SQLoop::connect(&url) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot connect to {url}: {e}");
             std::process::exit(1);
         }
     };
-    let mut timing = true;
+    let mut shell = Shell {
+        engine_base: sqloop.driver().engine_stats(),
+        stats_base: obs::global().snapshot(),
+        sqloop,
+        timing: true,
+    };
     println!(
         "SQLoop shell — connected to {url} ({})",
-        sqloop.driver().profile()
+        shell.sqloop.driver().profile()
     );
     println!("statements end with ';'; \\help for meta-commands, \\q to quit");
 
@@ -57,7 +73,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('\\') {
-            if !meta_command(trimmed, &mut sqloop, &mut timing) {
+            if !meta_command(trimmed, &mut shell) {
                 break;
             }
             continue;
@@ -71,39 +87,68 @@ fn main() {
         if sql.is_empty() {
             continue;
         }
-        match sqloop.execute_detailed(sql) {
-            Ok(report) => {
-                print_result(&report.result);
-                let provenance = match &report.strategy {
-                    Strategy::Passthrough => "passthrough".to_string(),
-                    Strategy::RecursiveSingle => {
-                        format!("recursive, {} recursions", report.iterations)
-                    }
-                    Strategy::IterativeSingle { fallback_reason } => match fallback_reason {
-                        Some(r) => format!(
-                            "iterative (single-threaded: {r}), {} iterations",
-                            report.iterations
-                        ),
-                        None => format!(
-                            "iterative (single-threaded), {} iterations",
-                            report.iterations
-                        ),
-                    },
-                    Strategy::IterativeParallel { mode } => format!(
-                        "iterative ({mode}), {} iterations, {} computes / {} gathers",
-                        report.iterations, report.computes, report.gathers
-                    ),
-                };
-                if timing {
-                    println!("-- {provenance} in {:?}", report.elapsed);
-                } else {
-                    println!("-- {provenance}");
-                }
-                if !report.recovery.is_clean() {
-                    println!("-- recovery: {}", report.recovery);
-                }
-            }
+        match shell.sqloop.execute_detailed(sql) {
+            Ok(report) => print_report(&report, shell.timing),
             Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+/// Prints a query result plus the provenance / timing / trace footers.
+fn print_report(report: &ExecutionReport, timing: bool) {
+    print_result(&report.result);
+    let provenance = match &report.strategy {
+        Strategy::Passthrough => "passthrough".to_string(),
+        Strategy::RecursiveSingle => {
+            format!("recursive, {} recursions", report.iterations)
+        }
+        Strategy::IterativeSingle { fallback_reason } => match fallback_reason {
+            Some(r) => format!(
+                "iterative (single-threaded: {r}), {} iterations",
+                report.iterations
+            ),
+            None => format!(
+                "iterative (single-threaded), {} iterations",
+                report.iterations
+            ),
+        },
+        Strategy::IterativeParallel { mode } => format!(
+            "iterative ({mode}), {} iterations, {} computes / {} gathers",
+            report.iterations, report.computes, report.gathers
+        ),
+    };
+    if timing {
+        println!("-- {provenance} in {:?}", report.elapsed);
+    } else {
+        println!("-- {provenance}");
+    }
+    if timing {
+        if let Strategy::IterativeParallel { .. } = &report.strategy {
+            let wall = report.elapsed.as_secs_f64();
+            let overlap = if wall > 0.0 {
+                report.worker_busy.as_secs_f64() / wall
+            } else {
+                0.0
+            };
+            println!(
+                "-- workers: {} compute(s) + {} gather(s) over {} iteration(s); \
+                 busy {:?} / {:?} wall (overlap {:.2}x)",
+                report.computes,
+                report.gathers,
+                report.iterations,
+                report.worker_busy,
+                report.elapsed,
+                overlap,
+            );
+        }
+    }
+    if !report.recovery.is_clean() {
+        println!("-- recovery: {}", report.recovery);
+    }
+    if let (Some(summary), Some(data)) = (&report.trace, &report.trace_data) {
+        println!("-- trace: {summary}");
+        for line in obs::timeline(data, 64) {
+            println!("   {line}");
         }
     }
 }
@@ -123,8 +168,14 @@ fn statement_complete(buffer: &str) -> bool {
     false
 }
 
+/// One place for every malformed-meta-command complaint.
+fn usage(text: &str) {
+    eprintln!("usage: {text}");
+}
+
 /// Handles a `\…` command; returns `false` to exit the shell.
-fn meta_command(cmd: &str, sqloop: &mut SQLoop, timing: &mut bool) -> bool {
+fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
+    let sqloop = &mut shell.sqloop;
     let mut parts = cmd.split_whitespace();
     match parts.next().unwrap_or("") {
         "\\q" | "\\quit" | "\\exit" => return false,
@@ -134,6 +185,8 @@ fn meta_command(cmd: &str, sqloop: &mut SQLoop, timing: &mut bool) -> bool {
             println!("\\partitions N                    hash partitions of R");
             println!("\\priority lowest|highest <sql>   AsyncP priority ({{}} = partition)");
             println!("\\timing on|off                   toggle elapsed-time display");
+            println!("\\trace on|off|json <path>        per-run trace (timeline / JSON file)");
+            println!("\\stats                           metric deltas since last \\stats");
             println!("\\engine                          show target engine + config");
             println!("\\q                               quit");
         }
@@ -142,21 +195,21 @@ fn meta_command(cmd: &str, sqloop: &mut SQLoop, timing: &mut bool) -> bool {
                 sqloop.config_mut().mode = m;
                 println!("mode = {m}");
             }
-            None => eprintln!("usage: \\mode single|sync|async|asyncp"),
+            None => usage("\\mode single|sync|async|asyncp"),
         },
         "\\threads" => match parts.next().and_then(|v| v.parse().ok()) {
             Some(n) if n >= 1 => {
                 sqloop.config_mut().threads = n;
                 println!("threads = {n}");
             }
-            _ => eprintln!("usage: \\threads N"),
+            _ => usage("\\threads N"),
         },
         "\\partitions" => match parts.next().and_then(|v| v.parse().ok()) {
             Some(n) if n >= 1 => {
                 sqloop.config_mut().partitions = n;
                 println!("partitions = {n}");
             }
-            _ => eprintln!("usage: \\partitions N"),
+            _ => usage("\\partitions N"),
         },
         "\\priority" => {
             let order = parts.next().unwrap_or("");
@@ -171,30 +224,97 @@ fn meta_command(cmd: &str, sqloop: &mut SQLoop, timing: &mut bool) -> bool {
                     sqloop.config_mut().priority = Some(s);
                     println!("priority = {order} of `{query}`");
                 }
-                _ => eprintln!("usage: \\priority lowest|highest SELECT ... FROM {{}}"),
+                _ => usage("\\priority lowest|highest SELECT ... FROM {}"),
             }
         }
         "\\timing" => match parts.next() {
             Some("on") => {
-                *timing = true;
+                shell.timing = true;
                 println!("timing on");
             }
             Some("off") => {
-                *timing = false;
+                shell.timing = false;
                 println!("timing off");
             }
-            _ => eprintln!("usage: \\timing on|off"),
+            _ => usage("\\timing on|off"),
         },
+        "\\trace" => match parts.next() {
+            Some("on") => {
+                sqloop.config_mut().trace = TraceConfig::on();
+                println!("trace on (timeline after each iterative run)");
+            }
+            Some("off") => {
+                sqloop.config_mut().trace = TraceConfig::default();
+                println!("trace off");
+            }
+            Some("json") => match parts.next() {
+                Some(path) => {
+                    sqloop.config_mut().trace = TraceConfig::json(path);
+                    println!("trace on, JSON written to {path} after each run");
+                }
+                None => usage("\\trace json <path>"),
+            },
+            _ => usage("\\trace on|off|json <path>"),
+        },
+        "\\stats" => {
+            let now = obs::global().snapshot();
+            let delta = now.delta_since(&shell.stats_base);
+            if delta.is_empty() {
+                println!("no metric activity since last \\stats");
+            } else {
+                print_metrics(&delta);
+            }
+            if let Some(cur) = sqloop.driver().engine_stats() {
+                let d = cur.delta_since(&shell.engine_base.unwrap_or_default());
+                println!(
+                    "engine: {} stmt(s), {} row(s) scanned, {} join pair(s), \
+                     {} index probe(s), {} lock wait(s)",
+                    d.statements, d.rows_scanned, d.rows_joined, d.index_lookups, d.lock_waits,
+                );
+                shell.engine_base = Some(cur);
+            }
+            shell.stats_base = now;
+        }
         "\\engine" => {
             println!("engine    : {}", sqloop.driver().profile());
             let c = sqloop.config();
             println!("mode      : {}", c.mode);
             println!("threads   : {}", c.threads);
             println!("partitions: {}", c.partitions);
+            println!(
+                "trace     : {}",
+                match (&c.trace.enabled, &c.trace.json_path) {
+                    (false, _) => "off".to_string(),
+                    (true, None) => "on".to_string(),
+                    (true, Some(p)) => format!("json → {}", p.display()),
+                }
+            );
         }
         other => eprintln!("unknown command {other}; \\help lists commands"),
     }
     true
+}
+
+/// Prints the non-zero part of a registry delta, one metric per line.
+fn print_metrics(snap: &obs::RegistrySnapshot) {
+    for (name, v) in &snap.counters {
+        if *v != 0 {
+            println!("{name:<44} {v}");
+        }
+    }
+    for (name, v) in &snap.gauges {
+        println!("{name:<44} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        if h.count > 0 {
+            println!(
+                "{name:<44} count={} mean={}µs p95={}µs",
+                h.count,
+                h.mean_us(),
+                h.percentile_us(0.95),
+            );
+        }
+    }
 }
 
 fn print_result(result: &sqldb::QueryResult) {

@@ -1,6 +1,63 @@
 //! Middleware configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
+
+/// Trace recording configuration (see DESIGN.md §10).
+///
+/// When `enabled` is false the executors record nothing and pay only a
+/// branch per would-be span/event. `json_path` additionally writes the full
+/// machine-readable trace after each iterative run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record spans/events for each run.
+    pub enabled: bool,
+    /// Where to write the JSON trace document (`None` = keep in memory only).
+    pub json_path: Option<PathBuf>,
+}
+
+impl TraceConfig {
+    /// Tracing on, no JSON file.
+    pub fn on() -> TraceConfig {
+        TraceConfig {
+            enabled: true,
+            json_path: None,
+        }
+    }
+
+    /// Tracing on, JSON trace written to `path` after each run.
+    pub fn json(path: impl Into<PathBuf>) -> TraceConfig {
+        TraceConfig {
+            enabled: true,
+            json_path: Some(path.into()),
+        }
+    }
+
+    /// Reads the `SQLOOP_TRACE` environment variable:
+    /// unset/empty/`0`/`off` → disabled; `1`/`on`/`text` → in-memory trace;
+    /// `json` → trace written to `sqloop_trace.json`; `json:<path>` → trace
+    /// written to `<path>`.
+    pub fn from_env() -> TraceConfig {
+        match std::env::var("SQLOOP_TRACE") {
+            Ok(v) => TraceConfig::parse(&v),
+            Err(_) => TraceConfig::default(),
+        }
+    }
+
+    /// Parses an `SQLOOP_TRACE`-style value (see [`TraceConfig::from_env`]).
+    pub fn parse(value: &str) -> TraceConfig {
+        let v = value.trim();
+        match v.to_ascii_lowercase().as_str() {
+            "" | "0" | "off" | "false" => TraceConfig::default(),
+            "1" | "on" | "true" | "text" => TraceConfig::on(),
+            "json" => TraceConfig::json("sqloop_trace.json"),
+            _ => match v.split_once(':') {
+                Some(("json", path)) if !path.is_empty() => TraceConfig::json(path),
+                _ => TraceConfig::on(),
+            },
+        }
+    }
+}
 
 /// Which execution method runs a parallelizable iterative CTE (paper §V-E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -131,6 +188,9 @@ pub struct SqloopConfig {
     /// retries, rerun the query on the single-threaded executor instead
     /// of surfacing the error.
     pub downgrade_on_failure: bool,
+    /// Trace recording. The default honors the `SQLOOP_TRACE` environment
+    /// variable (see [`TraceConfig::from_env`]).
+    pub trace: TraceConfig,
 }
 
 impl Default for SqloopConfig {
@@ -153,6 +213,7 @@ impl Default for SqloopConfig {
             reconnect_attempts: 3,
             retry_backoff: Duration::from_millis(5),
             downgrade_on_failure: true,
+            trace: TraceConfig::from_env(),
         }
     }
 }
@@ -236,6 +297,25 @@ mod tests {
         let p = PrioritySpec::lowest("SELECT MIN(delta) FROM {}");
         assert_eq!(p.query_for("sssp__pt3"), "SELECT MIN(delta) FROM sssp__pt3");
         assert!(!p.descending);
+    }
+
+    #[test]
+    fn trace_config_parses_env_values() {
+        assert_eq!(TraceConfig::parse(""), TraceConfig::default());
+        assert_eq!(TraceConfig::parse("off"), TraceConfig::default());
+        assert_eq!(TraceConfig::parse("0"), TraceConfig::default());
+        assert_eq!(TraceConfig::parse("on"), TraceConfig::on());
+        assert_eq!(TraceConfig::parse("1"), TraceConfig::on());
+        assert_eq!(
+            TraceConfig::parse("json"),
+            TraceConfig::json("sqloop_trace.json")
+        );
+        assert_eq!(
+            TraceConfig::parse("json:/tmp/t.json"),
+            TraceConfig::json("/tmp/t.json")
+        );
+        // unknown non-empty values mean "the user wanted tracing"
+        assert_eq!(TraceConfig::parse("verbose"), TraceConfig::on());
     }
 
     #[test]

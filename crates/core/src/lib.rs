@@ -48,10 +48,13 @@ pub mod translate;
 
 pub use analysis::{analyze, AnalysisOutcome, ParallelPlan};
 pub use api::{ExecutionReport, SQLoop, Strategy};
-pub use config::{ExecutionMode, PrioritySpec, SqloopConfig};
+pub use config::{ExecutionMode, PrioritySpec, SqloopConfig, TraceConfig};
 pub use error::{SqloopError, SqloopResult};
 pub use grammar::{parse, IterativeCte, RecursiveCte, SqloopQuery, Termination};
-pub use parallel::{run_iterative_parallel, run_iterative_parallel_traced, ParallelRun};
+pub use parallel::{
+    run_iterative_parallel, run_iterative_parallel_observed, run_iterative_parallel_traced,
+    ParallelRun,
+};
 pub use progress::{ProgressSample, RecoveryCounters, Sampler};
 pub use router::SqloopRouter;
-pub use single::{run_iterative_single, run_recursive, RunOutcome};
+pub use single::{run_iterative_single, run_iterative_single_observed, run_recursive, RunOutcome};

@@ -35,6 +35,7 @@ use crate::single::RunOutcome;
 use crate::translate::translate_query_to_sql;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dbcp::{Connection, Driver, RetryPolicy};
+use obs::{EventKind, Span, SpanKind, SpanOutcome, TraceHandle};
 use sqldb::{DbError, Row, StmtOutput, Value};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -73,6 +74,8 @@ struct Task {
     partition: usize,
     kind: TaskKind,
     stmts: Vec<String>,
+    /// Scheduler round/wave the task was built in (1-based; trace only).
+    round: u64,
     /// 1-based attempt number of this dispatch.
     attempt: u32,
     /// Replay resume point: the worker executes `stmts[start_at..]`.
@@ -149,8 +152,22 @@ pub fn run_iterative_parallel_traced(
     plan: ParallelPlan,
     config: &SqloopConfig,
 ) -> (SqloopResult<ParallelRun>, RecoveryCounters) {
+    run_iterative_parallel_observed(driver, cte, plan, config, &TraceHandle::disabled())
+}
+
+/// Like [`run_iterative_parallel_traced`], recording spans (one per
+/// Compute/Gather task attempt) and events (retries, reconnects, faults,
+/// round boundaries) into `trace`. With a disabled handle the
+/// instrumentation costs one branch per would-be record.
+pub fn run_iterative_parallel_observed(
+    driver: &Arc<dyn Driver>,
+    cte: &IterativeCte,
+    plan: ParallelPlan,
+    config: &SqloopConfig,
+    trace: &TraceHandle,
+) -> (SqloopResult<ParallelRun>, RecoveryCounters) {
     let mut recovery = RecoveryCounters::default();
-    let result = run_parallel_inner(driver, cte, plan, config, &mut recovery);
+    let result = run_parallel_inner(driver, cte, plan, config, &mut recovery, trace);
     (result, recovery)
 }
 
@@ -160,6 +177,7 @@ fn run_parallel_inner(
     plan: ParallelPlan,
     config: &SqloopConfig,
     recovery_out: &mut RecoveryCounters,
+    trace: &TraceHandle,
 ) -> SqloopResult<ParallelRun> {
     config.validate().map_err(SqloopError::Config)?;
     let mut main = driver.connect()?;
@@ -249,10 +267,11 @@ fn run_parallel_inner(
         };
         let rx = task_rx.clone();
         let tx = done_tx.clone();
+        let wtrace = trace.clone();
         handles.push(
             std::thread::Builder::new()
                 .name(format!("sqloop-worker-{i}"))
-                .spawn(move || worker_loop(drv, policy, rx, tx))
+                .spawn(move || worker_loop(drv, policy, rx, tx, i as u32, wtrace))
                 .map_err(|e| SqloopError::Config(format!("spawn worker: {e}")))?,
         );
     }
@@ -294,6 +313,8 @@ fn run_parallel_inner(
         reconnects: 0,
         task_failures: 0,
         aborting: false,
+        trace,
+        round: 1,
     };
 
     let sched_result = match config.mode {
@@ -373,11 +394,19 @@ struct SchedStats {
     recovery: RecoveryCounters,
 }
 
-fn worker_loop(driver: Arc<dyn Driver>, policy: RetryPolicy, rx: Receiver<Task>, tx: Sender<Done>) {
+fn worker_loop(
+    driver: Arc<dyn Driver>,
+    policy: RetryPolicy,
+    rx: Receiver<Task>,
+    tx: Sender<Done>,
+    worker: u32,
+    trace: TraceHandle,
+) {
     let mut conn: Option<Box<dyn Connection>> = None;
     let mut ever_connected = false;
     for task in rx.iter() {
         let started = std::time::Instant::now();
+        let span_start = trace.now_us();
         let mut changed = 0u64;
         let mut rows_outputs = Vec::new();
         let mut error = None;
@@ -416,6 +445,26 @@ fn worker_loop(driver: Arc<dyn Driver>, policy: RetryPolicy, rx: Receiver<Task>,
                 }
             }
             at += 1;
+        }
+        if trace.is_enabled() {
+            trace.span(Span {
+                kind: match task.kind {
+                    TaskKind::Compute { .. } => SpanKind::Compute,
+                    TaskKind::Gather { .. } => SpanKind::Gather,
+                },
+                partition: Some(task.partition as u32),
+                iteration: Some(task.round),
+                worker: Some(worker),
+                attempt: task.attempt,
+                rows: changed,
+                outcome: if error.is_some() {
+                    SpanOutcome::Failed
+                } else {
+                    SpanOutcome::Ok
+                },
+                start_us: span_start,
+                end_us: trace.now_us(),
+            });
         }
         let done = Done {
             task,
@@ -458,6 +507,10 @@ struct Scheduler<'a> {
     /// Set on the first unrecoverable task failure: stop replaying, let
     /// the remaining in-flight tasks drain so the run can abort cleanly.
     aborting: bool,
+    /// Trace recorder (no-op when tracing is off).
+    trace: &'a TraceHandle,
+    /// Current 1-based round/wave, stamped into tasks for the trace.
+    round: u64,
 }
 
 impl Scheduler<'_> {
@@ -481,6 +534,7 @@ impl Scheduler<'_> {
             partition: x,
             kind: TaskKind::Compute { msg_table: msg },
             stmts,
+            round: self.round,
             attempt: 1,
             start_at: 0,
             acc_changed: 0,
@@ -506,6 +560,7 @@ impl Scheduler<'_> {
             partition: x,
             kind: TaskKind::Gather { read_until: len },
             stmts: vec![sql],
+            round: self.round,
             attempt: 1,
             start_at: 0,
             acc_changed: 0,
@@ -533,8 +588,26 @@ impl Scheduler<'_> {
         self.parts[x].in_flight = false;
         self.worker_busy += d.elapsed;
         self.reconnects += u64::from(d.reconnects);
+        if self.trace.is_enabled() {
+            // one event per reconnect so the trace tally matches
+            // RecoveryCounters::worker_reconnects exactly
+            for _ in 0..d.reconnects {
+                self.trace.event(
+                    EventKind::Reconnect,
+                    Some(x as u32),
+                    Some(d.task.round),
+                    "worker reopened its engine connection",
+                );
+            }
+        }
         if let Some((failed_at, e)) = d.error {
             self.task_failures += 1;
+            self.trace.event(
+                EventKind::Fault,
+                Some(x as u32),
+                Some(d.task.round),
+                format!("attempt {} failed at stmt {failed_at}: {e}", d.task.attempt),
+            );
             let mut task = d.task;
             task.acc_changed += d.changed;
             task.acc_rows.extend(d.rows_outputs);
@@ -542,6 +615,12 @@ impl Scheduler<'_> {
             if e.is_retryable() && task.attempt <= self.config.task_retries && !self.aborting {
                 task.attempt += 1;
                 self.retries += 1;
+                self.trace.event(
+                    EventKind::Retry,
+                    Some(x as u32),
+                    Some(task.round),
+                    format!("replaying from stmt {failed_at} (attempt {})", task.attempt),
+                );
                 self.dispatch(task)?;
                 return Ok(0);
             }
@@ -664,11 +743,14 @@ impl Scheduler<'_> {
     fn run_sync(&mut self) -> SqloopResult<(u64, u64)> {
         let mut rounds = 0u64;
         loop {
+            self.round = rounds + 1;
             // phase 1: every partition computes
             let compute_tasks: Vec<Task> = (0..self.parts.len())
                 .map(|x| self.build_compute(x))
                 .collect();
             let mut changed = self.run_phase(compute_tasks.into())?;
+            self.trace
+                .event(EventKind::Barrier, None, Some(self.round), "compute phase");
             // phase 2: every partition with unread messages gathers
             let mut gather_tasks = VecDeque::new();
             for x in 0..self.parts.len() {
@@ -677,7 +759,17 @@ impl Scheduler<'_> {
                 }
             }
             changed += self.run_phase(gather_tasks)?;
+            self.trace
+                .event(EventKind::Barrier, None, Some(self.round), "gather phase");
             rounds += 1;
+            if self.trace.is_enabled() {
+                self.trace.event(
+                    EventKind::Round,
+                    None,
+                    Some(rounds),
+                    format!("{changed} row(s) changed"),
+                );
+            }
             if self.tc_check(rounds, changed)? {
                 return Ok((rounds, changed));
             }
@@ -880,6 +972,15 @@ impl Scheduler<'_> {
                     break;
                 }
                 rounds += 1;
+                if self.trace.is_enabled() {
+                    self.trace.event(
+                        EventKind::Round,
+                        None,
+                        Some(rounds),
+                        format!("{round_changed} row(s) changed"),
+                    );
+                }
+                self.round = rounds + 1;
                 let done = match self.tc {
                     // capped partitions can hold pending deltas forever, so
                     // Iterations completes once caps are hit and messages
@@ -973,6 +1074,15 @@ impl Scheduler<'_> {
             if wave_tasks >= tasks_per_round {
                 rounds += 1;
                 wave_tasks = 0;
+                if self.trace.is_enabled() {
+                    self.trace.event(
+                        EventKind::Round,
+                        None,
+                        Some(rounds),
+                        format!("{wave_changed} row(s) changed"),
+                    );
+                }
+                self.round = rounds + 1;
                 // virtual-iteration boundary: evaluate data/delta conditions
                 match self.tc {
                     Termination::Data { .. } | Termination::Delta { .. } => {

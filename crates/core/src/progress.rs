@@ -79,19 +79,34 @@ impl Sampler {
             .name("sqloop-sampler".into())
             .spawn(move || {
                 let start = Instant::now();
+                let failed = obs::global().counter("sqloop.sampler.failed_samples");
                 while !stop2.load(Ordering::Relaxed) {
-                    if let Ok(result) = conn.query(&query) {
-                        if let Some(v) = result.scalar().and_then(|v| v.as_f64()) {
-                            samples2.lock().push(ProgressSample {
-                                elapsed: start.elapsed(),
-                                value: v,
-                            });
+                    match conn.query(&query) {
+                        Ok(result) => {
+                            if let Some(v) = result.scalar().and_then(|v| v.as_f64()) {
+                                samples2.lock().push(ProgressSample {
+                                    elapsed: start.elapsed(),
+                                    value: v,
+                                });
+                            } else {
+                                failed.inc();
+                            }
                         }
+                        Err(_) => failed.inc(),
                     }
-                    // sleep in small steps so stop() is responsive
+                    // sleep in small steps so stop() is responsive; cap each
+                    // nap at the *remaining* time so sub-5ms intervals do not
+                    // oversleep a full 5ms step
                     let deadline = Instant::now() + interval;
-                    while Instant::now() < deadline && !stop2.load(Ordering::Relaxed) {
-                        std::thread::sleep(Duration::from_millis(5).min(interval));
+                    loop {
+                        if stop2.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
                     }
                 }
             })

@@ -12,6 +12,7 @@ use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{IterativeCte, RecursiveCte};
 use crate::translate::translate_query_to_sql;
 use dbcp::Connection;
+use obs::{Span, SpanKind, SpanOutcome, TraceHandle};
 use sqldb::{QueryResult, Value};
 
 /// What an executed CTE run reports back.
@@ -158,6 +159,27 @@ pub fn run_iterative_single(
     max_iterations: u64,
     keep_artifacts: bool,
 ) -> SqloopResult<RunOutcome> {
+    run_iterative_single_observed(
+        conn,
+        cte,
+        max_iterations,
+        keep_artifacts,
+        &TraceHandle::disabled(),
+    )
+}
+
+/// Like [`run_iterative_single`], recording one [`SpanKind::Iteration`] span
+/// per loop iteration (with the updated-row count) into `trace`.
+///
+/// # Errors
+/// Engine errors, or [`SqloopError::Semantic`] when `max_iterations` is hit.
+pub fn run_iterative_single_observed(
+    conn: &mut dyn Connection,
+    cte: &IterativeCte,
+    max_iterations: u64,
+    keep_artifacts: bool,
+    trace: &TraceHandle,
+) -> SqloopResult<RunOutcome> {
     let names = CteNames::new(&cte.name);
     let schema = create_cte_table(conn, &cte.name, &cte.columns, &cte.seed, true, true)?;
     if cte.termination.needs_delta_snapshot() {
@@ -168,6 +190,7 @@ pub fn run_iterative_single(
     let mut iterations = 0u64;
     let mut last_updates;
     loop {
+        let span_start = trace.now_us();
         // Rtmp := Ri
         run(conn, &format!("DROP TABLE IF EXISTS {tmp}"))?;
         run(
@@ -194,6 +217,19 @@ pub fn run_iterative_single(
         let updated = run(conn, &update_sql)?.rows_affected();
         last_updates = updated;
         iterations += 1;
+        if trace.is_enabled() {
+            trace.span(Span {
+                kind: SpanKind::Iteration,
+                partition: None,
+                iteration: Some(iterations),
+                worker: None,
+                attempt: 1,
+                rows: updated,
+                outcome: SpanOutcome::Ok,
+                start_us: span_start,
+                end_us: trace.now_us(),
+            });
+        }
 
         let done =
             termination_satisfied(conn, &cte.name, &cte.termination, iterations, last_updates)?;

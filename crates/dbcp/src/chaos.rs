@@ -199,13 +199,19 @@ impl ChaosStats {
     }
 
     fn record(&self, kind: FaultKind) {
-        let counter = match kind {
-            FaultKind::ConnectRefused => &self.0.connects_refused,
-            FaultKind::StmtError => &self.0.stmt_errors,
-            FaultKind::Latency => &self.0.latencies,
-            FaultKind::Drop => &self.0.drops,
+        let (counter, name) = match kind {
+            FaultKind::ConnectRefused => (
+                &self.0.connects_refused,
+                "dbcp.chaos.injected.connect_refused",
+            ),
+            FaultKind::StmtError => (&self.0.stmt_errors, "dbcp.chaos.injected.stmt_error"),
+            FaultKind::Latency => (&self.0.latencies, "dbcp.chaos.injected.latency"),
+            FaultKind::Drop => (&self.0.drops, "dbcp.chaos.injected.drop"),
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        let reg = obs::global();
+        reg.counter("dbcp.chaos.injected.total").inc();
+        reg.counter(name).inc();
     }
 }
 
@@ -339,6 +345,10 @@ impl Driver for ChaosDriver {
 
     fn profile(&self) -> EngineProfile {
         self.inner.profile()
+    }
+
+    fn engine_stats(&self) -> Option<sqldb::StatsSnapshot> {
+        self.inner.engine_stats()
     }
 }
 

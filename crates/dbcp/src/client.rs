@@ -148,9 +148,13 @@ impl TcpConnection {
                 "connection is broken after an earlier transport failure".into(),
             ));
         }
+        let started = std::time::Instant::now();
         let result = write_frame(&mut self.stream, &encode_request(req))
             .and_then(|()| read_frame(&mut self.stream))
             .and_then(decode_response);
+        obs::global()
+            .histogram("dbcp.wire.round_trip")
+            .observe(started.elapsed());
         if matches!(result, Err(DbError::Connection(_))) {
             self.broken = true;
         }

@@ -92,6 +92,13 @@ pub trait Driver: Send + Sync {
 
     /// The target engine's profile.
     fn profile(&self) -> EngineProfile;
+
+    /// A snapshot of the engine's execution statistics, when the driver can
+    /// see the engine directly (in-process drivers). Remote drivers return
+    /// `None`. Callers diff two snapshots for per-run numbers.
+    fn engine_stats(&self) -> Option<sqldb::StatsSnapshot> {
+        None
+    }
 }
 
 /// In-process driver wrapping a [`Database`] instance directly.
@@ -122,6 +129,10 @@ impl Driver for LocalDriver {
 
     fn profile(&self) -> EngineProfile {
         self.db.profile()
+    }
+
+    fn engine_stats(&self) -> Option<sqldb::StatsSnapshot> {
+        Some(self.db.stats())
     }
 }
 

@@ -26,6 +26,10 @@ pub struct Pool {
     available: Condvar,
     capacity: usize,
     connect_retry: RetryPolicy,
+    // metric handles resolved once at construction (see DESIGN.md §10)
+    m_get: Arc<obs::Histogram>,
+    m_put: Arc<obs::Histogram>,
+    m_health_failures: Arc<obs::Counter>,
 }
 
 impl std::fmt::Debug for Pool {
@@ -61,6 +65,7 @@ impl Pool {
         capacity: usize,
         connect_retry: RetryPolicy,
     ) -> Pool {
+        let reg = obs::global();
         Pool {
             driver,
             state: Mutex::new(PoolState {
@@ -70,6 +75,9 @@ impl Pool {
             available: Condvar::new(),
             capacity: capacity.max(1),
             connect_retry,
+            m_get: reg.histogram("dbcp.pool.get"),
+            m_put: reg.histogram("dbcp.pool.put"),
+            m_health_failures: reg.counter("dbcp.pool.health_check_failures"),
         }
     }
 
@@ -81,17 +89,20 @@ impl Pool {
     /// # Errors
     /// Returns [`DbError::Connection`] on open failure or checkout timeout.
     pub fn get(&self, timeout: Duration) -> DbResult<PooledConnection<'_>> {
+        let started = std::time::Instant::now();
         let mut state = self.state.lock();
         loop {
             while let Some(mut conn) = state.idle.pop() {
                 // probe outside any fairness concern: the lock is held, but
                 // ping is one round trip on an idle connection
                 if conn.ping() {
+                    self.m_get.observe(started.elapsed());
                     return Ok(PooledConnection {
                         pool: self,
                         conn: Some(conn),
                     });
                 }
+                self.m_health_failures.inc();
                 state.total -= 1;
                 drop(conn);
                 self.available.notify_one();
@@ -101,10 +112,11 @@ impl Pool {
                 drop(state);
                 match self.connect_retry.run(|_| self.driver.connect()) {
                     Ok(conn) => {
+                        self.m_get.observe(started.elapsed());
                         return Ok(PooledConnection {
                             pool: self,
                             conn: Some(conn),
-                        })
+                        });
                     }
                     Err(e) => {
                         self.state.lock().total -= 1;
@@ -130,7 +142,11 @@ impl Pool {
     /// liveness probe fails, freeing its capacity slot. Waiters are
     /// notified either way (a freed slot lets them open a fresh one).
     fn put_back(&self, mut conn: Box<dyn Connection>) {
+        let started = std::time::Instant::now();
         let alive = conn.ping();
+        if !alive {
+            self.m_health_failures.inc();
+        }
         let mut state = self.state.lock();
         if alive {
             state.idle.push(conn);
@@ -140,6 +156,7 @@ impl Pool {
         }
         drop(state);
         self.available.notify_one();
+        self.m_put.observe(started.elapsed());
     }
 }
 

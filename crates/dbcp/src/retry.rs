@@ -89,7 +89,11 @@ impl RetryPolicy {
             match op(attempt) {
                 Ok(v) => return Ok(v),
                 Err(e) if is_transient(&e) && attempt + 1 < self.max_attempts => {
-                    std::thread::sleep(self.delay_for(attempt));
+                    let delay = self.delay_for(attempt);
+                    let reg = obs::global();
+                    reg.counter("dbcp.retry.backoff_waits").inc();
+                    reg.histogram("dbcp.retry.backoff_wait").observe(delay);
+                    std::thread::sleep(delay);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),

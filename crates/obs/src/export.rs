@@ -1,0 +1,404 @@
+//! Trace exporters: a per-run summary, a per-worker text [`timeline`]
+//! (Compute/Gather Gantt rows), and a machine-readable JSON document.
+
+use crate::json;
+use crate::metrics::RegistrySnapshot;
+use crate::trace::{EventKind, SpanKind, SpanOutcome, TraceData};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Aggregated view of one run's trace, cheap enough to embed in an
+/// execution report.
+///
+/// `compute_spans`/`gather_spans` count *successful* task completions, so
+/// on a parallel run they equal the scheduler's Compute/Gather totals;
+/// failed attempts are counted separately in `failed_spans`.
+///
+/// # Examples
+/// ```
+/// use obs::{Span, SpanKind, SpanOutcome, TraceHandle, TraceSummary};
+///
+/// let trace = TraceHandle::new(true);
+/// trace.span(Span {
+///     kind: SpanKind::Compute,
+///     partition: Some(0),
+///     iteration: Some(1),
+///     worker: Some(0),
+///     attempt: 1,
+///     rows: 10,
+///     outcome: SpanOutcome::Ok,
+///     start_us: 0,
+///     end_us: 50,
+/// });
+/// let summary = TraceSummary::from_data(&trace.data().unwrap());
+/// assert_eq!(summary.compute_spans, 1);
+/// assert_eq!(summary.failed_spans, 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// All recorded spans, any kind or outcome.
+    pub spans: u64,
+    /// Successful Compute task spans.
+    pub compute_spans: u64,
+    /// Successful Gather task spans.
+    pub gather_spans: u64,
+    /// Single-threaded iteration spans.
+    pub iteration_spans: u64,
+    /// Task attempts that ended in failure.
+    pub failed_spans: u64,
+    /// All recorded events, any kind.
+    pub events: u64,
+    /// Task replay dispatches.
+    pub retry_events: u64,
+    /// Worker engine reconnects.
+    pub reconnect_events: u64,
+    /// Downgrades to the single-threaded executor.
+    pub downgrade_events: u64,
+    /// Trace length in µs.
+    pub duration_us: u64,
+}
+
+impl TraceSummary {
+    /// Summarizes recorded trace data.
+    pub fn from_data(data: &TraceData) -> TraceSummary {
+        let mut s = TraceSummary {
+            spans: data.spans.len() as u64,
+            events: data.events.len() as u64,
+            duration_us: data.duration_us,
+            ..TraceSummary::default()
+        };
+        for span in &data.spans {
+            match (span.kind, span.outcome) {
+                (_, SpanOutcome::Failed) => s.failed_spans += 1,
+                (SpanKind::Compute, SpanOutcome::Ok) => s.compute_spans += 1,
+                (SpanKind::Gather, SpanOutcome::Ok) => s.gather_spans += 1,
+                (SpanKind::Iteration, SpanOutcome::Ok) => s.iteration_spans += 1,
+            }
+        }
+        for event in &data.events {
+            match event.kind {
+                EventKind::Retry => s.retry_events += 1,
+                EventKind::Reconnect => s.reconnect_events += 1,
+                EventKind::Downgrade => s.downgrade_events += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} span(s) ({} compute, {} gather, {} iteration, {} failed), \
+             {} event(s) ({} retry, {} reconnect, {} downgrade) over {:.3} ms",
+            self.spans,
+            self.compute_spans,
+            self.gather_spans,
+            self.iteration_spans,
+            self.failed_spans,
+            self.events,
+            self.retry_events,
+            self.reconnect_events,
+            self.downgrade_events,
+            self.duration_us as f64 / 1000.0,
+        )
+    }
+}
+
+/// Renders per-worker Gantt rows over the trace: one row per worker thread,
+/// `C` marking Compute work, `G` Gather, `x` a failed attempt, `·` idle.
+/// Single-threaded iteration spans render on a row of their own as `I`.
+/// Returns an empty vector for an empty trace.
+///
+/// # Examples
+/// ```
+/// use obs::{Span, SpanKind, SpanOutcome, TraceHandle};
+///
+/// let trace = TraceHandle::new(true);
+/// trace.span(Span {
+///     kind: SpanKind::Compute, partition: Some(0), iteration: None,
+///     worker: Some(0), attempt: 1, rows: 1, outcome: SpanOutcome::Ok,
+///     start_us: 0, end_us: 500,
+/// });
+/// let mut data = trace.data().unwrap();
+/// data.duration_us = 1000;
+/// let rows = obs::timeline(&data, 10);
+/// assert_eq!(rows.len(), 1);
+/// assert!(rows[0].contains("CCCCC"), "{}", rows[0]);
+/// ```
+pub fn timeline(data: &TraceData, width: usize) -> Vec<String> {
+    let width = width.max(8);
+    let total = data.duration_us.max(1);
+    let mut workers: Vec<u32> = data.spans.iter().filter_map(|s| s.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    let has_iterations = data.spans.iter().any(|s| s.worker.is_none());
+    let mut rows = Vec::new();
+    let mut render_row = |label: String, filter: &dyn Fn(&crate::trace::Span) -> bool| {
+        let mut cells = vec!['·'; width];
+        for span in data.spans.iter().filter(|s| filter(s)) {
+            let glyph = match (span.outcome, span.kind) {
+                (SpanOutcome::Failed, _) => 'x',
+                (_, SpanKind::Compute) => 'C',
+                (_, SpanKind::Gather) => 'G',
+                (_, SpanKind::Iteration) => 'I',
+            };
+            let a = (span.start_us.min(total) as usize * width / total as usize).min(width - 1);
+            let b = (span.end_us.min(total) as usize * width / total as usize).min(width - 1);
+            for cell in &mut cells[a..=b] {
+                // failures keep their mark even when later work shares a cell
+                if *cell != 'x' {
+                    *cell = glyph;
+                }
+            }
+        }
+        rows.push(format!("{label} |{}|", cells.iter().collect::<String>()));
+    };
+    for w in workers {
+        render_row(format!("worker {w:>2}"), &move |s| s.worker == Some(w));
+    }
+    if has_iterations {
+        render_row("loop     ".into(), &|s| s.worker.is_none());
+    }
+    rows
+}
+
+/// Serializes a trace (plus an optional per-run metrics snapshot) as a JSON
+/// document. The schema is stable: `version`, `duration_us`, `spans[]`,
+/// `events[]`, and optionally `metrics{counters, gauges}`.
+///
+/// # Examples
+/// ```
+/// use obs::TraceHandle;
+///
+/// let trace = TraceHandle::new(true);
+/// trace.event(obs::EventKind::Retry, Some(1), None, "replay");
+/// let doc = obs::trace_to_json(&trace.data().unwrap(), None);
+/// let parsed = obs::json::parse(&doc).unwrap();
+/// assert_eq!(parsed.get("version").and_then(|v| v.as_u64()), Some(1));
+/// assert_eq!(parsed.get("events").unwrap().as_array().unwrap().len(), 1);
+/// ```
+pub fn trace_to_json(data: &TraceData, metrics: Option<&RegistrySnapshot>) -> String {
+    let mut out = String::with_capacity(256 + data.spans.len() * 128);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": 1,");
+    let _ = writeln!(out, "  \"duration_us\": {},", data.duration_us);
+    out.push_str("  \"spans\": [");
+    for (i, s) in data.spans.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"kind\": \"{}\", \"partition\": {}, \"iteration\": {}, \
+             \"worker\": {}, \"attempt\": {}, \"rows\": {}, \"outcome\": \"{}\", \
+             \"start_us\": {}, \"end_us\": {}}}",
+            s.kind.label(),
+            opt_num(s.partition.map(u64::from)),
+            opt_num(s.iteration),
+            opt_num(s.worker.map(u64::from)),
+            s.attempt,
+            s.rows,
+            s.outcome.label(),
+            s.start_us,
+            s.end_us,
+        );
+    }
+    out.push_str("\n  ],\n  \"events\": [");
+    for (i, e) in data.events.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"kind\": \"{}\", \"at_us\": {}, \"partition\": {}, \
+             \"iteration\": {}, \"detail\": \"{}\"}}",
+            e.kind.label(),
+            e.at_us,
+            opt_num(e.partition.map(u64::from)),
+            opt_num(e.iteration),
+            json::escape(&e.detail),
+        );
+    }
+    out.push_str("\n  ]");
+    if let Some(m) = metrics {
+        out.push_str(",\n  \"metrics\": {\n    \"counters\": {");
+        for (i, (k, v)) in m.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "      \"{}\": {v}", json::escape(k));
+        }
+        out.push_str("\n    },\n    \"gauges\": {");
+        for (i, (k, v)) in m.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "      \"{}\": {v}", json::escape(k));
+        }
+        out.push_str("\n    }\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn opt_num(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |n| n.to_string())
+}
+
+/// Writes [`trace_to_json`] output to `path`.
+///
+/// # Errors
+/// Filesystem errors creating or writing the file.
+pub fn write_trace_json(
+    path: &Path,
+    data: &TraceData,
+    metrics: Option<&RegistrySnapshot>,
+) -> std::io::Result<()> {
+    std::fs::write(path, trace_to_json(data, metrics))
+}
+
+/// Parses a JSON trace document and returns its summary-relevant counts:
+/// `(spans by kind+outcome label, events by kind label)`. Used by tests and
+/// CI to validate emitted trace files.
+///
+/// # Errors
+/// Parse errors, a missing/wrong `version`, or missing `spans`/`events`
+/// arrays.
+#[allow(clippy::type_complexity)]
+pub fn validate_trace_json(
+    text: &str,
+) -> Result<
+    (
+        std::collections::BTreeMap<String, u64>,
+        std::collections::BTreeMap<String, u64>,
+    ),
+    String,
+> {
+    let doc = json::parse(text)?;
+    if doc.get("version").and_then(|v| v.as_u64()) != Some(1) {
+        return Err("missing or unsupported trace version".into());
+    }
+    let spans = doc
+        .get("spans")
+        .and_then(|s| s.as_array())
+        .ok_or("missing spans array")?;
+    let events = doc
+        .get("events")
+        .and_then(|s| s.as_array())
+        .ok_or("missing events array")?;
+    let mut span_counts = std::collections::BTreeMap::new();
+    for s in spans {
+        let kind = s.get("kind").and_then(|k| k.as_str()).ok_or("span kind")?;
+        let outcome = s
+            .get("outcome")
+            .and_then(|k| k.as_str())
+            .ok_or("span outcome")?;
+        *span_counts.entry(format!("{kind}:{outcome}")).or_insert(0) += 1;
+    }
+    let mut event_counts = std::collections::BTreeMap::new();
+    for e in events {
+        let kind = e.get("kind").and_then(|k| k.as_str()).ok_or("event kind")?;
+        *event_counts.entry(kind.to_owned()).or_insert(0) += 1;
+    }
+    Ok((span_counts, event_counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Span, TraceHandle};
+
+    fn sample_trace() -> TraceData {
+        let t = TraceHandle::new(true);
+        for (worker, kind, outcome) in [
+            (0, SpanKind::Compute, SpanOutcome::Ok),
+            (1, SpanKind::Gather, SpanOutcome::Ok),
+            (0, SpanKind::Compute, SpanOutcome::Failed),
+        ] {
+            t.span(Span {
+                kind,
+                partition: Some(2),
+                iteration: Some(1),
+                worker: Some(worker),
+                attempt: 1,
+                rows: 7,
+                outcome,
+                start_us: 10,
+                end_us: 20,
+            });
+        }
+        t.event(EventKind::Retry, Some(2), Some(1), "replay \"quoted\"");
+        t.event(EventKind::Reconnect, None, None, "worker 0");
+        t.data().unwrap()
+    }
+
+    #[test]
+    fn summary_counts_by_kind_and_outcome() {
+        let s = TraceSummary::from_data(&sample_trace());
+        assert_eq!(s.spans, 3);
+        assert_eq!(s.compute_spans, 1);
+        assert_eq!(s.gather_spans, 1);
+        assert_eq!(s.failed_spans, 1);
+        assert_eq!(s.retry_events, 1);
+        assert_eq!(s.reconnect_events, 1);
+        assert_eq!(s.downgrade_events, 0);
+        let text = s.to_string();
+        assert!(text.contains("1 retry"), "{text}");
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let data = sample_trace();
+        let reg = crate::metrics::MetricsRegistry::new();
+        reg.counter("a.b").add(3);
+        let doc = trace_to_json(&data, Some(&reg.snapshot()));
+        let (spans, events) = validate_trace_json(&doc).unwrap();
+        assert_eq!(spans["compute:ok"], 1);
+        assert_eq!(spans["compute:failed"], 1);
+        assert_eq!(spans["gather:ok"], 1);
+        assert_eq!(events["retry"], 1);
+        assert_eq!(events["reconnect"], 1);
+        let parsed = json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed
+                .get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("a.b"))
+                .and_then(|v| v.as_u64()),
+            Some(3)
+        );
+        // the escaped detail string survives the roundtrip
+        let detail = parsed.get("events").unwrap().as_array().unwrap()[0]
+            .get("detail")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        assert_eq!(detail, "replay \"quoted\"");
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let t = TraceHandle::new(true);
+        let doc = trace_to_json(&t.data().unwrap(), None);
+        let (spans, events) = validate_trace_json(&doc).unwrap();
+        assert!(spans.is_empty());
+        assert!(events.is_empty());
+        assert!(timeline(&t.data().unwrap(), 40).is_empty());
+    }
+
+    #[test]
+    fn timeline_renders_one_row_per_worker() {
+        let mut data = sample_trace();
+        data.duration_us = 40;
+        let rows = timeline(&data, 20);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with("worker  0"));
+        assert!(rows[1].starts_with("worker  1"));
+        // worker 0 had a failed attempt overlapping its compute cell
+        assert!(rows[0].contains('x'), "{}", rows[0]);
+        assert!(rows[1].contains('G'), "{}", rows[1]);
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_trace_json("{}").is_err());
+        assert!(validate_trace_json("not json").is_err());
+        assert!(validate_trace_json(r#"{"version": 2, "spans": [], "events": []}"#).is_err());
+    }
+}

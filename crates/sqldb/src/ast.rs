@@ -64,6 +64,30 @@ pub enum Statement {
     Rollback,
 }
 
+impl Statement {
+    /// A stable lower-case label for the statement's kind, used to bucket
+    /// per-kind execution metrics (`sqldb.stmt.<kind>`).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Statement::CreateTable(_) => "create_table",
+            Statement::CreateIndex(_) => "create_index",
+            Statement::CreateView(_) => "create_view",
+            Statement::DropTable { .. } => "drop_table",
+            Statement::DropView { .. } => "drop_view",
+            Statement::DropIndex { .. } => "drop_index",
+            Statement::Truncate { .. } => "truncate",
+            Statement::Insert(_) => "insert",
+            Statement::Update(_) => "update",
+            Statement::Delete { .. } => "delete",
+            Statement::Select(_) => "select",
+            Statement::Explain(_) => "explain",
+            Statement::Begin => "begin",
+            Statement::Commit => "commit",
+            Statement::Rollback => "rollback",
+        }
+    }
+}
+
 /// `CREATE TABLE` payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CreateTable {

@@ -157,6 +157,17 @@ impl Session {
     /// # Errors
     /// See [`Session::execute`].
     pub fn execute_statement(&mut self, stmt: &Statement) -> DbResult<StmtOutput> {
+        let started = std::time::Instant::now();
+        let result = self.execute_statement_inner(stmt);
+        // per-kind latency into the process registry (DESIGN.md §10);
+        // the name set is small and fixed, so the lookup is a read-lock hit
+        obs::global()
+            .histogram(&format!("sqldb.stmt.{}", stmt.kind_label()))
+            .observe(started.elapsed());
+        result
+    }
+
+    fn execute_statement_inner(&mut self, stmt: &Statement) -> DbResult<StmtOutput> {
         self.shared.stats.add_statements(1);
         match stmt {
             Statement::Begin => {

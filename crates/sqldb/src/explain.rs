@@ -14,7 +14,7 @@ use crate::profile::{EngineProfile, JoinStrategy};
 /// Renders a plan for `query` as indented text lines.
 ///
 /// # Errors
-/// Returns [`DbError::NotFound`] for unknown relations.
+/// Returns [`DbError::NotFound`](crate::DbError::NotFound) for unknown relations.
 pub fn explain_query(
     catalog: &Catalog,
     profile: EngineProfile,

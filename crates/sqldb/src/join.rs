@@ -1,7 +1,7 @@
 //! Join algorithms: hash join, index nested-loop, block nested-loop.
 //!
 //! Which algorithm runs is decided by the engine profile's
-//! [`JoinStrategy`](crate::profile::JoinStrategy), reproducing the
+//! [`crate::profile::JoinStrategy`], reproducing the
 //! architectural difference between the paper's three engines: the
 //! PostgreSQL profile hash-joins equi-joins, the MySQL/MariaDB profiles only
 //! have nested loops (upgraded to index nested-loop when the inner side is a

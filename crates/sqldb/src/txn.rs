@@ -202,7 +202,7 @@ impl UndoLog {
         self.ops.push(op);
     }
 
-    /// Current length — use with [`UndoLog::truncate_to`] for statement-level
+    /// Current length — use with [`UndoLog::split_off`] for statement-level
     /// atomicity marks.
     pub fn len(&self) -> usize {
         self.ops.len()

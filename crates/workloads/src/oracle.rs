@@ -5,7 +5,7 @@ use graphgen::{Graph, NodeId};
 use std::collections::{BinaryHeap, HashMap};
 
 /// Delta-accumulative PageRank (the exact iteration the paper's Example 2
-/// encodes, after [11]/Maiter): `rank += delta`,
+/// encodes, after \[11\]/Maiter): `rank += delta`,
 /// `delta' = 0.85 * Σ_in delta_src * weight`, seeded with `delta = 0.15`.
 ///
 /// Returns `node → rank` after `iterations` synchronous rounds.

@@ -1,0 +1,277 @@
+//! Tracing and metrics integration tests: traced runs must agree with the
+//! [`sqloop::ExecutionReport`] counters they ride along with, identical
+//! seeded runs must produce identical traces, injected faults must show up
+//! as trace events, and the JSON export must parse and tally.
+
+use dbcp::{with_chaos, ChaosConfig, Driver, FaultWeights, LocalDriver};
+use obs::{EventKind, SpanKind, SpanOutcome, TraceData};
+use sqldb::{Database, EngineProfile};
+use sqloop::{ExecutionMode, PrioritySpec, SQLoop, SqloopConfig, Strategy, TraceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A fresh database loaded with `graph`, wrapped in a [`LocalDriver`].
+fn loaded_driver(graph: &graphgen::Graph) -> Arc<dyn Driver> {
+    let db = Database::new(EngineProfile::Postgres);
+    let driver: Arc<dyn Driver> = Arc::new(LocalDriver::new(db));
+    let mut conn = driver.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), graph).unwrap();
+    driver
+}
+
+fn traced(mode: ExecutionMode) -> SqloopConfig {
+    let mut config = SqloopConfig {
+        mode,
+        threads: 3,
+        partitions: 8,
+        trace: TraceConfig::on(),
+        ..SqloopConfig::default()
+    };
+    if mode == ExecutionMode::AsyncPrio {
+        config.priority = Some(PrioritySpec::lowest("SELECT MIN(delta) FROM {}"));
+    }
+    config
+}
+
+/// Span tuples that must be stable across identical runs (timestamps and
+/// worker assignment are not).
+fn span_fingerprint(data: &TraceData) -> Vec<(SpanKind, Option<u64>, u64, SpanOutcome)> {
+    data.spans
+        .iter()
+        .map(|s| (s.kind, s.iteration, s.rows, s.outcome))
+        .collect()
+}
+
+#[test]
+fn trace_disabled_is_absent_from_the_report() {
+    let graph = graphgen::web_graph(30, 3, 2);
+    let report = SQLoop::new(loaded_driver(&graph))
+        .with_config(SqloopConfig {
+            mode: ExecutionMode::Sync,
+            threads: 2,
+            partitions: 4,
+            trace: TraceConfig::default(),
+            ..SqloopConfig::default()
+        })
+        .execute_detailed(&workloads::queries::pagerank(4))
+        .unwrap();
+    assert!(report.trace.is_none());
+    assert!(report.trace_data.is_none());
+    // the per-run metric and engine deltas are captured regardless
+    assert!(report.engine_stats.unwrap().statements > 0);
+}
+
+#[test]
+fn parallel_trace_spans_match_report_counters() {
+    let graph = graphgen::web_graph(50, 3, 3);
+    let report = SQLoop::new(loaded_driver(&graph))
+        .with_config(traced(ExecutionMode::Sync))
+        .execute_detailed(&workloads::queries::pagerank(6))
+        .unwrap();
+    assert!(matches!(
+        report.strategy,
+        Strategy::IterativeParallel { .. }
+    ));
+    let data = report.trace_data.as_ref().expect("trace enabled");
+    let ok = |kind: SpanKind| {
+        data.spans
+            .iter()
+            .filter(|s| s.kind == kind && s.outcome == SpanOutcome::Ok)
+            .count() as u64
+    };
+    assert_eq!(ok(SpanKind::Compute), report.computes);
+    assert_eq!(ok(SpanKind::Gather), report.gathers);
+    let summary = report.trace.as_ref().expect("summary present");
+    assert_eq!(summary.compute_spans, report.computes);
+    assert_eq!(summary.gather_spans, report.gathers);
+    let rounds = data
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Round)
+        .count() as u64;
+    assert_eq!(rounds, report.iterations);
+    // every span sits inside the run and carries a worker + partition
+    for s in &data.spans {
+        assert!(s.end_us >= s.start_us);
+        assert!(s.worker.is_some() && s.partition.is_some());
+    }
+}
+
+#[test]
+fn single_threaded_trace_records_one_span_per_iteration() {
+    let graph = graphgen::web_graph(30, 3, 2);
+    let report = SQLoop::new(loaded_driver(&graph))
+        .with_config(traced(ExecutionMode::Single))
+        .execute_detailed(&workloads::queries::pagerank(5))
+        .unwrap();
+    let data = report.trace_data.as_ref().expect("trace enabled");
+    let iterations: Vec<_> = data
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Iteration)
+        .collect();
+    assert_eq!(iterations.len() as u64, report.iterations);
+    for (i, s) in iterations.iter().enumerate() {
+        assert_eq!(s.iteration, Some(i as u64 + 1));
+        assert_eq!(s.outcome, SpanOutcome::Ok);
+    }
+}
+
+#[test]
+fn identical_seeded_single_runs_trace_identically() {
+    let run = || {
+        let graph = graphgen::web_graph(40, 3, 9);
+        SQLoop::new(loaded_driver(&graph))
+            .with_config(traced(ExecutionMode::Single))
+            .execute_detailed(&workloads::queries::pagerank(6))
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    let ta = a.trace_data.as_ref().expect("trace enabled");
+    let tb = b.trace_data.as_ref().expect("trace enabled");
+    assert_eq!(span_fingerprint(ta), span_fingerprint(tb));
+    let events = |d: &TraceData| {
+        d.events
+            .iter()
+            .map(|e| (e.kind, e.detail.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(events(ta), events(tb));
+}
+
+#[test]
+fn chaos_faults_surface_as_trace_events_matching_recovery_counters() {
+    // statement errors only: every injected fault is a task failure the
+    // scheduler replays, so trace events must tally with RecoveryCounters
+    let graph = graphgen::web_graph(50, 3, 3);
+    let db = Database::new(EngineProfile::Postgres);
+    let clean: Arc<dyn Driver> = Arc::new(LocalDriver::new(db));
+    let mut conn = clean.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), &graph).unwrap();
+    let (driver, stats) = with_chaos(
+        clean,
+        ChaosConfig {
+            skip_connections: 1,
+            weights: FaultWeights {
+                connect_refused: 0,
+                stmt_error: 1,
+                latency: 0,
+                drop: 0,
+            },
+            ..ChaosConfig::seeded(17, 0.10)
+        },
+    );
+    let mut config = traced(ExecutionMode::Sync);
+    config.task_retries = 6;
+    config.retry_backoff = Duration::ZERO;
+    let report = SQLoop::new(driver)
+        .with_config(config)
+        .execute_detailed(&workloads::queries::pagerank(8))
+        .unwrap();
+    assert!(stats.stmt_errors() > 0, "storm must inject faults");
+    assert!(report.recovery.task_retries > 0);
+    let data = report.trace_data.as_ref().expect("trace enabled");
+    let count = |kind: EventKind| data.events.iter().filter(|e| e.kind == kind).count() as u64;
+    assert_eq!(count(EventKind::Retry), report.recovery.task_retries);
+    assert_eq!(
+        count(EventKind::Reconnect),
+        report.recovery.worker_reconnects
+    );
+    assert_eq!(count(EventKind::Fault), report.recovery.task_failures);
+    let summary = report.trace.as_ref().unwrap();
+    assert_eq!(summary.retry_events, report.recovery.task_retries);
+    assert_eq!(summary.reconnect_events, report.recovery.worker_reconnects);
+    // failed attempts leave failed spans; the ok tally still matches
+    assert_eq!(summary.failed_spans as u64, report.recovery.task_failures);
+    assert_eq!(summary.compute_spans, report.computes);
+    assert_eq!(summary.gather_spans, report.gathers);
+}
+
+#[test]
+fn json_export_parses_and_tallies_with_the_report() {
+    let graph = graphgen::web_graph(50, 3, 3);
+    let path = std::env::temp_dir().join(format!("sqloop_trace_test_{}.json", std::process::id()));
+    let mut config = traced(ExecutionMode::Sync);
+    config.trace = TraceConfig::json(&path);
+    let report = SQLoop::new(loaded_driver(&graph))
+        .with_config(config)
+        .execute_detailed(&workloads::queries::pagerank(6))
+        .unwrap();
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    let (spans, events) = obs::validate_trace_json(&text).expect("valid trace JSON");
+    assert_eq!(
+        spans.get("compute:ok").copied().unwrap_or(0),
+        report.computes
+    );
+    assert_eq!(spans.get("gather:ok").copied().unwrap_or(0), report.gathers);
+    assert_eq!(events.get("round").copied().unwrap_or(0), report.iterations);
+    // the embedded metrics block must round-trip through the parser too
+    let json = obs::json::parse(&text).unwrap();
+    let counters = json.get("metrics").and_then(|m| m.get("counters"));
+    assert!(counters.is_some(), "metrics.counters missing");
+}
+
+#[test]
+fn downgrade_is_recorded_as_a_trace_event() {
+    let graph = graphgen::web_graph(30, 3, 2);
+    let db = Database::new(EngineProfile::Postgres);
+    let clean: Arc<dyn Driver> = Arc::new(LocalDriver::new(db));
+    let mut conn = clean.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), &graph).unwrap();
+    let (driver, _) = with_chaos(
+        clean,
+        ChaosConfig {
+            skip_connections: 1,
+            match_substring: Some("__msg_".into()),
+            weights: FaultWeights {
+                connect_refused: 0,
+                stmt_error: 1,
+                latency: 0,
+                drop: 0,
+            },
+            ..ChaosConfig::seeded(1, 1.0)
+        },
+    );
+    let mut config = traced(ExecutionMode::Sync);
+    config.task_retries = 2;
+    config.retry_backoff = Duration::ZERO;
+    let report = SQLoop::new(driver)
+        .with_config(config)
+        .execute_detailed(&workloads::queries::pagerank(4))
+        .unwrap();
+    assert!(report.recovery.downgraded);
+    let summary = report.trace.as_ref().expect("trace enabled");
+    assert_eq!(summary.downgrade_events, 1);
+    let data = report.trace_data.as_ref().unwrap();
+    // downgraded runs finish on the single-threaded executor, so the trace
+    // holds both the failed parallel attempt and the iteration spans
+    assert!(data
+        .spans
+        .iter()
+        .any(|s| s.kind == SpanKind::Iteration && s.outcome == SpanOutcome::Ok));
+}
+
+#[test]
+fn per_run_metrics_capture_pool_and_statement_activity() {
+    let graph = graphgen::web_graph(40, 3, 2);
+    let report = SQLoop::new(loaded_driver(&graph))
+        .with_config(traced(ExecutionMode::Sync))
+        .execute_detailed(&workloads::queries::pagerank(4))
+        .unwrap();
+    // local drivers do not go through the pool, but they do hit the engine:
+    // statement-kind histograms must show this run's updates and selects
+    let h = |name: &str| {
+        report
+            .metrics
+            .histograms
+            .get(name)
+            .map(|h| h.count)
+            .unwrap_or(0)
+    };
+    assert!(h("sqldb.stmt.update") > 0, "updates were executed");
+    assert!(h("sqldb.stmt.select") > 0, "selects were executed");
+    let engine = report.engine_stats.expect("local driver sees the engine");
+    assert!(engine.statements > 0);
+    assert!(engine.rows_scanned > 0);
+}
