@@ -2,16 +2,18 @@
 //! strategy, run it, report what happened (paper Fig. 2).
 
 use crate::analysis::{analyze, AnalysisOutcome};
+use crate::checkpoint::{load_latest, Checkpointer};
 use crate::config::{ExecutionMode, SqloopConfig};
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{parse, IterativeCte, SqloopQuery};
 use crate::parallel::run_iterative_parallel_observed;
 use crate::progress::{ProgressSample, RecoveryCounters};
-use crate::single::{run_iterative_single_observed, run_recursive};
+use crate::single::{run_iterative_single_durable, run_recursive};
 use crate::translate::translate_sql;
 use dbcp::{driver_for_url, Driver};
 use obs::{EventKind, RegistrySnapshot, TraceData, TraceHandle, TraceSummary};
 use sqldb::{QueryResult, StmtOutput};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -74,6 +76,14 @@ pub struct ExecutionReport {
     /// Per-run delta of the engine's execution statistics, when the driver
     /// can see the engine directly (`local://` drivers; `None` over TCP).
     pub engine_stats: Option<sqldb::StatsSnapshot>,
+    /// True when the run stopped early on cancellation (deadline, Ctrl-C or
+    /// a programmatic [`dbcp::CancelToken`]); `result` then holds the
+    /// partial state at the cancellation point.
+    pub cancelled: bool,
+    /// Path of the last checkpoint written during this run, when
+    /// [`SqloopConfig::checkpoint`] was configured and at least one
+    /// snapshot was taken.
+    pub checkpoint: Option<PathBuf>,
 }
 
 /// The SQLoop middleware instance.
@@ -221,6 +231,8 @@ impl SQLoop {
                     trace_data: None,
                     metrics: RegistrySnapshot::default(),
                     engine_stats: None,
+                    cancelled: false,
+                    checkpoint: None,
                 })
             }
             SqloopQuery::Recursive(cte) => {
@@ -247,6 +259,8 @@ impl SQLoop {
                     trace_data: None,
                     metrics: RegistrySnapshot::default(),
                     engine_stats: None,
+                    cancelled: false,
+                    checkpoint: None,
                 })
             }
             SqloopQuery::Iterative(cte) => self.execute_iterative(&cte, started),
@@ -259,15 +273,38 @@ impl SQLoop {
         started: Instant,
     ) -> SqloopResult<ExecutionReport> {
         let trace = TraceHandle::new(self.config.trace.enabled);
+        // a fresh statement starts with a clean token; a deadline (when
+        // configured) covers this statement only
+        self.config.cancel.reset();
+        if let Some(d) = self.config.deadline {
+            self.config.cancel.set_deadline_in(d);
+        }
         let run_single = |reason: Option<String>| -> SqloopResult<ExecutionReport> {
             let mut conn = self.driver.connect()?;
-            let out = run_iterative_single_observed(
+            // a resume snapshot only applies here when Single is the
+            // configured mode: after a downgrade the snapshot describes the
+            // parallel layout and the fingerprint check would reject it
+            let resume = match &self.config.resume_from {
+                Some(path) if self.config.mode == ExecutionMode::Single => Some(load_latest(path)?),
+                _ => None,
+            };
+            let mut checkpointer = match &self.config.checkpoint {
+                Some(ck) => Some(Checkpointer::new(ck.clone())?),
+                None => None,
+            };
+            let out = run_iterative_single_durable(
                 conn.as_mut(),
                 cte,
                 self.config.max_iterations,
                 self.config.keep_artifacts,
                 &trace,
+                &self.config.cancel,
+                checkpointer.as_mut(),
+                resume.as_ref(),
             )?;
+            let checkpoint = checkpointer
+                .as_ref()
+                .and_then(|c| c.last_path().map(std::path::Path::to_path_buf));
             Ok(ExecutionReport {
                 result: out.result,
                 strategy: Strategy::IterativeSingle {
@@ -286,6 +323,8 @@ impl SQLoop {
                 trace_data: None,
                 metrics: RegistrySnapshot::default(),
                 engine_stats: None,
+                cancelled: out.cancelled,
+                checkpoint,
             })
         };
 
@@ -322,6 +361,8 @@ impl SQLoop {
                             trace_data: None,
                             metrics: RegistrySnapshot::default(),
                             engine_stats: None,
+                            cancelled: run.outcome.cancelled,
+                            checkpoint: run.checkpoint,
                         },
                         // budget exhausted on a transient fault: the engine
                         // is flaky, not the query — degrade to the
@@ -353,9 +394,13 @@ impl SQLoop {
                                             && attempt < self.config.task_retries =>
                                     {
                                         attempt += 1;
-                                        std::thread::sleep(
+                                        // interruptible: Ctrl-C during a
+                                        // downgrade backoff should not hang
+                                        if !self.config.cancel.sleep(
                                             self.config.retry_backoff * (1 << attempt.min(10)),
-                                        );
+                                        ) {
+                                            return Err(e);
+                                        }
                                     }
                                     Err(e) => return Err(e),
                                 }

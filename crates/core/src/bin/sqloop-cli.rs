@@ -13,11 +13,44 @@
 //! Statements end with `;` and may span lines. Meta-commands start with `\`:
 //! `\mode single|sync|async|asyncp`, `\threads n`, `\partitions n`,
 //! `\priority lowest|highest <scalar query with {}>`, `\timing on|off`,
-//! `\trace on|off|json <path>`, `\stats`, `\engine` (show target), `\help`,
-//! `\q`.
+//! `\trace on|off|json <path>`, `\checkpoint <dir> [interval]|off`,
+//! `\resume <path>|off`, `\deadline <ms>|off`, `\stats`, `\engine`
+//! (show target), `\help`, `\q`.
+//!
+//! Flags: `--checkpoint <dir>[:interval]`, `--resume <path>`,
+//! `--deadline-ms <n>`. Ctrl-C cancels the running statement cooperatively:
+//! the loop quiesces, writes a final checkpoint (when configured) and
+//! reports the partial result.
 
-use sqloop::{ExecutionMode, ExecutionReport, PrioritySpec, SQLoop, Strategy, TraceConfig};
+use sqloop::{
+    CheckpointConfig, ExecutionMode, ExecutionReport, PrioritySpec, SQLoop, Strategy, TraceConfig,
+};
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// SIGINT latch: the handler only flips a flag; a watcher thread turns the
+/// flag into a [`dbcp::CancelToken`] cancellation (and keeps the shell
+/// alive — Ctrl-C at the prompt does not exit).
+static SIGINT_HIT: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT_HIT.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        // raw libc binding: the container image carries no `libc` crate,
+        // and `signal(2)` is all this shell needs
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
 
 /// Shell state threaded through the meta-command handler.
 struct Shell {
@@ -29,17 +62,83 @@ struct Shell {
     engine_base: Option<sqldb::StatsSnapshot>,
 }
 
+/// Parses `--checkpoint dir[:interval]` into a [`CheckpointConfig`].
+fn parse_checkpoint_flag(spec: &str) -> CheckpointConfig {
+    match spec.rsplit_once(':') {
+        Some((dir, n)) if !dir.is_empty() => match n.parse::<u64>() {
+            Ok(interval) if interval >= 1 => CheckpointConfig::new(dir).every(interval),
+            _ => CheckpointConfig::new(spec),
+        },
+        _ => CheckpointConfig::new(spec),
+    }
+}
+
 fn main() {
-    let url = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "local://postgres".to_string());
-    let sqloop = match SQLoop::connect(&url) {
+    let mut url = "local://postgres".to_string();
+    let mut checkpoint = None;
+    let mut resume_from = None;
+    let mut deadline = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint" => match args.next() {
+                Some(spec) => checkpoint = Some(parse_checkpoint_flag(&spec)),
+                None => {
+                    eprintln!("--checkpoint needs <dir>[:interval]");
+                    std::process::exit(2);
+                }
+            },
+            "--resume" => match args.next() {
+                Some(path) => resume_from = Some(std::path::PathBuf::from(path)),
+                None => {
+                    eprintln!("--resume needs a checkpoint dir, MANIFEST.json or snapshot file");
+                    std::process::exit(2);
+                }
+            },
+            "--deadline-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => deadline = Some(std::time::Duration::from_millis(ms)),
+                None => {
+                    eprintln!("--deadline-ms needs a number of milliseconds");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "sqloop-cli [URL] [--checkpoint <dir>[:interval]] \
+                     [--resume <path>] [--deadline-ms <n>]"
+                );
+                return;
+            }
+            other if !other.starts_with('-') => url = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}; --help lists flags");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut sqloop = match SQLoop::connect(&url) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot connect to {url}: {e}");
             std::process::exit(1);
         }
     };
+    sqloop.config_mut().checkpoint = checkpoint;
+    sqloop.config_mut().resume_from = resume_from;
+    sqloop.config_mut().deadline = deadline;
+
+    install_sigint_handler();
+    // the watcher turns the async-signal flag into a cooperative
+    // cancellation of whatever statement is running
+    let cancel = sqloop.config().cancel.clone();
+    std::thread::spawn(move || loop {
+        if SIGINT_HIT.swap(false, Ordering::SeqCst) {
+            eprintln!("\ncancelling — the loop stops at its next quiesce point (\\q quits)");
+            cancel.cancel();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    });
+
     let mut shell = Shell {
         engine_base: sqloop.driver().engine_stats(),
         stats_base: obs::global().snapshot(),
@@ -88,7 +187,13 @@ fn main() {
             continue;
         }
         match shell.sqloop.execute_detailed(sql) {
-            Ok(report) => print_report(&report, shell.timing),
+            Ok(report) => {
+                // a resume snapshot applies to exactly one statement
+                if shell.sqloop.config().resume_from.is_some() {
+                    shell.sqloop.config_mut().resume_from = None;
+                }
+                print_report(&report, shell.timing);
+            }
             Err(e) => eprintln!("error: {e}"),
         }
     }
@@ -142,6 +247,15 @@ fn print_report(report: &ExecutionReport, timing: bool) {
             );
         }
     }
+    if report.cancelled {
+        println!(
+            "-- cancelled: partial result after {} iteration(s)",
+            report.iterations
+        );
+    }
+    if let Some(path) = &report.checkpoint {
+        println!("-- checkpoint: {}", path.display());
+    }
     if !report.recovery.is_clean() {
         println!("-- recovery: {}", report.recovery);
     }
@@ -186,6 +300,9 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
             println!("\\priority lowest|highest <sql>   AsyncP priority ({{}} = partition)");
             println!("\\timing on|off                   toggle elapsed-time display");
             println!("\\trace on|off|json <path>        per-run trace (timeline / JSON file)");
+            println!("\\checkpoint <dir> [interval]|off durable snapshots every N rounds");
+            println!("\\resume <path>|off               resume next run from a checkpoint");
+            println!("\\deadline <ms>|off               cancel runs after a wall-clock budget");
             println!("\\stats                           metric deltas since last \\stats");
             println!("\\engine                          show target engine + config");
             println!("\\q                               quit");
@@ -255,6 +372,55 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
                 None => usage("\\trace json <path>"),
             },
             _ => usage("\\trace on|off|json <path>"),
+        },
+        "\\checkpoint" => match parts.next() {
+            Some("off") => {
+                sqloop.config_mut().checkpoint = None;
+                println!("checkpointing off");
+            }
+            Some(dir) => {
+                let interval = parts.next().and_then(|v| v.parse::<u64>().ok());
+                let config = match interval {
+                    Some(n) if n >= 1 => CheckpointConfig::new(dir).every(n),
+                    Some(_) => {
+                        usage("\\checkpoint <dir> [interval >= 1]");
+                        return true;
+                    }
+                    None => CheckpointConfig::new(dir),
+                };
+                println!(
+                    "checkpointing to {} every {} round(s)",
+                    config.dir.display(),
+                    config.interval
+                );
+                sqloop.config_mut().checkpoint = Some(config);
+            }
+            None => usage("\\checkpoint <dir> [interval] | \\checkpoint off"),
+        },
+        "\\resume" => match parts.next() {
+            Some("off") => {
+                sqloop.config_mut().resume_from = None;
+                println!("resume cleared");
+            }
+            Some(path) => {
+                sqloop.config_mut().resume_from = Some(path.into());
+                println!("next iterative run resumes from {path}");
+            }
+            None => usage("\\resume <dir|MANIFEST.json|snapshot> | \\resume off"),
+        },
+        "\\deadline" => match parts.next() {
+            Some("off") => {
+                sqloop.config_mut().deadline = None;
+                println!("deadline off");
+            }
+            Some(v) => match v.parse::<u64>() {
+                Ok(ms) if ms >= 1 => {
+                    sqloop.config_mut().deadline = Some(std::time::Duration::from_millis(ms));
+                    println!("statements cancel after {ms} ms");
+                }
+                _ => usage("\\deadline <ms> | \\deadline off"),
+            },
+            None => usage("\\deadline <ms> | \\deadline off"),
         },
         "\\stats" => {
             let now = obs::global().snapshot();

@@ -1,5 +1,7 @@
 //! Middleware configuration.
 
+use crate::checkpoint::CheckpointConfig;
+use dbcp::CancelToken;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -191,6 +193,20 @@ pub struct SqloopConfig {
     /// Trace recording. The default honors the `SQLOOP_TRACE` environment
     /// variable (see [`TraceConfig::from_env`]).
     pub trace: TraceConfig,
+    /// Durable checkpointing of iterative loop state (`None` = off). See
+    /// DESIGN.md §11.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume an iterative run from a checkpoint directory, `MANIFEST.json`,
+    /// or snapshot file instead of running the seed query.
+    pub resume_from: Option<PathBuf>,
+    /// Wall-clock budget for each execute call. When it expires the run is
+    /// cancelled cooperatively: a final checkpoint is written (when
+    /// checkpointing is on) and the report carries partial results with
+    /// `cancelled = true`.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation token shared with the run. Cancel it from
+    /// another thread (or a Ctrl-C handler) to stop at the next safe point.
+    pub cancel: CancelToken,
 }
 
 impl Default for SqloopConfig {
@@ -214,6 +230,10 @@ impl Default for SqloopConfig {
             retry_backoff: Duration::from_millis(5),
             downgrade_on_failure: true,
             trace: TraceConfig::from_env(),
+            checkpoint: None,
+            resume_from: None,
+            deadline: None,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -239,6 +259,14 @@ impl SqloopConfig {
         }
         if self.reconnect_attempts == 0 {
             return Err("reconnect_attempts must be at least 1".into());
+        }
+        if let Some(ck) = &self.checkpoint {
+            if ck.interval == 0 {
+                return Err("checkpoint interval must be at least 1 round".into());
+            }
+            if ck.keep_last == 0 {
+                return Err("checkpoint keep_last must be at least 1".into());
+            }
         }
         Ok(())
     }
@@ -290,6 +318,20 @@ mod tests {
         assert!(c.validate().is_err());
         c.priority = Some(PrioritySpec::highest("SELECT SUM(delta) FROM {}"));
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn checkpoint_validation() {
+        let mut c = SqloopConfig {
+            checkpoint: Some(CheckpointConfig::new("/tmp/ck")),
+            ..SqloopConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        c.checkpoint.as_mut().unwrap().interval = 0;
+        assert!(c.validate().is_err());
+        c.checkpoint.as_mut().unwrap().interval = 3;
+        c.checkpoint.as_mut().unwrap().keep_last = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

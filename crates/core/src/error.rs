@@ -15,6 +15,14 @@ pub enum SqloopError {
     Config(String),
     /// An underlying engine/driver error.
     Db(DbError),
+    /// A worker thread or its channel died unexpectedly (panic, poisoned
+    /// state). Retryable: the downgrade path can finish the run on the
+    /// single-threaded executor instead of aborting the process.
+    Worker(String),
+    /// A checkpoint could not be written, read, or validated (corrupt
+    /// manifest, checksum mismatch, fingerprint mismatch on resume). Never
+    /// retryable — resuming from bad state would give a wrong answer.
+    Checkpoint(String),
     /// A parallel Compute/Gather task failed after `attempt` attempts;
     /// `source` is the error of the last attempt. Produced when the
     /// scheduler's replay budget is exhausted (or immediately for errors
@@ -44,6 +52,7 @@ impl SqloopError {
                 DbError::Connection(_) | DbError::LockTimeout(_) | DbError::TxnAborted(_)
             ),
             SqloopError::Task { source, .. } => source.is_retryable(),
+            SqloopError::Worker(_) => true,
             _ => false,
         }
     }
@@ -56,6 +65,8 @@ impl fmt::Display for SqloopError {
             SqloopError::Semantic(m) => write!(f, "semantic error: {m}"),
             SqloopError::Config(m) => write!(f, "configuration error: {m}"),
             SqloopError::Db(e) => write!(f, "engine error: {e}"),
+            SqloopError::Worker(m) => write!(f, "worker failure: {m}"),
+            SqloopError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             SqloopError::Task {
                 partition,
                 attempt,
@@ -131,6 +142,8 @@ mod tests {
         assert!(!SqloopError::Grammar("x".into()).is_retryable());
         assert!(!SqloopError::Semantic("x".into()).is_retryable());
         assert!(!SqloopError::Config("x".into()).is_retryable());
+        assert!(SqloopError::Worker("pool died".into()).is_retryable());
+        assert!(!SqloopError::Checkpoint("bad checksum".into()).is_retryable());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod analysis;
 mod api;
+pub mod checkpoint;
 pub mod common;
 mod config;
 mod error;
@@ -48,7 +49,9 @@ pub mod translate;
 
 pub use analysis::{analyze, AnalysisOutcome, ParallelPlan};
 pub use api::{ExecutionReport, SQLoop, Strategy};
+pub use checkpoint::{CheckpointConfig, Checkpointer, LoopSnapshot};
 pub use config::{ExecutionMode, PrioritySpec, SqloopConfig, TraceConfig};
+pub use dbcp::CancelToken;
 pub use error::{SqloopError, SqloopResult};
 pub use grammar::{parse, IterativeCte, RecursiveCte, SqloopQuery, Termination};
 pub use parallel::{

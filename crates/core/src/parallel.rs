@@ -23,8 +23,13 @@
 //! the single-threaded executor (see `api.rs`).
 
 use crate::analysis::ParallelPlan;
+use crate::checkpoint::{
+    check_fingerprint, dump_table_sql, load_latest, restore_table_sql, run_fingerprint,
+    trace_checkpoint, Checkpointer, LoopSnapshot, PartSnap,
+};
 use crate::common::{
     create_cte_table, refresh_delta_snapshot, run, run_query, termination_satisfied, CteNames,
+    CteSchema,
 };
 use crate::config::{ExecutionMode, SqloopConfig};
 use crate::error::{SqloopError, SqloopResult};
@@ -34,10 +39,11 @@ use crate::progress::{ProgressSample, RecoveryCounters, Sampler};
 use crate::single::RunOutcome;
 use crate::translate::translate_query_to_sql;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use dbcp::{Connection, Driver, RetryPolicy};
+use dbcp::{CancelToken, Connection, Driver, RetryPolicy};
 use obs::{EventKind, Span, SpanKind, SpanOutcome, TraceHandle};
-use sqldb::{DbError, Row, StmtOutput, Value};
+use sqldb::{DataType, DbError, Row, StmtOutput, Value};
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -61,6 +67,8 @@ pub struct ParallelRun {
     pub samples: Vec<ProgressSample>,
     /// What fault recovery had to do (all zero on a clean run).
     pub recovery: RecoveryCounters,
+    /// Path of the last checkpoint written (when checkpointing is on).
+    pub checkpoint: Option<PathBuf>,
 }
 
 #[derive(Debug, Clone)]
@@ -171,6 +179,126 @@ pub fn run_iterative_parallel_observed(
     (result, recovery)
 }
 
+/// Drops everything partitioning may have created. Every drop is
+/// `IF EXISTS` (errors ignored), so this is safe however far setup got.
+fn drop_setup_artifacts(main: &mut dyn Connection, names: &CteNames, partitions: usize) {
+    let _ = run(main, &format!("DROP VIEW IF EXISTS {}", names.table));
+    let _ = run(main, &format!("DROP TABLE IF EXISTS {}", names.table));
+    let _ = run(main, &format!("DROP TABLE IF EXISTS {}", names.mjoin()));
+    let _ = run(
+        main,
+        &format!("DROP TABLE IF EXISTS {}", names.delta_snapshot()),
+    );
+    for x in 0..partitions {
+        let _ = run(
+            main,
+            &format!("DROP TABLE IF EXISTS {}", names.partition(x)),
+        );
+    }
+}
+
+/// Builds the partitioned table layout: either from the seed query (fresh
+/// run) or from a checkpoint's table dumps (`resume`), ending in the same
+/// state — partition tables, the union view `R`, `Rmjoin` + index, and a
+/// delta snapshot when the termination condition reads one.
+fn parallel_setup(
+    main: &mut dyn Connection,
+    cte: &IterativeCte,
+    plan: ParallelPlan,
+    config: &SqloopConfig,
+    names: &CteNames,
+    resume: Option<&LoopSnapshot>,
+) -> SqloopResult<Arc<SqlGen>> {
+    if let Some(snap) = resume {
+        // schema from the dumped partition-0 columns (hidden bookkeeping
+        // columns excluded) — the seed query never runs on resume
+        let p0 = names.partition(0);
+        let dump0 = snap.tables.iter().find(|t| t.name == p0).ok_or_else(|| {
+            SqloopError::Checkpoint(format!("snapshot holds no table named {p0}"))
+        })?;
+        let visible: Vec<_> = dump0
+            .columns
+            .iter()
+            .filter(|c| !c.name.starts_with("__"))
+            .collect();
+        let schema = CteSchema {
+            columns: visible.iter().map(|c| c.name.clone()).collect(),
+            types: visible.iter().map(|c| c.data_type).collect(),
+        };
+        let gen = Arc::new(SqlGen::new(
+            names.clone(),
+            schema,
+            plan,
+            config.partitions,
+            config.materialize_join,
+        ));
+        // stale state from the interrupted run (same database) goes first
+        let _ = run(main, &format!("DROP VIEW IF EXISTS {}", names.table));
+        let _ = run(main, &format!("DROP TABLE IF EXISTS {}", names.table));
+        for t in &snap.tables {
+            restore_table_sql(main, t, config.insert_batch_rows)?;
+        }
+        run(main, &gen.create_view_sql())?;
+        if config.materialize_join {
+            run(main, &format!("DROP TABLE IF EXISTS {}", names.mjoin()))?;
+            run(main, &gen.create_mjoin_sql())?;
+        }
+        let _ = run(main, &gen.join_index_sql());
+        if cte.termination.needs_delta_snapshot()
+            && !snap.tables.iter().any(|t| t.name == names.delta_snapshot())
+        {
+            refresh_delta_snapshot(main, names)?;
+        }
+        return Ok(gen);
+    }
+
+    let schema = create_cte_table(main, &cte.name, &cte.columns, &cte.seed, true, true)?;
+    let gen = Arc::new(SqlGen::new(
+        names.clone(),
+        schema,
+        plan,
+        config.partitions,
+        config.materialize_join,
+    ));
+
+    // Rmjoin while R is still a base table (paper §V-B), plus the join index
+    if config.materialize_join {
+        run(main, &format!("DROP TABLE IF EXISTS {}", names.mjoin()))?;
+        run(main, &gen.create_mjoin_sql())?;
+    }
+    // the index may already exist from a previous run on the edge table
+    let _ = run(main, &gen.join_index_sql());
+
+    // hash-partition R on Rid, middleware-side
+    let col_list = gen.schema().columns.join(", ");
+    let rows = run_query(main, &format!("SELECT {col_list} FROM {}", names.table))?.rows;
+    let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); config.partitions];
+    for row in rows {
+        let b = gen.bucket(&row[0]);
+        buckets[b].push(row);
+    }
+    for (x, bucket) in buckets.iter().enumerate() {
+        run(
+            main,
+            &format!("DROP TABLE IF EXISTS {}", names.partition(x)),
+        )?;
+        run(main, &gen.create_partition_sql(x))?;
+        for chunk in bucket.chunks(config.insert_batch_rows) {
+            run(main, &gen.insert_partition_sql(x, chunk))?;
+        }
+        if let Some(sql) = gen.init_hidden_sql(x) {
+            run(main, &sql)?;
+        }
+    }
+    // R becomes the union view (paper §V-B)
+    run(main, &format!("DROP TABLE {}", names.table))?;
+    run(main, &gen.create_view_sql())?;
+    if cte.termination.needs_delta_snapshot() {
+        refresh_delta_snapshot(main, names)?;
+    }
+    Ok(gen)
+}
+
 fn run_parallel_inner(
     driver: &Arc<dyn Driver>,
     cte: &IterativeCte,
@@ -182,64 +310,67 @@ fn run_parallel_inner(
     config.validate().map_err(SqloopError::Config)?;
     let mut main = driver.connect()?;
     let names = CteNames::new(&cte.name);
-    let schema = create_cte_table(
+
+    let fingerprint = run_fingerprint(cte, config.mode.label(), config.partitions);
+    let resume_snap = match &config.resume_from {
+        Some(path) => {
+            let snap = load_latest(path)?;
+            check_fingerprint(&snap, fingerprint, config.mode.label())?;
+            if snap.parts.len() != config.partitions {
+                return Err(SqloopError::Checkpoint(format!(
+                    "snapshot carries {} partition states but this run has {} partitions",
+                    snap.parts.len(),
+                    config.partitions
+                )));
+            }
+            Some(snap)
+        }
+        None => None,
+    };
+    // fail before any table exists when the checkpoint dir is unusable
+    let mut checkpointer = match &config.checkpoint {
+        Some(ck) => Some(Checkpointer::new(ck.clone())?),
+        None => None,
+    };
+
+    let gen = match parallel_setup(
         main.as_mut(),
-        &cte.name,
-        &cte.columns,
-        &cte.seed,
-        true,
-        true,
-    )?;
-    let gen = Arc::new(SqlGen::new(
-        names.clone(),
-        schema,
+        cte,
         plan,
-        config.partitions,
-        config.materialize_join,
-    ));
-
-    // Rmjoin while R is still a base table (paper §V-B), plus the join index
-    if config.materialize_join {
-        run(
-            main.as_mut(),
-            &format!("DROP TABLE IF EXISTS {}", names.mjoin()),
-        )?;
-        run(main.as_mut(), &gen.create_mjoin_sql())?;
-    }
-    // the index may already exist from a previous run on the edge table
-    let _ = run(main.as_mut(), &gen.join_index_sql());
-
-    // hash-partition R on Rid, middleware-side
-    let col_list = gen.schema().columns.join(", ");
-    let rows = run_query(
-        main.as_mut(),
-        &format!("SELECT {col_list} FROM {}", names.table),
-    )?
-    .rows;
-    let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); config.partitions];
-    for row in rows {
-        let b = gen.bucket(&row[0]);
-        buckets[b].push(row);
-    }
-    for (x, bucket) in buckets.iter().enumerate() {
-        run(
-            main.as_mut(),
-            &format!("DROP TABLE IF EXISTS {}", names.partition(x)),
-        )?;
-        run(main.as_mut(), &gen.create_partition_sql(x))?;
-        for chunk in bucket.chunks(config.insert_batch_rows) {
-            run(main.as_mut(), &gen.insert_partition_sql(x, chunk))?;
+        config,
+        &names,
+        resume_snap.as_ref(),
+    ) {
+        Ok(gen) => gen,
+        Err(e) => {
+            // a half-built layout must not leak into the catalog
+            if !config.keep_artifacts {
+                drop_setup_artifacts(main.as_mut(), &names, config.partitions);
+            }
+            return Err(e);
         }
-        if let Some(sql) = gen.init_hidden_sql(x) {
-            run(main.as_mut(), &sql)?;
-        }
+    };
+    let start_round = resume_snap.as_ref().map(|s| s.round).unwrap_or(0);
+    if let Some(snap) = &resume_snap {
+        trace.event(
+            EventKind::Resume,
+            None,
+            Some(start_round),
+            format!("resumed {} run at round {start_round}", snap.mode),
+        );
     }
-    // R becomes the union view (paper §V-B)
-    run(main.as_mut(), &format!("DROP TABLE {}", names.table))?;
-    run(main.as_mut(), &gen.create_view_sql())?;
-    if cte.termination.needs_delta_snapshot() {
-        refresh_delta_snapshot(main.as_mut(), &names)?;
-    }
+    let part_cols: Vec<(String, DataType)> = gen
+        .schema()
+        .columns
+        .iter()
+        .cloned()
+        .zip(gen.schema().types.iter().copied())
+        .chain(
+            gen.hidden_columns()
+                .into_iter()
+                .map(|c| (c.to_string(), DataType::Float)),
+        )
+        .collect();
 
     // convergence sampler
     let sampler = match (&config.sample_interval, &config.progress_query) {
@@ -268,25 +399,34 @@ fn run_parallel_inner(
         let rx = task_rx.clone();
         let tx = done_tx.clone();
         let wtrace = trace.clone();
+        let wcancel = config.cancel.clone();
         handles.push(
             std::thread::Builder::new()
                 .name(format!("sqloop-worker-{i}"))
-                .spawn(move || worker_loop(drv, policy, rx, tx, i as u32, wtrace))
+                .spawn(move || worker_loop(drv, policy, rx, tx, i as u32, wtrace, wcancel))
                 .map_err(|e| SqloopError::Config(format!("spawn worker: {e}")))?,
         );
     }
     drop(task_rx);
     drop(done_tx);
 
-    let mut scheduler = Scheduler {
-        gen: &gen,
-        config,
-        tc: &cte.termination,
-        cte_name: &cte.name,
-        main: main.as_mut(),
-        task_tx: &task_tx,
-        done_rx: &done_rx,
-        parts: vec![
+    let parts = match &resume_snap {
+        Some(snap) => snap
+            .parts
+            .iter()
+            .map(|p| PartState {
+                pending: p.pending,
+                cursor: 0,
+                in_flight: false,
+                computes: p.computes,
+                msg_seq: p.msg_seq,
+                priority: 0.0,
+                prefer_compute: p.prefer_compute,
+                round_gathered: false,
+                round_computed: false,
+            })
+            .collect(),
+        None => vec![
             PartState {
                 pending: true,
                 cursor: 0,
@@ -300,6 +440,16 @@ fn run_parallel_inner(
             };
             config.partitions
         ],
+    };
+    let mut scheduler = Scheduler {
+        gen: &gen,
+        config,
+        tc: &cte.termination,
+        cte_name: &cte.name,
+        main: main.as_mut(),
+        task_tx: &task_tx,
+        done_rx: &done_rx,
+        parts,
         msgs: Vec::new(),
         in_flight: 0,
         computes: 0,
@@ -314,7 +464,13 @@ fn run_parallel_inner(
         task_failures: 0,
         aborting: false,
         trace,
-        round: 1,
+        round: start_round + 1,
+        cancel: &config.cancel,
+        checkpointer,
+        fingerprint,
+        part_cols,
+        start_round,
+        cancelled: false,
     };
 
     let sched_result = match config.mode {
@@ -337,6 +493,11 @@ fn run_parallel_inner(
             downgraded: false,
         },
     };
+    let was_cancelled = scheduler.cancelled;
+    checkpointer = scheduler.checkpointer.take();
+    let checkpoint_path = checkpointer
+        .as_ref()
+        .and_then(|c| c.last_path().map(Path::to_path_buf));
     drop(scheduler);
     *recovery_out = stats.recovery;
 
@@ -369,6 +530,7 @@ fn run_parallel_inner(
                     result,
                     iterations: rounds,
                     last_change,
+                    cancelled: was_cancelled,
                 },
                 computes: stats.computes,
                 gathers: stats.gathers,
@@ -376,6 +538,7 @@ fn run_parallel_inner(
                 worker_busy: stats.worker_busy,
                 samples,
                 recovery: stats.recovery,
+                checkpoint: checkpoint_path,
             })
         }
         Err(e) => {
@@ -401,6 +564,7 @@ fn worker_loop(
     tx: Sender<Done>,
     worker: u32,
     trace: TraceHandle,
+    cancel: CancelToken,
 ) {
     let mut conn: Option<Box<dyn Connection>> = None;
     let mut ever_connected = false;
@@ -414,7 +578,9 @@ fn worker_loop(
         let mut at = task.start_at;
         while at < task.stmts.len() {
             if conn.is_none() {
-                match policy.run(|_| driver.connect()) {
+                // interruptible reconnect backoff: a cancelled run must not
+                // sit out the full exponential wait
+                match policy.run_with_cancel(&cancel, |_| driver.connect()) {
                     Ok(c) => {
                         if ever_connected {
                             reconnects += 1;
@@ -428,7 +594,19 @@ fn worker_loop(
                     }
                 }
             }
-            let c = conn.as_mut().expect("connection was just ensured");
+            let c = match conn.as_mut() {
+                // unreachable in practice (the branch above just ensured
+                // it), but a poisoned worker must degrade into a task
+                // failure, not abort the whole process
+                Some(c) => c,
+                None => {
+                    error = Some((
+                        at,
+                        SqloopError::Worker("worker lost its connection unexpectedly".into()),
+                    ));
+                    break;
+                }
+            };
             match run(c.as_mut(), &task.stmts[at]) {
                 Ok(StmtOutput::Affected(n)) => changed += n,
                 Ok(StmtOutput::Rows(r)) => rows_outputs.push(r),
@@ -511,6 +689,19 @@ struct Scheduler<'a> {
     trace: &'a TraceHandle,
     /// Current 1-based round/wave, stamped into tasks for the trace.
     round: u64,
+    /// Cooperative cancellation, checked at quiesce points and while
+    /// dispatching.
+    cancel: &'a CancelToken,
+    /// Periodic durable snapshots (`None` = checkpointing off).
+    checkpointer: Option<Checkpointer>,
+    /// [`run_fingerprint`] of this run, stamped into every snapshot.
+    fingerprint: u64,
+    /// Full partition-table column list (declared + hidden), for dumps.
+    part_cols: Vec<(String, DataType)>,
+    /// Completed rounds carried over from a resumed checkpoint.
+    start_round: u64,
+    /// Set when the run stopped at a cancellation point.
+    cancelled: bool,
 }
 
 impl Scheduler<'_> {
@@ -573,7 +764,7 @@ impl Scheduler<'_> {
         self.in_flight += 1;
         self.task_tx
             .send(task)
-            .map_err(|_| SqloopError::Config("worker pool shut down unexpectedly".into()))
+            .map_err(|_| SqloopError::Worker("worker pool shut down unexpectedly".into()))
     }
 
     /// Processes one completion; returns the number of changed rows.
@@ -741,7 +932,7 @@ impl Scheduler<'_> {
     // -- Sync: two-phase rounds with a barrier (paper §V-E) -----------------
 
     fn run_sync(&mut self) -> SqloopResult<(u64, u64)> {
-        let mut rounds = 0u64;
+        let mut rounds = self.start_round;
         loop {
             self.round = rounds + 1;
             // phase 1: every partition computes
@@ -770,9 +961,16 @@ impl Scheduler<'_> {
                     format!("{changed} row(s) changed"),
                 );
             }
-            if self.tc_check(rounds, changed)? {
+            // a cancelled round ran partially — its (under-counted) change
+            // tally must not drive a termination decision
+            if !self.cancel.cancelled() && self.tc_check(rounds, changed)? {
                 return Ok((rounds, changed));
             }
+            // the barrier is the Sync scheduler's natural quiesce point
+            if self.check_cancel(rounds, changed)? {
+                return Ok((rounds, changed));
+            }
+            let _ = self.maybe_checkpoint(rounds, changed)?;
             if rounds >= self.config.max_iterations {
                 return Err(SqloopError::Semantic(format!(
                     "termination condition not satisfied within {rounds} iterations"
@@ -785,13 +983,21 @@ impl Scheduler<'_> {
         let mut changed = 0u64;
         let mut first_error: Option<SqloopError> = None;
         loop {
-            while self.in_flight < self.config.threads && first_error.is_none() {
+            // a cancelled run stops feeding the phase and drains what is
+            // already in flight; check_cancel handles the rest at the
+            // round boundary
+            while self.in_flight < self.config.threads
+                && first_error.is_none()
+                && !self.cancel.cancelled()
+            {
                 match queue.pop_front() {
                     Some(t) => self.dispatch(t)?,
                     None => break,
                 }
             }
-            if self.in_flight == 0 && (queue.is_empty() || first_error.is_some()) {
+            if self.in_flight == 0
+                && (queue.is_empty() || first_error.is_some() || self.cancel.cancelled())
+            {
                 return match first_error {
                     Some(e) => Err(e),
                     None => Ok(changed),
@@ -800,7 +1006,7 @@ impl Scheduler<'_> {
             let d = self
                 .done_rx
                 .recv()
-                .map_err(|_| SqloopError::Config("worker pool died".into()))?;
+                .map_err(|_| SqloopError::Worker("worker pool died".into()))?;
             match self.handle_done(d) {
                 Ok(n) => changed += n,
                 Err(e) => {
@@ -952,11 +1158,14 @@ impl Scheduler<'_> {
     }
 
     fn run_async_blind(&mut self) -> SqloopResult<(u64, u64)> {
-        let mut rounds = 0u64;
+        let mut rounds = self.start_round;
         let mut round_changed = 0u64;
         let mut first_error: Option<SqloopError> = None;
         loop {
-            while first_error.is_none() && self.in_flight < self.config.threads {
+            while first_error.is_none()
+                && !self.cancel.cancelled()
+                && self.in_flight < self.config.threads
+            {
                 if let Some(t) = self.pick_blind() {
                     self.dispatch(t)?;
                     continue;
@@ -998,18 +1207,31 @@ impl Scheduler<'_> {
                     self.drain()?;
                     return Ok((self.report_rounds(rounds), round_changed));
                 }
+                // the round boundary (nothing in flight) is Async's
+                // quiesce point for cancellation and checkpoints
+                if self.check_cancel(rounds, round_changed)? {
+                    return Ok((self.report_rounds(rounds), round_changed));
+                }
+                let carried = self.maybe_checkpoint(rounds, round_changed)?;
                 if rounds >= self.config.max_iterations {
                     self.drain()?;
                     return Err(SqloopError::Semantic(format!(
                         "termination condition not satisfied within {rounds} rounds"
                     )));
                 }
-                round_changed = 0;
+                round_changed = carried;
                 self.reset_round_flags();
             }
             if self.in_flight == 0 {
                 if let Some(e) = first_error {
                     return Err(e);
+                }
+                if self.cancel.cancelled() {
+                    // mid-round cancellation: dispatching stopped above and
+                    // the pipeline is dry — quiesce, checkpoint, return the
+                    // partial state
+                    self.check_cancel(rounds, round_changed)?;
+                    return Ok((self.report_rounds(rounds), round_changed));
                 }
                 if !self.round_complete() {
                     continue; // new round was just opened; dispatch again
@@ -1021,7 +1243,7 @@ impl Scheduler<'_> {
             let d = self
                 .done_rx
                 .recv()
-                .map_err(|_| SqloopError::Config("worker pool died".into()))?;
+                .map_err(|_| SqloopError::Worker("worker pool died".into()))?;
             match self.handle_done(d) {
                 Ok(c) => round_changed += c,
                 Err(e) => {
@@ -1036,12 +1258,12 @@ impl Scheduler<'_> {
     fn run_async_prio(&mut self) -> SqloopResult<(u64, u64)> {
         self.init_priorities();
         let tasks_per_round = (2 * self.parts.len()).max(1);
-        let mut rounds = 0u64;
+        let mut rounds = self.start_round;
         let mut wave_changed = 0u64;
         let mut wave_tasks = 0usize;
         let mut first_error: Option<SqloopError> = None;
         loop {
-            if first_error.is_none() {
+            if first_error.is_none() && !self.cancel.cancelled() {
                 while self.in_flight < self.config.threads {
                     match self.pick_prio() {
                         Some(t) => self.dispatch(t)?,
@@ -1053,6 +1275,13 @@ impl Scheduler<'_> {
                 if let Some(e) = first_error {
                     return Err(e);
                 }
+                if self.cancel.cancelled() {
+                    // mid-wave cancellation: dispatching stopped above and
+                    // the pipeline is dry — quiesce, checkpoint, return the
+                    // partial state
+                    self.check_cancel(rounds, wave_changed)?;
+                    return Ok((self.report_rounds(rounds), wave_changed));
+                }
                 // quiescent: nothing can contribute any more
                 rounds += 1;
                 return Ok((self.report_rounds(rounds), wave_changed));
@@ -1060,7 +1289,7 @@ impl Scheduler<'_> {
             let d = self
                 .done_rx
                 .recv()
-                .map_err(|_| SqloopError::Config("worker pool died".into()))?;
+                .map_err(|_| SqloopError::Worker("worker pool died".into()))?;
             match self.handle_done(d) {
                 Ok(c) => wave_changed += c,
                 Err(e) => {
@@ -1099,13 +1328,19 @@ impl Scheduler<'_> {
                     }
                     Termination::Iterations(_) => {}
                 }
+                // the wave boundary is AsyncP's quiesce point for
+                // cancellation and checkpoints
+                if self.check_cancel(rounds, wave_changed)? {
+                    return Ok((self.report_rounds(rounds), wave_changed));
+                }
+                let carried = self.maybe_checkpoint(rounds, wave_changed)?;
                 if rounds >= self.config.max_iterations {
                     self.drain()?;
                     return Err(SqloopError::Semantic(format!(
                         "termination condition not satisfied within {rounds} rounds"
                     )));
                 }
-                wave_changed = 0;
+                wave_changed = carried;
             }
         }
     }
@@ -1140,15 +1375,138 @@ impl Scheduler<'_> {
         }
     }
 
-    /// Waits for all in-flight tasks after a termination decision.
-    fn drain(&mut self) -> SqloopResult<()> {
+    /// Waits for all in-flight tasks after a termination decision; returns
+    /// the rows they changed.
+    fn drain(&mut self) -> SqloopResult<u64> {
+        let mut changed = 0u64;
         while self.in_flight > 0 {
             let d = self
                 .done_rx
                 .recv()
-                .map_err(|_| SqloopError::Config("worker pool died".into()))?;
-            let _ = self.handle_done(d)?;
+                .map_err(|_| SqloopError::Worker("worker pool died".into()))?;
+            changed += self.handle_done(d)?;
         }
-        Ok(())
+        Ok(changed)
+    }
+
+    // -- checkpoint / cancellation (DESIGN.md §11) --------------------------
+
+    /// Brings the loop to a quiesce point: waits out in-flight tasks, then
+    /// force-gathers every unread message table until the registry is empty
+    /// — after which the partition tables alone are the loop state. Returns
+    /// the rows changed by the forced gathers (they belong to the next
+    /// round's tally, not the completed one).
+    fn quiesce(&mut self) -> SqloopResult<u64> {
+        let mut changed = self.drain()?;
+        loop {
+            let mut dispatched = false;
+            for x in 0..self.parts.len() {
+                if let Some(t) = self.build_gather(x) {
+                    self.dispatch(t)?;
+                    dispatched = true;
+                }
+            }
+            if !dispatched {
+                break;
+            }
+            changed += self.drain()?;
+        }
+        self.gc_messages();
+        Ok(changed)
+    }
+
+    /// Dumps the quiesced loop state. Callers must hold the quiesce
+    /// invariant (no in-flight task, no live message table).
+    fn parallel_snapshot(&mut self, rounds: u64, last_change: u64) -> SqloopResult<LoopSnapshot> {
+        let names = self.gen.names().clone();
+        let mut tables = Vec::with_capacity(self.parts.len() + 1);
+        for x in 0..self.parts.len() {
+            tables.push(dump_table_sql(
+                self.main,
+                &names.partition(x),
+                &self.part_cols,
+                Some(0),
+            )?);
+        }
+        if self.needs_delta {
+            let visible: Vec<(String, DataType)> = self
+                .part_cols
+                .iter()
+                .filter(|(n, _)| !n.starts_with("__"))
+                .cloned()
+                .collect();
+            tables.push(dump_table_sql(
+                self.main,
+                &names.delta_snapshot(),
+                &visible,
+                None,
+            )?);
+        }
+        Ok(LoopSnapshot {
+            fingerprint: self.fingerprint,
+            mode: self.config.mode.label().into(),
+            round: rounds,
+            last_change,
+            parts: self
+                .parts
+                .iter()
+                .map(|p| PartSnap {
+                    computes: p.computes,
+                    msg_seq: p.msg_seq,
+                    pending: p.pending,
+                    prefer_compute: p.prefer_compute,
+                })
+                .collect(),
+            seeds: (0..self.config.threads as u64).map(|i| i + 1).collect(),
+            tables,
+        })
+    }
+
+    /// Writes a checkpoint when one is due at `rounds` completed rounds;
+    /// returns the rows changed while quiescing (carry them into the next
+    /// round's tally).
+    fn maybe_checkpoint(&mut self, rounds: u64, last_change: u64) -> SqloopResult<u64> {
+        let due = self
+            .checkpointer
+            .as_ref()
+            .map(|c| c.due(rounds))
+            .unwrap_or(false);
+        if !due {
+            return Ok(0);
+        }
+        let carried = self.quiesce()?;
+        let snap = self.parallel_snapshot(rounds, last_change)?;
+        if let Some(ck) = self.checkpointer.as_mut() {
+            let path = ck.save(&snap)?;
+            trace_checkpoint(self.trace, rounds, &path);
+        }
+        Ok(carried)
+    }
+
+    /// When the token is cancelled: quiesces, writes a final checkpoint
+    /// (when checkpointing is on), marks the run cancelled, and returns
+    /// `true` — the scheduler then returns its partial state as a normal
+    /// result.
+    fn check_cancel(&mut self, rounds: u64, last_change: u64) -> SqloopResult<bool> {
+        if !self.cancel.cancelled() {
+            return Ok(false);
+        }
+        self.trace.event(
+            EventKind::Cancel,
+            None,
+            Some(rounds),
+            "cancelled at quiesce point",
+        );
+        obs::global().counter("sqloop.cancelled_runs").inc();
+        self.quiesce()?;
+        if self.checkpointer.is_some() {
+            let snap = self.parallel_snapshot(rounds, last_change)?;
+            if let Some(ck) = self.checkpointer.as_mut() {
+                let path = ck.save(&snap)?;
+                trace_checkpoint(self.trace, rounds, &path);
+            }
+        }
+        self.cancelled = true;
+        Ok(true)
     }
 }

@@ -121,6 +121,21 @@ impl SqlGen {
         )
     }
 
+    /// Names of the hidden bookkeeping columns partition tables carry
+    /// beyond the declared CTE schema (all `FLOAT`); the checkpoint dump
+    /// needs them to capture the full partition state.
+    pub fn hidden_columns(&self) -> Vec<&'static str> {
+        let mut cols = Vec::new();
+        if self.is_avg() {
+            cols.push(AVG_SUM_COL);
+            cols.push(AVG_CNT_COL);
+        }
+        if self.is_idempotent() {
+            cols.push(SENT_COL);
+        }
+        cols
+    }
+
     // -- setup statements -------------------------------------------------
 
     /// `CREATE TABLE <pt_x> (…)` including hidden bookkeeping columns.
@@ -435,7 +450,9 @@ fn render_expr(e: &Expr) -> String {
     render::expr_to_sql(e, &EngineProfile::Postgres.dialect())
 }
 
-fn value_literal(v: &Value) -> String {
+/// Canonical-dialect SQL literal for a value (`Infinity` literals included);
+/// the checkpoint restore path uses this to re-INSERT dumped rows.
+pub(crate) fn value_literal(v: &Value) -> String {
     render::expr_to_sql(
         &Expr::Literal(v.clone()),
         &EngineProfile::Postgres.dialect(),

@@ -4,16 +4,20 @@
 //! These are both the fallback for queries outside the parallelizable class
 //! and the semantic reference the parallel schedulers are tested against.
 
+use crate::checkpoint::{
+    check_fingerprint, dump_table_sql, restore_table_sql, run_fingerprint, trace_checkpoint,
+    Checkpointer, LoopSnapshot,
+};
 use crate::common::{
     create_cte_table, refresh_delta_snapshot, rewrite_table_refs, run, run_query,
-    termination_satisfied, CteNames,
+    termination_satisfied, CteNames, CteSchema,
 };
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{IterativeCte, RecursiveCte};
 use crate::translate::translate_query_to_sql;
-use dbcp::Connection;
-use obs::{Span, SpanKind, SpanOutcome, TraceHandle};
-use sqldb::{QueryResult, Value};
+use dbcp::{CancelToken, Connection};
+use obs::{EventKind, Span, SpanKind, SpanOutcome, TraceHandle};
+use sqldb::{DataType, QueryResult, Value};
 
 /// What an executed CTE run reports back.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +28,9 @@ pub struct RunOutcome {
     pub iterations: u64,
     /// Rows updated/appended by the last iteration.
     pub last_change: u64,
+    /// The run was stopped cooperatively before its termination condition;
+    /// `result` holds the final query over the partial fix-point.
+    pub cancelled: bool,
 }
 
 /// Runs a recursive CTE with semi-naive evaluation (paper §II-A):
@@ -40,6 +47,26 @@ pub fn run_recursive(
     keep_artifacts: bool,
 ) -> SqloopResult<RunOutcome> {
     let names = CteNames::new(&cte.name);
+    // run the loop body, then clean up scratch tables on success *and*
+    // error paths alike (the original error wins over a cleanup error)
+    match recursive_loop(conn, cte, max_iterations, &names) {
+        Ok(out) => {
+            cleanup(conn, &names, keep_artifacts)?;
+            Ok(out)
+        }
+        Err(e) => {
+            let _ = cleanup(conn, &names, keep_artifacts);
+            Err(e)
+        }
+    }
+}
+
+fn recursive_loop(
+    conn: &mut dyn Connection,
+    cte: &RecursiveCte,
+    max_iterations: u64,
+    names: &CteNames,
+) -> SqloopResult<RunOutcome> {
     let schema = create_cte_table(conn, &cte.name, &cte.columns, &cte.seed, false, false)?;
     let cols = schema.columns.join(", ");
 
@@ -130,7 +157,6 @@ pub fn run_recursive(
         parity += 1;
         iterations += 1;
         if iterations >= max_iterations {
-            cleanup(conn, &names, keep_artifacts)?;
             return Err(SqloopError::Semantic(format!(
                 "recursion did not reach a fix-point within {max_iterations} iterations"
             )));
@@ -139,11 +165,11 @@ pub fn run_recursive(
 
     let final_sql = translate_query_to_sql(&cte.final_query, conn.profile());
     let result = conn.query(&final_sql)?;
-    cleanup(conn, &names, keep_artifacts)?;
     Ok(RunOutcome {
         result,
         iterations,
         last_change,
+        cancelled: false,
     })
 }
 
@@ -180,16 +206,160 @@ pub fn run_iterative_single_observed(
     keep_artifacts: bool,
     trace: &TraceHandle,
 ) -> SqloopResult<RunOutcome> {
+    run_iterative_single_durable(
+        conn,
+        cte,
+        max_iterations,
+        keep_artifacts,
+        trace,
+        &CancelToken::new(),
+        None,
+        None,
+    )
+}
+
+/// [`run_iterative_single_observed`] with durability controls: cooperative
+/// cancellation via `cancel` (checked at every iteration boundary — a
+/// cancelled run still answers `Qf` over the partial fix-point and reports
+/// `cancelled = true`), periodic checkpoints through `checkpointer`, and
+/// `resume` to continue from a [`LoopSnapshot`] instead of running the seed
+/// query (the snapshot's fingerprint must match this query).
+///
+/// # Errors
+/// Engine errors, [`SqloopError::Semantic`] when `max_iterations` is hit, or
+/// [`SqloopError::Checkpoint`] for snapshot/fingerprint problems. Scratch
+/// tables are dropped on every path unless `keep_artifacts`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_iterative_single_durable(
+    conn: &mut dyn Connection,
+    cte: &IterativeCte,
+    max_iterations: u64,
+    keep_artifacts: bool,
+    trace: &TraceHandle,
+    cancel: &CancelToken,
+    checkpointer: Option<&mut Checkpointer>,
+    resume: Option<&LoopSnapshot>,
+) -> SqloopResult<RunOutcome> {
     let names = CteNames::new(&cte.name);
-    let schema = create_cte_table(conn, &cte.name, &cte.columns, &cte.seed, true, true)?;
+    match iterative_loop(
+        conn,
+        cte,
+        max_iterations,
+        &names,
+        trace,
+        cancel,
+        checkpointer,
+        resume,
+    ) {
+        Ok(out) => {
+            cleanup(conn, &names, keep_artifacts)?;
+            Ok(out)
+        }
+        Err(e) => {
+            let _ = cleanup(conn, &names, keep_artifacts);
+            Err(e)
+        }
+    }
+}
+
+/// The single-threaded loop's state tables, dumped for a checkpoint: the
+/// CTE table `R`, plus the delta snapshot when the termination condition
+/// reads one.
+fn single_snapshot(
+    conn: &mut dyn Connection,
+    cte: &IterativeCte,
+    names: &CteNames,
+    schema: &CteSchema,
+    iterations: u64,
+    last_updates: u64,
+) -> SqloopResult<LoopSnapshot> {
+    let cols: Vec<(String, DataType)> = schema
+        .columns
+        .iter()
+        .cloned()
+        .zip(schema.types.iter().copied())
+        .collect();
+    let mut tables = vec![dump_table_sql(conn, &cte.name, &cols, Some(0))?];
     if cte.termination.needs_delta_snapshot() {
-        refresh_delta_snapshot(conn, &names)?;
+        tables.push(dump_table_sql(conn, &names.delta_snapshot(), &cols, None)?);
+    }
+    Ok(LoopSnapshot {
+        fingerprint: run_fingerprint(cte, "Single", 1),
+        mode: "Single".into(),
+        round: iterations,
+        last_change: last_updates,
+        parts: Vec::new(),
+        seeds: Vec::new(),
+        tables,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn iterative_loop(
+    conn: &mut dyn Connection,
+    cte: &IterativeCte,
+    max_iterations: u64,
+    names: &CteNames,
+    trace: &TraceHandle,
+    cancel: &CancelToken,
+    mut checkpointer: Option<&mut Checkpointer>,
+    resume: Option<&LoopSnapshot>,
+) -> SqloopResult<RunOutcome> {
+    let schema;
+    let mut iterations;
+    let mut last_updates;
+    if let Some(snap) = resume {
+        check_fingerprint(snap, run_fingerprint(cte, "Single", 1), "Single")?;
+        let main = snap
+            .tables
+            .iter()
+            .find(|t| t.name == cte.name)
+            .ok_or_else(|| {
+                SqloopError::Checkpoint(format!("snapshot holds no table named {}", cte.name))
+            })?;
+        schema = CteSchema {
+            columns: main.columns.iter().map(|c| c.name.clone()).collect(),
+            types: main.columns.iter().map(|c| c.data_type).collect(),
+        };
+        for t in &snap.tables {
+            restore_table_sql(conn, t, 512)?;
+        }
+        iterations = snap.round;
+        last_updates = snap.last_change;
+        trace.event(
+            EventKind::Resume,
+            None,
+            Some(iterations),
+            format!("resumed single-threaded run at iteration {iterations}"),
+        );
+    } else {
+        schema = create_cte_table(conn, &cte.name, &cte.columns, &cte.seed, true, true)?;
+        if cte.termination.needs_delta_snapshot() {
+            refresh_delta_snapshot(conn, names)?;
+        }
+        iterations = 0;
+        last_updates = 0;
     }
 
     let tmp = names.tmp();
-    let mut iterations = 0u64;
-    let mut last_updates;
+    let mut cancelled = false;
     loop {
+        if cancel.cancelled() {
+            trace.event(
+                EventKind::Cancel,
+                None,
+                Some(iterations),
+                "cancelled at iteration boundary",
+            );
+            obs::global().counter("sqloop.cancelled_runs").inc();
+            if let Some(ck) = checkpointer.as_deref_mut() {
+                let snap = single_snapshot(conn, cte, names, &schema, iterations, last_updates)?;
+                let path = ck.save(&snap)?;
+                trace_checkpoint(trace, iterations, &path);
+            }
+            cancelled = true;
+            break;
+        }
         let span_start = trace.now_us();
         // Rtmp := Ri
         run(conn, &format!("DROP TABLE IF EXISTS {tmp}"))?;
@@ -234,14 +404,19 @@ pub fn run_iterative_single_observed(
         let done =
             termination_satisfied(conn, &cte.name, &cte.termination, iterations, last_updates)?;
         if cte.termination.needs_delta_snapshot() {
-            refresh_delta_snapshot(conn, &names)?;
+            refresh_delta_snapshot(conn, names)?;
         }
         if done {
             break;
         }
+        if let Some(ck) = checkpointer.as_deref_mut() {
+            if ck.due(iterations) {
+                let snap = single_snapshot(conn, cte, names, &schema, iterations, last_updates)?;
+                let path = ck.save(&snap)?;
+                trace_checkpoint(trace, iterations, &path);
+            }
+        }
         if iterations >= max_iterations {
-            let _ = run(conn, &format!("DROP TABLE IF EXISTS {tmp}"));
-            cleanup(conn, &names, keep_artifacts)?;
             return Err(SqloopError::Semantic(format!(
                 "termination condition not satisfied within {max_iterations} iterations"
             )));
@@ -251,11 +426,11 @@ pub fn run_iterative_single_observed(
 
     let final_sql = translate_query_to_sql(&cte.final_query, conn.profile());
     let result = conn.query(&final_sql)?;
-    cleanup(conn, &names, keep_artifacts)?;
     Ok(RunOutcome {
         result,
         iterations,
         last_change: last_updates,
+        cancelled,
     })
 }
 
@@ -268,6 +443,8 @@ fn cleanup(conn: &mut dyn Connection, names: &CteNames, keep: bool) -> SqloopRes
         names.tmp(),
         names.working(0),
         names.working(1),
+        format!("{}__d", names.working(0)),
+        format!("{}__d", names.working(1)),
         names.delta_snapshot(),
     ] {
         run(conn, &format!("DROP TABLE IF EXISTS {t}"))?;

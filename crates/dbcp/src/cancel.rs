@@ -1,0 +1,144 @@
+//! Cooperative cancellation: a cheap, cloneable token that long-running
+//! operations poll at their natural boundaries.
+//!
+//! A [`CancelToken`] carries two independent triggers — a programmatic flag
+//! (set by [`CancelToken::cancel`], e.g. from a Ctrl-C handler or another
+//! thread) and an optional wall-clock deadline. Sleeps that must stay
+//! responsive use [`CancelToken::sleep`], which naps in small slices and
+//! bails out as soon as either trigger fires; this is what makes retry
+//! backoff interruptible instead of pinning a cancelled run to its full
+//! exponential wait.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: parking_lot::Mutex<Option<Instant>>,
+}
+
+/// Shared cancellation token. Clones observe the same state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: parking_lot::Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Arms (or re-arms) a deadline `after` from now. The token reports
+    /// cancelled once the deadline passes.
+    pub fn set_deadline_in(&self, after: Duration) {
+        *self.inner.deadline.lock() = Some(Instant::now() + after);
+    }
+
+    /// Clears the flag and any deadline, making the token reusable (the
+    /// CLI resets its session token before each statement).
+    pub fn reset(&self) {
+        self.inner.flag.store(false, Ordering::SeqCst);
+        *self.inner.deadline.lock() = None;
+    }
+
+    /// True once [`CancelToken::cancel`] was called or the deadline passed.
+    pub fn cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        match *self.inner.deadline.lock() {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Sleeps for `total`, waking early on cancellation. Returns `true`
+    /// when the full duration elapsed, `false` when cancelled mid-sleep.
+    ///
+    /// The wait is chunked into ≤ 5 ms naps so even long backoffs react to
+    /// cancellation promptly.
+    pub fn sleep(&self, total: Duration) -> bool {
+        const NAP: Duration = Duration::from_millis(5);
+        let end = Instant::now() + total;
+        loop {
+            if self.cancelled() {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= end {
+                return true;
+            }
+            std::thread::sleep((end - now).min(NAP));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.cancelled());
+        assert!(t.sleep(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.cancelled());
+        t.reset();
+        assert!(!c.cancelled());
+    }
+
+    #[test]
+    fn deadline_fires() {
+        let t = CancelToken::new();
+        t.set_deadline_in(Duration::from_millis(5));
+        assert!(!t.cancelled());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(t.cancelled());
+        t.reset();
+        assert!(!t.cancelled());
+    }
+
+    #[test]
+    fn sleep_interrupts_promptly() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            u.cancel();
+        });
+        let started = Instant::now();
+        let finished = t.sleep(Duration::from_secs(30));
+        h.join().unwrap();
+        assert!(!finished, "sleep must report interruption");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "a 30s sleep must unblock shortly after cancel"
+        );
+    }
+}

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod cancel;
 pub mod chaos;
 mod client;
 mod driver;
@@ -45,6 +46,7 @@ mod server;
 mod url;
 pub mod wire;
 
+pub use cancel::CancelToken;
 pub use chaos::{
     connect_with_retry, with_chaos, ChaosConfig, ChaosConnection, ChaosDriver, ChaosStats,
     FaultKind, FaultWeights, ScheduledFault,

@@ -1,6 +1,7 @@
 //! Bounded retry with exponential backoff for transient connectivity
 //! failures.
 
+use crate::cancel::CancelToken;
 use sqldb::{DbError, DbResult};
 use std::time::Duration;
 
@@ -83,17 +84,40 @@ impl RetryPolicy {
     /// # Errors
     /// The last error when every attempt fails, or the first non-transient
     /// error.
-    pub fn run<T>(&self, mut op: impl FnMut(u32) -> DbResult<T>) -> DbResult<T> {
+    pub fn run<T>(&self, op: impl FnMut(u32) -> DbResult<T>) -> DbResult<T> {
+        self.run_with_cancel(&CancelToken::new(), op)
+    }
+
+    /// Like [`RetryPolicy::run`], but every backoff sleep is interruptible:
+    /// when `cancel` fires mid-wait the pending error is returned
+    /// immediately instead of finishing the sleep and burning further
+    /// attempts. An already-cancelled token still allows the *first*
+    /// attempt (callers decide what to do with a cancelled run; this only
+    /// stops the policy from waiting on its behalf).
+    ///
+    /// # Errors
+    /// The last error when every attempt fails, the first non-transient
+    /// error, or the pending transient error when cancelled mid-backoff.
+    pub fn run_with_cancel<T>(
+        &self,
+        cancel: &CancelToken,
+        mut op: impl FnMut(u32) -> DbResult<T>,
+    ) -> DbResult<T> {
         let mut attempt = 0;
         loop {
             match op(attempt) {
                 Ok(v) => return Ok(v),
                 Err(e) if is_transient(&e) && attempt + 1 < self.max_attempts => {
+                    if cancel.cancelled() {
+                        return Err(e);
+                    }
                     let delay = self.delay_for(attempt);
                     let reg = obs::global();
                     reg.counter("dbcp.retry.backoff_waits").inc();
                     reg.histogram("dbcp.retry.backoff_wait").observe(delay);
-                    std::thread::sleep(delay);
+                    if !cancel.sleep(delay) {
+                        return Err(e);
+                    }
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -154,6 +178,36 @@ mod tests {
         });
         assert!(matches!(out, Err(DbError::Parse(_))));
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_backoff() {
+        use std::time::Instant;
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_secs(5),
+            max_delay: Duration::from_secs(60),
+            jitter_seed: 0,
+        };
+        let cancel = CancelToken::new();
+        let canceller = cancel.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            canceller.cancel();
+        });
+        let started = Instant::now();
+        let mut calls = 0;
+        let out: DbResult<()> = policy.run_with_cancel(&cancel, |_| {
+            calls += 1;
+            Err(DbError::Connection("down".into()))
+        });
+        h.join().unwrap();
+        assert!(matches!(out, Err(DbError::Connection(_))));
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "a 5s backoff must be cut short by cancellation"
+        );
+        assert!(calls <= 2, "no further attempts after cancellation");
     }
 
     #[test]

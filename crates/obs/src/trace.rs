@@ -91,6 +91,12 @@ pub enum EventKind {
     Fault,
     /// The progress sampler failed to take a sample.
     SampleFailed,
+    /// A durable checkpoint of loop state was written.
+    Checkpoint,
+    /// A run was restored from a checkpoint manifest.
+    Resume,
+    /// Cooperative cancellation was observed (deadline or request).
+    Cancel,
 }
 
 impl EventKind {
@@ -104,6 +110,9 @@ impl EventKind {
             EventKind::Barrier => "barrier",
             EventKind::Fault => "fault",
             EventKind::SampleFailed => "sample_failed",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Resume => "resume",
+            EventKind::Cancel => "cancel",
         }
     }
 }

@@ -47,6 +47,7 @@ pub mod lexer;
 pub mod parser;
 pub mod profile;
 pub mod render;
+pub mod snapshot;
 pub mod stats;
 pub mod storage;
 pub mod txn;
@@ -57,6 +58,7 @@ pub use db::{Database, Session, DEFAULT_LOCK_TIMEOUT};
 pub use error::{DbError, DbResult};
 pub use exec::{QueryResult, StmtOutput};
 pub use profile::{Dialect, EngineProfile, JoinStrategy};
+pub use snapshot::TableDump;
 pub use stats::{Stats, StatsSnapshot};
 pub use txn::IsolationLevel;
 pub use types::{Column, DataType, Schema};

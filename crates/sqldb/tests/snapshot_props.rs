@@ -1,0 +1,155 @@
+//! Property tests for the table snapshot format (checkpoint substrate):
+//! any table round-trips bit-exactly through `encode`/`decode` and through
+//! `export_table`/`import_table` across databases — including NaN payloads,
+//! signed zero, ±infinity, extreme integers, subnormals, empty / unicode /
+//! escape-heavy strings, and NULLs in every column type.
+
+use proptest::prelude::*;
+use sqldb::{Column, DataType, Database, EngineProfile, TableDump, Value};
+
+/// Floats with deliberately hostile bit patterns: the dump format encodes
+/// the raw IEEE-754 bits, so all of these must survive unchanged.
+fn arb_float() -> BoxedStrategy<f64> {
+    prop_oneof![
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(f64::NAN),
+        Just(-f64::NAN),
+        Just(f64::from_bits(0x7ff8_dead_beef_0001)), // NaN with a payload
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::MIN),
+        Just(f64::MAX),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::from_bits(1)), // smallest subnormal
+        any::<u64>().prop_map(f64::from_bits),
+        -1.0e9..1.0e9f64,
+    ]
+    .boxed()
+}
+
+fn arb_int() -> BoxedStrategy<i64> {
+    prop_oneof![
+        Just(i64::MIN),
+        Just(i64::MAX),
+        Just(0i64),
+        Just(-1i64),
+        any::<i64>(),
+    ]
+    .boxed()
+}
+
+/// Strings that stress the tab/newline-delimited framing and the escaper:
+/// empty, embedded tabs/newlines/CRs, literal backslashes, unicode.
+fn arb_text() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("tab\there".to_string()),
+        Just("line1\nline2\r\n".to_string()),
+        Just("back\\slash \\t literal".to_string()),
+        Just("héllo ∞ ✓ 💾 \u{202e}rtl".to_string()),
+        "[a-z0-9 \t\n\r\\\\éλ∞🦀]{0,16}",
+    ]
+    .boxed()
+}
+
+/// One row covering every `Value` variant: an INT, FLOAT, TEXT and BOOL
+/// column, each independently NULL ~20% of the time.
+fn arb_row() -> BoxedStrategy<Vec<Value>> {
+    (
+        (0u8..5, arb_int()),
+        (0u8..5, arb_float()),
+        (0u8..5, arb_text()),
+        (0u8..5, any::<bool>()),
+    )
+        .prop_map(|((ki, i), (kf, f), (kt, t), (kb, b))| {
+            let pick = |k: u8, v: Value| if k == 0 { Value::Null } else { v };
+            vec![
+                pick(ki, Value::Int(i)),
+                pick(kf, Value::Float(f)),
+                pick(kt, Value::Text(t)),
+                pick(kb, Value::Bool(b)),
+            ]
+        })
+        .boxed()
+}
+
+fn arb_dump() -> BoxedStrategy<TableDump> {
+    proptest::collection::vec(arb_row(), 0..25)
+        .prop_map(|rows| TableDump {
+            name: "t".to_string(),
+            columns: vec![
+                Column::new("c_int", DataType::Int),
+                Column::new("c_float", DataType::Float),
+                Column::new("c_text", DataType::Text),
+                Column::new("c_bool", DataType::Bool),
+            ],
+            primary_key: None,
+            rows,
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The text encoding is lossless for every value pattern.
+    #[test]
+    fn encode_decode_is_identity(dump in arb_dump()) {
+        let decoded = TableDump::decode(&dump.encode()).unwrap();
+        prop_assert_eq!(decoded, dump);
+    }
+
+    /// `import_table(export_table(t)) == t`: a dump imported into one
+    /// database, exported, imported into a *second* database and exported
+    /// again is identical at every step — the checkpoint/restore path
+    /// cannot corrupt a table.
+    #[test]
+    fn export_import_is_identity(dump in arb_dump()) {
+        let db1 = Database::new(EngineProfile::Postgres);
+        db1.import_table(&dump).unwrap();
+        let exported = db1.export_table(&dump.name).unwrap();
+        prop_assert_eq!(&exported, &dump);
+
+        let db2 = Database::new(EngineProfile::Postgres);
+        db2.import_table(&exported).unwrap();
+        let again = db2.export_table(&dump.name).unwrap();
+        prop_assert_eq!(again, dump);
+    }
+}
+
+/// Primary keys survive the round trip (kept out of the property tests so
+/// random rows need not be made unique).
+#[test]
+fn primary_key_round_trips() {
+    let dump = TableDump {
+        name: "keyed".to_string(),
+        columns: vec![
+            Column::new("id", DataType::Int),
+            Column::new("v", DataType::Float),
+        ],
+        primary_key: Some(0),
+        rows: vec![
+            vec![Value::Int(i64::MIN), Value::Float(f64::NAN)],
+            vec![Value::Int(0), Value::Float(-0.0)],
+            vec![Value::Int(i64::MAX), Value::Float(f64::NEG_INFINITY)],
+        ],
+    };
+    let db = Database::new(EngineProfile::Postgres);
+    db.import_table(&dump).unwrap();
+    let exported = db.export_table("keyed").unwrap();
+    assert_eq!(exported.primary_key, Some(0));
+    assert_eq!(exported, dump);
+}
+
+/// Hostile table / column names survive the escaped header lines.
+#[test]
+fn hostile_names_round_trip() {
+    let dump = TableDump {
+        name: "we\tird\nname \\x".to_string(),
+        columns: vec![Column::new("col\tumn \\n", DataType::Text)],
+        primary_key: None,
+        rows: vec![vec![Value::Text("v".into())]],
+    };
+    assert_eq!(TableDump::decode(&dump.encode()).unwrap(), dump);
+}

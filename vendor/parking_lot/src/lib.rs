@@ -105,7 +105,10 @@ impl Condvar {
     /// Blocks until notified.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         self.replace_guard(guard, |g| {
-            (self.0.wait(g).unwrap_or_else(PoisonError::into_inner), false)
+            (
+                self.0.wait(g).unwrap_or_else(PoisonError::into_inner),
+                false,
+            )
         });
     }
 
@@ -270,7 +273,10 @@ mod tests {
         });
         let mut done = pair.0.lock();
         while !*done {
-            assert!(!pair.1.wait_for(&mut done, Duration::from_secs(5)).timed_out());
+            assert!(!pair
+                .1
+                .wait_for(&mut done, Duration::from_secs(5))
+                .timed_out());
         }
     }
 

@@ -602,7 +602,9 @@ mod tests {
             let s = Strategy::generate(&"[a-z][a-z0-9_]{0,6}", &mut rng);
             assert!((1..=7).contains(&s.len()), "case {case}: {s:?}");
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
         }
     }
 
