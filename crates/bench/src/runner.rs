@@ -139,6 +139,7 @@ mod tests {
         let mk = |ms: u64, v: f64| ProgressSample {
             elapsed: Duration::from_millis(ms),
             value: v,
+            mem_bytes: None,
         };
         let samples = vec![mk(10, 10.0), mk(20, 50.0), mk(30, 99.5), mk(40, 100.0)];
         assert_eq!(

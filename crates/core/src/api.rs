@@ -8,8 +8,9 @@ use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{parse, IterativeCte, SqloopQuery};
 use crate::parallel::run_iterative_parallel_observed;
 use crate::progress::{ProgressSample, RecoveryCounters};
-use crate::single::{run_iterative_single_durable, run_recursive};
+use crate::single::{run_iterative_single_governed, run_recursive};
 use crate::translate::translate_sql;
+use crate::watchdog::{Governance, Watchdog};
 use dbcp::{driver_for_url, Driver};
 use obs::{EventKind, RegistrySnapshot, TraceData, TraceHandle, TraceSummary};
 use sqldb::{QueryResult, StmtOutput};
@@ -279,8 +280,17 @@ impl SQLoop {
         if let Some(d) = self.config.deadline {
             self.config.cancel.set_deadline_in(d);
         }
+        let lift_mem = || {
+            self.driver.set_memory_limit(None);
+        };
         let run_single = |reason: Option<String>| -> SqloopResult<ExecutionReport> {
+            if self.config.max_mem.is_some() {
+                self.driver.set_memory_limit(self.config.max_mem);
+            }
             let mut conn = self.driver.connect()?;
+            if self.config.statement_timeout.is_some() {
+                conn.set_statement_timeout(self.config.statement_timeout)?;
+            }
             // a resume snapshot only applies here when Single is the
             // configured mode: after a downgrade the snapshot describes the
             // parallel layout and the fingerprint check would reject it
@@ -292,7 +302,15 @@ impl SQLoop {
                 Some(ck) => Some(Checkpointer::new(ck.clone())?),
                 None => None,
             };
-            let out = run_iterative_single_durable(
+            let mut governance = Governance {
+                watchdog: self
+                    .config
+                    .watchdog
+                    .is_active()
+                    .then(|| Watchdog::new(self.config.watchdog, &cte.termination)),
+                lift_mem: Some(&lift_mem),
+            };
+            let out = run_iterative_single_governed(
                 conn.as_mut(),
                 cte,
                 self.config.max_iterations,
@@ -301,6 +319,7 @@ impl SQLoop {
                 &self.config.cancel,
                 checkpointer.as_mut(),
                 resume.as_ref(),
+                &mut governance,
             )?;
             let checkpoint = checkpointer
                 .as_ref()

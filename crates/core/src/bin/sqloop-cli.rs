@@ -18,9 +18,16 @@
 //! (show target), `\help`, `\q`.
 //!
 //! Flags: `--checkpoint <dir>[:interval]`, `--resume <path>`,
-//! `--deadline-ms <n>`. Ctrl-C cancels the running statement cooperatively:
-//! the loop quiesces, writes a final checkpoint (when configured) and
-//! reports the partial result.
+//! `--deadline-ms <n>`, `--max-mem <bytes[K|M|G]>`, `--max-rounds <n>`,
+//! `--statement-timeout-ms <n>`. Ctrl-C cancels the running statement
+//! cooperatively: the loop quiesces, writes a final checkpoint (when
+//! configured) and reports the partial result.
+//!
+//! `--serve <addr>` turns the shell into a wire server for the engine named
+//! by the URL (`local://postgres|mysql|mariadb`), with admission control:
+//! `--max-connections <n>` caps concurrent clients, `--shed-high-water <n>`
+//! sheds statements under load, `--statement-timeout-ms` bounds every
+//! statement and `--max-mem` bounds the engine. Ctrl-C stops the server.
 
 use sqloop::{
     CheckpointConfig, ExecutionMode, ExecutionReport, PrioritySpec, SQLoop, Strategy, TraceConfig,
@@ -62,6 +69,72 @@ struct Shell {
     engine_base: Option<sqldb::StatsSnapshot>,
 }
 
+/// Parses a byte count with an optional `K`/`M`/`G` suffix (`64M`, `1g`).
+fn parse_bytes(spec: &str) -> Option<u64> {
+    let spec = spec.trim();
+    let (digits, mult) = match spec.chars().last()? {
+        'k' | 'K' => (&spec[..spec.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&spec[..spec.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&spec[..spec.len() - 1], 1u64 << 30),
+        _ => (spec, 1),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_mul(mult).filter(|v| *v > 0)
+}
+
+/// Renders a byte count back with the largest exact suffix.
+fn format_bytes(n: u64) -> String {
+    if n > 0 && n.is_multiple_of(1 << 30) {
+        format!("{}G", n >> 30)
+    } else if n > 0 && n.is_multiple_of(1 << 20) {
+        format!("{}M", n >> 20)
+    } else if n > 0 && n.is_multiple_of(1 << 10) {
+        format!("{}K", n >> 10)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Runs the wire server for `url`'s engine until Ctrl-C.
+fn serve(url: &str, addr: &str, cfg: dbcp::ServerConfig, max_mem: Option<u64>) -> ! {
+    let profile = match url
+        .strip_prefix("local://")
+        .and_then(sqldb::EngineProfile::parse)
+    {
+        Some(p) => p,
+        None => {
+            eprintln!("--serve needs a local:// engine URL, got {url}");
+            std::process::exit(2);
+        }
+    };
+    let db = sqldb::Database::new(profile);
+    if max_mem.is_some() {
+        db.set_memory_limit(max_mem);
+    }
+    let server = match dbcp::Server::bind_with(db, addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot serve on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("serving {profile:?} on {} — Ctrl-C stops", server.addr());
+    println!(
+        "limits: max-connections {}, shed high water {}, statement timeout {}, max-mem {}",
+        cfg.max_connections,
+        cfg.shed_high_water,
+        cfg.statement_timeout
+            .map_or("off".to_string(), |d| format!("{} ms", d.as_millis())),
+        max_mem.map_or("off".to_string(), format_bytes),
+    );
+    install_sigint_handler();
+    while !SIGINT_HIT.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.shutdown();
+    std::process::exit(0);
+}
+
 /// Parses `--checkpoint dir[:interval]` into a [`CheckpointConfig`].
 fn parse_checkpoint_flag(spec: &str) -> CheckpointConfig {
     match spec.rsplit_once(':') {
@@ -78,9 +151,58 @@ fn main() {
     let mut checkpoint = None;
     let mut resume_from = None;
     let mut deadline = None;
+    let mut max_mem = None;
+    let mut max_rounds = None;
+    let mut statement_timeout = None;
+    let mut serve_addr: Option<String> = None;
+    let mut server_cfg = dbcp::ServerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--max-mem" => match args.next().as_deref().and_then(parse_bytes) {
+                Some(n) => max_mem = Some(n),
+                None => {
+                    eprintln!("--max-mem needs a byte count (suffixes K/M/G)");
+                    std::process::exit(2);
+                }
+            },
+            "--max-rounds" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => max_rounds = Some(n),
+                _ => {
+                    eprintln!("--max-rounds needs a round count >= 1");
+                    std::process::exit(2);
+                }
+            },
+            "--statement-timeout-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => {
+                    statement_timeout = Some(std::time::Duration::from_millis(ms));
+                }
+                _ => {
+                    eprintln!("--statement-timeout-ms needs a number of milliseconds");
+                    std::process::exit(2);
+                }
+            },
+            "--max-connections" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => server_cfg.max_connections = n,
+                None => {
+                    eprintln!("--max-connections needs a connection count (0 = unlimited)");
+                    std::process::exit(2);
+                }
+            },
+            "--shed-high-water" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => server_cfg.shed_high_water = n,
+                None => {
+                    eprintln!("--shed-high-water needs an in-flight statement count (0 = off)");
+                    std::process::exit(2);
+                }
+            },
+            "--serve" => match args.next() {
+                Some(addr) => serve_addr = Some(addr),
+                None => {
+                    eprintln!("--serve needs a host:port to listen on");
+                    std::process::exit(2);
+                }
+            },
             "--checkpoint" => match args.next() {
                 Some(spec) => checkpoint = Some(parse_checkpoint_flag(&spec)),
                 None => {
@@ -105,7 +227,12 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "sqloop-cli [URL] [--checkpoint <dir>[:interval]] \
-                     [--resume <path>] [--deadline-ms <n>]"
+                     [--resume <path>] [--deadline-ms <n>] \
+                     [--max-mem <bytes[K|M|G]>] [--max-rounds <n>] \
+                     [--statement-timeout-ms <n>]\n\
+                     sqloop-cli [URL] --serve <addr> [--max-connections <n>] \
+                     [--shed-high-water <n>] [--statement-timeout-ms <n>] \
+                     [--max-mem <bytes>]"
                 );
                 return;
             }
@@ -115,6 +242,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(addr) = serve_addr {
+        server_cfg.statement_timeout = statement_timeout;
+        serve(&url, &addr, server_cfg, max_mem);
     }
     let mut sqloop = match SQLoop::connect(&url) {
         Ok(s) => s,
@@ -126,6 +257,9 @@ fn main() {
     sqloop.config_mut().checkpoint = checkpoint;
     sqloop.config_mut().resume_from = resume_from;
     sqloop.config_mut().deadline = deadline;
+    sqloop.config_mut().max_mem = max_mem;
+    sqloop.config_mut().watchdog.max_rounds = max_rounds;
+    sqloop.config_mut().statement_timeout = statement_timeout;
 
     install_sigint_handler();
     // the watcher turns the async-signal flag into a cooperative
@@ -303,6 +437,12 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
             println!("\\checkpoint <dir> [interval]|off durable snapshots every N rounds");
             println!("\\resume <path>|off               resume next run from a checkpoint");
             println!("\\deadline <ms>|off               cancel runs after a wall-clock budget");
+            println!("\\limits                          show resource limits + memory usage");
+            println!("\\limits mem <bytes[K|M|G]>|off   engine memory budget");
+            println!("\\limits rounds <n>|off           hard iteration budget (watchdog)");
+            println!("\\limits window <n>|off           divergence watchdog trend window");
+            println!("\\limits numeric on|off           NaN/Inf divergence probes");
+            println!("\\limits timeout <ms>|off         per-statement engine deadline");
             println!("\\stats                           metric deltas since last \\stats");
             println!("\\engine                          show target engine + config");
             println!("\\q                               quit");
@@ -421,6 +561,101 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
                 _ => usage("\\deadline <ms> | \\deadline off"),
             },
             None => usage("\\deadline <ms> | \\deadline off"),
+        },
+        "\\limits" => match (parts.next(), parts.next()) {
+            (None, _) => {
+                let c = sqloop.config();
+                let off = || "off".to_string();
+                println!(
+                    "max-mem          : {}",
+                    c.max_mem.map_or_else(off, format_bytes)
+                );
+                println!(
+                    "max-rounds       : {}",
+                    c.watchdog.max_rounds.map_or_else(off, |n| n.to_string())
+                );
+                println!(
+                    "trend window     : {}",
+                    c.watchdog.window.map_or_else(off, |n| n.to_string())
+                );
+                println!(
+                    "numeric checks   : {}",
+                    if c.watchdog.numeric_checks {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                );
+                println!(
+                    "statement timeout: {}",
+                    c.statement_timeout
+                        .map_or_else(off, |d| format!("{} ms", d.as_millis()))
+                );
+                println!(
+                    "deadline         : {}",
+                    c.deadline
+                        .map_or_else(off, |d| format!("{} ms", d.as_millis()))
+                );
+                match sqloop.driver().memory_used() {
+                    Some(n) => println!("engine memory    : {} in use", format_bytes(n)),
+                    None => println!("engine memory    : not observable over this driver"),
+                }
+            }
+            (Some("mem"), Some("off")) => {
+                sqloop.config_mut().max_mem = None;
+                sqloop.driver().set_memory_limit(None);
+                println!("memory budget off");
+            }
+            (Some("mem"), Some(v)) => match parse_bytes(v) {
+                Some(n) => {
+                    sqloop.config_mut().max_mem = Some(n);
+                    println!("memory budget = {}", format_bytes(n));
+                }
+                None => usage("\\limits mem <bytes[K|M|G]> | \\limits mem off"),
+            },
+            (Some("rounds"), Some("off")) => {
+                sqloop.config_mut().watchdog.max_rounds = None;
+                println!("round budget off");
+            }
+            (Some("rounds"), Some(v)) => match v.parse::<u64>() {
+                Ok(n) if n >= 1 => {
+                    sqloop.config_mut().watchdog.max_rounds = Some(n);
+                    println!("round budget = {n}");
+                }
+                _ => usage("\\limits rounds <n >= 1> | \\limits rounds off"),
+            },
+            (Some("window"), Some("off")) => {
+                sqloop.config_mut().watchdog.window = None;
+                println!("trend window off");
+            }
+            (Some("window"), Some(v)) => match v.parse::<u64>() {
+                Ok(n) if n >= 1 => {
+                    sqloop.config_mut().watchdog.window = Some(n);
+                    println!("trend window = {n} round(s)");
+                }
+                _ => usage("\\limits window <n >= 1> | \\limits window off"),
+            },
+            (Some("numeric"), Some("on")) => {
+                sqloop.config_mut().watchdog.numeric_checks = true;
+                println!("numeric divergence checks on");
+            }
+            (Some("numeric"), Some("off")) => {
+                sqloop.config_mut().watchdog.numeric_checks = false;
+                println!("numeric divergence checks off");
+            }
+            (Some("timeout"), Some("off")) => {
+                sqloop.config_mut().statement_timeout = None;
+                println!("statement timeout off");
+            }
+            (Some("timeout"), Some(v)) => match v.parse::<u64>() {
+                Ok(ms) if ms >= 1 => {
+                    sqloop.config_mut().statement_timeout =
+                        Some(std::time::Duration::from_millis(ms));
+                    println!("statement timeout = {ms} ms");
+                }
+                _ => usage("\\limits timeout <ms> | \\limits timeout off"),
+            },
+            _ => usage("\\limits [mem|rounds|window|numeric|timeout <value>|off]"),
         },
         "\\stats" => {
             let now = obs::global().snapshot();

@@ -1,6 +1,7 @@
 //! Middleware configuration.
 
 use crate::checkpoint::CheckpointConfig;
+use crate::watchdog::WatchdogConfig;
 use dbcp::CancelToken;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -207,6 +208,17 @@ pub struct SqloopConfig {
     /// Cooperative cancellation token shared with the run. Cancel it from
     /// another thread (or a Ctrl-C handler) to stop at the next safe point.
     pub cancel: CancelToken,
+    /// Runaway-loop watchdog: round budget, numeric-divergence probes,
+    /// delta-trend tracking (all off by default). Verdicts abort governed:
+    /// a final checkpoint is written first when checkpointing is on.
+    pub watchdog: WatchdogConfig,
+    /// Engine memory budget in bytes (`None` = unlimited), applied through
+    /// the driver when it can govern the engine. A run that trips it
+    /// aborts governed with [`crate::SqloopError::BudgetExceeded`].
+    pub max_mem: Option<u64>,
+    /// Per-statement execution deadline pushed onto every connection the
+    /// run opens (`None` = off).
+    pub statement_timeout: Option<Duration>,
 }
 
 impl Default for SqloopConfig {
@@ -234,6 +246,9 @@ impl Default for SqloopConfig {
             resume_from: None,
             deadline: None,
             cancel: CancelToken::new(),
+            watchdog: WatchdogConfig::default(),
+            max_mem: None,
+            statement_timeout: None,
         }
     }
 }
@@ -267,6 +282,15 @@ impl SqloopConfig {
             if ck.keep_last == 0 {
                 return Err("checkpoint keep_last must be at least 1".into());
             }
+        }
+        if self.watchdog.max_rounds == Some(0) {
+            return Err("watchdog max_rounds must be at least 1".into());
+        }
+        if self.watchdog.window == Some(0) {
+            return Err("watchdog window must be at least 1 round".into());
+        }
+        if self.max_mem == Some(0) {
+            return Err("max_mem must be at least 1 byte".into());
         }
         Ok(())
     }
@@ -332,6 +356,45 @@ mod tests {
         c.checkpoint.as_mut().unwrap().interval = 3;
         c.checkpoint.as_mut().unwrap().keep_last = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn governance_validation() {
+        let c = SqloopConfig::default();
+        assert!(!c.watchdog.is_active(), "watchdog is opt-in");
+        assert!(c.max_mem.is_none());
+        let c = SqloopConfig {
+            watchdog: WatchdogConfig {
+                max_rounds: Some(0),
+                ..WatchdogConfig::default()
+            },
+            ..SqloopConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SqloopConfig {
+            watchdog: WatchdogConfig {
+                window: Some(0),
+                ..WatchdogConfig::default()
+            },
+            ..SqloopConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SqloopConfig {
+            max_mem: Some(0),
+            ..SqloopConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SqloopConfig {
+            watchdog: WatchdogConfig {
+                max_rounds: Some(100),
+                window: Some(8),
+                numeric_checks: true,
+            },
+            max_mem: Some(64 << 20),
+            statement_timeout: Some(Duration::from_secs(30)),
+            ..SqloopConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -23,6 +23,30 @@ pub enum SqloopError {
     /// manifest, checksum mismatch, fingerprint mismatch on resume). Never
     /// retryable — resuming from bad state would give a wrong answer.
     Checkpoint(String),
+    /// The watchdog detected numeric divergence in the iterating state:
+    /// a NaN/±infinity aggregate, or deltas that stopped shrinking past
+    /// the configured window. Never retryable — the same computation
+    /// diverges identically; fix the query or its parameters. The run
+    /// still quiesces and writes a final checkpoint first.
+    NumericDivergence {
+        /// The partition where divergence was observed (`None` when
+        /// detected on the whole CTE, e.g. single-threaded execution).
+        partition: Option<usize>,
+        /// The round/iteration at which the verdict fired.
+        round: u64,
+        /// Human-readable description of the evidence.
+        detail: String,
+    },
+    /// A resource budget (rounds, wall clock, memory) was exhausted at
+    /// `round`. Not retryable as-is — but the governed abort writes a
+    /// final checkpoint, so the run *resumes* correctly under a larger
+    /// budget.
+    BudgetExceeded {
+        /// Which budget ran out ("max_rounds", "memory", "deadline", …).
+        what: String,
+        /// The round/iteration at which the budget tripped.
+        round: u64,
+    },
     /// A parallel Compute/Gather task failed after `attempt` attempts;
     /// `source` is the error of the last attempt. Produced when the
     /// scheduler's replay budget is exhausted (or immediately for errors
@@ -49,7 +73,10 @@ impl SqloopError {
         match self {
             SqloopError::Db(e) => matches!(
                 e,
-                DbError::Connection(_) | DbError::LockTimeout(_) | DbError::TxnAborted(_)
+                DbError::Connection(_)
+                    | DbError::LockTimeout(_)
+                    | DbError::TxnAborted(_)
+                    | DbError::Overloaded(_)
             ),
             SqloopError::Task { source, .. } => source.is_retryable(),
             SqloopError::Worker(_) => true,
@@ -67,6 +94,20 @@ impl fmt::Display for SqloopError {
             SqloopError::Db(e) => write!(f, "engine error: {e}"),
             SqloopError::Worker(m) => write!(f, "worker failure: {m}"),
             SqloopError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            SqloopError::NumericDivergence {
+                partition,
+                round,
+                detail,
+            } => match partition {
+                Some(p) => write!(
+                    f,
+                    "numeric divergence on partition {p} at round {round}: {detail}"
+                ),
+                None => write!(f, "numeric divergence at round {round}: {detail}"),
+            },
+            SqloopError::BudgetExceeded { what, round } => {
+                write!(f, "{what} budget exhausted at round {round}")
+            }
             SqloopError::Task {
                 partition,
                 attempt,
@@ -144,6 +185,47 @@ mod tests {
         assert!(!SqloopError::Config("x".into()).is_retryable());
         assert!(SqloopError::Worker("pool died".into()).is_retryable());
         assert!(!SqloopError::Checkpoint("bad checksum".into()).is_retryable());
+        // load shedding backs off and retries; governance verdicts do not
+        assert!(SqloopError::from(DbError::Overloaded("shed".into())).is_retryable());
+        assert!(!SqloopError::from(DbError::BudgetExceeded("mem".into())).is_retryable());
+        assert!(!SqloopError::from(DbError::Timeout("deadline".into())).is_retryable());
+        assert!(!SqloopError::NumericDivergence {
+            partition: Some(3),
+            round: 9,
+            detail: "SUM(rank) is inf".into(),
+        }
+        .is_retryable());
+        assert!(!SqloopError::BudgetExceeded {
+            what: "max_rounds".into(),
+            round: 50,
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn governance_errors_display_their_evidence() {
+        let d = SqloopError::NumericDivergence {
+            partition: Some(3),
+            round: 9,
+            detail: "SUM(rank) is inf".into(),
+        };
+        let text = d.to_string();
+        assert!(text.contains("partition 3"), "{text}");
+        assert!(text.contains("round 9"), "{text}");
+        assert!(text.contains("inf"), "{text}");
+        let whole = SqloopError::NumericDivergence {
+            partition: None,
+            round: 2,
+            detail: "delta not shrinking".into(),
+        };
+        assert!(!whole.to_string().contains("partition"), "{whole}");
+        let b = SqloopError::BudgetExceeded {
+            what: "max_rounds".into(),
+            round: 50,
+        };
+        let text = b.to_string();
+        assert!(text.contains("max_rounds"), "{text}");
+        assert!(text.contains("round 50"), "{text}");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod progress;
 mod router;
 pub mod single;
 pub mod translate;
+pub mod watchdog;
 
 pub use analysis::{analyze, AnalysisOutcome, ParallelPlan};
 pub use api::{ExecutionReport, SQLoop, Strategy};
@@ -61,3 +62,4 @@ pub use parallel::{
 pub use progress::{ProgressSample, RecoveryCounters, Sampler};
 pub use router::SqloopRouter;
 pub use single::{run_iterative_single, run_iterative_single_observed, run_recursive, RunOutcome};
+pub use watchdog::{Governance, Watchdog, WatchdogConfig};

@@ -38,6 +38,7 @@ use crate::parallel_sql::SqlGen;
 use crate::progress::{ProgressSample, RecoveryCounters, Sampler};
 use crate::single::RunOutcome;
 use crate::translate::translate_query_to_sql;
+use crate::watchdog::{Governance, Watchdog};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dbcp::{CancelToken, Connection, Driver, RetryPolicy};
 use obs::{EventKind, Span, SpanKind, SpanOutcome, TraceHandle};
@@ -308,7 +309,19 @@ fn run_parallel_inner(
     trace: &TraceHandle,
 ) -> SqloopResult<ParallelRun> {
     config.validate().map_err(SqloopError::Config)?;
+    // governance: apply the engine memory budget for the whole run (the
+    // governed-abort path lifts it again before the final checkpoint) and
+    // push the statement deadline onto every connection the run opens
+    if config.max_mem.is_some() {
+        driver.set_memory_limit(config.max_mem);
+    }
+    let lift_mem = || {
+        driver.set_memory_limit(None);
+    };
     let mut main = driver.connect()?;
+    if config.statement_timeout.is_some() {
+        main.set_statement_timeout(config.statement_timeout)?;
+    }
     let names = CteNames::new(&cte.name);
 
     let fingerprint = run_fingerprint(cte, config.mode.label(), config.partitions);
@@ -400,10 +413,13 @@ fn run_parallel_inner(
         let tx = done_tx.clone();
         let wtrace = trace.clone();
         let wcancel = config.cancel.clone();
+        let wtimeout = config.statement_timeout;
         handles.push(
             std::thread::Builder::new()
                 .name(format!("sqloop-worker-{i}"))
-                .spawn(move || worker_loop(drv, policy, rx, tx, i as u32, wtrace, wcancel))
+                .spawn(move || {
+                    worker_loop(drv, policy, rx, tx, i as u32, wtrace, wcancel, wtimeout)
+                })
                 .map_err(|e| SqloopError::Config(format!("spawn worker: {e}")))?,
         );
     }
@@ -471,6 +487,13 @@ fn run_parallel_inner(
         part_cols,
         start_round,
         cancelled: false,
+        governance: Governance {
+            watchdog: config
+                .watchdog
+                .is_active()
+                .then(|| Watchdog::new(config.watchdog, &cte.termination)),
+            lift_mem: Some(&lift_mem),
+        },
     };
 
     let sched_result = match config.mode {
@@ -557,6 +580,7 @@ struct SchedStats {
     recovery: RecoveryCounters,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     driver: Arc<dyn Driver>,
     policy: RetryPolicy,
@@ -565,6 +589,7 @@ fn worker_loop(
     worker: u32,
     trace: TraceHandle,
     cancel: CancelToken,
+    statement_timeout: Option<std::time::Duration>,
 ) {
     let mut conn: Option<Box<dyn Connection>> = None;
     let mut ever_connected = false;
@@ -581,11 +606,14 @@ fn worker_loop(
                 // interruptible reconnect backoff: a cancelled run must not
                 // sit out the full exponential wait
                 match policy.run_with_cancel(&cancel, |_| driver.connect()) {
-                    Ok(c) => {
+                    Ok(mut c) => {
                         if ever_connected {
                             reconnects += 1;
                         }
                         ever_connected = true;
+                        if statement_timeout.is_some() {
+                            let _ = c.set_statement_timeout(statement_timeout);
+                        }
                         conn = Some(c);
                     }
                     Err(e) => {
@@ -702,6 +730,9 @@ struct Scheduler<'a> {
     start_round: u64,
     /// Set when the run stopped at a cancellation point.
     cancelled: bool,
+    /// Resource governance: watchdog state and the memory-limit lift hook
+    /// used by governed aborts.
+    governance: Governance<'a>,
 }
 
 impl Scheduler<'_> {
@@ -939,7 +970,10 @@ impl Scheduler<'_> {
             let compute_tasks: Vec<Task> = (0..self.parts.len())
                 .map(|x| self.build_compute(x))
                 .collect();
-            let mut changed = self.run_phase(compute_tasks.into())?;
+            let mut changed = match self.run_phase(compute_tasks.into()) {
+                Ok(c) => c,
+                Err(e) => return Err(self.fail(e, rounds, 0)),
+            };
             self.trace
                 .event(EventKind::Barrier, None, Some(self.round), "compute phase");
             // phase 2: every partition with unread messages gathers
@@ -949,7 +983,10 @@ impl Scheduler<'_> {
                     gather_tasks.push_back(t);
                 }
             }
-            changed += self.run_phase(gather_tasks)?;
+            changed += match self.run_phase(gather_tasks) {
+                Ok(c) => c,
+                Err(e) => return Err(self.fail(e, rounds, changed)),
+            };
             self.trace
                 .event(EventKind::Barrier, None, Some(self.round), "gather phase");
             rounds += 1;
@@ -971,6 +1008,7 @@ impl Scheduler<'_> {
                 return Ok((rounds, changed));
             }
             let _ = self.maybe_checkpoint(rounds, changed)?;
+            self.watchdog_check(rounds, changed)?;
             if rounds >= self.config.max_iterations {
                 return Err(SqloopError::Semantic(format!(
                     "termination condition not satisfied within {rounds} iterations"
@@ -1213,6 +1251,7 @@ impl Scheduler<'_> {
                     return Ok((self.report_rounds(rounds), round_changed));
                 }
                 let carried = self.maybe_checkpoint(rounds, round_changed)?;
+                self.watchdog_check(rounds, round_changed)?;
                 if rounds >= self.config.max_iterations {
                     self.drain()?;
                     return Err(SqloopError::Semantic(format!(
@@ -1224,7 +1263,7 @@ impl Scheduler<'_> {
             }
             if self.in_flight == 0 {
                 if let Some(e) = first_error {
-                    return Err(e);
+                    return Err(self.fail(e, rounds, round_changed));
                 }
                 if self.cancel.cancelled() {
                     // mid-round cancellation: dispatching stopped above and
@@ -1273,7 +1312,7 @@ impl Scheduler<'_> {
             }
             if self.in_flight == 0 {
                 if let Some(e) = first_error {
-                    return Err(e);
+                    return Err(self.fail(e, rounds, wave_changed));
                 }
                 if self.cancel.cancelled() {
                     // mid-wave cancellation: dispatching stopped above and
@@ -1334,6 +1373,7 @@ impl Scheduler<'_> {
                     return Ok((self.report_rounds(rounds), wave_changed));
                 }
                 let carried = self.maybe_checkpoint(rounds, wave_changed)?;
+                self.watchdog_check(rounds, wave_changed)?;
                 if rounds >= self.config.max_iterations {
                     self.drain()?;
                     return Err(SqloopError::Semantic(format!(
@@ -1483,6 +1523,91 @@ impl Scheduler<'_> {
         Ok(carried)
     }
 
+    // -- resource governance (DESIGN.md §12) --------------------------------
+
+    /// Feeds the watchdog one completed round: round budget, delta trend,
+    /// and — when numeric checks are on — a NaN/±∞ probe of every
+    /// partition table so a verdict names the diverging partition. A
+    /// verdict aborts governed (quiesce + final checkpoint) and surfaces
+    /// as the typed error.
+    ///
+    /// # Errors
+    /// The watchdog verdict, probe-query engine errors, or
+    /// checkpoint-write errors from the governed abort.
+    fn watchdog_check(&mut self, rounds: u64, changed: u64) -> SqloopResult<()> {
+        let Some(mut w) = self.governance.watchdog.take() else {
+            return Ok(());
+        };
+        let mut result = w.check_round(rounds, changed);
+        if result.is_ok() && w.numeric_checks() {
+            let schema = self.gen.schema().clone();
+            let names = self.gen.names().clone();
+            for x in 0..self.parts.len() {
+                result = w.probe_table(
+                    self.main,
+                    &names.partition(x),
+                    &schema.columns,
+                    &schema.types,
+                    Some(x),
+                    rounds,
+                );
+                if result.is_err() {
+                    break;
+                }
+            }
+        }
+        self.governance.watchdog = Some(w);
+        if let Err(verdict) = result {
+            self.governed_abort(rounds, changed, &verdict)?;
+            return Err(verdict);
+        }
+        Ok(())
+    }
+
+    /// Routes a scheduler-fatal error: a task failure rooted in the
+    /// engine's memory budget aborts governed and becomes the typed
+    /// [`SqloopError::BudgetExceeded`]; anything else passes through.
+    fn fail(&mut self, e: SqloopError, rounds: u64, last_change: u64) -> SqloopError {
+        if let Some(m) = root_budget_exceeded(&e) {
+            let verdict = SqloopError::BudgetExceeded {
+                what: format!("memory ({m})"),
+                round: rounds,
+            };
+            if self.governed_abort(rounds, last_change, &verdict).is_ok() {
+                return verdict;
+            }
+        }
+        e
+    }
+
+    /// Lifts the engine memory limit (budget-exhausted state could not even
+    /// quiesce otherwise), quiesces, and writes a final checkpoint so the
+    /// governed abort is resumable under a larger budget.
+    fn governed_abort(
+        &mut self,
+        rounds: u64,
+        last_change: u64,
+        verdict: &SqloopError,
+    ) -> SqloopResult<()> {
+        self.governance.lift_memory_limit();
+        self.trace.event(
+            EventKind::Watchdog,
+            None,
+            Some(rounds),
+            format!("governed abort: {verdict}"),
+        );
+        obs::global().counter("sqloop.governed_aborts").inc();
+        self.quiesce()?;
+        if self.checkpointer.is_some() {
+            let snap = self.parallel_snapshot(rounds, last_change)?;
+            if let Some(ck) = self.checkpointer.as_mut() {
+                let path = ck.save(&snap)?;
+                trace_checkpoint(self.trace, rounds, &path);
+            }
+        }
+        Ok(())
+    }
+
     /// When the token is cancelled: quiesces, writes a final checkpoint
     /// (when checkpointing is on), marks the run cancelled, and returns
     /// `true` — the scheduler then returns its partial state as a normal
@@ -1508,5 +1633,16 @@ impl Scheduler<'_> {
         }
         self.cancelled = true;
         Ok(true)
+    }
+}
+
+/// Walks a (possibly [`SqloopError::Task`]-wrapped) error chain looking for
+/// the engine's memory-budget refusal; returns its message when found so the
+/// scheduler can convert the failure into a governed abort.
+fn root_budget_exceeded(e: &SqloopError) -> Option<String> {
+    match e {
+        SqloopError::Db(DbError::BudgetExceeded(m)) => Some(m.clone()),
+        SqloopError::Task { source, .. } => root_budget_exceeded(source),
+        _ => None,
     }
 }

@@ -15,6 +15,9 @@ pub struct ProgressSample {
     pub elapsed: Duration,
     /// The scalar the progress query returned (e.g. sum of rank).
     pub value: f64,
+    /// Bytes the engine's memory budget had charged when the sample was
+    /// taken (`None` when the engine is remote and exposes no accounting).
+    pub mem_bytes: Option<u64>,
 }
 
 /// Per-run fault-recovery counters: what the parallel engine had to do to
@@ -79,14 +82,33 @@ impl Sampler {
             .name("sqloop-sampler".into())
             .spawn(move || {
                 let start = Instant::now();
-                let failed = obs::global().counter("sqloop.sampler.failed_samples");
+                let reg = obs::global();
+                let failed = reg.counter("sqloop.sampler.failed_samples");
+                let engine_mem = reg.gauge("sqldb.mem.bytes");
+                let run_peak = reg.gauge("sqloop.mem.peak_bytes");
+                // per-run high-water mark: the engine's own peak gauge is
+                // process-lifetime, this one resets with each sampler
+                run_peak.set(0);
+                let mut peak: i64 = 0;
                 while !stop2.load(Ordering::Relaxed) {
+                    let mem = match engine_mem.get() {
+                        0 => None,
+                        n => Some(n.max(0) as u64),
+                    };
+                    if let Some(n) = mem {
+                        let n = n.min(i64::MAX as u64) as i64;
+                        if n > peak {
+                            peak = n;
+                            run_peak.set(n);
+                        }
+                    }
                     match conn.query(&query) {
                         Ok(result) => {
                             if let Some(v) = result.scalar().and_then(|v| v.as_f64()) {
                                 samples2.lock().push(ProgressSample {
                                     elapsed: start.elapsed(),
                                     value: v,
+                                    mem_bytes: mem,
                                 });
                             } else {
                                 failed.inc();

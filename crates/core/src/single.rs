@@ -15,9 +15,10 @@ use crate::common::{
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{IterativeCte, RecursiveCte};
 use crate::translate::translate_query_to_sql;
+use crate::watchdog::Governance;
 use dbcp::{CancelToken, Connection};
 use obs::{EventKind, Span, SpanKind, SpanOutcome, TraceHandle};
-use sqldb::{DataType, QueryResult, Value};
+use sqldb::{DataType, DbError, QueryResult, Value};
 
 /// What an executed CTE run reports back.
 #[derive(Debug, Clone, PartialEq)]
@@ -240,6 +241,40 @@ pub fn run_iterative_single_durable(
     checkpointer: Option<&mut Checkpointer>,
     resume: Option<&LoopSnapshot>,
 ) -> SqloopResult<RunOutcome> {
+    run_iterative_single_governed(
+        conn,
+        cte,
+        max_iterations,
+        keep_artifacts,
+        trace,
+        cancel,
+        checkpointer,
+        resume,
+        &mut Governance::none(),
+    )
+}
+
+/// [`run_iterative_single_durable`] under resource governance: watchdog
+/// verdicts (round budget, numeric divergence, flat delta trend) and engine
+/// memory-budget trips abort the run *governed* — the engine limit is
+/// lifted, a final checkpoint is written (when checkpointing is on), and a
+/// typed [`SqloopError::BudgetExceeded`]/[`SqloopError::NumericDivergence`]
+/// is returned so the run can resume under a larger budget.
+///
+/// # Errors
+/// As [`run_iterative_single_durable`], plus the governance verdicts above.
+#[allow(clippy::too_many_arguments)]
+pub fn run_iterative_single_governed(
+    conn: &mut dyn Connection,
+    cte: &IterativeCte,
+    max_iterations: u64,
+    keep_artifacts: bool,
+    trace: &TraceHandle,
+    cancel: &CancelToken,
+    checkpointer: Option<&mut Checkpointer>,
+    resume: Option<&LoopSnapshot>,
+    governance: &mut Governance<'_>,
+) -> SqloopResult<RunOutcome> {
     let names = CteNames::new(&cte.name);
     match iterative_loop(
         conn,
@@ -250,6 +285,7 @@ pub fn run_iterative_single_durable(
         cancel,
         checkpointer,
         resume,
+        governance,
     ) {
         Ok(out) => {
             cleanup(conn, &names, keep_artifacts)?;
@@ -304,6 +340,7 @@ fn iterative_loop(
     cancel: &CancelToken,
     mut checkpointer: Option<&mut Checkpointer>,
     resume: Option<&LoopSnapshot>,
+    governance: &mut Governance<'_>,
 ) -> SqloopResult<RunOutcome> {
     let schema;
     let mut iterations;
@@ -361,30 +398,52 @@ fn iterative_loop(
             break;
         }
         let span_start = trace.now_us();
-        // Rtmp := Ri
-        run(conn, &format!("DROP TABLE IF EXISTS {tmp}"))?;
-        run(
-            conn,
-            &format!("CREATE TABLE {tmp} ({})", schema.create_columns_sql(true)),
-        )?;
-        let step_sql = translate_query_to_sql(&cte.step, conn.profile());
-        conn.execute(&format!(
-            "INSERT INTO {} {}",
-            conn.profile().dialect().quote(&tmp),
-            step_sql
-        ))?;
-        // R := R ⟵ Rtmp matched on Rid (only Rid ∩ Rtmp_id rows change)
-        let assignments = schema.columns[1..]
-            .iter()
-            .map(|c| format!("{c} = {tmp}.{c}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        let update_sql = format!(
-            "UPDATE {r} SET {assignments} FROM {tmp} WHERE {r}.{k} = {tmp}.{k}",
-            r = cte.name,
-            k = schema.key(),
-        );
-        let updated = run(conn, &update_sql)?.rows_affected();
+        let round_result = (|| -> SqloopResult<u64> {
+            // Rtmp := Ri
+            run(conn, &format!("DROP TABLE IF EXISTS {tmp}"))?;
+            run(
+                conn,
+                &format!("CREATE TABLE {tmp} ({})", schema.create_columns_sql(true)),
+            )?;
+            let step_sql = translate_query_to_sql(&cte.step, conn.profile());
+            conn.execute(&format!(
+                "INSERT INTO {} {}",
+                conn.profile().dialect().quote(&tmp),
+                step_sql
+            ))?;
+            // R := R ⟵ Rtmp matched on Rid (only Rid ∩ Rtmp_id rows change)
+            let assignments = schema.columns[1..]
+                .iter()
+                .map(|c| format!("{c} = {tmp}.{c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let update_sql = format!(
+                "UPDATE {r} SET {assignments} FROM {tmp} WHERE {r}.{k} = {tmp}.{k}",
+                r = cte.name,
+                k = schema.key(),
+            );
+            Ok(run(conn, &update_sql)?.rows_affected())
+        })();
+        let updated = match round_result {
+            Ok(u) => u,
+            // the engine's memory budget tripped mid-round; statement
+            // atomicity rolled the failed statement back, so R still holds
+            // round `iterations` — abort governed from that state
+            Err(e) => {
+                return Err(govern_failure(
+                    e,
+                    conn,
+                    cte,
+                    names,
+                    &schema,
+                    iterations,
+                    last_updates,
+                    trace,
+                    checkpointer.as_deref_mut(),
+                    governance,
+                ))
+            }
+        };
         last_updates = updated;
         iterations += 1;
         if trace.is_enabled() {
@@ -401,20 +460,90 @@ fn iterative_loop(
             });
         }
 
-        let done =
-            termination_satisfied(conn, &cte.name, &cte.termination, iterations, last_updates)?;
-        if cte.termination.needs_delta_snapshot() {
-            refresh_delta_snapshot(conn, names)?;
-        }
+        // the termination probe and delta refresh also run engine statements
+        // that can trip the memory budget — keep them governed too
+        let tail =
+            termination_satisfied(conn, &cte.name, &cte.termination, iterations, last_updates)
+                .and_then(|done| {
+                    if cte.termination.needs_delta_snapshot() {
+                        refresh_delta_snapshot(conn, names)?;
+                    }
+                    Ok(done)
+                });
+        let done = match tail {
+            Ok(done) => done,
+            Err(e) => {
+                return Err(govern_failure(
+                    e,
+                    conn,
+                    cte,
+                    names,
+                    &schema,
+                    iterations,
+                    last_updates,
+                    trace,
+                    checkpointer.as_deref_mut(),
+                    governance,
+                ))
+            }
+        };
         if done {
             break;
         }
-        if let Some(ck) = checkpointer.as_deref_mut() {
-            if ck.due(iterations) {
-                let snap = single_snapshot(conn, cte, names, &schema, iterations, last_updates)?;
-                let path = ck.save(&snap)?;
-                trace_checkpoint(trace, iterations, &path);
-            }
+        let watchdog_verdict = match governance.watchdog.as_mut() {
+            Some(w) => w
+                .check_round(iterations, updated)
+                .and_then(|()| {
+                    w.probe_table(
+                        conn,
+                        &cte.name,
+                        &schema.columns,
+                        &schema.types,
+                        None,
+                        iterations,
+                    )
+                })
+                .err(),
+            None => None,
+        };
+        if let Some(verdict) = watchdog_verdict {
+            governed_abort(
+                conn,
+                cte,
+                names,
+                &schema,
+                iterations,
+                last_updates,
+                trace,
+                checkpointer.as_deref_mut(),
+                governance,
+                &verdict,
+            )?;
+            return Err(verdict);
+        }
+        if checkpointer.as_deref().is_some_and(|ck| ck.due(iterations)) {
+            let snap = match single_snapshot(conn, cte, names, &schema, iterations, last_updates) {
+                Ok(snap) => snap,
+                Err(e) => {
+                    return Err(govern_failure(
+                        e,
+                        conn,
+                        cte,
+                        names,
+                        &schema,
+                        iterations,
+                        last_updates,
+                        trace,
+                        checkpointer.as_deref_mut(),
+                        governance,
+                    ))
+                }
+            };
+            let ck = checkpointer
+                .as_deref_mut()
+                .expect("due implies checkpointer");
+            let path = ck.save(&snap)?;
+            trace_checkpoint(trace, iterations, &path);
         }
         if iterations >= max_iterations {
             return Err(SqloopError::Semantic(format!(
@@ -425,13 +554,101 @@ fn iterative_loop(
     run(conn, &format!("DROP TABLE IF EXISTS {tmp}"))?;
 
     let final_sql = translate_query_to_sql(&cte.final_query, conn.profile());
-    let result = conn.query(&final_sql)?;
+    let result = match conn.query(&final_sql) {
+        Ok(r) => r,
+        Err(e) => {
+            return Err(govern_failure(
+                SqloopError::from(e),
+                conn,
+                cte,
+                names,
+                &schema,
+                iterations,
+                last_updates,
+                trace,
+                checkpointer,
+                governance,
+            ))
+        }
+    };
     Ok(RunOutcome {
         result,
         iterations,
         last_change: last_updates,
         cancelled,
     })
+}
+
+/// Converts an engine memory-budget trip anywhere in the loop into a
+/// governed abort, returning the typed verdict; every other error passes
+/// through unchanged. When the abort itself fails the original trip is
+/// surfaced so the failure is not masked.
+#[allow(clippy::too_many_arguments)]
+fn govern_failure(
+    e: SqloopError,
+    conn: &mut dyn Connection,
+    cte: &IterativeCte,
+    names: &CteNames,
+    schema: &CteSchema,
+    iterations: u64,
+    last_updates: u64,
+    trace: &TraceHandle,
+    checkpointer: Option<&mut Checkpointer>,
+    governance: &Governance<'_>,
+) -> SqloopError {
+    let SqloopError::Db(DbError::BudgetExceeded(m)) = e else {
+        return e;
+    };
+    let verdict = SqloopError::BudgetExceeded {
+        what: format!("memory ({m})"),
+        round: iterations,
+    };
+    match governed_abort(
+        conn,
+        cte,
+        names,
+        schema,
+        iterations,
+        last_updates,
+        trace,
+        checkpointer,
+        governance,
+        &verdict,
+    ) {
+        Ok(()) => verdict,
+        Err(_) => SqloopError::Db(DbError::BudgetExceeded(m)),
+    }
+}
+
+/// Lifts the engine memory limit, records the verdict, and writes a final
+/// checkpoint so a governed abort is always resumable under a larger budget.
+#[allow(clippy::too_many_arguments)]
+fn governed_abort(
+    conn: &mut dyn Connection,
+    cte: &IterativeCte,
+    names: &CteNames,
+    schema: &CteSchema,
+    iterations: u64,
+    last_updates: u64,
+    trace: &TraceHandle,
+    checkpointer: Option<&mut Checkpointer>,
+    governance: &Governance<'_>,
+    verdict: &SqloopError,
+) -> SqloopResult<()> {
+    governance.lift_memory_limit();
+    trace.event(
+        EventKind::Watchdog,
+        None,
+        Some(iterations),
+        format!("governed abort: {verdict}"),
+    );
+    obs::global().counter("sqloop.governed_aborts").inc();
+    if let Some(ck) = checkpointer {
+        let snap = single_snapshot(conn, cte, names, schema, iterations, last_updates)?;
+        let path = ck.save(&snap)?;
+        trace_checkpoint(trace, iterations, &path);
+    }
+    Ok(())
 }
 
 fn cleanup(conn: &mut dyn Connection, names: &CteNames, keep: bool) -> SqloopResult<()> {

@@ -164,6 +164,8 @@ impl TcpConnection {
     fn fetch_profile(&mut self) -> DbResult<EngineProfile> {
         match self.round_trip(&Request::Profile)? {
             Response::ProfileIs(p) => Ok(p),
+            // typed rejections (admission control) must survive the probe
+            Response::Error(e) => Err(e),
             other => Err(DbError::Connection(format!(
                 "unexpected profile response {other:?}"
             ))),
@@ -205,6 +207,13 @@ impl Connection for TcpConnection {
         self.round_trip(&Request::SetIsolation(level))?
             .into_output()
             .map(|_| ())
+    }
+
+    fn set_statement_timeout(&mut self, timeout: Option<Duration>) -> DbResult<bool> {
+        let ms = timeout.map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64);
+        self.round_trip(&Request::SetStatementTimeout(ms.unwrap_or(0)))?
+            .into_output()
+            .map(|_| true)
     }
 
     fn ping(&mut self) -> bool {

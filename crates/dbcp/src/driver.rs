@@ -78,6 +78,19 @@ pub trait Connection: Send {
         !matches!(self.execute("SELECT 1"), Err(DbError::Connection(_)))
     }
 
+    /// Sets (or clears, with `None`) the per-statement execution deadline.
+    /// Statements running longer fail with [`DbError::Timeout`].
+    ///
+    /// The default is a no-op returning `false` for transports that
+    /// predate the capability; implementations return `true`.
+    ///
+    /// # Errors
+    /// Transport failures (remote).
+    fn set_statement_timeout(&mut self, timeout: Option<std::time::Duration>) -> DbResult<bool> {
+        let _ = timeout;
+        Ok(false)
+    }
+
     /// The engine profile on the other side of this connection.
     fn profile(&self) -> EngineProfile;
 }
@@ -97,6 +110,21 @@ pub trait Driver: Send + Sync {
     /// see the engine directly (in-process drivers). Remote drivers return
     /// `None`. Callers diff two snapshots for per-run numbers.
     fn engine_stats(&self) -> Option<sqldb::StatsSnapshot> {
+        None
+    }
+
+    /// Sets (or clears) the engine-wide memory limit in bytes, when the
+    /// driver can govern the engine directly. Returns `false` (the
+    /// default) when the capability is unavailable (remote drivers govern
+    /// server-side instead).
+    fn set_memory_limit(&self, limit: Option<u64>) -> bool {
+        let _ = limit;
+        false
+    }
+
+    /// Bytes the engine currently has charged against its memory budget,
+    /// when observable from this driver.
+    fn memory_used(&self) -> Option<u64> {
         None
     }
 }
@@ -134,6 +162,15 @@ impl Driver for LocalDriver {
     fn engine_stats(&self) -> Option<sqldb::StatsSnapshot> {
         Some(self.db.stats())
     }
+
+    fn set_memory_limit(&self, limit: Option<u64>) -> bool {
+        self.db.set_memory_limit(limit);
+        true
+    }
+
+    fn memory_used(&self) -> Option<u64> {
+        Some(self.db.memory_used())
+    }
 }
 
 /// In-process connection: a thin adapter over a [`Session`].
@@ -170,6 +207,11 @@ impl Connection for LocalConnection {
     fn set_isolation(&mut self, level: IsolationLevel) -> DbResult<()> {
         self.session.set_isolation(level);
         Ok(())
+    }
+
+    fn set_statement_timeout(&mut self, timeout: Option<std::time::Duration>) -> DbResult<bool> {
+        self.session.set_statement_timeout(timeout);
+        Ok(true)
     }
 
     fn profile(&self) -> EngineProfile {

@@ -55,7 +55,7 @@ pub use client::{TcpConnection, TcpDriver, TcpTimeouts};
 pub use driver::{Connection, Driver, LocalConnection, LocalDriver};
 pub use pool::{Pool, PooledConnection};
 pub use retry::{is_transient, RetryPolicy};
-pub use server::Server;
+pub use server::{Server, ServerConfig};
 pub use url::{driver_for_url, ConnectionUrl};
 
 #[cfg(test)]

@@ -5,13 +5,18 @@ use crate::cancel::CancelToken;
 use sqldb::{DbError, DbResult};
 use std::time::Duration;
 
-/// True for errors worth retrying: connectivity failures and transactional
-/// congestion that a fresh attempt can clear. Deterministic statement
-/// errors (parse, semantic, missing objects) are not retried.
+/// True for errors worth retrying: connectivity failures, transactional
+/// congestion and load shedding that a fresh (backed-off) attempt can
+/// clear. Deterministic statement errors (parse, semantic, missing
+/// objects) and exhausted budgets are not retried — the same statement
+/// against the same limits fails identically.
 pub fn is_transient(e: &DbError) -> bool {
     matches!(
         e,
-        DbError::Connection(_) | DbError::LockTimeout(_) | DbError::TxnAborted(_)
+        DbError::Connection(_)
+            | DbError::LockTimeout(_)
+            | DbError::TxnAborted(_)
+            | DbError::Overloaded(_)
     )
 }
 
@@ -135,9 +140,12 @@ mod tests {
         assert!(is_transient(&DbError::Connection("gone".into())));
         assert!(is_transient(&DbError::LockTimeout("busy".into())));
         assert!(is_transient(&DbError::TxnAborted("deadlock".into())));
+        assert!(is_transient(&DbError::Overloaded("shedding".into())));
         assert!(!is_transient(&DbError::Parse("bad".into())));
         assert!(!is_transient(&DbError::NotFound("t".into())));
         assert!(!is_transient(&DbError::Invalid("dup key".into())));
+        assert!(!is_transient(&DbError::BudgetExceeded("mem".into())));
+        assert!(!is_transient(&DbError::Timeout("deadline".into())));
     }
 
     #[test]

@@ -4,6 +4,13 @@
 //! matching the paper's observation that "for each new connection … the
 //! database system spawns a new process to accommodate the additional
 //! computational needs" (§I).
+//!
+//! The server governs its own resources ([`ServerConfig`]): connections
+//! past `max_connections` are admitted just long enough to receive a typed
+//! [`DbError::Overloaded`] and closed; statements past `shed_high_water`
+//! in-flight are shed with the same retryable error so clients back off
+//! through their `RetryPolicy` instead of piling on; and a server-side
+//! statement timeout bounds every statement of every session.
 
 use crate::wire::{
     decode_request, encode_response, read_frame, write_frame, Request, Response, MAGIC,
@@ -11,9 +18,113 @@ use crate::wire::{
 use sqldb::{Database, DbError, DbResult, StmtOutput};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Admission-control and load-shed settings for a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerConfig {
+    /// Maximum concurrent client connections (`0` = unlimited). A
+    /// connection past the limit completes the handshake, receives
+    /// [`DbError::Overloaded`] for its first request, and is closed —
+    /// fast, typed rejection instead of a hang or a silent reset.
+    pub max_connections: usize,
+    /// Shed new statements while this many are in flight (`0` = off).
+    /// Shed statements fail with the retryable [`DbError::Overloaded`]
+    /// without touching the engine.
+    pub shed_high_water: usize,
+    /// Per-statement execution deadline applied to every session
+    /// (`None` = off). Clients may override their own via
+    /// [`Request::SetStatementTimeout`].
+    pub statement_timeout: Option<Duration>,
+}
+
+/// Shared admission/shed state, updated by every client thread.
+#[derive(Debug)]
+struct Governor {
+    cfg: ServerConfig,
+    conns: AtomicUsize,
+    in_flight: AtomicUsize,
+    rejected: Arc<obs::Counter>,
+    shed: Arc<obs::Counter>,
+    open_gauge: Arc<obs::Gauge>,
+    in_flight_gauge: Arc<obs::Gauge>,
+}
+
+impl Governor {
+    fn new(cfg: ServerConfig) -> Governor {
+        let reg = obs::global();
+        Governor {
+            cfg,
+            conns: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            rejected: reg.counter("dbcp.server.admission_rejected"),
+            shed: reg.counter("dbcp.server.statements_shed"),
+            open_gauge: reg.gauge("dbcp.server.open_connections"),
+            in_flight_gauge: reg.gauge("dbcp.server.in_flight_statements"),
+        }
+    }
+
+    /// Claims a connection slot; `None` when the server is full.
+    fn try_admit(self: &Arc<Self>) -> Option<ConnGuard> {
+        let now = self.conns.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.cfg.max_connections != 0 && now > self.cfg.max_connections {
+            self.conns.fetch_sub(1, Ordering::SeqCst);
+            self.rejected.inc();
+            return None;
+        }
+        self.open_gauge.add(1);
+        Some(ConnGuard { gov: self.clone() })
+    }
+
+    /// Claims an in-flight statement slot.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Overloaded`] when the high-water mark is crossed.
+    fn start_statement(self: &Arc<Self>) -> DbResult<StmtGuard> {
+        let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.cfg.shed_high_water != 0 && now > self.cfg.shed_high_water {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.shed.inc();
+            return Err(DbError::Overloaded(format!(
+                "shedding load: {} statements in flight (high water {})",
+                now - 1,
+                self.cfg.shed_high_water
+            )));
+        }
+        self.in_flight_gauge.add(1);
+        Ok(StmtGuard { gov: self.clone() })
+    }
+}
+
+/// Releases a connection slot on drop — including when the client thread
+/// panics, so a crashed handler can never leak the admission counter.
+#[derive(Debug)]
+struct ConnGuard {
+    gov: Arc<Governor>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.gov.conns.fetch_sub(1, Ordering::SeqCst);
+        self.gov.open_gauge.add(-1);
+    }
+}
+
+/// Releases an in-flight statement slot on drop.
+#[derive(Debug)]
+struct StmtGuard {
+    gov: Arc<Governor>,
+}
+
+impl Drop for StmtGuard {
+    fn drop(&mut self) {
+        self.gov.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.gov.in_flight_gauge.add(-1);
+    }
+}
 
 /// A running database server.
 ///
@@ -24,15 +135,24 @@ pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    governor: Arc<Governor>,
 }
 
 impl Server {
     /// Binds `db` to `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections.
+    /// accepting connections with no admission limits.
     ///
     /// # Errors
     /// Returns [`DbError::Connection`] when binding fails.
     pub fn bind(db: Database, addr: &str) -> DbResult<Server> {
+        Server::bind_with(db, addr, ServerConfig::default())
+    }
+
+    /// As [`Server::bind`], with explicit admission-control settings.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Connection`] when binding fails.
+    pub fn bind_with(db: Database, addr: &str, cfg: ServerConfig) -> DbResult<Server> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| DbError::Connection(format!("bind {addr}: {e}")))?;
         let addr = listener
@@ -40,20 +160,28 @@ impl Server {
             .map_err(|e| DbError::Connection(format!("local_addr: {e}")))?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
+        let governor = Arc::new(Governor::new(cfg));
+        let gov = governor.clone();
         let accept_thread = std::thread::Builder::new()
             .name("dbcp-accept".into())
-            .spawn(move || accept_loop(listener, db, flag))
+            .spawn(move || accept_loop(listener, db, flag, gov))
             .map_err(|e| DbError::Connection(format!("spawn: {e}")))?;
         Ok(Server {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            governor,
         })
     }
 
     /// The bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Number of currently admitted client connections.
+    pub fn open_connections(&self) -> usize {
+        self.governor.conns.load(Ordering::SeqCst)
     }
 
     /// Requests shutdown and waits for the accept loop to finish.
@@ -79,19 +207,39 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, db: Database, shutdown: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, db: Database, shutdown: Arc<AtomicBool>, gov: Arc<Governor>) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                let db = db.clone();
-                let _ = std::thread::Builder::new()
-                    .name("dbcp-conn".into())
-                    .spawn(move || {
-                        let _ = serve_client(stream, db);
-                    });
+                match gov.try_admit() {
+                    Some(guard) => {
+                        let db = db.clone();
+                        let gov = gov.clone();
+                        let spawned =
+                            std::thread::Builder::new()
+                                .name("dbcp-conn".into())
+                                .spawn(move || {
+                                    // the guard rides inside the thread so a
+                                    // panicking handler still releases its slot
+                                    let _guard = guard;
+                                    let _ = serve_client(stream, db, gov);
+                                });
+                        // spawn failure drops the guard: slot released
+                        let _ = spawned;
+                    }
+                    None => {
+                        // reject off the accept thread so a slow client
+                        // cannot stall admission of others
+                        let _ = std::thread::Builder::new()
+                            .name("dbcp-reject".into())
+                            .spawn(move || {
+                                let _ = serve_rejected(stream);
+                            });
+                    }
+                }
             }
             Err(_) => {
                 if shutdown.load(Ordering::SeqCst) {
@@ -102,7 +250,31 @@ fn accept_loop(listener: TcpListener, db: Database, shutdown: Arc<AtomicBool>) {
     }
 }
 
-fn serve_client(mut stream: TcpStream, db: Database) -> DbResult<()> {
+/// Completes the handshake, answers the first request with a typed
+/// [`DbError::Overloaded`], and closes — clients see a fast rejection on
+/// their profile probe instead of a reset or a hang.
+fn serve_rejected(mut stream: TcpStream) -> DbResult<()> {
+    let budget = Some(Duration::from_secs(5));
+    let _ = stream.set_read_timeout(budget);
+    let _ = stream.set_write_timeout(budget);
+    let mut magic = [0u8; 2];
+    stream
+        .read_exact(&mut magic)
+        .map_err(|e| DbError::Connection(format!("handshake read: {e}")))?;
+    if magic != MAGIC {
+        return Err(DbError::Connection("bad protocol magic".into()));
+    }
+    stream
+        .write_all(&MAGIC)
+        .map_err(|e| DbError::Connection(format!("handshake write: {e}")))?;
+    let _ = read_frame(&mut stream)?;
+    let resp = Response::Error(DbError::Overloaded(
+        "connection limit reached, retry later".into(),
+    ));
+    write_frame(&mut stream, &encode_response(&resp))
+}
+
+fn serve_client(mut stream: TcpStream, db: Database, gov: Arc<Governor>) -> DbResult<()> {
     stream
         .set_nodelay(true)
         .map_err(|e| DbError::Connection(format!("nodelay: {e}")))?;
@@ -119,6 +291,7 @@ fn serve_client(mut stream: TcpStream, db: Database) -> DbResult<()> {
         .map_err(|e| DbError::Connection(format!("handshake write: {e}")))?;
 
     let mut session = db.connect();
+    session.set_statement_timeout(gov.cfg.statement_timeout);
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(f) => f,
@@ -127,24 +300,30 @@ fn serve_client(mut stream: TcpStream, db: Database) -> DbResult<()> {
         let request = decode_request(frame)?;
         let response = match request {
             Request::Close => return Ok(()),
-            Request::Execute(sql) => Response::from_result(session.execute(&sql)),
-            Request::Batch(stmts) => {
-                let mut items = Vec::with_capacity(stmts.len());
-                let mut failed = None;
-                for s in &stmts {
-                    match session.execute(s) {
-                        Ok(out) => items.push(Response::from_result(Ok(out))),
-                        Err(e) => {
-                            failed = Some(e);
-                            break;
+            Request::Execute(sql) => match gov.start_statement() {
+                Err(e) => Response::Error(e),
+                Ok(_stmt) => Response::from_result(session.execute(&sql)),
+            },
+            Request::Batch(stmts) => match gov.start_statement() {
+                Err(e) => Response::Error(e),
+                Ok(_stmt) => {
+                    let mut items = Vec::with_capacity(stmts.len());
+                    let mut failed = None;
+                    for s in &stmts {
+                        match session.execute(s) {
+                            Ok(out) => items.push(Response::from_result(Ok(out))),
+                            Err(e) => {
+                                failed = Some(e);
+                                break;
+                            }
                         }
                     }
+                    match failed {
+                        Some(e) => Response::Error(e),
+                        None => Response::BatchResults(items),
+                    }
                 }
-                match failed {
-                    Some(e) => Response::Error(e),
-                    None => Response::BatchResults(items),
-                }
-            }
+            },
             Request::Begin => Response::from_result(session.begin().map(|()| StmtOutput::Done)),
             Request::Commit => Response::from_result(session.commit().map(|()| StmtOutput::Done)),
             Request::Rollback => {
@@ -154,8 +333,62 @@ fn serve_client(mut stream: TcpStream, db: Database) -> DbResult<()> {
                 session.set_isolation(level);
                 Response::Done
             }
+            Request::SetStatementTimeout(ms) => {
+                let timeout = match ms {
+                    0 => None,
+                    n => Some(Duration::from_millis(n)),
+                };
+                session.set_statement_timeout(timeout);
+                Response::Done
+            }
             Request::Profile => Response::ProfileIs(db.profile()),
         };
         write_frame(&mut stream, &encode_response(&response))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panicking_client_thread_releases_its_connection_slot() {
+        let gov = Arc::new(Governor::new(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        }));
+        let guard = gov.try_admit().expect("first admission");
+        assert!(gov.try_admit().is_none(), "server is full");
+        let handle = std::thread::Builder::new()
+            .name("dbcp-conn-test".into())
+            .spawn(move || {
+                // the guard rides inside the thread, exactly as in
+                // accept_loop; the panic must not leak the slot
+                let _guard = guard;
+                panic!("handler crashed");
+            })
+            .unwrap();
+        assert!(handle.join().is_err(), "thread must have panicked");
+        assert_eq!(gov.conns.load(Ordering::SeqCst), 0);
+        assert!(gov.try_admit().is_some(), "slot was released");
+    }
+
+    #[test]
+    fn shed_statements_release_their_slot_and_count() {
+        let gov = Arc::new(Governor::new(ServerConfig {
+            shed_high_water: 1,
+            ..ServerConfig::default()
+        }));
+        let held = gov.start_statement().expect("first statement");
+        let err = gov.start_statement();
+        assert!(
+            matches!(err, Err(DbError::Overloaded(_))),
+            "expected shed, got {err:?}"
+        );
+        // the failed claim must not leak the in-flight counter
+        assert_eq!(gov.in_flight.load(Ordering::SeqCst), 1);
+        drop(held);
+        assert_eq!(gov.in_flight.load(Ordering::SeqCst), 0);
+        assert!(gov.start_statement().is_ok());
     }
 }

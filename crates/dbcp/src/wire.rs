@@ -32,6 +32,9 @@ pub enum Request {
     Profile,
     /// Close the connection.
     Close,
+    /// Set the per-statement execution deadline in milliseconds
+    /// (`0` clears it). Applied server-side to the backing session.
+    SetStatementTimeout(u64),
 }
 
 /// Server → client messages.
@@ -143,6 +146,9 @@ fn error_parts(e: &DbError) -> (u8, String) {
         DbError::TxnAborted(m) => (6, m.clone()),
         DbError::Unsupported(m) => (7, m.clone()),
         DbError::Connection(m) => (8, m.clone()),
+        DbError::BudgetExceeded(m) => (9, m.clone()),
+        DbError::Timeout(m) => (10, m.clone()),
+        DbError::Overloaded(m) => (11, m.clone()),
     }
 }
 
@@ -156,6 +162,10 @@ fn error_from_parts(kind: u8, msg: String) -> DbError {
         5 => DbError::LockTimeout(msg),
         6 => DbError::TxnAborted(msg),
         7 => DbError::Unsupported(msg),
+        9 => DbError::BudgetExceeded(msg),
+        10 => DbError::Timeout(msg),
+        11 => DbError::Overloaded(msg),
+        // unknown kinds (newer peers) degrade to a connection error
         _ => DbError::Connection(msg),
     }
 }
@@ -187,6 +197,10 @@ pub fn encode_request(req: &Request) -> Bytes {
         }
         Request::Profile => buf.put_u8(7),
         Request::Close => buf.put_u8(8),
+        Request::SetStatementTimeout(ms) => {
+            buf.put_u8(9);
+            buf.put_u64(*ms);
+        }
     }
     buf.freeze()
 }
@@ -322,6 +336,10 @@ pub fn decode_request(mut buf: Bytes) -> DbResult<Request> {
         }
         7 => Ok(Request::Profile),
         8 => Ok(Request::Close),
+        9 => {
+            need(&mut buf, 8, "statement timeout")?;
+            Ok(Request::SetStatementTimeout(buf.get_u64()))
+        }
         t => Err(DbError::Connection(format!("unknown request tag {t}"))),
     }
 }
@@ -432,6 +450,8 @@ mod tests {
         roundtrip_req(Request::SetIsolation(IsolationLevel::Serializable));
         roundtrip_req(Request::Profile);
         roundtrip_req(Request::Close);
+        roundtrip_req(Request::SetStatementTimeout(1500));
+        roundtrip_req(Request::SetStatementTimeout(0));
     }
 
     #[test]
@@ -486,9 +506,26 @@ mod tests {
             DbError::TxnAborted("g".into()),
             DbError::Unsupported("h".into()),
             DbError::Connection("i".into()),
+            DbError::BudgetExceeded("j".into()),
+            DbError::Timeout("k".into()),
+            DbError::Overloaded("l".into()),
         ];
         for e in errors {
             roundtrip_resp(Response::Error(e));
+        }
+    }
+
+    #[test]
+    fn unknown_error_kind_degrades_to_connection() {
+        // an error frame with a future kind decodes, not fails
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u8(0); // Error tag
+        buf.put_u8(200); // unknown kind
+        buf.put_u32(2);
+        buf.put_slice(b"zz");
+        match decode_response(buf.freeze()).unwrap() {
+            Response::Error(DbError::Connection(m)) => assert_eq!(m, "zz"),
+            other => panic!("unexpected {other:?}"),
         }
     }
 }

@@ -97,6 +97,9 @@ pub enum EventKind {
     Resume,
     /// Cooperative cancellation was observed (deadline or request).
     Cancel,
+    /// The resource watchdog rendered a verdict (budget exhausted or
+    /// numeric divergence) and the run aborted governed.
+    Watchdog,
 }
 
 impl EventKind {
@@ -113,6 +116,7 @@ impl EventKind {
             EventKind::Checkpoint => "checkpoint",
             EventKind::Resume => "resume",
             EventKind::Cancel => "cancel",
+            EventKind::Watchdog => "watchdog",
         }
     }
 }

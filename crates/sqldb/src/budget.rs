@@ -1,0 +1,251 @@
+//! Byte-accounted memory budget shared by every table of a database.
+//!
+//! Accounting is approximate but conservative and self-consistent: the
+//! same estimator ([`row_bytes`]) is used for charges and refunds, so the
+//! tracked total returns to zero when all tracked rows are gone. The
+//! budget is enforced at the charge sites in `storage.rs` (row inserts
+//! and in-place growth) and `exec.rs` (intermediate materialization), and
+//! a failed charge surfaces as [`DbError::BudgetExceeded`] so the
+//! statement rolls back atomically and refunds everything it charged.
+
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fixed per-row bookkeeping overhead (slot option + vec headers).
+const ROW_OVERHEAD: u64 = 24;
+
+/// Estimated heap bytes held by one row.
+pub fn row_bytes(row: &[Value]) -> u64 {
+    let mut n = ROW_OVERHEAD;
+    for v in row {
+        n += match v {
+            Value::Null => 8,
+            Value::Int(_) | Value::Float(_) => 16,
+            Value::Bool(_) => 8,
+            Value::Text(s) => 24 + s.len() as u64,
+        };
+    }
+    n
+}
+
+/// Rough estimate for `nrows` materialized rows of width `arity`, used
+/// where walking every value would cost more than the materialization
+/// itself (joins, WHERE outputs).
+pub fn approx_rows_bytes(nrows: usize, arity: usize) -> u64 {
+    (nrows as u64) * (ROW_OVERHEAD + 16 * arity as u64)
+}
+
+/// An atomic byte-accounting budget with an optional hard limit.
+///
+/// `limit == 0` means unlimited (charges always succeed but are still
+/// tracked, so peak usage is observable even without enforcement).
+#[derive(Debug)]
+pub struct MemoryBudget {
+    used: AtomicU64,
+    peak: AtomicU64,
+    limit: AtomicU64,
+    used_gauge: Arc<obs::Gauge>,
+    peak_gauge: Arc<obs::Gauge>,
+    exceeded: Arc<obs::Counter>,
+}
+
+impl Default for MemoryBudget {
+    fn default() -> MemoryBudget {
+        let reg = obs::global();
+        MemoryBudget {
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            limit: AtomicU64::new(0),
+            used_gauge: reg.gauge("sqldb.mem.bytes"),
+            peak_gauge: reg.gauge("sqldb.mem.peak_bytes"),
+            exceeded: reg.counter("sqldb.mem.budget_exceeded"),
+        }
+    }
+}
+
+impl MemoryBudget {
+    /// An unlimited budget.
+    pub fn new() -> MemoryBudget {
+        MemoryBudget::default()
+    }
+
+    /// Sets (or clears, with `None`/`Some(0)`) the hard byte limit.
+    pub fn set_limit(&self, limit: Option<u64>) {
+        self.limit.store(limit.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// The hard limit, if one is set.
+    pub fn limit(&self) -> Option<u64> {
+        match self.limit.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of charged bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Charges `bytes` against the budget.
+    ///
+    /// # Errors
+    /// Returns [`DbError::BudgetExceeded`] (and leaves the accounting
+    /// unchanged) when the charge would cross the limit.
+    pub fn charge(&self, bytes: u64) -> DbResult<()> {
+        let limit = self.limit.load(Ordering::Relaxed);
+        let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
+        let now = prev + bytes;
+        if limit != 0 && now > limit {
+            self.used.fetch_sub(bytes, Ordering::Relaxed);
+            self.exceeded.inc();
+            return Err(DbError::BudgetExceeded(format!(
+                "memory limit {limit} bytes: {prev} in use, {bytes} more requested"
+            )));
+        }
+        self.note_usage(now);
+        Ok(())
+    }
+
+    /// Charges without enforcing the limit (undo paths must never fail).
+    pub fn charge_unchecked(&self, bytes: u64) {
+        let now = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.note_usage(now);
+    }
+
+    /// Returns `bytes` to the budget (saturating at zero).
+    pub fn refund(&self, bytes: u64) {
+        let prev = self.used.fetch_sub(bytes, Ordering::Relaxed);
+        // a saturation here means charge/refund sites are unbalanced
+        debug_assert!(prev >= bytes, "memory budget refund underflow");
+        if prev < bytes {
+            self.used.store(0, Ordering::Relaxed);
+        }
+        self.used_gauge
+            .set(self.used.load(Ordering::Relaxed).min(i64::MAX as u64) as i64);
+    }
+
+    /// Charges `bytes` and returns a guard that refunds them on drop —
+    /// used for transient materializations (join/filter outputs) whose
+    /// lifetime is one statement.
+    ///
+    /// # Errors
+    /// Returns [`DbError::BudgetExceeded`] when the charge would cross
+    /// the limit.
+    pub fn reserve(self: &Arc<Self>, bytes: u64) -> DbResult<Reservation> {
+        self.charge(bytes)?;
+        Ok(Reservation {
+            budget: self.clone(),
+            bytes,
+        })
+    }
+
+    fn note_usage(&self, now: u64) {
+        self.used_gauge.set(now.min(i64::MAX as u64) as i64);
+        let mut peak = self.peak.load(Ordering::Relaxed);
+        while now > peak {
+            match self
+                .peak
+                .compare_exchange_weak(peak, now, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.peak_gauge.set(now.min(i64::MAX as u64) as i64);
+                    break;
+                }
+                Err(p) => peak = p,
+            }
+        }
+    }
+}
+
+/// A charge that refunds itself when dropped.
+#[derive(Debug)]
+pub struct Reservation {
+    budget: Arc<MemoryBudget>,
+    bytes: u64,
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.budget.refund(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_tracks_usage_and_peak() {
+        let b = MemoryBudget::new();
+        b.charge(100).unwrap();
+        b.charge(50).unwrap();
+        assert_eq!(b.used(), 150);
+        b.refund(120);
+        assert_eq!(b.used(), 30);
+        assert_eq!(b.peak(), 150);
+        assert_eq!(b.limit(), None);
+    }
+
+    #[test]
+    fn limit_enforced_and_failed_charge_leaves_accounting_intact() {
+        let b = MemoryBudget::new();
+        b.set_limit(Some(100));
+        b.charge(80).unwrap();
+        let err = b.charge(30);
+        assert!(matches!(err, Err(DbError::BudgetExceeded(_))), "{err:?}");
+        assert_eq!(b.used(), 80);
+        // raising the limit lets the same charge through
+        b.set_limit(Some(200));
+        b.charge(30).unwrap();
+        assert_eq!(b.used(), 110);
+    }
+
+    #[test]
+    fn reservation_refunds_on_drop() {
+        let b = Arc::new(MemoryBudget::new());
+        b.set_limit(Some(100));
+        {
+            let _r = b.reserve(90).unwrap();
+            assert_eq!(b.used(), 90);
+            assert!(b.reserve(20).is_err());
+        }
+        assert_eq!(b.used(), 0);
+        assert!(b.reserve(100).is_ok());
+    }
+
+    #[test]
+    fn row_bytes_estimates() {
+        let small = row_bytes(&[Value::Int(1), Value::Null]);
+        let big = row_bytes(&[Value::Int(1), Value::Text("x".repeat(1000))]);
+        assert!(big > small + 900);
+        assert_eq!(approx_rows_bytes(10, 2), 10 * (24 + 32));
+    }
+
+    #[test]
+    fn concurrent_charges_balance() {
+        let b = Arc::new(MemoryBudget::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        b.charge(16).unwrap();
+                        b.refund(16);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.used(), 0);
+    }
+}

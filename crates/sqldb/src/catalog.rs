@@ -1,6 +1,7 @@
 //! The database catalog: tables, views, and index → table mapping.
 
 use crate::ast::SelectStmt;
+use crate::budget::MemoryBudget;
 use crate::error::{DbError, DbResult};
 use crate::storage::Table;
 use parking_lot::RwLock;
@@ -20,6 +21,8 @@ pub struct Catalog {
     views: RwLock<HashMap<String, Arc<SelectStmt>>>,
     /// index name → table name (indexes live inside their `Table`).
     indexes: RwLock<HashMap<String, String>>,
+    /// Database-wide byte budget every registered table charges against.
+    budget: Arc<MemoryBudget>,
 }
 
 impl Catalog {
@@ -34,7 +37,12 @@ impl Catalog {
     /// Returns [`DbError::AlreadyExists`] when a table or view of that name
     /// exists (unless `if_not_exists`, which makes it a no-op returning
     /// `Ok(false)`).
-    pub fn create_table(&self, name: &str, table: Table, if_not_exists: bool) -> DbResult<bool> {
+    pub fn create_table(
+        &self,
+        name: &str,
+        mut table: Table,
+        if_not_exists: bool,
+    ) -> DbResult<bool> {
         if self.views.read().contains_key(name) {
             return Err(DbError::AlreadyExists(format!("view {name}")));
         }
@@ -45,8 +53,14 @@ impl Catalog {
             }
             return Err(DbError::AlreadyExists(format!("table {name}")));
         }
+        table.attach_budget(&self.budget)?;
         tables.insert(name.to_owned(), Arc::new(RwLock::new(table)));
         Ok(true)
+    }
+
+    /// The database-wide memory budget registered tables charge against.
+    pub fn memory_budget(&self) -> &Arc<MemoryBudget> {
+        &self.budget
     }
 
     /// Fetches a table handle.

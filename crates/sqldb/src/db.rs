@@ -11,7 +11,7 @@ use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::dialect_check::validate;
 use crate::error::{DbError, DbResult};
-use crate::exec::{Executor, QueryResult, StmtOutput};
+use crate::exec::{ExecLimits, Executor, QueryResult, StmtOutput};
 use crate::parser::{parse_script, parse_statement};
 use crate::profile::EngineProfile;
 use crate::stats::{Stats, StatsSnapshot};
@@ -81,6 +81,8 @@ impl Database {
             held: HashSet::new(),
             isolation: IsolationLevel::default(),
             lock_timeout: DEFAULT_LOCK_TIMEOUT,
+            statement_timeout: None,
+            max_result_rows: None,
         }
     }
 
@@ -103,6 +105,30 @@ impl Database {
     pub fn catalog(&self) -> &Catalog {
         &self.shared.catalog
     }
+
+    /// Sets (or clears) the database-wide memory limit in bytes.
+    ///
+    /// Once set, inserts and intermediate materializations that would push
+    /// tracked bytes past the limit fail with [`DbError::BudgetExceeded`];
+    /// the failing statement rolls back and refunds its charges.
+    pub fn set_memory_limit(&self, limit: Option<u64>) {
+        self.shared.catalog.memory_budget().set_limit(limit);
+    }
+
+    /// The configured memory limit, if any.
+    pub fn memory_limit(&self) -> Option<u64> {
+        self.shared.catalog.memory_budget().limit()
+    }
+
+    /// Bytes currently charged against the memory budget.
+    pub fn memory_used(&self) -> u64 {
+        self.shared.catalog.memory_budget().used()
+    }
+
+    /// High-water mark of charged bytes.
+    pub fn memory_peak(&self) -> u64 {
+        self.shared.catalog.memory_budget().peak()
+    }
 }
 
 /// One connection's execution context: autocommit/transaction state, held
@@ -118,6 +144,8 @@ pub struct Session {
     held: HashSet<String>,
     isolation: IsolationLevel,
     lock_timeout: Duration,
+    statement_timeout: Option<Duration>,
+    max_result_rows: Option<u64>,
 }
 
 impl Session {
@@ -135,6 +163,23 @@ impl Session {
     /// Sets the lock wait budget.
     pub fn set_lock_timeout(&mut self, timeout: Duration) {
         self.lock_timeout = timeout;
+    }
+
+    /// Sets (or clears) the per-statement execution deadline. Statements
+    /// running longer fail with [`DbError::Timeout`] and roll back.
+    pub fn set_statement_timeout(&mut self, timeout: Option<Duration>) {
+        self.statement_timeout = timeout.filter(|d| !d.is_zero());
+    }
+
+    /// The per-statement execution deadline, if any.
+    pub fn statement_timeout(&self) -> Option<Duration> {
+        self.statement_timeout
+    }
+
+    /// Sets (or clears) the cap on rows a query may return. Queries
+    /// producing more fail with [`DbError::BudgetExceeded`].
+    pub fn set_max_result_rows(&mut self, max: Option<u64>) {
+        self.max_result_rows = max;
     }
 
     /// True while a `BEGIN` transaction is open.
@@ -218,7 +263,13 @@ impl Session {
             &self.shared.catalog,
             self.shared.profile,
             &self.shared.stats,
-        );
+        )
+        .with_limits(ExecLimits {
+            max_rows: self.max_result_rows,
+            deadline: self
+                .statement_timeout
+                .map(|t| std::time::Instant::now() + t),
+        });
         let result = executor.run_statement(stmt, &mut self.undo);
         match result {
             Ok(output) => {
@@ -563,6 +614,56 @@ mod tests {
         ));
         s.execute("UPDATE r JOIN m ON r.id = m.id SET d = m.v")
             .unwrap();
+    }
+
+    #[test]
+    fn memory_limit_trips_rolls_back_and_lifts() {
+        let db = Database::new(EngineProfile::Postgres);
+        let mut s = db.connect();
+        s.execute("CREATE TABLE big (id INT PRIMARY KEY, s TEXT)")
+            .unwrap();
+        db.set_memory_limit(Some(db.memory_used() + 2000));
+        let mut tripped = None;
+        for i in 0..100i64 {
+            let sql = format!("INSERT INTO big VALUES ({i}, '{}')", "x".repeat(100));
+            if let Err(e) = s.execute(&sql) {
+                tripped = Some((i, e));
+                break;
+            }
+        }
+        let (i, e) = tripped.expect("the memory limit must trip");
+        assert!(matches!(e, DbError::BudgetExceeded(_)), "{e:?}");
+        // lifting the limit resumes the workload; the tripped statement
+        // was rolled back, so exactly i rows persisted
+        db.set_memory_limit(None);
+        assert_eq!(
+            s.query("SELECT COUNT(*) FROM big").unwrap().rows[0][0],
+            Value::Int(i)
+        );
+        s.execute("INSERT INTO big VALUES (999, 'y')").unwrap();
+        assert!(db.memory_peak() >= db.memory_used());
+    }
+
+    #[test]
+    fn statement_timeout_and_row_cap_per_session() {
+        let db = db();
+        let mut s = db.connect();
+        s.set_max_result_rows(Some(1));
+        assert!(matches!(
+            s.query("SELECT * FROM t"),
+            Err(DbError::BudgetExceeded(_))
+        ));
+        s.set_max_result_rows(None);
+        s.set_statement_timeout(Some(Duration::ZERO));
+        // zero clears rather than instantly failing everything
+        assert_eq!(s.statement_timeout(), None);
+        s.set_statement_timeout(Some(Duration::from_nanos(1)));
+        assert!(matches!(
+            s.query("SELECT * FROM t"),
+            Err(DbError::Timeout(_))
+        ));
+        s.set_statement_timeout(None);
+        assert!(s.query("SELECT * FROM t").is_ok());
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub enum DbError {
     Unsupported(String),
     /// A connectivity-layer failure (used by the `dbcp` crate).
     Connection(String),
+    /// A memory or row-output budget was exhausted. Not retryable: the
+    /// same statement against the same budget fails again.
+    BudgetExceeded(String),
+    /// The statement ran past its execution deadline.
+    Timeout(String),
+    /// The server is shedding load (admission control or statement
+    /// high-water mark). Retryable: backing off and retrying is expected
+    /// to succeed once in-flight work drains.
+    Overloaded(String),
 }
 
 impl fmt::Display for DbError {
@@ -39,6 +48,9 @@ impl fmt::Display for DbError {
             DbError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DbError::Connection(m) => write!(f, "connection error: {m}"),
+            DbError::BudgetExceeded(m) => write!(f, "budget exceeded: {m}"),
+            DbError::Timeout(m) => write!(f, "statement timeout: {m}"),
+            DbError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }
@@ -58,6 +70,12 @@ mod tests {
         assert_eq!(e.to_string(), "not found: table t");
         let e = DbError::Parse("unexpected token".into());
         assert!(e.to_string().starts_with("parse error"));
+        let e = DbError::BudgetExceeded("memory limit 1024 bytes".into());
+        assert_eq!(e.to_string(), "budget exceeded: memory limit 1024 bytes");
+        let e = DbError::Timeout("deadline passed".into());
+        assert!(e.to_string().starts_with("statement timeout"));
+        let e = DbError::Overloaded("64 statements in flight".into());
+        assert!(e.to_string().starts_with("overloaded"));
     }
 
     #[test]

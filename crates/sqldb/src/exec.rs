@@ -12,9 +12,20 @@ use crate::txn::{UndoLog, UndoOp};
 use crate::types::{Column, DataType, Schema};
 use crate::value::{Row, Value};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// Maximum view-expansion / derived-table nesting depth.
 const MAX_DEPTH: usize = 32;
+
+/// Per-statement execution limits, enforced inside the executor's row
+/// loops so a runaway statement stops mid-scan instead of after the fact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Hard cap on rows a query may produce ([`DbError::BudgetExceeded`]).
+    pub max_rows: Option<u64>,
+    /// Wall-clock deadline for the whole statement ([`DbError::Timeout`]).
+    pub deadline: Option<Instant>,
+}
 
 /// The rows and column names produced by a query.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -63,16 +74,46 @@ pub struct Executor<'a> {
     catalog: &'a Catalog,
     profile: EngineProfile,
     stats: &'a Stats,
+    limits: ExecLimits,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor.
+    /// Creates an executor with no per-statement limits.
     pub fn new(catalog: &'a Catalog, profile: EngineProfile, stats: &'a Stats) -> Executor<'a> {
         Executor {
             catalog,
             profile,
             stats,
+            limits: ExecLimits::default(),
         }
+    }
+
+    /// Applies per-statement limits to this executor.
+    pub fn with_limits(mut self, limits: ExecLimits) -> Executor<'a> {
+        self.limits = limits;
+        self
+    }
+
+    fn check_deadline(&self) -> DbResult<()> {
+        if let Some(d) = self.limits.deadline {
+            if Instant::now() > d {
+                return Err(DbError::Timeout(
+                    "statement exceeded its execution deadline".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_row_cap(&self, produced: usize) -> DbResult<()> {
+        if let Some(max) = self.limits.max_rows {
+            if produced as u64 > max {
+                return Err(DbError::BudgetExceeded(format!(
+                    "statement produced more than {max} rows"
+                )));
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -93,6 +134,7 @@ impl<'a> Executor<'a> {
                 "query nesting too deep (circular view?)".into(),
             ));
         }
+        self.check_deadline()?;
         let mut result = self.exec_set_expr(&q.body, depth)?;
         if !q.order_by.is_empty() {
             self.apply_order_by(&mut result, &q.order_by)?;
@@ -100,6 +142,7 @@ impl<'a> Executor<'a> {
         if let Some(n) = q.limit {
             result.rows.truncate(n as usize);
         }
+        self.check_row_cap(result.rows.len())?;
         Ok(result)
     }
 
@@ -172,11 +215,25 @@ impl<'a> Executor<'a> {
         };
         self.stats.add_rows_scanned(rel.rows.len() as u64);
 
+        // charge the materialized FROM output against the memory budget;
+        // the reservation refunds itself when the statement's intermediate
+        // state dies at the end of this scope
+        let _reservation =
+            self.catalog
+                .memory_budget()
+                .reserve(crate::budget::approx_rows_bytes(
+                    rel.rows.len(),
+                    rel.arity(),
+                ))?;
+
         // WHERE
         if let Some(pred) = &s.selection {
             let bound = bind_scalar(pred, &rel.scope)?;
             let mut kept = Vec::with_capacity(rel.rows.len());
-            for row in rel.rows {
+            for (i, row) in rel.rows.into_iter().enumerate() {
+                if i & 0xFFF == 0 {
+                    self.check_deadline()?;
+                }
                 if bound.eval(&row, &[])?.is_truthy() {
                     kept.push(row);
                 }
@@ -231,12 +288,16 @@ impl<'a> Executor<'a> {
             }
         }
         let mut rows = Vec::with_capacity(rel.rows.len());
-        for row in &rel.rows {
+        for (i, row) in rel.rows.iter().enumerate() {
+            if i & 0xFFF == 0 {
+                self.check_deadline()?;
+            }
             let mut out = Vec::with_capacity(exprs.len());
             for e in &exprs {
                 out.push(e.eval(row, &[])?);
             }
             rows.push(out);
+            self.check_row_cap(rows.len())?;
         }
         Ok(QueryResult { columns, rows })
     }
@@ -272,7 +333,10 @@ impl<'a> Executor<'a> {
         // group rows
         let mut groups: Vec<(Vec<Value>, Vec<AggAcc>, Row)> = Vec::new();
         let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-        for row in &rel.rows {
+        for (i, row) in rel.rows.iter().enumerate() {
+            if i & 0xFFF == 0 {
+                self.check_deadline()?;
+            }
             let mut key = Vec::with_capacity(key_exprs.len());
             for k in &key_exprs {
                 key.push(k.eval(row, &[])?);
@@ -321,6 +385,7 @@ impl<'a> Executor<'a> {
                 out.push(e.eval(&rep_row, &agg_values)?);
             }
             rows.push(out);
+            self.check_row_cap(rows.len())?;
         }
         Ok(QueryResult { columns, rows })
     }
@@ -585,6 +650,9 @@ impl<'a> Executor<'a> {
         let mut count = 0u64;
         let mut t = handle.write();
         for row in source_rows {
+            if count & 0xFFF == 0 {
+                self.check_deadline()?;
+            }
             let full_row = match &mapping {
                 Some(m) => {
                     if row.len() != m.len() {
@@ -749,6 +817,7 @@ impl<'a> Executor<'a> {
                     }
                     None => {
                         for (slot, trow) in target {
+                            self.check_deadline()?;
                             for frow in &fr.rows {
                                 self.stats.add_rows_joined(1);
                                 let mut combined = trow.clone();
@@ -767,7 +836,10 @@ impl<'a> Executor<'a> {
         // apply
         let mut count = 0u64;
         let mut t = handle.write();
-        for (slot, combined) in matches {
+        for (i, (slot, combined)) in matches.into_iter().enumerate() {
+            if i & 0xFFF == 0 {
+                self.check_deadline()?;
+            }
             let old = t
                 .row(slot)
                 .cloned()
@@ -811,7 +883,10 @@ impl<'a> Executor<'a> {
         let victims: Vec<usize> = {
             let t = handle.read();
             let mut v = Vec::new();
-            for (slot, row) in t.iter() {
+            for (i, (slot, row)) in t.iter().enumerate() {
+                if i & 0xFFF == 0 {
+                    self.check_deadline()?;
+                }
                 let keep = match &pred {
                     Some(p) => p.eval(row, &[])?.is_truthy(),
                     None => true,
@@ -1316,6 +1391,58 @@ mod tests {
         let ctx = seeded(EngineProfile::Postgres);
         let r = ctx.query("SELECT a.id, b.id FROM t AS a, t AS b");
         assert_eq!(r.rows.len(), 9);
+    }
+
+    #[test]
+    fn row_cap_stops_runaway_output() {
+        let ctx = seeded(EngineProfile::Postgres);
+        let q = parse_query("SELECT a.id, b.id FROM t AS a, t AS b").unwrap();
+        let err = Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
+            .with_limits(ExecLimits {
+                max_rows: Some(4),
+                deadline: None,
+            })
+            .run_query(&q);
+        assert!(matches!(err, Err(DbError::BudgetExceeded(_))), "{err:?}");
+        let ok = Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
+            .with_limits(ExecLimits {
+                max_rows: Some(9),
+                deadline: None,
+            })
+            .run_query(&q);
+        assert_eq!(ok.unwrap().rows.len(), 9);
+    }
+
+    #[test]
+    fn expired_deadline_fails_with_timeout() {
+        let ctx = seeded(EngineProfile::Postgres);
+        let q = parse_query("SELECT * FROM t").unwrap();
+        let err = Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
+            .with_limits(ExecLimits {
+                max_rows: None,
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(10)),
+            })
+            .run_query(&q);
+        assert!(matches!(err, Err(DbError::Timeout(_))), "{err:?}");
+    }
+
+    #[test]
+    fn intermediate_materialization_charged_and_refunded() {
+        let ctx = seeded(EngineProfile::Postgres);
+        let budget = ctx.catalog.memory_budget().clone();
+        let base = budget.used();
+        // a tight limit rejects the cross join's materialization…
+        budget.set_limit(Some(base + 100));
+        let q = parse_query("SELECT a.id FROM t AS a, t AS b, t AS c, t AS d, t AS e").unwrap();
+        let err = Executor::new(&ctx.catalog, ctx.profile, &ctx.stats).run_query(&q);
+        assert!(matches!(err, Err(DbError::BudgetExceeded(_))), "{err:?}");
+        // …and the failed statement refunds its reservation
+        assert_eq!(budget.used(), base);
+        budget.set_limit(None);
+        assert!(Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
+            .run_query(&q)
+            .is_ok());
+        assert_eq!(budget.used(), base);
     }
 
     #[test]

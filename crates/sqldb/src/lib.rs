@@ -36,6 +36,7 @@
 
 pub mod ast;
 pub mod bind;
+pub mod budget;
 pub mod catalog;
 mod db;
 pub mod dialect_check;
@@ -54,9 +55,10 @@ pub mod txn;
 pub mod types;
 pub mod value;
 
+pub use budget::{row_bytes, MemoryBudget};
 pub use db::{Database, Session, DEFAULT_LOCK_TIMEOUT};
 pub use error::{DbError, DbResult};
-pub use exec::{QueryResult, StmtOutput};
+pub use exec::{ExecLimits, QueryResult, StmtOutput};
 pub use profile::{Dialect, EngineProfile, JoinStrategy};
 pub use snapshot::TableDump;
 pub use stats::{Stats, StatsSnapshot};

@@ -1,9 +1,11 @@
 //! In-memory heap storage with primary-key and secondary indexes.
 
+use crate::budget::{row_bytes, MemoryBudget};
 use crate::error::{DbError, DbResult};
 use crate::types::Schema;
 use crate::value::{Row, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A heap table: slotted rows plus indexes.
 ///
@@ -18,6 +20,12 @@ pub struct Table {
     live_count: usize,
     pk_index: Option<HashMap<Value, usize>>,
     secondary: Vec<SecondaryIndex>,
+    /// Database-wide byte budget this table charges row payloads against
+    /// (attached by the catalog on registration; detached tables — e.g.
+    /// mid-construction — are unaccounted).
+    budget: Option<Arc<MemoryBudget>>,
+    /// Bytes this table has charged and not yet refunded.
+    tracked_bytes: u64,
 }
 
 /// A single-column secondary index.
@@ -70,7 +78,29 @@ impl Table {
             live_count: 0,
             pk_index,
             secondary: Vec::new(),
+            budget: None,
+            tracked_bytes: 0,
         }
+    }
+
+    /// Attaches a memory budget, charging every live row already stored.
+    ///
+    /// # Errors
+    /// Returns [`DbError::BudgetExceeded`] when the existing rows do not
+    /// fit; the partial charge is refunded and the table stays detached.
+    pub fn attach_budget(&mut self, budget: &Arc<MemoryBudget>) -> DbResult<()> {
+        let mut charged = 0u64;
+        for (_, row) in self.iter() {
+            let n = row_bytes(row);
+            if let Err(e) = budget.charge(n) {
+                budget.refund(charged);
+                return Err(e);
+            }
+            charged += n;
+        }
+        self.budget = Some(budget.clone());
+        self.tracked_bytes = charged;
+        Ok(())
     }
 
     /// The table's schema.
@@ -100,6 +130,29 @@ impl Table {
     /// or a NULL primary key.
     pub fn insert(&mut self, row: Row) -> DbResult<usize> {
         debug_assert_eq!(row.len(), self.schema.arity());
+        let charge = match &self.budget {
+            Some(b) => {
+                let n = row_bytes(&row);
+                b.charge(n)?;
+                n
+            }
+            None => 0,
+        };
+        match self.insert_inner(row) {
+            Ok(slot) => {
+                self.tracked_bytes += charge;
+                Ok(slot)
+            }
+            Err(e) => {
+                if let Some(b) = &self.budget {
+                    b.refund(charge);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn insert_inner(&mut self, row: Row) -> DbResult<usize> {
         let slot = self.rows.len();
         if let (Some(pk_col), Some(idx)) = (self.schema.primary_key(), self.pk_index.as_mut()) {
             let key = row[pk_col].clone();
@@ -138,6 +191,41 @@ impl Table {
             .get(slot)
             .and_then(|r| r.clone())
             .ok_or_else(|| DbError::Invalid(format!("update of dead slot {slot}")))?;
+        let (grow, shrink) = match &self.budget {
+            Some(b) => {
+                let nb = row_bytes(&new_row);
+                let ob = row_bytes(&old);
+                if nb > ob {
+                    b.charge(nb - ob)?;
+                    (nb - ob, 0)
+                } else {
+                    (0, ob - nb)
+                }
+            }
+            None => (0, 0),
+        };
+        match self.update_slot_inner(slot, new_row, &old) {
+            Ok(()) => {
+                self.tracked_bytes = self.tracked_bytes + grow - shrink;
+                if shrink > 0 {
+                    if let Some(b) = &self.budget {
+                        b.refund(shrink);
+                    }
+                }
+                Ok(old)
+            }
+            Err(e) => {
+                if grow > 0 {
+                    if let Some(b) = &self.budget {
+                        b.refund(grow);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn update_slot_inner(&mut self, slot: usize, new_row: Row, old: &Row) -> DbResult<()> {
         if let (Some(pk_col), Some(idx)) = (self.schema.primary_key(), self.pk_index.as_mut()) {
             let old_key = &old[pk_col];
             let new_key = &new_row[pk_col];
@@ -161,7 +249,7 @@ impl Table {
             }
         }
         self.rows[slot] = Some(new_row);
-        Ok(old)
+        Ok(())
     }
 
     /// Tombstones the row at `slot`, returning it.
@@ -182,6 +270,11 @@ impl Table {
         }
         self.rows[slot] = None;
         self.live_count -= 1;
+        if let Some(b) = &self.budget {
+            let n = row_bytes(&old);
+            b.refund(n);
+            self.tracked_bytes = self.tracked_bytes.saturating_sub(n);
+        }
         Ok(old)
     }
 
@@ -200,6 +293,12 @@ impl Table {
         for sec in &mut self.secondary {
             // restores never violate uniqueness: the row was present before
             let _ = sec.insert(row[sec.column].clone(), slot);
+        }
+        // undo replay must never fail, so the limit is not enforced here
+        if let Some(b) = &self.budget {
+            let n = row_bytes(&row);
+            b.charge_unchecked(n);
+            self.tracked_bytes += n;
         }
         self.rows[slot] = Some(row);
         self.live_count += 1;
@@ -225,6 +324,10 @@ impl Table {
 
     /// Removes every row.
     pub fn truncate(&mut self) {
+        if let Some(b) = &self.budget {
+            b.refund(self.tracked_bytes);
+            self.tracked_bytes = 0;
+        }
         self.rows.clear();
         self.live_count = 0;
         if let Some(idx) = self.pk_index.as_mut() {
@@ -282,6 +385,20 @@ impl Table {
     pub fn has_index_on(&self, column: usize) -> bool {
         (self.schema.primary_key() == Some(column) && self.pk_index.is_some())
             || self.secondary.iter().any(|s| s.column == column)
+    }
+
+    /// Bytes this table currently has charged against its budget.
+    pub fn tracked_bytes(&self) -> u64 {
+        self.tracked_bytes
+    }
+}
+
+impl Drop for Table {
+    fn drop(&mut self) {
+        // DROP TABLE releases the table's charge when the last handle goes
+        if let Some(b) = &self.budget {
+            b.refund(self.tracked_bytes);
+        }
     }
 }
 
@@ -379,6 +496,66 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.lookup_pk(&Value::Int(1)), None);
         assert!(t.index_lookup(1, &Value::Float(0.0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn budget_charged_and_refunded_through_table_lifecycle() {
+        let b = Arc::new(MemoryBudget::new());
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::Float(0.5)]).unwrap();
+        t.attach_budget(&b).unwrap();
+        let after_attach = b.used();
+        assert!(after_attach > 0);
+        let s = t.insert(vec![Value::Int(2), Value::Float(1.5)]).unwrap();
+        assert!(b.used() > after_attach);
+        t.delete_slot(s).unwrap();
+        assert_eq!(b.used(), after_attach);
+        t.truncate();
+        assert_eq!(b.used(), 0);
+        t.insert(vec![Value::Int(3), Value::Float(0.0)]).unwrap();
+        drop(t); // dropping the table refunds its remaining charge
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn budget_limit_blocks_insert_and_failed_insert_refunds() {
+        let b = Arc::new(MemoryBudget::new());
+        b.set_limit(Some(100));
+        let mut t = table();
+        t.attach_budget(&b).unwrap();
+        t.insert(vec![Value::Int(1), Value::Float(0.0)]).unwrap();
+        let err = t.insert(vec![Value::Int(2), Value::Float(0.0)]);
+        assert!(matches!(err, Err(DbError::BudgetExceeded(_))), "{err:?}");
+        // a failed duplicate-key insert refunds its charge too
+        b.set_limit(None);
+        let used = b.used();
+        assert!(t.insert(vec![Value::Int(1), Value::Float(9.9)]).is_err());
+        assert_eq!(b.used(), used);
+    }
+
+    #[test]
+    fn budget_tracks_update_growth_and_shrinkage() {
+        let schema = Schema::new(
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("s", DataType::Text),
+            ],
+            Some(0),
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        let b = Arc::new(MemoryBudget::new());
+        t.attach_budget(&b).unwrap();
+        let slot = t
+            .insert(vec![Value::Int(1), Value::Text("x".into())])
+            .unwrap();
+        let small = b.used();
+        t.update_slot(slot, vec![Value::Int(1), Value::Text("x".repeat(500))])
+            .unwrap();
+        assert_eq!(b.used(), small + 499);
+        t.update_slot(slot, vec![Value::Int(1), Value::Text("x".into())])
+            .unwrap();
+        assert_eq!(b.used(), small);
     }
 
     #[test]
