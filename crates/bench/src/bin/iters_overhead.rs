@@ -1,0 +1,490 @@
+//! `iters-overhead` — per-round statement overhead, prepared vs unprepared.
+//!
+//! A fixed small graph with a high round count isolates the *per-round
+//! statement cost* (parse + plan + wire framing + round-trips) from actual
+//! data movement: PageRank and SSSP at 1/4/8 partitions run once through
+//! the prepared/pipelined stack and once through a baseline transport that
+//! refuses to prepare (every handle splices literals and each statement is
+//! its own round-trip, with the server's plan cache shrunk to one entry so
+//! every statement re-parses) — the pre-prepared-statement world.
+//!
+//! Usage: `cargo run --release -p sqloop-bench --bin iters_overhead --
+//!         [--rounds 50] [--scale 0.05] [--partitions 1,4,8] [--exp pr|sssp|all]`
+//!
+//! Emits `results/BENCH_5.json` with per-round latency, wire bytes and
+//! plan-cache counters per configuration, plus a summary with the overall
+//! overhead reduction. The run fails loudly when prepared and unprepared
+//! results diverge — the speedup must not change answers.
+
+use dbcp::{Connection, Driver, Server, TcpDriver};
+use sqldb::{Database, DbResult, EngineProfile, IsolationLevel, StmtOutput, Value};
+use sqloop::{ExecutionMode, ExecutionReport, SQLoop, SqloopConfig};
+use sqloop_bench::write_file;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A driver that hides the transport's prepared/pipeline support: handles
+/// degrade to literal splicing and every statement pays its own round-trip.
+struct UnpreparedDriver {
+    inner: Arc<dyn Driver>,
+}
+
+impl Driver for UnpreparedDriver {
+    fn connect(&self) -> DbResult<Box<dyn Connection>> {
+        Ok(Box::new(UnpreparedConnection {
+            inner: self.inner.connect()?,
+        }))
+    }
+
+    fn profile(&self) -> EngineProfile {
+        self.inner.profile()
+    }
+}
+
+/// Delegates plain statements; inherits the trait's `Unsupported` prepare,
+/// epoch `0` (never prepares) and statement-at-a-time `run_pipeline`.
+struct UnpreparedConnection {
+    inner: Box<dyn Connection>,
+}
+
+impl Connection for UnpreparedConnection {
+    fn execute(&mut self, sql: &str) -> DbResult<StmtOutput> {
+        self.inner.execute(sql)
+    }
+
+    fn begin(&mut self) -> DbResult<()> {
+        self.inner.begin()
+    }
+
+    fn commit(&mut self) -> DbResult<()> {
+        self.inner.commit()
+    }
+
+    fn rollback(&mut self) -> DbResult<()> {
+        self.inner.rollback()
+    }
+
+    fn set_isolation(&mut self, level: IsolationLevel) -> DbResult<()> {
+        self.inner.set_isolation(level)
+    }
+
+    fn set_statement_timeout(&mut self, timeout: Option<std::time::Duration>) -> DbResult<bool> {
+        self.inner.set_statement_timeout(timeout)
+    }
+
+    fn profile(&self) -> EngineProfile {
+        self.inner.profile()
+    }
+}
+
+/// Everything one measured run produces.
+struct RunSample {
+    iterations: u64,
+    elapsed_ms: f64,
+    /// Server-side parse+plan time (`sqldb.plan` histogram total).
+    plan_ms: f64,
+    /// Server-side parse+plan invocations (`sqldb.plan` histogram count).
+    parses: u64,
+    wire_bytes: u64,
+    /// Client→server round trips (`dbcp.wire.round_trip` count).
+    round_trips: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+    result: sqldb::QueryResult,
+}
+
+impl RunSample {
+    fn per_round_ms(&self) -> f64 {
+        self.elapsed_ms / self.iterations.max(1) as f64
+    }
+
+    fn plan_ms_per_round(&self) -> f64 {
+        self.plan_ms / self.iterations.max(1) as f64
+    }
+
+    fn parses_per_round(&self) -> f64 {
+        self.parses as f64 / self.iterations.max(1) as f64
+    }
+
+    fn wire_bytes_per_round(&self) -> f64 {
+        self.wire_bytes as f64 / self.iterations.max(1) as f64
+    }
+
+    fn round_trips_per_round(&self) -> f64 {
+        self.round_trips as f64 / self.iterations.max(1) as f64
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One (workload, partitions) configuration, both ways.
+struct Comparison {
+    workload: &'static str,
+    partitions: usize,
+    mode: &'static str,
+    prepared: RunSample,
+    unprepared: RunSample,
+    results_match: bool,
+}
+
+impl Comparison {
+    /// Relative drop going prepared, `1 - prepared/unprepared`.
+    fn latency_reduction(&self) -> f64 {
+        reduction(self.prepared.per_round_ms(), self.unprepared.per_round_ms())
+    }
+
+    fn plan_time_reduction(&self) -> f64 {
+        reduction(
+            self.prepared.plan_ms_per_round(),
+            self.unprepared.plan_ms_per_round(),
+        )
+    }
+
+    fn parse_reduction(&self) -> f64 {
+        reduction(
+            self.prepared.parses_per_round(),
+            self.unprepared.parses_per_round(),
+        )
+    }
+
+    fn wire_reduction(&self) -> f64 {
+        reduction(
+            self.prepared.wire_bytes_per_round(),
+            self.unprepared.wire_bytes_per_round(),
+        )
+    }
+
+    fn rtt_reduction(&self) -> f64 {
+        reduction(
+            self.prepared.round_trips_per_round(),
+            self.unprepared.round_trips_per_round(),
+        )
+    }
+
+    /// Per-round *statement overhead*: the three components prepared and
+    /// pipelined statements attack — parse+plan invocations, wire bytes
+    /// and round trips — weighted equally. All three are deterministic
+    /// counts, so the reduction is reproducible run to run; the measured
+    /// parse+plan *time* rides along informationally (it tracks the parse
+    /// count but is microsecond-scale and noisy under scheduler load).
+    fn overhead_reduction(&self) -> f64 {
+        (self.parse_reduction() + self.wire_reduction() + self.rtt_reduction()) / 3.0
+    }
+}
+
+fn reduction(new: f64, old: f64) -> f64 {
+    if old <= 0.0 {
+        0.0
+    } else {
+        1.0 - new / old
+    }
+}
+
+fn wire_counter(report: &ExecutionReport, name: &str) -> u64 {
+    report.metrics.counters.get(name).copied().unwrap_or(0)
+}
+
+/// Runs `query` over a fresh TCP-served engine loaded with `graph`.
+fn run_once(
+    graph: &graphgen::Graph,
+    query: &str,
+    partitions: usize,
+    rounds: u64,
+    prepared: bool,
+) -> RunSample {
+    let db = Database::new(EngineProfile::Postgres);
+    let server = Server::bind(db.clone(), "127.0.0.1:0").expect("bind");
+    let tcp: Arc<dyn Driver> =
+        Arc::new(TcpDriver::connect(&server.addr().to_string()).expect("connect"));
+    {
+        let mut conn = tcp.connect().expect("load connection");
+        workloads::load_edges(conn.as_mut(), graph).expect("load edges");
+    }
+    let driver: Arc<dyn Driver> = if prepared {
+        tcp
+    } else {
+        // the baseline also loses the server-side plan cache: one entry
+        // means the cycling round body re-parses every statement
+        db.set_plan_cache_capacity(1);
+        Arc::new(UnpreparedDriver { inner: tcp })
+    };
+    let mode = if partitions == 1 {
+        ExecutionMode::Single
+    } else {
+        ExecutionMode::Sync
+    };
+    let sq = SQLoop::new(driver).with_config(SqloopConfig {
+        mode,
+        threads: partitions.min(4),
+        partitions,
+        ..SqloopConfig::default()
+    });
+    let cache_before = db.plan_cache_stats();
+    let report = sq.execute_detailed(query).expect("bench run");
+    let cache_after = db.plan_cache_stats();
+    server.shutdown();
+    let _ = rounds; // round count is fixed by the query text
+    RunSample {
+        iterations: report.iterations,
+        elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
+        plan_ms: report
+            .metrics
+            .histograms
+            .get("sqldb.plan")
+            .map_or(0.0, |h| h.total_us as f64 / 1e3),
+        parses: report
+            .metrics
+            .histograms
+            .get("sqldb.plan")
+            .map_or(0, |h| h.count),
+        wire_bytes: wire_counter(&report, "dbcp.wire.bytes_out")
+            + wire_counter(&report, "dbcp.wire.bytes_in"),
+        round_trips: report
+            .metrics
+            .histograms
+            .get("dbcp.wire.round_trip")
+            .map_or(0, |h| h.count),
+        hits: cache_after.hits - cache_before.hits,
+        misses: cache_after.misses - cache_before.misses,
+        evictions: cache_after.evictions - cache_before.evictions,
+        invalidations: cache_after.invalidations - cache_before.invalidations,
+        result: report.result,
+    }
+}
+
+/// Same rows up to float rounding (order-insensitive).
+fn results_match(a: &sqldb::QueryResult, b: &sqldb::QueryResult) -> bool {
+    if a.rows.len() != b.rows.len() {
+        return false;
+    }
+    let canon = |r: &sqldb::QueryResult| {
+        let mut rows: Vec<Vec<String>> = r
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|v| match v {
+                        Value::Float(f) => format!("{:.9}", f),
+                        other => other.to_string(),
+                    })
+                    .collect()
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    canon(a) == canon(b)
+}
+
+fn sample_json(s: &RunSample) -> String {
+    format!(
+        "{{\"iterations\": {}, \"elapsed_ms\": {:.3}, \"per_round_ms\": {:.4}, \
+         \"plan_ms_per_round\": {:.4}, \"parses_per_round\": {:.2}, \
+         \"wire_bytes\": {}, \"wire_bytes_per_round\": {:.1}, \
+         \"round_trips_per_round\": {:.1}, \
+         \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"invalidations\": {}, \"hit_rate\": {:.4}}}}}",
+        s.iterations,
+        s.elapsed_ms,
+        s.per_round_ms(),
+        s.plan_ms_per_round(),
+        s.parses_per_round(),
+        s.wire_bytes,
+        s.wire_bytes_per_round(),
+        s.round_trips_per_round(),
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.invalidations,
+        s.hit_rate(),
+    )
+}
+
+fn main() {
+    let mut rounds: u64 = 50;
+    let mut scale: f64 = 0.05;
+    let mut partitions: Vec<usize> = vec![1, 4, 8];
+    let mut exp = "all".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--rounds" => rounds = value().parse().expect("bad --rounds"),
+            "--scale" => scale = value().parse().expect("bad --scale"),
+            "--exp" => exp = value(),
+            "--partitions" => {
+                partitions = value()
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("bad --partitions"))
+                    .collect();
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    println!("== iters-overhead: prepared vs unprepared per-round cost ==\n");
+    let mut comparisons: Vec<Comparison> = Vec::new();
+
+    if exp == "pr" || exp == "all" {
+        let dataset = graphgen::datasets::google_web_like(scale);
+        println!(
+            "PageRank on {} ({}), {rounds} rounds",
+            dataset.name, dataset.graph
+        );
+        let query = workloads::queries::pagerank(rounds);
+        for &p in &partitions {
+            comparisons.push(compare("pagerank", &dataset.graph, &query, p, rounds));
+        }
+    }
+    if exp == "sssp" || exp == "all" {
+        // a chain pushes the frontier one hop per round: `rounds` tiny
+        // rounds whose cost is almost pure per-statement overhead
+        let graph = graphgen::chain(rounds as usize + 1);
+        println!("SSSP on chain-{} ({graph})", rounds + 1);
+        let (dest, _) = graph.node_at_distance(0, u64::MAX).expect("connected");
+        let query = workloads::queries::sssp(0, dest);
+        for &p in &partitions {
+            comparisons.push(compare("sssp", &graph, &query, p, rounds));
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"iters-overhead\",\n");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    json.push_str("  \"entries\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"partitions\": {}, \"mode\": \"{}\",\n     \
+             \"prepared\": {},\n     \"unprepared\": {},\n     \
+             \"statement_overhead_reduction\": {:.4}, \"parse_reduction\": {:.4}, \
+             \"plan_time_reduction\": {:.4}, \
+             \"per_round_latency_reduction\": {:.4}, \"wire_bytes_reduction\": {:.4}, \
+             \"round_trip_reduction\": {:.4}, \"results_match\": {}}}",
+            c.workload,
+            c.partitions,
+            c.mode,
+            sample_json(&c.prepared),
+            sample_json(&c.unprepared),
+            c.overhead_reduction(),
+            c.parse_reduction(),
+            c.plan_time_reduction(),
+            c.latency_reduction(),
+            c.wire_reduction(),
+            c.rtt_reduction(),
+            c.results_match,
+        );
+        json.push_str(if i + 1 < comparisons.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    let n = comparisons.len().max(1) as f64;
+    let mean = |f: fn(&Comparison) -> f64| comparisons.iter().map(f).sum::<f64>() / n;
+    let mean_overhead = mean(Comparison::overhead_reduction);
+    let mean_parse = mean(Comparison::parse_reduction);
+    let mean_plan = mean(Comparison::plan_time_reduction);
+    let mean_latency = mean(Comparison::latency_reduction);
+    let mean_wire = mean(Comparison::wire_reduction);
+    let mean_rtt = mean(Comparison::rtt_reduction);
+    let min_overhead = comparisons
+        .iter()
+        .map(Comparison::overhead_reduction)
+        .fold(f64::INFINITY, f64::min);
+    // the CI gate: hit rate of the prepared single-partition PageRank loop
+    // (a pure correctness property of the plan cache, not a timing)
+    let gate_hit_rate = comparisons
+        .iter()
+        .find(|c| c.workload == "pagerank" && c.partitions == 1)
+        .or(comparisons.first())
+        .map_or(0.0, |c| c.prepared.hit_rate());
+    let all_match = comparisons.iter().all(|c| c.results_match);
+    let _ = write!(
+        json,
+        "  \"summary\": {{\"mean_statement_overhead_reduction\": {:.4}, \
+         \"min_statement_overhead_reduction\": {:.4}, \
+         \"mean_parse_reduction\": {:.4}, \
+         \"mean_plan_time_reduction\": {:.4}, \
+         \"mean_per_round_latency_reduction\": {:.4}, \
+         \"mean_wire_bytes_reduction\": {:.4}, \
+         \"mean_round_trip_reduction\": {:.4}, \
+         \"prepared_hit_rate\": {:.4}, \"all_results_match\": {}}}\n}}\n",
+        mean_overhead,
+        min_overhead,
+        mean_parse,
+        mean_plan,
+        mean_latency,
+        mean_wire,
+        mean_rtt,
+        gate_hit_rate,
+        all_match,
+    );
+
+    println!(
+        "\nsummary: statement overhead -{:.1}% (worst -{:.1}%; parses -{:.1}%, \
+         wire bytes -{:.1}%, round trips -{:.1}%), per-round latency -{:.1}%, \
+         prepared hit rate {:.1}%",
+        mean_overhead * 100.0,
+        min_overhead * 100.0,
+        mean_parse * 100.0,
+        mean_wire * 100.0,
+        mean_rtt * 100.0,
+        mean_latency * 100.0,
+        gate_hit_rate * 100.0,
+    );
+    assert!(all_match, "prepared and unprepared runs disagreed");
+    if let Some(p) = write_file("BENCH_5.json", &json) {
+        println!("wrote {}", p.display());
+    }
+}
+
+fn compare(
+    workload: &'static str,
+    graph: &graphgen::Graph,
+    query: &str,
+    p: usize,
+    rounds: u64,
+) -> Comparison {
+    let prepared = run_once(graph, query, p, rounds, true);
+    let unprepared = run_once(graph, query, p, rounds, false);
+    let matched = results_match(&prepared.result, &unprepared.result);
+    let c = Comparison {
+        workload,
+        partitions: p,
+        mode: if p == 1 { "single" } else { "sync" },
+        prepared,
+        unprepared,
+        results_match: matched,
+    };
+    println!(
+        "  {workload} p={p}: overhead -{:.1}% ({:.1} vs {:.1} parses/round, \
+         wire {:.0} vs {:.0} B/round, {:.1} vs {:.1} trips/round), \
+         latency {:.2} vs {:.2} ms/round, hit rate {:.1}%{}",
+        c.overhead_reduction() * 100.0,
+        c.prepared.parses_per_round(),
+        c.unprepared.parses_per_round(),
+        c.prepared.wire_bytes_per_round(),
+        c.unprepared.wire_bytes_per_round(),
+        c.prepared.round_trips_per_round(),
+        c.unprepared.round_trips_per_round(),
+        c.prepared.per_round_ms(),
+        c.unprepared.per_round_ms(),
+        c.prepared.hit_rate() * 100.0,
+        if matched { "" } else { "  RESULTS DIVERGED" },
+    );
+    c
+}

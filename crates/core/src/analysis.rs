@@ -514,7 +514,7 @@ fn rewrite_columns(e: &mut Expr, f: &mut impl FnMut(&mut Option<String>, &str)) 
             rewrite_columns(high, f);
         }
         Expr::Cast { expr, .. } => rewrite_columns(expr, f),
-        Expr::Literal(_) | Expr::Column { .. } => {}
+        Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) => {}
     }
 }
 

@@ -14,8 +14,8 @@
 //! `\mode single|sync|async|asyncp`, `\threads n`, `\partitions n`,
 //! `\priority lowest|highest <scalar query with {}>`, `\timing on|off`,
 //! `\trace on|off|json <path>`, `\checkpoint <dir> [interval]|off`,
-//! `\resume <path>|off`, `\deadline <ms>|off`, `\stats`, `\engine`
-//! (show target), `\help`, `\q`.
+//! `\resume <path>|off`, `\deadline <ms>|off`, `\stats`, `\prepared`
+//! (plan-cache counters), `\engine` (show target), `\help`, `\q`.
 //!
 //! Flags: `--checkpoint <dir>[:interval]`, `--resume <path>`,
 //! `--deadline-ms <n>`, `--max-mem <bytes[K|M|G]>`, `--max-rounds <n>`,
@@ -444,6 +444,7 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
             println!("\\limits numeric on|off           NaN/Inf divergence probes");
             println!("\\limits timeout <ms>|off         per-statement engine deadline");
             println!("\\stats                           metric deltas since last \\stats");
+            println!("\\prepared                        plan-cache hit/miss/eviction counters");
             println!("\\engine                          show target engine + config");
             println!("\\q                               quit");
         }
@@ -676,6 +677,22 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
             }
             shell.stats_base = now;
         }
+        "\\prepared" => match sqloop.driver().plan_cache_stats() {
+            Some(s) => {
+                println!("plan cache: {} entr(ies) cached", s.entries);
+                println!("  hits         : {}", s.hits);
+                println!("  misses       : {}", s.misses);
+                println!("  hit rate     : {:.1}%", s.hit_rate() * 100.0);
+                println!("  evictions    : {}", s.evictions);
+                println!(
+                    "  invalidations: {} (DDL outdated a cached plan)",
+                    s.invalidations
+                );
+            }
+            None => println!(
+                "plan cache lives with the server process — not observable over this driver"
+            ),
+        },
         "\\engine" => {
             println!("engine    : {}", sqloop.driver().profile());
             let c = sqloop.config();

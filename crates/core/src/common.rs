@@ -5,9 +5,9 @@
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{DataMode, Termination};
 use crate::translate::{translate_query_to_sql, translate_sql};
-use dbcp::Connection;
+use dbcp::{Connection, PreparedStatement};
 use sqldb::ast::{SelectStmt, SetExpr, TableFactor};
-use sqldb::{DataType, Value};
+use sqldb::{DataType, DbError, EngineProfile, StmtOutput, Value};
 
 /// Quoted-name helpers for the scratch objects SQLoop manages.
 #[derive(Debug, Clone)]
@@ -295,7 +295,10 @@ pub fn termination_satisfied(
     }
 }
 
-/// Refreshes the `<R>delta` snapshot table from the live CTE table/view.
+/// Refreshes the `<R>delta` snapshot table from the live CTE table/view by
+/// recreating it. Executors use this for the *initial* snapshot; the
+/// per-round path is [`DeltaRefresher`], which rewrites in place so the
+/// refresh runs no DDL.
 ///
 /// # Errors
 /// Engine errors.
@@ -307,6 +310,155 @@ pub fn refresh_delta_snapshot(conn: &mut dyn Connection, names: &CteNames) -> Sq
         &format!("CREATE TABLE {snap} AS SELECT * FROM {}", names.table),
     )?;
     Ok(())
+}
+
+/// Per-round `<R>delta` refresh through prepared handles: `DELETE` +
+/// `INSERT … SELECT` rewrite the snapshot in place, so the refresh runs no
+/// DDL and every plan reading the snapshot (the user's `DELTA` termination
+/// expression above all) stays in the engine's plan cache round after round.
+#[derive(Debug)]
+pub struct DeltaRefresher {
+    table: String,
+    snap: String,
+    clear: PreparedStatement,
+    fill: PreparedStatement,
+}
+
+impl DeltaRefresher {
+    /// Builds (and prepares lazily) the refresh statements for `names`.
+    ///
+    /// # Errors
+    /// Translation errors.
+    pub fn new(names: &CteNames, profile: EngineProfile) -> SqloopResult<DeltaRefresher> {
+        let snap = names.delta_snapshot();
+        Ok(DeltaRefresher {
+            clear: PreparedStatement::new(translate_sql(&format!("DELETE FROM {snap}"), profile)?),
+            fill: PreparedStatement::new(translate_sql(
+                &format!("INSERT INTO {snap} SELECT * FROM {}", names.table),
+                profile,
+            )?),
+            table: names.table.clone(),
+            snap,
+        })
+    }
+
+    /// Rewrites the snapshot from the live CTE table/view. When the
+    /// snapshot does not exist yet (fresh run before the first refresh),
+    /// falls back to creating it.
+    ///
+    /// # Errors
+    /// Engine errors.
+    pub fn refresh(&mut self, conn: &mut dyn Connection) -> SqloopResult<()> {
+        match self.clear.execute(conn, &[]) {
+            Ok(_) => {
+                self.fill.execute(conn, &[])?;
+                Ok(())
+            }
+            Err(DbError::NotFound(_)) => {
+                run(
+                    conn,
+                    &format!("CREATE TABLE {} AS SELECT * FROM {}", self.snap, self.table),
+                )?;
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// The termination probe, prepared once at plan time: the user's data/delta
+/// expression query (and the `COUNT(*)` companion that `ALL` mode needs)
+/// become [`PreparedStatement`] handles executed every round instead of
+/// being re-translated and re-parsed.
+#[derive(Debug)]
+pub struct TerminationProbe {
+    tc: Termination,
+    query: Option<PreparedStatement>,
+    count: Option<PreparedStatement>,
+}
+
+impl TerminationProbe {
+    /// Builds the probe for `tc` over the CTE table `cte_table`.
+    ///
+    /// # Errors
+    /// Translation errors.
+    pub fn new(
+        cte_table: &str,
+        tc: &Termination,
+        profile: EngineProfile,
+    ) -> SqloopResult<TerminationProbe> {
+        let (query, count) = match tc {
+            Termination::Data { query, mode } | Termination::Delta { query, mode } => {
+                let q = PreparedStatement::new(translate_query_to_sql(query, profile));
+                let c = match mode {
+                    DataMode::All => Some(PreparedStatement::new(translate_sql(
+                        &format!("SELECT COUNT(*) FROM {cte_table}"),
+                        profile,
+                    )?)),
+                    _ => None,
+                };
+                (Some(q), c)
+            }
+            _ => (None, None),
+        };
+        Ok(TerminationProbe {
+            tc: tc.clone(),
+            query,
+            count,
+        })
+    }
+
+    /// Decides termination after one iteration — same contract as
+    /// [`termination_satisfied`], but data/delta conditions run through the
+    /// prepared handles.
+    ///
+    /// # Errors
+    /// Engine errors from data/delta expression evaluation.
+    pub fn satisfied(
+        &mut self,
+        conn: &mut dyn Connection,
+        iterations_done: u64,
+        last_updates: u64,
+    ) -> SqloopResult<bool> {
+        match &self.tc {
+            Termination::Iterations(n) => Ok(iterations_done >= *n),
+            Termination::Updates(n) => Ok(last_updates <= *n),
+            Termination::Data { mode, .. } | Termination::Delta { mode, .. } => {
+                let stmt = self
+                    .query
+                    .as_mut()
+                    .expect("probe built with a data/delta query");
+                let result = match stmt.execute(conn, &[])? {
+                    StmtOutput::Rows(r) => r,
+                    other => {
+                        return Err(SqloopError::Semantic(format!(
+                            "termination expression did not return rows: {other:?}"
+                        )))
+                    }
+                };
+                match mode {
+                    DataMode::Any => Ok(!result.rows.is_empty()),
+                    DataMode::All => {
+                        let count = self.count.as_mut().expect("ALL mode prepares a count");
+                        let total = match count.execute(conn, &[])? {
+                            StmtOutput::Rows(r) => r.scalar().and_then(Value::as_i64).unwrap_or(0),
+                            _ => 0,
+                        };
+                        Ok(result.rows.len() as i64 == total)
+                    }
+                    DataMode::Compare(cmp, threshold) => {
+                        let scalar = result.scalar().ok_or_else(|| {
+                            SqloopError::Semantic(
+                                "termination expression with a comparison must return one value"
+                                    .into(),
+                            )
+                        })?;
+                        Ok(cmp.matches(scalar.total_cmp(threshold)))
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +572,61 @@ mod tests {
         assert!(termination_satisfied(c.as_mut(), "r", &Termination::Updates(0), 1, 0).unwrap());
         assert!(!termination_satisfied(c.as_mut(), "r", &Termination::Updates(0), 1, 5).unwrap());
         assert!(termination_satisfied(c.as_mut(), "r", &Termination::Updates(10), 1, 7).unwrap());
+    }
+
+    #[test]
+    fn delta_refresher_creates_then_rewrites_in_place() {
+        let mut c = conn();
+        c.execute("CREATE TABLE r (id INT PRIMARY KEY, v FLOAT)")
+            .unwrap();
+        c.execute("INSERT INTO r VALUES (1, 1.0)").unwrap();
+        let names = CteNames::new("r");
+        let mut refresher = DeltaRefresher::new(&names, c.profile()).unwrap();
+        // first refresh creates the snapshot
+        refresher.refresh(c.as_mut()).unwrap();
+        let r = c.query("SELECT v FROM rdelta").unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(1.0));
+        // later refreshes rewrite it without DDL
+        c.execute("UPDATE r SET v = 2.0").unwrap();
+        refresher.refresh(c.as_mut()).unwrap();
+        let r = c.query("SELECT v FROM rdelta").unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(2.0));
+    }
+
+    #[test]
+    fn termination_probe_matches_unprepared_evaluation() {
+        let mut c = conn();
+        c.execute("CREATE TABLE r (id INT PRIMARY KEY, v FLOAT)")
+            .unwrap();
+        c.execute("INSERT INTO r VALUES (1, 1.0), (2, 5.0)")
+            .unwrap();
+        let q = parse_query("SELECT id FROM r WHERE v > 2").unwrap();
+        let profile = c.profile();
+        for (mode, expect) in [
+            (DataMode::Any, true),
+            (DataMode::All, false),
+            (
+                DataMode::Compare(crate::grammar::TcCompare::Greater, Value::Int(5)),
+                false,
+            ),
+        ] {
+            let tc = Termination::Data {
+                query: q.clone(),
+                mode: mode.clone(),
+            };
+            let mut probe = TerminationProbe::new("r", &tc, profile).unwrap();
+            // twice: the second call runs the already-prepared handles
+            for _ in 0..2 {
+                assert_eq!(
+                    probe.satisfied(c.as_mut(), 1, 1).unwrap(),
+                    expect,
+                    "{mode:?}"
+                );
+            }
+        }
+        let mut probe = TerminationProbe::new("r", &Termination::Iterations(3), profile).unwrap();
+        assert!(probe.satisfied(c.as_mut(), 3, 9).unwrap());
+        assert!(!probe.satisfied(c.as_mut(), 2, 0).unwrap());
     }
 
     #[test]

@@ -28,8 +28,8 @@ use crate::checkpoint::{
     trace_checkpoint, Checkpointer, LoopSnapshot, PartSnap,
 };
 use crate::common::{
-    create_cte_table, refresh_delta_snapshot, run, run_query, termination_satisfied, CteNames,
-    CteSchema,
+    create_cte_table, refresh_delta_snapshot, run, run_query, CteNames, CteSchema, DeltaRefresher,
+    TerminationProbe,
 };
 use crate::config::{ExecutionMode, SqloopConfig};
 use crate::error::{SqloopError, SqloopResult};
@@ -37,10 +37,10 @@ use crate::grammar::{IterativeCte, Termination};
 use crate::parallel_sql::SqlGen;
 use crate::progress::{ProgressSample, RecoveryCounters, Sampler};
 use crate::single::RunOutcome;
-use crate::translate::translate_query_to_sql;
+use crate::translate::{translate_query_to_sql, translate_sql};
 use crate::watchdog::{Governance, Watchdog};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use dbcp::{CancelToken, Connection, Driver, RetryPolicy};
+use dbcp::{CancelToken, Connection, Driver, PipelineStep, PreparedStatement, RetryPolicy};
 use obs::{EventKind, Span, SpanKind, SpanOutcome, TraceHandle};
 use sqldb::{DataType, DbError, Row, StmtOutput, Value};
 use std::collections::VecDeque;
@@ -346,6 +346,28 @@ fn run_parallel_inner(
         None => None,
     };
 
+    // the master connection's recurring statements, prepared once at plan
+    // time and executed as handles every round: the termination probe, the
+    // in-place delta refresh, and one priority query per partition
+    let profile = main.profile();
+    let probe = TerminationProbe::new(&cte.name, &cte.termination, profile)?;
+    let refresher = cte
+        .termination
+        .needs_delta_snapshot()
+        .then(|| DeltaRefresher::new(&names, profile))
+        .transpose()?;
+    let prio_stmts = match &config.priority {
+        Some(spec) => (0..config.partitions)
+            .map(|x| {
+                Ok(PreparedStatement::new(translate_sql(
+                    &spec.query_for(&names.partition(x)),
+                    profile,
+                )?))
+            })
+            .collect::<SqloopResult<Vec<_>>>()?,
+        None => Vec::new(),
+    };
+
     let gen = match parallel_setup(
         main.as_mut(),
         cte,
@@ -461,7 +483,6 @@ fn run_parallel_inner(
         gen: &gen,
         config,
         tc: &cte.termination,
-        cte_name: &cte.name,
         main: main.as_mut(),
         task_tx: &task_tx,
         done_rx: &done_rx,
@@ -474,6 +495,9 @@ fn run_parallel_inner(
         rr: 0,
         all_msgs: Vec::new(),
         needs_delta: cte.termination.needs_delta_snapshot(),
+        probe,
+        refresher,
+        prio_stmts,
         worker_busy: std::time::Duration::ZERO,
         retries: 0,
         reconnects: 0,
@@ -600,57 +624,95 @@ fn worker_loop(
         let mut rows_outputs = Vec::new();
         let mut error = None;
         let mut reconnects = 0u32;
-        let mut at = task.start_at;
-        while at < task.stmts.len() {
-            if conn.is_none() {
-                // interruptible reconnect backoff: a cancelled run must not
-                // sit out the full exponential wait
-                match policy.run_with_cancel(&cancel, |_| driver.connect()) {
-                    Ok(mut c) => {
-                        if ever_connected {
-                            reconnects += 1;
-                        }
-                        ever_connected = true;
-                        if statement_timeout.is_some() {
-                            let _ = c.set_statement_timeout(statement_timeout);
-                        }
-                        conn = Some(c);
+        let at = task.start_at;
+        if conn.is_none() {
+            // interruptible reconnect backoff: a cancelled run must not
+            // sit out the full exponential wait
+            match policy.run_with_cancel(&cancel, |_| driver.connect()) {
+                Ok(mut c) => {
+                    if ever_connected {
+                        reconnects += 1;
                     }
-                    Err(e) => {
-                        error = Some((at, SqloopError::from(e)));
-                        break;
+                    ever_connected = true;
+                    if statement_timeout.is_some() {
+                        let _ = c.set_statement_timeout(statement_timeout);
                     }
+                    conn = Some(c);
+                }
+                Err(e) => {
+                    error = Some((at, SqloopError::from(e)));
                 }
             }
-            let c = match conn.as_mut() {
+        }
+        if error.is_none() {
+            match conn.as_mut() {
+                Some(c) => {
+                    // the remaining statement sequence goes out as ONE
+                    // pipelined batch — a single wire round-trip however
+                    // many statements the task carries
+                    let profile = c.profile();
+                    let mut steps = Vec::with_capacity(task.stmts.len() - at);
+                    let mut translate_err = None;
+                    for (j, stmt) in task.stmts[at..].iter().enumerate() {
+                        match translate_sql(stmt, profile) {
+                            Ok(sql) => steps.push(PipelineStep::Execute(sql)),
+                            Err(e) => {
+                                translate_err = Some((at + j, e));
+                                break;
+                            }
+                        }
+                    }
+                    match c.run_pipeline(&steps) {
+                        Ok(outcome) => {
+                            let executed = outcome.outputs.len();
+                            for out in outcome.outputs {
+                                match out {
+                                    StmtOutput::Affected(n) => changed += n,
+                                    StmtOutput::Rows(r) => rows_outputs.push(r),
+                                    StmtOutput::Done => {}
+                                }
+                            }
+                            // the step at `executed` surfaced its error
+                            // before taking effect — replay resumes there;
+                            // a dead connection reported with a position
+                            // (statement-at-a-time transports know how far
+                            // they got) additionally forces a reconnect
+                            error = match outcome.error {
+                                Some(e) => {
+                                    if matches!(e, sqldb::DbError::Connection(_)) {
+                                        conn = None;
+                                    }
+                                    Some((at + executed, SqloopError::from(e)))
+                                }
+                                None => translate_err,
+                            };
+                        }
+                        Err(e) => {
+                            // transport failure mid-batch: how far the batch
+                            // got is unknown at statement granularity, so
+                            // this attempt's outputs are discarded and the
+                            // whole remaining sequence replays from `at` —
+                            // safe because every statement before a task's
+                            // final delta-advancing UPDATE is idempotent
+                            // and the UPDATE is always last (it either
+                            // never ran, or ran and the batch completed)
+                            conn = None;
+                            changed = 0;
+                            rows_outputs.clear();
+                            error = Some((at, SqloopError::from(e)));
+                        }
+                    }
+                }
                 // unreachable in practice (the branch above just ensured
                 // it), but a poisoned worker must degrade into a task
                 // failure, not abort the whole process
-                Some(c) => c,
                 None => {
                     error = Some((
                         at,
                         SqloopError::Worker("worker lost its connection unexpectedly".into()),
                     ));
-                    break;
-                }
-            };
-            match run(c.as_mut(), &task.stmts[at]) {
-                Ok(StmtOutput::Affected(n)) => changed += n,
-                Ok(StmtOutput::Rows(r)) => rows_outputs.push(r),
-                Ok(StmtOutput::Done) => {}
-                Err(e) => {
-                    // a transport failure leaves the connection in an
-                    // unknown state: discard it so the next statement —
-                    // here or in a replayed task — reconnects
-                    if matches!(e, SqloopError::Db(DbError::Connection(_))) {
-                        conn = None;
-                    }
-                    error = Some((at, e));
-                    break;
                 }
             }
-            at += 1;
         }
         if trace.is_enabled() {
             trace.span(Span {
@@ -690,7 +752,6 @@ struct Scheduler<'a> {
     gen: &'a SqlGen,
     config: &'a SqloopConfig,
     tc: &'a Termination,
-    cte_name: &'a str,
     main: &'a mut dyn Connection,
     task_tx: &'a Sender<Task>,
     done_rx: &'a Receiver<Done>,
@@ -703,6 +764,13 @@ struct Scheduler<'a> {
     rr: usize,
     all_msgs: Vec<String>,
     needs_delta: bool,
+    /// Termination probe, prepared once at plan time.
+    probe: TerminationProbe,
+    /// Per-round in-place `<R>delta` refresh (`None` when no condition
+    /// reads the snapshot).
+    refresher: Option<DeltaRefresher>,
+    /// One prepared priority query per partition (empty without a spec).
+    prio_stmts: Vec<PreparedStatement>,
     worker_busy: std::time::Duration,
     /// Replay dispatches of failed tasks.
     retries: u64,
@@ -931,16 +999,22 @@ impl Scheduler<'_> {
             Some(s) => s,
             None => return,
         };
-        let sql = spec.query_for(&self.gen.names().partition(x));
         let worst = if spec.descending {
             f64::NEG_INFINITY
         } else {
             f64::INFINITY
         };
-        let v = run_query(self.main, &sql)
-            .ok()
-            .and_then(|r| r.scalar().and_then(Value::as_f64))
-            .unwrap_or(worst);
+        let v = match self.prio_stmts.get_mut(x) {
+            Some(stmt) => stmt
+                .execute(&mut *self.main, &[])
+                .ok()
+                .and_then(|out| match out {
+                    StmtOutput::Rows(r) => r.scalar().and_then(Value::as_f64),
+                    _ => None,
+                })
+                .unwrap_or(worst),
+            None => worst,
+        };
         self.parts[x].priority = if v.is_nan() { worst } else { v };
     }
 
@@ -953,9 +1027,9 @@ impl Scheduler<'_> {
     }
 
     fn tc_check(&mut self, rounds: u64, changed: u64) -> SqloopResult<bool> {
-        let done = termination_satisfied(self.main, self.cte_name, self.tc, rounds, changed)?;
-        if self.needs_delta {
-            refresh_delta_snapshot(self.main, &CteNames::new(self.cte_name))?;
+        let done = self.probe.satisfied(&mut *self.main, rounds, changed)?;
+        if let Some(r) = self.refresher.as_mut() {
+            r.refresh(&mut *self.main)?;
         }
         Ok(done)
     }

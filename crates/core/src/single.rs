@@ -9,14 +9,14 @@ use crate::checkpoint::{
     Checkpointer, LoopSnapshot,
 };
 use crate::common::{
-    create_cte_table, refresh_delta_snapshot, rewrite_table_refs, run, run_query,
-    termination_satisfied, CteNames, CteSchema,
+    create_cte_table, refresh_delta_snapshot, rewrite_table_refs, run, run_query, CteNames,
+    CteSchema, DeltaRefresher, TerminationProbe,
 };
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{IterativeCte, RecursiveCte};
-use crate::translate::translate_query_to_sql;
+use crate::translate::{translate_query_to_sql, translate_sql};
 use crate::watchdog::Governance;
-use dbcp::{CancelToken, Connection};
+use dbcp::{CancelToken, Connection, PreparedStatement};
 use obs::{EventKind, Span, SpanKind, SpanOutcome, TraceHandle};
 use sqldb::{DataType, DbError, QueryResult, Value};
 
@@ -378,7 +378,47 @@ fn iterative_loop(
         last_updates = 0;
     }
 
+    // the hot loop's statements, prepared once: the scratch table is
+    // created here and *emptied* (not recreated) every round, so the
+    // INSERT/UPDATE plans survive in the engine's plan cache — per-round
+    // DDL would invalidate them
     let tmp = names.tmp();
+    let profile = conn.profile();
+    run(conn, &format!("DROP TABLE IF EXISTS {tmp}"))?;
+    run(
+        conn,
+        &format!("CREATE TABLE {tmp} ({})", schema.create_columns_sql(true)),
+    )?;
+    let mut clear_tmp =
+        PreparedStatement::new(translate_sql(&format!("DELETE FROM {tmp}"), profile)?);
+    // Rtmp := Ri
+    let step_sql = translate_query_to_sql(&cte.step, profile);
+    let mut fill_tmp = PreparedStatement::new(format!(
+        "INSERT INTO {} {}",
+        profile.dialect().quote(&tmp),
+        step_sql
+    ));
+    // R := R ⟵ Rtmp matched on Rid (only Rid ∩ Rtmp_id rows change)
+    let assignments = schema.columns[1..]
+        .iter()
+        .map(|c| format!("{c} = {tmp}.{c}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut apply = PreparedStatement::new(translate_sql(
+        &format!(
+            "UPDATE {r} SET {assignments} FROM {tmp} WHERE {r}.{k} = {tmp}.{k}",
+            r = cte.name,
+            k = schema.key(),
+        ),
+        profile,
+    )?);
+    let mut probe = TerminationProbe::new(&cte.name, &cte.termination, profile)?;
+    let mut refresher = cte
+        .termination
+        .needs_delta_snapshot()
+        .then(|| DeltaRefresher::new(names, profile))
+        .transpose()?;
+
     let mut cancelled = false;
     loop {
         if cancel.cancelled() {
@@ -399,30 +439,9 @@ fn iterative_loop(
         }
         let span_start = trace.now_us();
         let round_result = (|| -> SqloopResult<u64> {
-            // Rtmp := Ri
-            run(conn, &format!("DROP TABLE IF EXISTS {tmp}"))?;
-            run(
-                conn,
-                &format!("CREATE TABLE {tmp} ({})", schema.create_columns_sql(true)),
-            )?;
-            let step_sql = translate_query_to_sql(&cte.step, conn.profile());
-            conn.execute(&format!(
-                "INSERT INTO {} {}",
-                conn.profile().dialect().quote(&tmp),
-                step_sql
-            ))?;
-            // R := R ⟵ Rtmp matched on Rid (only Rid ∩ Rtmp_id rows change)
-            let assignments = schema.columns[1..]
-                .iter()
-                .map(|c| format!("{c} = {tmp}.{c}"))
-                .collect::<Vec<_>>()
-                .join(", ");
-            let update_sql = format!(
-                "UPDATE {r} SET {assignments} FROM {tmp} WHERE {r}.{k} = {tmp}.{k}",
-                r = cte.name,
-                k = schema.key(),
-            );
-            Ok(run(conn, &update_sql)?.rows_affected())
+            clear_tmp.execute(&mut *conn, &[])?;
+            fill_tmp.execute(&mut *conn, &[])?;
+            Ok(apply.execute(&mut *conn, &[])?.rows_affected())
         })();
         let updated = match round_result {
             Ok(u) => u,
@@ -462,14 +481,14 @@ fn iterative_loop(
 
         // the termination probe and delta refresh also run engine statements
         // that can trip the memory budget — keep them governed too
-        let tail =
-            termination_satisfied(conn, &cte.name, &cte.termination, iterations, last_updates)
-                .and_then(|done| {
-                    if cte.termination.needs_delta_snapshot() {
-                        refresh_delta_snapshot(conn, names)?;
-                    }
-                    Ok(done)
-                });
+        let tail = probe
+            .satisfied(&mut *conn, iterations, last_updates)
+            .and_then(|done| {
+                if let Some(r) = refresher.as_mut() {
+                    r.refresh(&mut *conn)?;
+                }
+                Ok(done)
+            });
         let done = match tail {
             Ok(done) => done,
             Err(e) => {

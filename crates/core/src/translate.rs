@@ -198,7 +198,7 @@ fn map_factor(factor: &mut TableFactor, f: &mut impl FnMut(&mut Expr)) {
 fn map_expr(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
     // bottom-up: children first so a rewrite sees rewritten children
     match e {
-        Expr::Literal(_) | Expr::Column { .. } => {}
+        Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) => {}
         Expr::Binary { left, right, .. } => {
             map_expr(left, f);
             map_expr(right, f);

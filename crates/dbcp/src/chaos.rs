@@ -15,7 +15,8 @@
 
 use crate::driver::{Connection, Driver};
 use crate::retry::RetryPolicy;
-use sqldb::{DbError, DbResult, EngineProfile, IsolationLevel, StmtOutput};
+use sqldb::{DbError, DbResult, EngineProfile, IsolationLevel, StmtOutput, Value};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -340,6 +341,7 @@ impl Driver for ChaosDriver {
             rng,
             shielded,
             dropped: false,
+            stmt_sqls: HashMap::new(),
         }))
     }
 
@@ -349,6 +351,10 @@ impl Driver for ChaosDriver {
 
     fn engine_stats(&self) -> Option<sqldb::StatsSnapshot> {
         self.inner.engine_stats()
+    }
+
+    fn plan_cache_stats(&self) -> Option<sqldb::PlanCacheStats> {
+        self.inner.plan_cache_stats()
     }
 }
 
@@ -360,6 +366,9 @@ pub struct ChaosConnection {
     rng: ChaosRng,
     shielded: bool,
     dropped: bool,
+    /// SQL text per prepared id, so prepared executions can be scoped by
+    /// [`ChaosConfig::match_substring`] like their textual twins.
+    stmt_sqls: HashMap<u64, String>,
 }
 
 impl std::fmt::Debug for ChaosConnection {
@@ -445,6 +454,45 @@ impl Connection for ChaosConnection {
     fn ping(&mut self) -> bool {
         !self.dropped && self.inner.ping()
     }
+
+    fn set_statement_timeout(&mut self, timeout: Option<Duration>) -> DbResult<bool> {
+        if self.dropped {
+            return Err(DbError::Connection("chaos: connection was dropped".into()));
+        }
+        self.inner.set_statement_timeout(timeout)
+    }
+
+    fn prepare_statement(&mut self, sql: &str) -> DbResult<(u64, usize)> {
+        self.before_stmt(sql)?;
+        let (id, n) = self.inner.prepare_statement(sql)?;
+        self.stmt_sqls.insert(id, sql.to_owned());
+        Ok((id, n))
+    }
+
+    fn execute_prepared(&mut self, stmt_id: u64, params: &[Value]) -> DbResult<StmtOutput> {
+        // injection sees the statement's SQL text, so substring scoping
+        // treats prepared and textual execution alike
+        let sql = self.stmt_sqls.get(&stmt_id).cloned().unwrap_or_default();
+        self.before_stmt(&sql)?;
+        self.inner.execute_prepared(stmt_id, params)
+    }
+
+    fn close_prepared(&mut self, stmt_id: u64) -> DbResult<()> {
+        if self.dropped {
+            return Err(DbError::Connection("chaos: connection was dropped".into()));
+        }
+        self.stmt_sqls.remove(&stmt_id);
+        self.inner.close_prepared(stmt_id)
+    }
+
+    fn prepared_epoch(&self) -> u64 {
+        self.inner.prepared_epoch()
+    }
+
+    // run_pipeline deliberately uses the trait default (statement-at-a-time
+    // through `execute`/`execute_prepared` above), so each step passes its
+    // own injection decision — a pipeline under chaos faults exactly like
+    // the equivalent statement sequence.
 
     fn profile(&self) -> EngineProfile {
         self.inner.profile()

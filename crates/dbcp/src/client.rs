@@ -1,10 +1,11 @@
 //! TCP client driver: connect to a remote engine by URL.
 
-use crate::driver::{Connection, Driver};
+use crate::driver::{mint_epoch, Connection, Driver, PipelineOutcome};
 use crate::wire::{
-    decode_response, encode_request, read_frame, write_frame, Request, Response, MAGIC,
+    decode_response, encode_request, read_frame, write_frame, PipelineStep, Request, Response,
+    MAGIC,
 };
-use sqldb::{DbError, DbResult, EngineProfile, IsolationLevel, StmtOutput};
+use sqldb::{DbError, DbResult, EngineProfile, IsolationLevel, StmtOutput, Value};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -95,6 +96,9 @@ pub struct TcpConnection {
     /// (a frame may be half-sent or half-read), so every later call
     /// fast-fails instead of desynchronizing the protocol.
     broken: bool,
+    /// Identifies this physical connection; prepared-statement ids are
+    /// scoped to it (see [`Connection::prepared_epoch`]).
+    epoch: u64,
 }
 
 impl TcpConnection {
@@ -126,6 +130,7 @@ impl TcpConnection {
             stream,
             profile: EngineProfile::Postgres,
             broken: false,
+            epoch: mint_epoch(),
         };
         conn.stream
             .write_all(&MAGIC)
@@ -149,8 +154,18 @@ impl TcpConnection {
             ));
         }
         let started = std::time::Instant::now();
-        let result = write_frame(&mut self.stream, &encode_request(req))
+        let payload = encode_request(req);
+        // +4 for the length prefix of each frame
+        obs::global()
+            .counter("dbcp.wire.bytes_out")
+            .add(payload.len() as u64 + 4);
+        let result = write_frame(&mut self.stream, &payload)
             .and_then(|()| read_frame(&mut self.stream))
+            .inspect(|frame| {
+                obs::global()
+                    .counter("dbcp.wire.bytes_in")
+                    .add(frame.len() as u64 + 4);
+            })
             .and_then(decode_response);
         obs::global()
             .histogram("dbcp.wire.round_trip")
@@ -219,6 +234,53 @@ impl Connection for TcpConnection {
     fn ping(&mut self) -> bool {
         // a broken stream can never serve another frame
         !self.broken && !matches!(self.execute("SELECT 1"), Err(DbError::Connection(_)))
+    }
+
+    fn prepare_statement(&mut self, sql: &str) -> DbResult<(u64, usize)> {
+        match self.round_trip(&Request::Prepare(sql.to_owned()))? {
+            Response::Prepared {
+                stmt_id,
+                param_count,
+            } => Ok((stmt_id, param_count as usize)),
+            Response::Error(e) => Err(e),
+            other => Err(DbError::Connection(format!(
+                "unexpected prepare response {other:?}"
+            ))),
+        }
+    }
+
+    fn execute_prepared(&mut self, stmt_id: u64, params: &[Value]) -> DbResult<StmtOutput> {
+        self.round_trip(&Request::ExecutePrepared {
+            stmt_id,
+            params: params.to_vec(),
+        })?
+        .into_output()
+    }
+
+    fn close_prepared(&mut self, stmt_id: u64) -> DbResult<()> {
+        self.round_trip(&Request::ClosePrepared(stmt_id))?
+            .into_output()
+            .map(|_| ())
+    }
+
+    fn prepared_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn run_pipeline(&mut self, steps: &[PipelineStep]) -> DbResult<PipelineOutcome> {
+        match self.round_trip(&Request::Pipeline(steps.to_vec()))? {
+            Response::PipelineResults { outputs, error } => {
+                let outputs = outputs
+                    .into_iter()
+                    .map(Response::into_output)
+                    .collect::<DbResult<Vec<_>>>()?;
+                Ok(PipelineOutcome { outputs, error })
+            }
+            Response::Error(e) => Err(e),
+            other => Err(DbError::Connection(format!(
+                "unexpected pipeline response {other:?}"
+            ))),
+        }
     }
 
     fn profile(&self) -> EngineProfile {

@@ -6,9 +6,38 @@
 //! number of concurrent [`Connection`]s, which is how SQLoop turns worker
 //! threads into engine-side parallelism.
 
+use crate::wire::PipelineStep;
 use sqldb::{
-    Database, DbError, DbResult, EngineProfile, IsolationLevel, QueryResult, Session, StmtOutput,
+    Database, DbError, DbResult, EngineProfile, IsolationLevel, QueryResult, Session, StmtHandle,
+    StmtOutput, Value,
 };
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cap on prepared statements per connection (both in-process and on the
+/// server side of the wire protocol) — guards against handle leaks.
+pub const MAX_PREPARED_PER_CONNECTION: usize = 256;
+
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a process-unique epoch identifying one physical connection.
+/// Prepared-statement ids are only meaningful within the epoch that issued
+/// them; transports mint a fresh epoch on every (re)connect so clients can
+/// tell their handles went stale.
+pub(crate) fn mint_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Result of running a pipeline of statements: the outputs of the
+/// successful prefix, plus the error that stopped execution early (if any).
+/// The failing step's index equals `outputs.len()`.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// Outputs of the steps that succeeded, in order.
+    pub outputs: Vec<StmtOutput>,
+    /// The error that stopped the pipeline, if it didn't complete.
+    pub error: Option<DbError>,
+}
 
 /// One open connection to a database engine (JDBC `Connection` +
 /// `Statement` rolled together, as SQLoop uses one statement per connection).
@@ -91,6 +120,88 @@ pub trait Connection: Send {
         Ok(false)
     }
 
+    /// Parses `sql` once on the engine side, returning a statement id and
+    /// the number of `?` placeholders. The id is scoped to the current
+    /// physical connection (see [`Connection::prepared_epoch`]).
+    ///
+    /// The default errors with [`DbError::Unsupported`] for transports
+    /// predating the capability; callers fall back to plain `execute`.
+    ///
+    /// # Errors
+    /// Parse errors, [`DbError::BudgetExceeded`] past
+    /// [`MAX_PREPARED_PER_CONNECTION`], or transport failures.
+    fn prepare_statement(&mut self, sql: &str) -> DbResult<(u64, usize)> {
+        let _ = sql;
+        Err(DbError::Unsupported(
+            "this connection does not support prepared statements".into(),
+        ))
+    }
+
+    /// Executes a statement prepared on this connection.
+    ///
+    /// # Errors
+    /// [`DbError::NotFound`] for unknown ids (e.g. after a reconnect),
+    /// parameter arity/type errors, and everything `execute` can return.
+    fn execute_prepared(&mut self, stmt_id: u64, params: &[Value]) -> DbResult<StmtOutput> {
+        let _ = (stmt_id, params);
+        Err(DbError::Unsupported(
+            "this connection does not support prepared statements".into(),
+        ))
+    }
+
+    /// Discards a prepared statement. Unknown ids are ignored (close must
+    /// be idempotent so retry paths can call it blindly).
+    ///
+    /// # Errors
+    /// Transport failures (remote).
+    fn close_prepared(&mut self, stmt_id: u64) -> DbResult<()> {
+        let _ = stmt_id;
+        Ok(())
+    }
+
+    /// Monotonic identifier of the physical connection backing this handle.
+    /// Changes on reconnect; prepared ids minted under an older epoch are
+    /// invalid. `0` means the transport never prepares (epoch-free).
+    fn prepared_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Runs a sequence of steps, stopping at the first statement failure.
+    /// Wire transports override this to send the whole sequence in one
+    /// round-trip; the default executes step by step.
+    ///
+    /// # Errors
+    /// The default never fails the call: executing step by step, even a
+    /// dropped connection has a known position, so every error — transport
+    /// ([`DbError::Connection`]) included — comes back inside the
+    /// [`PipelineOutcome`] and callers can resume from the failing index.
+    /// Overrides that ship the whole batch in one round-trip return `Err`
+    /// on transport failures, where per-statement progress is unknown.
+    fn run_pipeline(&mut self, steps: &[PipelineStep]) -> DbResult<PipelineOutcome> {
+        let mut outputs = Vec::with_capacity(steps.len());
+        for step in steps {
+            let result = match step {
+                PipelineStep::Execute(sql) => self.execute(sql),
+                PipelineStep::Prepared { stmt_id, params } => {
+                    self.execute_prepared(*stmt_id, params)
+                }
+            };
+            match result {
+                Ok(o) => outputs.push(o),
+                Err(e) => {
+                    return Ok(PipelineOutcome {
+                        outputs,
+                        error: Some(e),
+                    })
+                }
+            }
+        }
+        Ok(PipelineOutcome {
+            outputs,
+            error: None,
+        })
+    }
+
     /// The engine profile on the other side of this connection.
     fn profile(&self) -> EngineProfile;
 }
@@ -127,6 +238,13 @@ pub trait Driver: Send + Sync {
     fn memory_used(&self) -> Option<u64> {
         None
     }
+
+    /// Plan-cache counters of the engine, when observable from this driver
+    /// (in-process drivers). Remote drivers return `None` — the counters
+    /// live with the server process.
+    fn plan_cache_stats(&self) -> Option<sqldb::PlanCacheStats> {
+        None
+    }
 }
 
 /// In-process driver wrapping a [`Database`] instance directly.
@@ -149,10 +267,10 @@ impl LocalDriver {
 
 impl Driver for LocalDriver {
     fn connect(&self) -> DbResult<Box<dyn Connection>> {
-        Ok(Box::new(LocalConnection {
-            session: self.db.connect(),
-            profile: self.db.profile(),
-        }))
+        Ok(Box::new(LocalConnection::from_session(
+            self.db.connect(),
+            self.db.profile(),
+        )))
     }
 
     fn profile(&self) -> EngineProfile {
@@ -171,6 +289,10 @@ impl Driver for LocalDriver {
     fn memory_used(&self) -> Option<u64> {
         Some(self.db.memory_used())
     }
+
+    fn plan_cache_stats(&self) -> Option<sqldb::PlanCacheStats> {
+        Some(self.db.plan_cache_stats())
+    }
 }
 
 /// In-process connection: a thin adapter over a [`Session`].
@@ -178,18 +300,59 @@ impl Driver for LocalDriver {
 pub struct LocalConnection {
     session: Session,
     profile: EngineProfile,
+    epoch: u64,
+    prepared: HashMap<u64, StmtHandle>,
+    next_stmt_id: u64,
 }
 
 impl LocalConnection {
     /// Wraps an existing session.
     pub fn from_session(session: Session, profile: EngineProfile) -> LocalConnection {
-        LocalConnection { session, profile }
+        LocalConnection {
+            session,
+            profile,
+            epoch: mint_epoch(),
+            prepared: HashMap::new(),
+            next_stmt_id: 1,
+        }
     }
 }
 
 impl Connection for LocalConnection {
     fn execute(&mut self, sql: &str) -> DbResult<StmtOutput> {
         self.session.execute(sql)
+    }
+
+    fn prepare_statement(&mut self, sql: &str) -> DbResult<(u64, usize)> {
+        if self.prepared.len() >= MAX_PREPARED_PER_CONNECTION {
+            return Err(DbError::BudgetExceeded(format!(
+                "connection holds {MAX_PREPARED_PER_CONNECTION} prepared statements; close some first"
+            )));
+        }
+        let handle = self.session.prepare(sql)?;
+        let id = self.next_stmt_id;
+        self.next_stmt_id += 1;
+        let param_count = handle.param_count();
+        self.prepared.insert(id, handle);
+        Ok((id, param_count))
+    }
+
+    fn execute_prepared(&mut self, stmt_id: u64, params: &[Value]) -> DbResult<StmtOutput> {
+        let handle = self
+            .prepared
+            .get(&stmt_id)
+            .cloned()
+            .ok_or_else(|| DbError::NotFound(format!("prepared statement {stmt_id}")))?;
+        self.session.execute_prepared(&handle, params)
+    }
+
+    fn close_prepared(&mut self, stmt_id: u64) -> DbResult<()> {
+        self.prepared.remove(&stmt_id);
+        Ok(())
+    }
+
+    fn prepared_epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn begin(&mut self) -> DbResult<()> {

@@ -41,6 +41,7 @@ pub mod chaos;
 mod client;
 mod driver;
 mod pool;
+mod prepared;
 mod retry;
 mod server;
 mod url;
@@ -52,11 +53,15 @@ pub use chaos::{
     FaultKind, FaultWeights, ScheduledFault,
 };
 pub use client::{TcpConnection, TcpDriver, TcpTimeouts};
-pub use driver::{Connection, Driver, LocalConnection, LocalDriver};
+pub use driver::{
+    Connection, Driver, LocalConnection, LocalDriver, PipelineOutcome, MAX_PREPARED_PER_CONNECTION,
+};
 pub use pool::{Pool, PooledConnection};
+pub use prepared::PreparedStatement;
 pub use retry::{is_transient, RetryPolicy};
 pub use server::{Server, ServerConfig};
 pub use url::{driver_for_url, ConnectionUrl};
+pub use wire::PipelineStep;
 
 #[cfg(test)]
 mod integration {

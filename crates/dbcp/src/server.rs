@@ -12,10 +12,13 @@
 //! through their `RetryPolicy` instead of piling on; and a server-side
 //! statement timeout bounds every statement of every session.
 
+use crate::driver::MAX_PREPARED_PER_CONNECTION;
 use crate::wire::{
-    decode_request, encode_response, read_frame, write_frame, Request, Response, MAGIC,
+    decode_request, encode_response, read_frame, write_frame, PipelineStep, Request, Response,
+    MAGIC,
 };
-use sqldb::{Database, DbError, DbResult, StmtOutput};
+use sqldb::{Database, DbError, DbResult, StmtHandle, StmtOutput};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -292,6 +295,10 @@ fn serve_client(mut stream: TcpStream, db: Database, gov: Arc<Governor>) -> DbRe
 
     let mut session = db.connect();
     session.set_statement_timeout(gov.cfg.statement_timeout);
+    // per-connection prepared statements; dropped (with the whole map) when
+    // the client disconnects, so leaked handles can't outlive the session
+    let mut prepared: HashMap<u64, StmtHandle> = HashMap::new();
+    let mut next_stmt_id: u64 = 1;
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(f) => f,
@@ -342,6 +349,75 @@ fn serve_client(mut stream: TcpStream, db: Database, gov: Arc<Governor>) -> DbRe
                 Response::Done
             }
             Request::Profile => Response::ProfileIs(db.profile()),
+            Request::Prepare(sql) => {
+                if prepared.len() >= MAX_PREPARED_PER_CONNECTION {
+                    Response::Error(DbError::BudgetExceeded(format!(
+                        "connection holds {MAX_PREPARED_PER_CONNECTION} prepared statements; close some first"
+                    )))
+                } else {
+                    match session.prepare(&sql) {
+                        Ok(handle) => {
+                            let stmt_id = next_stmt_id;
+                            next_stmt_id += 1;
+                            let param_count = handle.param_count() as u32;
+                            prepared.insert(stmt_id, handle);
+                            Response::Prepared {
+                                stmt_id,
+                                param_count,
+                            }
+                        }
+                        Err(e) => Response::Error(e),
+                    }
+                }
+            }
+            Request::ExecutePrepared { stmt_id, params } => match gov.start_statement() {
+                Err(e) => Response::Error(e),
+                Ok(_stmt) => match prepared.get(&stmt_id) {
+                    Some(handle) => {
+                        let handle = handle.clone();
+                        Response::from_result(session.execute_prepared(&handle, &params))
+                    }
+                    None => {
+                        Response::Error(DbError::NotFound(format!("prepared statement {stmt_id}")))
+                    }
+                },
+            },
+            Request::ClosePrepared(stmt_id) => {
+                // idempotent: unknown ids are fine (client may retry)
+                prepared.remove(&stmt_id);
+                Response::Done
+            }
+            Request::Pipeline(steps) => match gov.start_statement() {
+                Err(e) => Response::Error(e),
+                Ok(_stmt) => {
+                    let mut outputs = Vec::with_capacity(steps.len());
+                    let mut error = None;
+                    for step in &steps {
+                        let result = match step {
+                            PipelineStep::Execute(sql) => session.execute(sql),
+                            PipelineStep::Prepared { stmt_id, params } => {
+                                match prepared.get(stmt_id) {
+                                    Some(handle) => {
+                                        let handle = handle.clone();
+                                        session.execute_prepared(&handle, params)
+                                    }
+                                    None => Err(DbError::NotFound(format!(
+                                        "prepared statement {stmt_id}"
+                                    ))),
+                                }
+                            }
+                        };
+                        match result {
+                            Ok(out) => outputs.push(Response::from_result(Ok(out))),
+                            Err(e) => {
+                                error = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    Response::PipelineResults { outputs, error }
+                }
+            },
         };
         write_frame(&mut stream, &encode_response(&response))?;
     }

@@ -35,6 +35,34 @@ pub enum Request {
     /// Set the per-statement execution deadline in milliseconds
     /// (`0` clears it). Applied server-side to the backing session.
     SetStatementTimeout(u64),
+    /// Parse once server-side; returns `Prepared { id, param_count }`.
+    Prepare(String),
+    /// Execute a previously prepared statement with positional parameters.
+    ExecutePrepared {
+        /// Statement id from `Prepared`.
+        stmt_id: u64,
+        /// Values for the statement's `?` placeholders, in lexical order.
+        params: Vec<Value>,
+    },
+    /// Discard a prepared statement server-side.
+    ClosePrepared(u64),
+    /// Pipelined sequence of steps sent in one round-trip; the server stops
+    /// at the first failure and returns the successful prefix plus the error.
+    Pipeline(Vec<PipelineStep>),
+}
+
+/// One step of a [`Request::Pipeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineStep {
+    /// Execute SQL text.
+    Execute(String),
+    /// Execute a prepared statement.
+    Prepared {
+        /// Statement id from `Prepared`.
+        stmt_id: u64,
+        /// Values for the statement's `?` placeholders.
+        params: Vec<Value>,
+    },
 }
 
 /// Server → client messages.
@@ -52,6 +80,22 @@ pub enum Response {
     BatchResults(Vec<Response>),
     /// The engine profile.
     ProfileIs(EngineProfile),
+    /// A statement was prepared.
+    Prepared {
+        /// Server-side statement id, scoped to this connection.
+        stmt_id: u64,
+        /// Number of `?` placeholders the statement declares.
+        param_count: u32,
+    },
+    /// Pipeline outcome: outputs of the successful prefix, plus the error
+    /// that stopped execution (if any). The failing step's index equals
+    /// `outputs.len()`.
+    PipelineResults {
+        /// Outputs of the steps that succeeded, in order.
+        outputs: Vec<Response>,
+        /// The error that stopped the pipeline, if it didn't complete.
+        error: Option<DbError>,
+    },
 }
 
 impl Response {
@@ -201,6 +245,42 @@ pub fn encode_request(req: &Request) -> Bytes {
             buf.put_u8(9);
             buf.put_u64(*ms);
         }
+        Request::Prepare(sql) => {
+            buf.put_u8(10);
+            put_str(&mut buf, sql);
+        }
+        Request::ExecutePrepared { stmt_id, params } => {
+            buf.put_u8(11);
+            buf.put_u64(*stmt_id);
+            buf.put_u32(params.len() as u32);
+            for p in params {
+                put_value(&mut buf, p);
+            }
+        }
+        Request::ClosePrepared(stmt_id) => {
+            buf.put_u8(12);
+            buf.put_u64(*stmt_id);
+        }
+        Request::Pipeline(steps) => {
+            buf.put_u8(13);
+            buf.put_u32(steps.len() as u32);
+            for step in steps {
+                match step {
+                    PipelineStep::Execute(sql) => {
+                        buf.put_u8(0);
+                        put_str(&mut buf, sql);
+                    }
+                    PipelineStep::Prepared { stmt_id, params } => {
+                        buf.put_u8(1);
+                        buf.put_u64(*stmt_id);
+                        buf.put_u32(params.len() as u32);
+                        for p in params {
+                            put_value(&mut buf, p);
+                        }
+                    }
+                }
+            }
+        }
     }
     buf.freeze()
 }
@@ -239,6 +319,30 @@ fn encode_response_into(resp: &Response, buf: &mut BytesMut) {
         Response::ProfileIs(p) => {
             buf.put_u8(5);
             buf.put_u8(profile_tag(*p));
+        }
+        Response::Prepared {
+            stmt_id,
+            param_count,
+        } => {
+            buf.put_u8(6);
+            buf.put_u64(*stmt_id);
+            buf.put_u32(*param_count);
+        }
+        Response::PipelineResults { outputs, error } => {
+            buf.put_u8(7);
+            buf.put_u32(outputs.len() as u32);
+            for o in outputs {
+                encode_response_into(o, buf);
+            }
+            match error {
+                Some(e) => {
+                    buf.put_u8(1);
+                    let (kind, msg) = error_parts(e);
+                    buf.put_u8(kind);
+                    put_str(buf, &msg);
+                }
+                None => buf.put_u8(0),
+            }
         }
     }
 }
@@ -340,6 +444,48 @@ pub fn decode_request(mut buf: Bytes) -> DbResult<Request> {
             need(&mut buf, 8, "statement timeout")?;
             Ok(Request::SetStatementTimeout(buf.get_u64()))
         }
+        10 => Ok(Request::Prepare(get_str(&mut buf)?)),
+        11 => {
+            need(&mut buf, 12, "prepared exec header")?;
+            let stmt_id = buf.get_u64();
+            let n = buf.get_u32() as usize;
+            let mut params = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                params.push(get_value(&mut buf)?);
+            }
+            Ok(Request::ExecutePrepared { stmt_id, params })
+        }
+        12 => {
+            need(&mut buf, 8, "stmt id")?;
+            Ok(Request::ClosePrepared(buf.get_u64()))
+        }
+        13 => {
+            need(&mut buf, 4, "pipeline count")?;
+            let n = buf.get_u32() as usize;
+            let mut steps = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                need(&mut buf, 1, "pipeline step tag")?;
+                match buf.get_u8() {
+                    0 => steps.push(PipelineStep::Execute(get_str(&mut buf)?)),
+                    1 => {
+                        need(&mut buf, 12, "prepared step header")?;
+                        let stmt_id = buf.get_u64();
+                        let np = buf.get_u32() as usize;
+                        let mut params = Vec::with_capacity(np.min(1024));
+                        for _ in 0..np {
+                            params.push(get_value(&mut buf)?);
+                        }
+                        steps.push(PipelineStep::Prepared { stmt_id, params });
+                    }
+                    t => {
+                        return Err(DbError::Connection(format!(
+                            "unknown pipeline step tag {t}"
+                        )))
+                    }
+                }
+            }
+            Ok(Request::Pipeline(steps))
+        }
         t => Err(DbError::Connection(format!("unknown request tag {t}"))),
     }
 }
@@ -383,6 +529,31 @@ fn decode_response_inner(buf: &mut Bytes) -> DbResult<Response> {
                 1 => EngineProfile::MySql,
                 _ => EngineProfile::MariaDb,
             }))
+        }
+        6 => {
+            need(buf, 12, "prepared")?;
+            Ok(Response::Prepared {
+                stmt_id: buf.get_u64(),
+                param_count: buf.get_u32(),
+            })
+        }
+        7 => {
+            need(buf, 4, "pipeline output count")?;
+            let n = buf.get_u32() as usize;
+            let mut outputs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                outputs.push(decode_response_inner(buf)?);
+            }
+            need(buf, 1, "pipeline error flag")?;
+            let error = if buf.get_u8() != 0 {
+                need(buf, 1, "pipeline error kind")?;
+                let kind = buf.get_u8();
+                let msg = get_str(buf)?;
+                Some(error_from_parts(kind, msg))
+            } else {
+                None
+            };
+            Ok(Response::PipelineResults { outputs, error })
         }
         t => Err(DbError::Connection(format!("unknown response tag {t}"))),
     }
@@ -452,6 +623,27 @@ mod tests {
         roundtrip_req(Request::Close);
         roundtrip_req(Request::SetStatementTimeout(1500));
         roundtrip_req(Request::SetStatementTimeout(0));
+        roundtrip_req(Request::Prepare("SELECT a FROM t WHERE a > ?".into()));
+        roundtrip_req(Request::ExecutePrepared {
+            stmt_id: 7,
+            params: vec![Value::Int(1), Value::Null, Value::Text("x".into())],
+        });
+        roundtrip_req(Request::ExecutePrepared {
+            stmt_id: 0,
+            params: vec![],
+        });
+        roundtrip_req(Request::ClosePrepared(7));
+        roundtrip_req(Request::Pipeline(vec![
+            PipelineStep::Execute("DELETE FROM tmp".into()),
+            PipelineStep::Prepared {
+                stmt_id: 3,
+                params: vec![Value::Float(0.5)],
+            },
+            PipelineStep::Prepared {
+                stmt_id: 4,
+                params: vec![],
+            },
+        ]));
     }
 
     #[test]
@@ -472,6 +664,40 @@ mod tests {
             Response::Affected(1),
             Response::Done,
         ]));
+        roundtrip_resp(Response::Prepared {
+            stmt_id: 42,
+            param_count: 3,
+        });
+        roundtrip_resp(Response::PipelineResults {
+            outputs: vec![Response::Affected(2), Response::Done],
+            error: None,
+        });
+        roundtrip_resp(Response::PipelineResults {
+            outputs: vec![Response::Affected(2)],
+            error: Some(DbError::LockTimeout("t".into())),
+        });
+        roundtrip_resp(Response::PipelineResults {
+            outputs: vec![],
+            error: Some(DbError::NotFound("prepared statement 9".into())),
+        });
+    }
+
+    #[test]
+    fn truncated_prepared_frames_rejected() {
+        let enc = encode_request(&Request::ExecutePrepared {
+            stmt_id: 7,
+            params: vec![Value::Int(1)],
+        });
+        for cut in 0..enc.len() {
+            assert!(decode_request(enc.slice(0..cut)).is_err(), "cut at {cut}");
+        }
+        let enc = encode_response(&Response::PipelineResults {
+            outputs: vec![Response::Done],
+            error: Some(DbError::Invalid("x".into())),
+        });
+        for cut in 0..enc.len() {
+            assert!(decode_response(enc.slice(0..cut)).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

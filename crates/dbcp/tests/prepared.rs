@@ -1,0 +1,232 @@
+//! Integration tests for the prepared-statement path: over the wire, across
+//! reconnects, under the per-connection statement cap, and under chaos.
+
+use dbcp::{
+    ChaosConfig, ChaosDriver, Driver, FaultKind, LocalDriver, PipelineStep, PreparedStatement,
+    ScheduledFault, Server, TcpDriver, MAX_PREPARED_PER_CONNECTION,
+};
+use sqldb::{Database, DbError, EngineProfile, StmtOutput, Value};
+use std::sync::Arc;
+
+fn tcp_fixture() -> (Database, Server, TcpDriver) {
+    let db = Database::new(EngineProfile::Postgres);
+    let server = Server::bind(db.clone(), "127.0.0.1:0").unwrap();
+    let driver = TcpDriver::connect(&server.addr().to_string()).unwrap();
+    (db, server, driver)
+}
+
+#[test]
+fn prepared_over_tcp_roundtrip_hits_plan_cache() {
+    let (db, server, driver) = tcp_fixture();
+    let mut conn = driver.connect().unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+        .unwrap();
+    let before = db.plan_cache_stats();
+
+    let mut ins = PreparedStatement::new("INSERT INTO t VALUES (?, ?)");
+    for i in 0..20i64 {
+        ins.execute(
+            conn.as_mut(),
+            &[Value::Int(i), Value::Float(i as f64 * 0.5)],
+        )
+        .unwrap();
+    }
+    assert!(!ins.is_fallback());
+    let r = conn.query("SELECT COUNT(*), SUM(v) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(20));
+    assert_eq!(
+        r.rows[0][1],
+        Value::Float((0..20).map(|i| i as f64 * 0.5).sum())
+    );
+
+    // every execution after the prepare is a plan-cache hit
+    let after = db.plan_cache_stats();
+    assert!(
+        after.hits >= before.hits + 19,
+        "expected >= 19 new hits, stats before {before:?} after {after:?}"
+    );
+    ins.close(conn.as_mut()).unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn prepared_param_errors_over_tcp() {
+    let (_db, server, driver) = tcp_fixture();
+    let mut conn = driver.connect().unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+
+    let mut ins = PreparedStatement::new("INSERT INTO t VALUES (?)");
+    // wrong arity: two values for one placeholder
+    let err = ins.execute(conn.as_mut(), &[Value::Int(1), Value::Int(2)]);
+    assert!(matches!(err, Err(DbError::Invalid(_))), "{err:?}");
+    // wrong type: text into an INT column
+    let err = ins.execute(conn.as_mut(), &[Value::Text("oops".into())]);
+    assert!(matches!(err, Err(DbError::Invalid(_))), "{err:?}");
+    // the connection stays usable and well-typed values still land
+    ins.execute(conn.as_mut(), &[Value::Int(7)]).unwrap();
+    let r = conn.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    server.shutdown();
+}
+
+#[test]
+fn statement_table_cap_is_enforced_and_close_frees_a_slot() {
+    let (_db, server, driver) = tcp_fixture();
+    let mut conn = driver.connect().unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+
+    let mut ids = Vec::new();
+    for i in 0..MAX_PREPARED_PER_CONNECTION {
+        let (id, _) = conn
+            .prepare_statement(&format!("SELECT {i} FROM t"))
+            .unwrap();
+        ids.push(id);
+    }
+    let err = conn.prepare_statement("SELECT -1 FROM t");
+    assert!(matches!(err, Err(DbError::BudgetExceeded(_))), "{err:?}");
+    // closing one statement frees a slot; close is idempotent
+    conn.close_prepared(ids[0]).unwrap();
+    conn.close_prepared(ids[0]).unwrap();
+    conn.prepare_statement("SELECT -1 FROM t").unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn pipeline_over_tcp_returns_successful_prefix_then_error() {
+    let (_db, server, driver) = tcp_fixture();
+    let mut conn = driver.connect().unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+
+    let mut ins = PreparedStatement::new("INSERT INTO t VALUES (?)");
+    let steps = vec![
+        ins.pipeline_step(conn.as_mut(), &[Value::Int(1)]).unwrap(),
+        ins.pipeline_step(conn.as_mut(), &[Value::Int(2)]).unwrap(),
+        // duplicate key: fails
+        ins.pipeline_step(conn.as_mut(), &[Value::Int(1)]).unwrap(),
+        // never reached
+        ins.pipeline_step(conn.as_mut(), &[Value::Int(3)]).unwrap(),
+    ];
+    let outcome = conn.run_pipeline(&steps).unwrap();
+    assert_eq!(
+        outcome.outputs.len(),
+        2,
+        "failed step index is outputs.len()"
+    );
+    assert!(matches!(outcome.error, Some(DbError::Invalid(_))));
+    let r = conn.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(
+        r.rows[0][0],
+        Value::Int(2),
+        "step after the failure must not run"
+    );
+
+    // an all-green pipeline: one round-trip, all outputs
+    let steps = vec![
+        ins.pipeline_step(conn.as_mut(), &[Value::Int(10)]).unwrap(),
+        PipelineStep::Execute("SELECT COUNT(*) FROM t".into()),
+    ];
+    let outcome = conn.run_pipeline(&steps).unwrap();
+    assert!(outcome.error.is_none());
+    assert_eq!(outcome.outputs.len(), 2);
+    match &outcome.outputs[1] {
+        StmtOutput::Rows(r) => assert_eq!(r.rows[0][0], Value::Int(3)),
+        other => panic!("unexpected {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn prepared_handle_survives_tcp_reconnect() {
+    let (_db, server, driver) = tcp_fixture();
+    let mut a = driver.connect().unwrap();
+    a.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+
+    let mut stmt = PreparedStatement::new("INSERT INTO t VALUES (?)");
+    stmt.execute(a.as_mut(), &[Value::Int(1)]).unwrap();
+    drop(a);
+
+    // fresh physical connection: new epoch, the old server-side id is gone,
+    // the handle re-prepares without the caller noticing
+    let mut b = driver.connect().unwrap();
+    stmt.execute(b.as_mut(), &[Value::Int(2)]).unwrap();
+    assert!(!stmt.is_fallback());
+    let r = b.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(2));
+    server.shutdown();
+}
+
+#[test]
+fn prepared_loop_replays_through_chaos_drop() {
+    let db = Database::new(EngineProfile::Postgres);
+    {
+        let mut s = db.connect();
+        s.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+    }
+    // drop the connection under the worker partway through its loop; the
+    // faulted statement never reached the engine, so replaying it after a
+    // reconnect is exact-once
+    let driver = ChaosDriver::new(
+        Arc::new(LocalDriver::new(db.clone())),
+        ChaosConfig {
+            fault_rate: 0.0,
+            schedule: vec![ScheduledFault {
+                nth_op: 13,
+                kind: FaultKind::Drop,
+            }],
+            ..ChaosConfig::default()
+        },
+    );
+
+    let mut stmt = PreparedStatement::new("INSERT INTO t VALUES (?)");
+    let mut conn = driver.connect().unwrap();
+    let mut reconnects = 0;
+    for i in 0..25i64 {
+        loop {
+            match stmt.execute(conn.as_mut(), &[Value::Int(i)]) {
+                Ok(_) => break,
+                Err(DbError::Connection(_)) => {
+                    conn = driver.connect().unwrap();
+                    reconnects += 1;
+                    assert!(reconnects < 10, "reconnect storm");
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+    }
+    assert!(reconnects >= 1, "the scheduled drop must have fired");
+    let mut s = db.connect();
+    let r = s.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(25));
+}
+
+#[test]
+fn chaos_match_substring_scopes_prepared_execution() {
+    let db = Database::new(EngineProfile::Postgres);
+    {
+        let mut s = db.connect();
+        s.execute("CREATE TABLE hot (id INT PRIMARY KEY)").unwrap();
+        s.execute("CREATE TABLE cold (id INT PRIMARY KEY)").unwrap();
+    }
+    // every eligible op faults, but only statements touching `hot` are
+    // eligible — the prepared path must expose its SQL text to the scoper
+    let driver = ChaosDriver::new(
+        Arc::new(LocalDriver::new(db.clone())),
+        ChaosConfig {
+            fault_rate: 1.0,
+            weights: dbcp::FaultWeights {
+                connect_refused: 0,
+                stmt_error: 1,
+                latency: 0,
+                drop: 0,
+            },
+            match_substring: Some("hot".into()),
+            ..ChaosConfig::default()
+        },
+    );
+    let mut conn = driver.connect().unwrap();
+    let mut cold = PreparedStatement::new("INSERT INTO cold VALUES (?)");
+    cold.execute(conn.as_mut(), &[Value::Int(1)]).unwrap();
+    let mut hot = PreparedStatement::new("INSERT INTO hot VALUES (?)");
+    let err = hot.execute(conn.as_mut(), &[Value::Int(1)]);
+    assert!(matches!(err, Err(DbError::LockTimeout(_))), "{err:?}");
+}

@@ -433,6 +433,10 @@ pub enum Expr {
         /// Target type.
         data_type: DataType,
     },
+    /// A `?` positional parameter placeholder (0-based, in lexical order).
+    /// Only valid in prepared statements; execution substitutes a literal
+    /// before binding.
+    Param(usize),
 }
 
 /// An argument to a function call.
@@ -596,7 +600,7 @@ impl Expr {
     /// Immediate child expressions (does not descend into subqueries).
     pub fn children(&self) -> Vec<&Expr> {
         match self {
-            Expr::Literal(_) | Expr::Column { .. } => Vec::new(),
+            Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) => Vec::new(),
             Expr::Binary { left, right, .. } => vec![left, right],
             Expr::Unary { expr, .. } => vec![expr],
             Expr::Function { args, .. } => args

@@ -275,6 +275,10 @@ fn bind_expr(
 ) -> DbResult<BoundExpr> {
     match expr {
         Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
+        Expr::Param(i) => Err(DbError::Invalid(format!(
+            "unbound parameter ?{} — positional parameters are only valid in prepared statements",
+            i + 1
+        ))),
         Expr::Column { table, name } => {
             Ok(BoundExpr::Column(scope.resolve(table.as_deref(), name)?))
         }

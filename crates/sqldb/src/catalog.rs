@@ -152,6 +152,11 @@ impl Catalog {
         self.indexes.read().contains_key(index_name)
     }
 
+    /// The table an index lives on, if the index is registered.
+    pub fn index_table(&self, index_name: &str) -> Option<String> {
+        self.indexes.read().get(index_name).cloned()
+    }
+
     /// Resolves which table an index lives on and unregisters it.
     ///
     /// # Errors

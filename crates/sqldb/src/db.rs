@@ -13,9 +13,12 @@ use crate::dialect_check::validate;
 use crate::error::{DbError, DbResult};
 use crate::exec::{ExecLimits, Executor, QueryResult, StmtOutput};
 use crate::parser::{parse_script, parse_statement};
+use crate::plan_cache::{substitute_params, CachedPlan, PlanCache, PlanCacheStats};
 use crate::profile::EngineProfile;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::txn::{apply_undo, IsolationLevel, LockManager, LockMode, UndoLog};
+use crate::value::Value;
+use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,6 +34,7 @@ struct Shared {
     profile: EngineProfile,
     stats: Stats,
     next_session: AtomicU64,
+    plan_cache: PlanCache,
 }
 
 /// A shared, thread-safe database instance.
@@ -66,6 +70,7 @@ impl Database {
                 profile,
                 stats: Stats::new(),
                 next_session: AtomicU64::new(1),
+                plan_cache: PlanCache::default(),
             }),
         }
     }
@@ -128,6 +133,42 @@ impl Database {
     /// High-water mark of charged bytes.
     pub fn memory_peak(&self) -> u64 {
         self.shared.catalog.memory_budget().peak()
+    }
+
+    /// Snapshot of the shared plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.shared.plan_cache.stats()
+    }
+
+    /// Caps how many parsed plans the database keeps (LRU beyond the cap).
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        self.shared.plan_cache.set_capacity(capacity);
+    }
+}
+
+/// A prepared statement: the SQL is parsed and validated once, then executed
+/// any number of times — with `?` placeholders filled per execution.
+///
+/// Handles are cheap to clone and survive DDL: a handle whose underlying
+/// plan was outdated by a schema change transparently re-prepares on its
+/// next execution (stale plans can never touch stale data, because binding
+/// always runs against the live catalog).
+#[derive(Debug, Clone)]
+pub struct StmtHandle {
+    sql: Arc<str>,
+    param_count: usize,
+    plan: Arc<Mutex<Arc<CachedPlan>>>,
+}
+
+impl StmtHandle {
+    /// The SQL text this handle was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Number of `?` placeholders the statement declares.
+    pub fn param_count(&self) -> usize {
+        self.param_count
     }
 }
 
@@ -193,8 +234,97 @@ impl Session {
     /// Parse, validation, lock-timeout and execution errors. A failed
     /// statement is rolled back atomically; an open transaction stays usable.
     pub fn execute(&mut self, sql: &str) -> DbResult<StmtOutput> {
+        let plan = self.plan_for(sql)?;
+        self.execute_statement(&plan.stmt)
+    }
+
+    /// Fetches a still-valid cached plan for `sql`, or parses one — caching
+    /// it when the statement is cacheable (queries and DML; one-shot DDL
+    /// would only churn the LRU, see [`crate::plan_cache::is_cacheable`]).
+    fn plan_for(&self, sql: &str) -> DbResult<Arc<CachedPlan>> {
+        let key = PlanCache::key(self.shared.profile, sql);
+        if let Some(plan) = self.shared.plan_cache.get(&key) {
+            return Ok(plan);
+        }
+        let started = std::time::Instant::now();
         let stmt = parse_statement(sql)?;
-        self.execute_statement(&stmt)
+        let plan = if crate::plan_cache::is_cacheable(&stmt) {
+            self.shared.plan_cache.count_miss();
+            let (reads, writes) = collect_lock_sets(&stmt, &self.shared.catalog);
+            let deps = reads.union(&writes).cloned().collect();
+            self.shared.plan_cache.insert(key, stmt, deps)
+        } else {
+            self.shared.plan_cache.uncached(stmt)
+        };
+        obs::global()
+            .histogram("sqldb.plan")
+            .observe(started.elapsed());
+        Ok(plan)
+    }
+
+    /// Parses and validates `sql` once, returning a reusable handle.
+    /// `?` placeholders become positional parameters of the handle.
+    ///
+    /// # Errors
+    /// Parse errors only; execution errors surface per execution.
+    pub fn prepare(&mut self, sql: &str) -> DbResult<StmtHandle> {
+        let started = std::time::Instant::now();
+        let plan = self.plan_for(sql)?;
+        obs::global()
+            .histogram("sqldb.prepare")
+            .observe(started.elapsed());
+        Ok(StmtHandle {
+            sql: Arc::from(sql),
+            param_count: plan.param_count,
+            plan: Arc::new(Mutex::new(plan)),
+        })
+    }
+
+    /// Executes a prepared statement with `params` filling its `?`
+    /// placeholders (in lexical order).
+    ///
+    /// If DDL outdated the handle's plan since it was prepared, the
+    /// statement is transparently re-prepared first.
+    ///
+    /// # Errors
+    /// [`DbError::Invalid`] on parameter-count mismatch, plus everything
+    /// [`Session::execute`] can return.
+    pub fn execute_prepared(
+        &mut self,
+        handle: &StmtHandle,
+        params: &[Value],
+    ) -> DbResult<StmtOutput> {
+        if params.len() != handle.param_count {
+            return Err(DbError::Invalid(format!(
+                "prepared statement takes {} parameter(s) but {} were bound",
+                handle.param_count,
+                params.len()
+            )));
+        }
+        let plan = {
+            let pinned = handle.plan.lock().clone();
+            if self.shared.plan_cache.is_current(&pinned) {
+                self.shared.plan_cache.note_hit();
+                pinned
+            } else {
+                // transparent re-prepare after DDL (counted as miss +
+                // invalidation by the cache lookup inside plan_for)
+                let fresh = self.plan_for(&handle.sql)?;
+                *handle.plan.lock() = fresh.clone();
+                fresh
+            }
+        };
+        let started = std::time::Instant::now();
+        let result = if handle.param_count == 0 {
+            self.execute_statement(&plan.stmt)
+        } else {
+            let stmt = substitute_params(&plan.stmt, params)?;
+            self.execute_statement(&stmt)
+        };
+        obs::global()
+            .histogram("sqldb.execute_prepared")
+            .observe(started.elapsed());
+        result
     }
 
     /// Executes an already-parsed statement.
@@ -258,6 +388,13 @@ impl Session {
             }
         }
 
+        // resolve the owning table up front: execution removes the
+        // registration, but its cached plans must be outdated afterwards
+        let dropped_index_table = match stmt {
+            Statement::DropIndex { name, .. } => self.shared.catalog.index_table(name),
+            _ => None,
+        };
+
         let mark = self.undo.len();
         let executor = Executor::new(
             &self.shared.catalog,
@@ -273,6 +410,21 @@ impl Session {
         let result = executor.run_statement(stmt, &mut self.undo);
         match result {
             Ok(output) => {
+                // DDL outdates cached plans depending on the changed object
+                match stmt {
+                    Statement::CreateTable(ct) => self.shared.plan_cache.bump_table(&ct.name),
+                    Statement::DropTable { name, .. } => self.shared.plan_cache.bump_table(name),
+                    Statement::CreateIndex(ci) => self.shared.plan_cache.bump_table(&ci.table),
+                    Statement::DropIndex { .. } => {
+                        if let Some(t) = &dropped_index_table {
+                            self.shared.plan_cache.bump_table(t);
+                        }
+                    }
+                    Statement::CreateView(_) | Statement::DropView { .. } => {
+                        self.shared.plan_cache.bump_views();
+                    }
+                    _ => {}
+                }
                 if self.in_txn {
                     // ReadCommitted drops read locks at statement end
                     if self.isolation == IsolationLevel::ReadCommitted {

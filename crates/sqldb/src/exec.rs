@@ -330,8 +330,10 @@ impl<'a> Executor<'a> {
             None => None,
         };
 
-        // group rows
-        let mut groups: Vec<(Vec<Value>, Vec<AggAcc>, Row)> = Vec::new();
+        // group rows; the key lives only in the index map (each group keeps a
+        // representative row for projecting group-by columns), so the entry
+        // API moves each key in without a clone
+        let mut groups: Vec<(Vec<AggAcc>, Row)> = Vec::new();
         let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
         for (i, row) in rel.rows.iter().enumerate() {
             if i & 0xFFF == 0 {
@@ -341,20 +343,19 @@ impl<'a> Executor<'a> {
             for k in &key_exprs {
                 key.push(k.eval(row, &[])?);
             }
-            let gi = match index.get(&key) {
-                Some(&gi) => gi,
-                None => {
+            let gi = match index.entry(key) {
+                std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+                std::collections::hash_map::Entry::Vacant(v) => {
                     let gi = groups.len();
-                    index.insert(key.clone(), gi);
+                    v.insert(gi);
                     groups.push((
-                        key,
                         aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
                         row.clone(),
                     ));
                     gi
                 }
             };
-            let (_, accs, _) = &mut groups[gi];
+            let (accs, _) = &mut groups[gi];
             for (acc, spec) in accs.iter_mut().zip(&aggs) {
                 let v = match &spec.arg {
                     Some(e) => Some(e.eval(row, &[])?),
@@ -366,14 +367,13 @@ impl<'a> Executor<'a> {
         // global aggregate over empty input still yields one group
         if groups.is_empty() && key_exprs.is_empty() {
             groups.push((
-                Vec::new(),
                 aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
                 vec![Value::Null; rel.arity()],
             ));
         }
 
         let mut rows = Vec::with_capacity(groups.len());
-        for (_, accs, rep_row) in groups {
+        for (accs, rep_row) in groups {
             let agg_values: Vec<Value> = accs.into_iter().map(AggAcc::finish).collect();
             if let Some(h) = &having {
                 if !h.eval(&rep_row, &agg_values)?.is_truthy() {

@@ -202,33 +202,75 @@ pub fn join_rels(
                     }
                 }
             } else if strategy == JoinStrategy::Hash {
-                // hash join: build on right
-                let mut table: HashMap<&Value, Vec<&Row>> = HashMap::new();
-                for rrow in &right.rows {
-                    let kv = &rrow[key.right];
-                    if !kv.is_null() {
-                        table.entry(kv).or_default().push(rrow);
+                // hash join: build the hash table on the smaller relation
+                // (row order is not a relational guarantee, so the swap only
+                // changes output order, never the row multiset)
+                if left.rows.len() < right.rows.len() {
+                    // build on left, probe with right; LEFT JOIN padding needs
+                    // per-build-row matched flags since matches arrive in
+                    // probe order
+                    let mut table: HashMap<&Value, Vec<usize>> = HashMap::new();
+                    for (i, lrow) in left.rows.iter().enumerate() {
+                        let kv = &lrow[key.left];
+                        if !kv.is_null() {
+                            table.entry(kv).or_default().push(i);
+                        }
                     }
-                }
-                for lrow in &left.rows {
-                    let kv = &lrow[key.left];
-                    let mut matched = false;
-                    if !kv.is_null() {
+                    let mut matched = vec![false; left.rows.len()];
+                    for rrow in &right.rows {
+                        let kv = &rrow[key.right];
+                        if kv.is_null() {
+                            continue;
+                        }
                         if let Some(cands) = table.get(kv) {
-                            for rrow in cands {
-                                let mut combined = lrow.clone();
+                            for &i in cands {
+                                let mut combined = left.rows[i].clone();
                                 combined.extend(rrow.iter().cloned());
                                 if matches_residual(&combined)? {
-                                    matched = true;
+                                    matched[i] = true;
                                     out_rows.push(combined);
                                 }
                             }
                         }
                     }
-                    if !matched && join_type == JoinType::Left {
-                        let mut combined = lrow.clone();
-                        combined.extend(null_right.iter().cloned());
-                        out_rows.push(combined);
+                    if join_type == JoinType::Left {
+                        for (i, lrow) in left.rows.iter().enumerate() {
+                            if !matched[i] {
+                                let mut combined = lrow.clone();
+                                combined.extend(null_right.iter().cloned());
+                                out_rows.push(combined);
+                            }
+                        }
+                    }
+                } else {
+                    // build on right, probe with left
+                    let mut table: HashMap<&Value, Vec<&Row>> = HashMap::new();
+                    for rrow in &right.rows {
+                        let kv = &rrow[key.right];
+                        if !kv.is_null() {
+                            table.entry(kv).or_default().push(rrow);
+                        }
+                    }
+                    for lrow in &left.rows {
+                        let kv = &lrow[key.left];
+                        let mut matched = false;
+                        if !kv.is_null() {
+                            if let Some(cands) = table.get(kv) {
+                                for rrow in cands {
+                                    let mut combined = lrow.clone();
+                                    combined.extend(rrow.iter().cloned());
+                                    if matches_residual(&combined)? {
+                                        matched = true;
+                                        out_rows.push(combined);
+                                    }
+                                }
+                            }
+                        }
+                        if !matched && join_type == JoinType::Left {
+                            let mut combined = lrow.clone();
+                            combined.extend(null_right.iter().cloned());
+                            out_rows.push(combined);
+                        }
                     }
                 }
             } else {
@@ -457,6 +499,67 @@ mod tests {
         let on = parse_expression("l.id = r.id").unwrap();
         let out = join_rels(l, r, JoinType::Inner, Some(&on), JoinStrategy::Hash, &stats).unwrap();
         assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn hash_join_build_side_swap_preserves_results() {
+        // the same join with a small left (→ left build) and a small right
+        // (→ right build) must both match the nested-loop oracle, with a
+        // residual in play and for both join types
+        let stats = Stats::default();
+        let small = |q: &str| {
+            rel(
+                q,
+                &["id", "x"],
+                vec![
+                    vec![Value::Int(0), Value::Int(100)],
+                    vec![Value::Int(1), Value::Int(101)],
+                    vec![Value::Int(7), Value::Int(107)], // unmatched
+                ],
+            )
+        };
+        let big = |q: &str| {
+            rel(
+                q,
+                &["id", "x"],
+                (0..20)
+                    .map(|i| vec![Value::Int(i % 3), Value::Int(i)])
+                    .collect(),
+            )
+        };
+        // the residual passes for some matches and fails for others in both
+        // orientations (sums span 100..126)
+        let on = parse_expression("l.id = r.id AND l.x + r.x < 115").unwrap();
+        for join_type in [JoinType::Inner, JoinType::Left] {
+            for (l, r) in [(small("l"), big("r")), (big("l"), small("r"))] {
+                let mut hash = join_rels(
+                    l.clone(),
+                    r.clone(),
+                    join_type,
+                    Some(&on),
+                    JoinStrategy::Hash,
+                    &stats,
+                )
+                .unwrap()
+                .rows;
+                let mut oracle = join_rels(
+                    l,
+                    r,
+                    join_type,
+                    Some(&on),
+                    JoinStrategy::BlockNestedLoop { buffer_rows: 4 },
+                    &stats,
+                )
+                .unwrap()
+                .rows;
+                hash.sort();
+                oracle.sort();
+                assert_eq!(
+                    hash, oracle,
+                    "{join_type:?}: build-side choice changed results"
+                );
+            }
+        }
     }
 
     #[test]

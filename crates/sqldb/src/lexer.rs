@@ -61,6 +61,8 @@ pub enum Sym {
     GtEq,
     /// `||`
     Concat,
+    /// `?` (positional parameter placeholder)
+    Question,
 }
 
 impl Token {
@@ -139,6 +141,7 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
             '/' => push_sym(&mut tokens, Sym::Slash, &mut i),
             '%' => push_sym(&mut tokens, Sym::Percent, &mut i),
             '=' => push_sym(&mut tokens, Sym::Eq, &mut i),
+            '?' => push_sym(&mut tokens, Sym::Question, &mut i),
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(Token::Symbol(Sym::NotEq));

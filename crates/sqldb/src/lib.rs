@@ -46,6 +46,7 @@ pub mod explain;
 pub mod join;
 pub mod lexer;
 pub mod parser;
+pub mod plan_cache;
 pub mod profile;
 pub mod render;
 pub mod snapshot;
@@ -56,9 +57,11 @@ pub mod types;
 pub mod value;
 
 pub use budget::{row_bytes, MemoryBudget};
+pub use db::StmtHandle;
 pub use db::{Database, Session, DEFAULT_LOCK_TIMEOUT};
 pub use error::{DbError, DbResult};
 pub use exec::{ExecLimits, QueryResult, StmtOutput};
+pub use plan_cache::{PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use profile::{Dialect, EngineProfile, JoinStrategy};
 pub use snapshot::TableDump;
 pub use stats::{Stats, StatsSnapshot};

@@ -75,6 +75,8 @@ pub fn parse_expression(sql: &str) -> DbResult<Expr> {
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// `?` placeholders seen so far; assigns each its 0-based index.
+    params: usize,
 }
 
 impl Parser {
@@ -86,6 +88,7 @@ impl Parser {
         Ok(Parser {
             tokens: tokenize(sql)?,
             pos: 0,
+            params: 0,
         })
     }
 
@@ -1044,6 +1047,12 @@ impl Parser {
                 let e = self.parse_expr()?;
                 self.expect_sym(Sym::RParen)?;
                 Ok(e)
+            }
+            Some(Token::Symbol(Sym::Question)) => {
+                self.pos += 1;
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Param(idx))
             }
             Some(Token::Ident(word)) => self.parse_ident_expr(word),
             Some(Token::QuotedIdent(word)) => {

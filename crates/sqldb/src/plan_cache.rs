@@ -1,0 +1,457 @@
+//! Bounded LRU plan cache and prepared-statement support.
+//!
+//! A *plan* here is a parsed, dialect-validated statement AST together with
+//! the set of catalog objects it depends on. Caching one amortizes the
+//! lex/parse/validate work that otherwise repeats on every execution of an
+//! identical statement — the dominant per-round overhead of SQLoop's
+//! iterative hot loops, where the same Compute/Gather statements run
+//! thousands of times.
+//!
+//! ## Keying and invalidation
+//!
+//! Entries are keyed by `(engine profile, SQL text)`. Each entry records,
+//! per dependency table, the table's *catalog version* at prepare time plus
+//! the global *views epoch*. DDL bumps versions:
+//!
+//! * `CREATE TABLE t` / `DROP TABLE t` bump `t`;
+//! * `CREATE INDEX … ON t` / `DROP INDEX` bump the owning table;
+//! * any view change bumps the views epoch (conservative: views can hide
+//!   behind any table reference, so every entry is invalidated).
+//!
+//! A lookup that finds a version mismatch discards the entry (counted as an
+//! invalidation) and reports a miss, so stale plans are re-prepared
+//! transparently — they can never produce stale results, because binding
+//! and execution always run against the live catalog.
+//!
+//! Only statements that can plausibly repeat — queries and DML — are
+//! cached ([`is_cacheable`]). One-shot DDL/utility statements (CREATE/DROP,
+//! TRUNCATE, transaction control) parse outside the cache: SQLoop's
+//! schedulers mint round-unique msg-table names, and inserting those would
+//! only churn the LRU without ever hitting.
+//!
+//! ## Parameters
+//!
+//! `?` placeholders parse to [`Expr::Param`] nodes. Execution substitutes
+//! literal values into a clone of the cached AST
+//! ([`substitute_params`]), so per-round literals (iteration numbers,
+//! thresholds, priority bounds) don't defeat the cache.
+
+use crate::ast::{Expr, Statement};
+use crate::dialect_check::{for_each_expr, for_each_expr_mut};
+use crate::error::{DbError, DbResult};
+use crate::profile::EngineProfile;
+use crate::value::Value;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Default maximum number of cached plans per database.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 512;
+
+/// A parsed, validated statement plus its invalidation fingerprint.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The parsed statement (canonical for this cache's profile).
+    pub stmt: Statement,
+    /// Number of `?` placeholders the statement carries.
+    pub param_count: usize,
+    /// `(table, version at prepare time)` for every referenced table.
+    deps: Vec<(String, u64)>,
+    /// Views epoch at prepare time.
+    views_epoch: u64,
+}
+
+/// Point-in-time counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh parse.
+    pub misses: u64,
+    /// Entries discarded to stay under capacity.
+    pub evictions: u64,
+    /// Entries discarded because DDL outdated them.
+    pub invalidations: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+/// Bounded LRU cache of parsed statements with DDL invalidation.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: Mutex<HashMap<String, Entry>>,
+    /// Per-table catalog version (absent = 0).
+    versions: RwLock<HashMap<String, u64>>,
+    views_epoch: AtomicU64,
+    tick: AtomicU64,
+    capacity: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans.
+    pub fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache {
+            entries: Mutex::new(HashMap::new()),
+            versions: RwLock::new(HashMap::new()),
+            views_epoch: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            capacity: AtomicUsize::new(capacity.max(1)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache key for `sql` under `profile`.
+    pub fn key(profile: EngineProfile, sql: &str) -> String {
+        format!("{profile}\u{0}{sql}")
+    }
+
+    /// Changes the capacity (evicting down immediately when shrinking).
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity.max(1), Ordering::Relaxed);
+        let mut entries = self.entries.lock();
+        self.evict_over_capacity(&mut entries);
+    }
+
+    /// Looks up a still-valid plan, refreshing its LRU stamp. Stale entries
+    /// are discarded (counted as an invalidation). Misses are *not* counted
+    /// here — the caller decides whether the statement was cacheable at all
+    /// and calls [`PlanCache::count_miss`] for the ones that were.
+    pub fn get(&self, key: &str) -> Option<Arc<CachedPlan>> {
+        let mut entries = self.entries.lock();
+        match entries.get_mut(key) {
+            Some(e) if self.is_current(&e.plan) => {
+                e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                let plan = e.plan.clone();
+                drop(entries);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::global().counter("sqldb.plan_cache.hit").inc();
+                Some(plan)
+            }
+            Some(_) => {
+                entries.remove(key);
+                drop(entries);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                obs::global().counter("sqldb.plan_cache.invalidation").inc();
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Counts a hit served from a [`crate::StmtHandle`]'s own plan pointer
+    /// (prepared execution validates the pinned plan without a map lookup).
+    pub fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        obs::global().counter("sqldb.plan_cache.hit").inc();
+    }
+
+    /// Counts a lookup that required a fresh parse of a cacheable statement.
+    pub fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::global().counter("sqldb.plan_cache.miss").inc();
+    }
+
+    /// Wraps a parsed statement into a plan that never enters the cache
+    /// (one-shot DDL/utility statements). The plan carries no dependencies,
+    /// so a pinned handle only goes stale on a views-epoch change.
+    pub fn uncached(&self, stmt: Statement) -> Arc<CachedPlan> {
+        Arc::new(CachedPlan {
+            param_count: count_params(&stmt),
+            deps: Vec::new(),
+            views_epoch: self.views_epoch.load(Ordering::Relaxed),
+            stmt,
+        })
+    }
+
+    /// Inserts a freshly parsed statement, capturing its dependency
+    /// versions, and returns the shared plan. Evicts least-recently-used
+    /// entries when over capacity.
+    pub fn insert(&self, key: String, stmt: Statement, deps: Vec<String>) -> Arc<CachedPlan> {
+        let param_count = count_params(&stmt);
+        let plan = {
+            let versions = self.versions.read();
+            Arc::new(CachedPlan {
+                param_count,
+                deps: deps
+                    .into_iter()
+                    .map(|t| {
+                        let v = versions.get(&t).copied().unwrap_or(0);
+                        (t, v)
+                    })
+                    .collect(),
+                views_epoch: self.views_epoch.load(Ordering::Relaxed),
+                stmt,
+            })
+        };
+        let mut entries = self.entries.lock();
+        entries.insert(
+            key,
+            Entry {
+                plan: plan.clone(),
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        self.evict_over_capacity(&mut entries);
+        plan
+    }
+
+    fn evict_over_capacity(&self, entries: &mut HashMap<String, Entry>) {
+        let cap = self.capacity.load(Ordering::Relaxed);
+        while entries.len() > cap {
+            let victim = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    entries.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    obs::global().counter("sqldb.plan_cache.eviction").inc();
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// True while every dependency of `plan` is still at its prepare-time
+    /// version and no view change happened since.
+    pub fn is_current(&self, plan: &CachedPlan) -> bool {
+        if plan.views_epoch != self.views_epoch.load(Ordering::Relaxed) {
+            return false;
+        }
+        let versions = self.versions.read();
+        plan.deps
+            .iter()
+            .all(|(t, v)| versions.get(t).copied().unwrap_or(0) == *v)
+    }
+
+    /// Records a schema change on `table`, outdating plans that depend on it.
+    pub fn bump_table(&self, table: &str) {
+        *self.versions.write().entry(table.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Records a view change, outdating every cached plan.
+    pub fn bump_views(&self) {
+        self.views_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.entries.lock().len(),
+        }
+    }
+}
+
+/// True for statements worth caching: queries and DML repeat (iterative
+/// round bodies, prepared handles); DDL, TRUNCATE and transaction control
+/// are one-shot by nature — a repeated `CREATE TABLE` can only error.
+pub fn is_cacheable(stmt: &Statement) -> bool {
+    matches!(
+        stmt,
+        Statement::Select(_)
+            | Statement::Insert(_)
+            | Statement::Update(_)
+            | Statement::Delete { .. }
+    )
+}
+
+/// Number of `?` placeholders in `stmt` (max index + 1; the parser assigns
+/// indexes in lexical order, so this equals the count).
+pub fn count_params(stmt: &Statement) -> usize {
+    let mut max: Option<usize> = None;
+    for_each_expr(stmt, &mut |e| {
+        if let Expr::Param(i) = e {
+            max = Some(max.map_or(*i, |m| m.max(*i)));
+        }
+    });
+    max.map_or(0, |m| m + 1)
+}
+
+/// Clones `stmt` with every `?` placeholder replaced by the matching
+/// literal from `params`.
+///
+/// # Errors
+/// Returns [`DbError::Invalid`] when `params` doesn't supply exactly the
+/// placeholders the statement declares.
+pub fn substitute_params(stmt: &Statement, params: &[Value]) -> DbResult<Statement> {
+    let declared = count_params(stmt);
+    if declared != params.len() {
+        return Err(DbError::Invalid(format!(
+            "statement declares {declared} parameter(s) but {} value(s) were supplied",
+            params.len()
+        )));
+    }
+    let mut out = stmt.clone();
+    for_each_expr_mut(&mut out, &mut |e| {
+        if let Expr::Param(i) = e {
+            // bounds guaranteed by the arity check above
+            if let Some(v) = params.get(*i) {
+                *e = Expr::Literal(v.clone());
+            }
+        }
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn plan_of(cache: &PlanCache, sql: &str, deps: &[&str]) -> Arc<CachedPlan> {
+        let key = PlanCache::key(EngineProfile::Postgres, sql);
+        // mirrors Session::plan_for: a fresh parse of a cacheable statement
+        cache.count_miss();
+        cache.insert(
+            key,
+            parse_statement(sql).unwrap(),
+            deps.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    #[test]
+    fn hit_after_insert_miss_after_bump() {
+        let cache = PlanCache::with_capacity(8);
+        let sql = "SELECT a FROM t";
+        let key = PlanCache::key(EngineProfile::Postgres, sql);
+        assert!(cache.get(&key).is_none());
+        plan_of(&cache, sql, &["t"]);
+        assert!(cache.get(&key).is_some());
+        cache.bump_table("t");
+        assert!(cache.get(&key).is_none(), "bumped dep must invalidate");
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.misses, 1, "one fresh parse, the initial insert");
+    }
+
+    #[test]
+    fn unrelated_bump_keeps_plan() {
+        let cache = PlanCache::with_capacity(8);
+        let sql = "SELECT a FROM t";
+        let key = PlanCache::key(EngineProfile::Postgres, sql);
+        plan_of(&cache, sql, &["t"]);
+        cache.bump_table("other");
+        assert!(cache.get(&key).is_some());
+    }
+
+    #[test]
+    fn view_epoch_invalidates_everything() {
+        let cache = PlanCache::with_capacity(8);
+        let key = PlanCache::key(EngineProfile::Postgres, "SELECT a FROM t");
+        plan_of(&cache, "SELECT a FROM t", &["t"]);
+        cache.bump_views();
+        assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_under_tiny_cap() {
+        let cache = PlanCache::with_capacity(2);
+        plan_of(&cache, "SELECT 1", &[]);
+        plan_of(&cache, "SELECT 2", &[]);
+        // touch "SELECT 1" so "SELECT 2" is the LRU victim
+        assert!(cache
+            .get(&PlanCache::key(EngineProfile::Postgres, "SELECT 1"))
+            .is_some());
+        plan_of(&cache, "SELECT 3", &[]);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache
+            .get(&PlanCache::key(EngineProfile::Postgres, "SELECT 1"))
+            .is_some());
+        assert!(cache
+            .get(&PlanCache::key(EngineProfile::Postgres, "SELECT 2"))
+            .is_none());
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let cache = PlanCache::with_capacity(4);
+        for i in 0..4 {
+            plan_of(&cache, &format!("SELECT {i}"), &[]);
+        }
+        cache.set_capacity(1);
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().evictions, 3);
+    }
+
+    #[test]
+    fn ddl_is_not_cacheable_and_uncached_plans_stay_out() {
+        assert!(is_cacheable(&parse_statement("SELECT 1").unwrap()));
+        assert!(is_cacheable(&parse_statement("DELETE FROM t").unwrap()));
+        assert!(!is_cacheable(
+            &parse_statement("CREATE TABLE t (a INT)").unwrap()
+        ));
+        assert!(!is_cacheable(&parse_statement("DROP TABLE t").unwrap()));
+        let cache = PlanCache::with_capacity(2);
+        let plan = cache.uncached(parse_statement("DROP TABLE t").unwrap());
+        assert!(cache.is_current(&plan), "no deps: only views outdate it");
+        cache.bump_table("t");
+        assert!(cache.is_current(&plan));
+        cache.bump_views();
+        assert!(!cache.is_current(&plan));
+        assert_eq!(cache.stats().entries, 0, "uncached plans never enter");
+    }
+
+    #[test]
+    fn param_counting_and_substitution() {
+        let stmt = parse_statement("SELECT a FROM t WHERE a > ? AND b < ?").unwrap();
+        assert_eq!(count_params(&stmt), 2);
+        let out = substitute_params(&stmt, &[Value::Int(1), Value::Int(9)]).unwrap();
+        assert_eq!(count_params(&out), 0);
+        // arity mismatches are typed errors
+        assert!(matches!(
+            substitute_params(&stmt, &[Value::Int(1)]),
+            Err(DbError::Invalid(_))
+        ));
+        assert!(matches!(
+            substitute_params(&stmt, &[Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Err(DbError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn profile_is_part_of_the_key() {
+        assert_ne!(
+            PlanCache::key(EngineProfile::Postgres, "SELECT 1"),
+            PlanCache::key(EngineProfile::MySql, "SELECT 1")
+        );
+    }
+}

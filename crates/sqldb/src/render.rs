@@ -350,6 +350,7 @@ impl<'a> Renderer<'a> {
     fn expr(&mut self, e: &Expr) {
         match e {
             Expr::Literal(v) => self.literal(v),
+            Expr::Param(_) => self.push("?"),
             Expr::Column { table, name } => {
                 if let Some(t) = table {
                     self.ident(t);

@@ -1,0 +1,126 @@
+//! Database-level prepared-statement lifecycle: DDL invalidating cached
+//! plans behind live handles, and LRU eviction under a tiny cache cap.
+
+use sqldb::{Database, EngineProfile, StmtOutput, Value};
+
+fn rows(out: StmtOutput) -> Vec<Vec<Value>> {
+    match out {
+        StmtOutput::Rows(r) => r.rows,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+#[test]
+fn ddl_invalidates_plan_behind_live_handle() {
+    let db = Database::new(EngineProfile::Postgres);
+    let mut s = db.connect();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+        .unwrap();
+    s.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0)")
+        .unwrap();
+
+    let h = s.prepare("SELECT v FROM t WHERE id = ?").unwrap();
+    let r = rows(s.execute_prepared(&h, &[Value::Int(1)]).unwrap());
+    assert_eq!(r, vec![vec![Value::Float(1.0)]]);
+
+    // Drop and recreate the referenced table: the cached plan is now for a
+    // table generation that no longer exists.
+    s.execute("DROP TABLE t").unwrap();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+        .unwrap();
+    s.execute("INSERT INTO t VALUES (1, 10.0)").unwrap();
+
+    // The handle stays valid — it transparently re-prepares and sees the
+    // new table's contents.
+    let r = rows(s.execute_prepared(&h, &[Value::Int(1)]).unwrap());
+    assert_eq!(r, vec![vec![Value::Float(10.0)]]);
+
+    let stats = db.plan_cache_stats();
+    assert!(
+        stats.invalidations >= 1,
+        "DDL must outdate the cached plan, stats: {stats:?}"
+    );
+}
+
+#[test]
+fn alter_via_drop_create_changes_handle_output_shape() {
+    let db = Database::new(EngineProfile::Postgres);
+    let mut s = db.connect();
+    s.execute("CREATE TABLE m (k INT PRIMARY KEY)").unwrap();
+    s.execute("INSERT INTO m VALUES (7)").unwrap();
+
+    let h = s.prepare("SELECT * FROM m").unwrap();
+    assert_eq!(
+        rows(s.execute_prepared(&h, &[]).unwrap()),
+        vec![vec![Value::Int(7)]]
+    );
+
+    // Recreate with an extra column: `SELECT *` through the same handle
+    // must reflect the new schema, not the one it was prepared against.
+    s.execute("DROP TABLE m").unwrap();
+    s.execute("CREATE TABLE m (k INT PRIMARY KEY, w FLOAT)")
+        .unwrap();
+    s.execute("INSERT INTO m VALUES (8, 0.5)").unwrap();
+
+    assert_eq!(
+        rows(s.execute_prepared(&h, &[]).unwrap()),
+        vec![vec![Value::Int(8), Value::Float(0.5)]]
+    );
+}
+
+#[test]
+fn tiny_cap_evicts_but_stays_correct() {
+    let db = Database::new(EngineProfile::Postgres);
+    db.set_plan_cache_capacity(2);
+    let mut s = db.connect();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+        .unwrap();
+    s.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0), (3, 3.0)")
+        .unwrap();
+
+    // Four distinct cacheable statements cycling through a 2-entry cache:
+    // every round evicts, yet every execution must answer correctly.
+    let handles: Vec<_> = (1..=3)
+        .map(|id| {
+            s.prepare(&format!("SELECT v FROM t WHERE id = {id}"))
+                .unwrap()
+        })
+        .collect();
+    let sum = s.prepare("SELECT SUM(v) FROM t").unwrap();
+
+    for _ in 0..5 {
+        for (i, h) in handles.iter().enumerate() {
+            let r = rows(s.execute_prepared(h, &[]).unwrap());
+            assert_eq!(r, vec![vec![Value::Float((i + 1) as f64)]]);
+        }
+        let r = rows(s.execute_prepared(&sum, &[]).unwrap());
+        assert_eq!(r, vec![vec![Value::Float(6.0)]]);
+    }
+
+    let stats = db.plan_cache_stats();
+    assert!(stats.entries <= 2, "cap must hold, stats: {stats:?}");
+    assert!(
+        stats.evictions > 0,
+        "cycling 4 statements through a 2-entry cache must evict, stats: {stats:?}"
+    );
+}
+
+#[test]
+fn tiny_cap_hot_statement_keeps_hitting() {
+    let db = Database::new(EngineProfile::Postgres);
+    db.set_plan_cache_capacity(2);
+    let mut s = db.connect();
+    s.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+    s.execute("INSERT INTO t VALUES (1)").unwrap();
+
+    let hot = s.prepare("SELECT COUNT(*) FROM t").unwrap();
+    for _ in 0..20 {
+        let r = rows(s.execute_prepared(&hot, &[]).unwrap());
+        assert_eq!(r, vec![vec![Value::Int(1)]]);
+    }
+    let stats = db.plan_cache_stats();
+    assert!(
+        stats.hits >= 20,
+        "a hot handle under an adequate cap must keep hitting, stats: {stats:?}"
+    );
+}
