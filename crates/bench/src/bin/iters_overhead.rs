@@ -12,9 +12,13 @@
 //!         [--rounds 50] [--scale 0.05] [--partitions 1,4,8] [--exp pr|sssp|all]`
 //!
 //! Emits `results/BENCH_5.json` with per-round latency, wire bytes and
-//! plan-cache counters per configuration, plus a summary with the overall
-//! overhead reduction. The run fails loudly when prepared and unprepared
-//! results diverge — the speedup must not change answers.
+//! plan-cache counters per configuration — including the top statement
+//! families the plan cache misses on (digest text + parse counts, the
+//! attribution for the parallel-mode hit rate) — plus a summary with the
+//! overall overhead reduction and a profiling-overhead probe (the same
+//! loop with per-operator profiling on must produce identical statement
+//! counts). The run fails loudly when prepared and unprepared results
+//! diverge — the speedup must not change answers.
 
 use dbcp::{Connection, Driver, Server, TcpDriver};
 use sqldb::{Database, DbResult, EngineProfile, IsolationLevel, StmtOutput, Value};
@@ -92,6 +96,9 @@ struct RunSample {
     misses: u64,
     evictions: u64,
     invalidations: u64,
+    /// Statement families ranked by plan-cache misses (server digest
+    /// table): the exact texts the cache loses on, with parse counts.
+    top_misses: Vec<sqldb::DigestEntry>,
     result: sqldb::QueryResult,
 }
 
@@ -200,8 +207,10 @@ fn run_once(
     partitions: usize,
     rounds: u64,
     prepared: bool,
+    profiling: bool,
 ) -> RunSample {
     let db = Database::new(EngineProfile::Postgres);
+    db.set_profiling(profiling);
     let server = Server::bind(db.clone(), "127.0.0.1:0").expect("bind");
     let tcp: Arc<dyn Driver> =
         Arc::new(TcpDriver::connect(&server.addr().to_string()).expect("connect"));
@@ -209,6 +218,8 @@ fn run_once(
         let mut conn = tcp.connect().expect("load connection");
         workloads::load_edges(conn.as_mut(), graph).expect("load edges");
     }
+    // attribute digests to the loop itself, not the data load
+    db.reset_digests();
     let driver: Arc<dyn Driver> = if prepared {
         tcp
     } else {
@@ -257,6 +268,7 @@ fn run_once(
         misses: cache_after.misses - cache_before.misses,
         evictions: cache_after.evictions - cache_before.evictions,
         invalidations: cache_after.invalidations - cache_before.invalidations,
+        top_misses: db.digest_top_misses(5),
         result: report.result,
     }
 }
@@ -286,13 +298,27 @@ fn results_match(a: &sqldb::QueryResult, b: &sqldb::QueryResult) -> bool {
 }
 
 fn sample_json(s: &RunSample) -> String {
+    let top_misses = s
+        .top_misses
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"family\": \"{}\", \"parses\": {}, \"calls\": {}}}",
+                obs::json::escape(&e.digest),
+                e.plan_misses,
+                e.calls,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "{{\"iterations\": {}, \"elapsed_ms\": {:.3}, \"per_round_ms\": {:.4}, \
          \"plan_ms_per_round\": {:.4}, \"parses_per_round\": {:.2}, \
          \"wire_bytes\": {}, \"wire_bytes_per_round\": {:.1}, \
          \"round_trips_per_round\": {:.1}, \
          \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
-         \"invalidations\": {}, \"hit_rate\": {:.4}}}}}",
+         \"invalidations\": {}, \"hit_rate\": {:.4}}}, \
+         \"digest_top_misses\": [{}]}}",
         s.iterations,
         s.elapsed_ms,
         s.per_round_ms(),
@@ -306,6 +332,7 @@ fn sample_json(s: &RunSample) -> String {
         s.evictions,
         s.invalidations,
         s.hit_rate(),
+        top_misses,
     )
 }
 
@@ -359,6 +386,40 @@ fn main() {
             comparisons.push(compare("sssp", &graph, &query, p, rounds));
         }
     }
+
+    // profiling overhead probe: the same prepared single-partition PageRank
+    // loop with per-operator profiling on vs off. Every statement *count*
+    // must be identical — instrumentation may cost time, never change
+    // execution. (With profiling off the counters sit behind one relaxed
+    // atomic load; the CI perf smoke gates the disabled path.)
+    println!("\nprofiling overhead probe (prepared PageRank, p=1)");
+    let probe_graph = graphgen::datasets::google_web_like(scale);
+    let probe_query = workloads::queries::pagerank(rounds);
+    let probe_off = run_once(&probe_graph.graph, &probe_query, 1, rounds, true, false);
+    let probe_on = run_once(&probe_graph.graph, &probe_query, 1, rounds, true, true);
+    let probe_counts_unchanged = probe_off.iterations == probe_on.iterations
+        && probe_off.parses == probe_on.parses
+        && probe_off.round_trips == probe_on.round_trips
+        && probe_off.wire_bytes == probe_on.wire_bytes
+        && probe_off.hits == probe_on.hits
+        && probe_off.misses == probe_on.misses
+        && results_match(&probe_off.result, &probe_on.result);
+    let probe_overhead = if probe_off.per_round_ms() > 0.0 {
+        probe_on.per_round_ms() / probe_off.per_round_ms() - 1.0
+    } else {
+        0.0
+    };
+    println!(
+        "  profiling on: {:.2} ms/round vs off: {:.2} ms/round ({:+.1}%), counts {}",
+        probe_on.per_round_ms(),
+        probe_off.per_round_ms(),
+        probe_overhead * 100.0,
+        if probe_counts_unchanged {
+            "unchanged"
+        } else {
+            "CHANGED"
+        },
+    );
 
     let mut json = String::from("{\n  \"bench\": \"iters-overhead\",\n");
     let _ = writeln!(json, "  \"rounds\": {rounds},");
@@ -422,7 +483,10 @@ fn main() {
          \"mean_per_round_latency_reduction\": {:.4}, \
          \"mean_wire_bytes_reduction\": {:.4}, \
          \"mean_round_trip_reduction\": {:.4}, \
-         \"prepared_hit_rate\": {:.4}, \"all_results_match\": {}}}\n}}\n",
+         \"prepared_hit_rate\": {:.4}, \"all_results_match\": {}, \
+         \"profiling_probe\": {{\"off_per_round_ms\": {:.4}, \
+         \"on_per_round_ms\": {:.4}, \"enabled_overhead\": {:.4}, \
+         \"counts_unchanged\": {}}}}}\n}}\n",
         mean_overhead,
         min_overhead,
         mean_parse,
@@ -432,6 +496,10 @@ fn main() {
         mean_rtt,
         gate_hit_rate,
         all_match,
+        probe_off.per_round_ms(),
+        probe_on.per_round_ms(),
+        probe_overhead,
+        probe_counts_unchanged,
     );
 
     println!(
@@ -447,6 +515,10 @@ fn main() {
         gate_hit_rate * 100.0,
     );
     assert!(all_match, "prepared and unprepared runs disagreed");
+    assert!(
+        probe_counts_unchanged,
+        "enabling profiling changed statement counts or results"
+    );
     if let Some(p) = write_file("BENCH_5.json", &json) {
         println!("wrote {}", p.display());
     }
@@ -459,8 +531,8 @@ fn compare(
     p: usize,
     rounds: u64,
 ) -> Comparison {
-    let prepared = run_once(graph, query, p, rounds, true);
-    let unprepared = run_once(graph, query, p, rounds, false);
+    let prepared = run_once(graph, query, p, rounds, true, false);
+    let unprepared = run_once(graph, query, p, rounds, false, false);
     let matched = results_match(&prepared.result, &unprepared.result);
     let c = Comparison {
         workload,
@@ -486,5 +558,13 @@ fn compare(
         c.prepared.hit_rate() * 100.0,
         if matched { "" } else { "  RESULTS DIVERGED" },
     );
+    // name the statement families behind the prepared-path misses: in the
+    // parallel modes these are the per-partition message-table texts
+    for e in c.prepared.top_misses.iter().take(3) {
+        println!(
+            "      miss family [{}]: {} ({} parses)",
+            c.mode, e.digest, e.plan_misses
+        );
+    }
     c
 }

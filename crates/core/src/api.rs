@@ -37,6 +37,95 @@ pub enum Strategy {
     },
 }
 
+impl Strategy {
+    /// Stable mode label used to tag digest attribution: the scheduler-mode
+    /// label for iterative runs, `passthrough`/`recursive` otherwise.
+    pub fn mode_label(&self) -> &'static str {
+        match self {
+            Strategy::Passthrough => "passthrough",
+            Strategy::RecursiveSingle => "recursive",
+            Strategy::IterativeSingle { .. } => "Single",
+            Strategy::IterativeParallel { mode } => mode.label(),
+        }
+    }
+}
+
+/// Number of miss-heavy digest families kept in
+/// [`DigestReport::top_misses`].
+pub const DIGEST_MISS_TOP_K: usize = 8;
+
+/// Per-run statement-digest attribution, tagged with the execution mode
+/// that produced it. Built by diffing the engine's digest table around the
+/// run, so the numbers cover this statement only even though the engine
+/// accumulates across runs.
+#[derive(Debug, Clone, Default)]
+pub struct DigestReport {
+    /// Mode label the run used: `Single`, `Sync`, `Async`, `AsyncP`,
+    /// `passthrough`, or `recursive`.
+    pub mode: String,
+    /// Per-run digest deltas, sorted by total time descending (digest
+    /// ascending as tie-break). `max_us` is the engine's lifetime maximum
+    /// for the family, not a per-run figure.
+    pub families: Vec<sqldb::DigestEntry>,
+    /// The same deltas re-ranked by plan-cache misses, top
+    /// [`DIGEST_MISS_TOP_K`] only — the statement families whose texts
+    /// never repeat, i.e. where the plan cache is losing.
+    pub top_misses: Vec<sqldb::DigestEntry>,
+}
+
+impl DigestReport {
+    /// Builds the report by diffing two digest-table snapshots.
+    pub fn from_snapshots(
+        mode: &str,
+        before: Vec<sqldb::DigestEntry>,
+        after: Vec<sqldb::DigestEntry>,
+    ) -> DigestReport {
+        let prior: std::collections::HashMap<String, sqldb::DigestEntry> =
+            before.into_iter().map(|e| (e.digest.clone(), e)).collect();
+        let mut families: Vec<sqldb::DigestEntry> = after
+            .into_iter()
+            .filter_map(|mut e| {
+                if let Some(p) = prior.get(&e.digest) {
+                    e.calls = e.calls.saturating_sub(p.calls);
+                    e.errors = e.errors.saturating_sub(p.errors);
+                    e.total_us = e.total_us.saturating_sub(p.total_us);
+                    e.rows = e.rows.saturating_sub(p.rows);
+                    e.plan_hits = e.plan_hits.saturating_sub(p.plan_hits);
+                    e.plan_misses = e.plan_misses.saturating_sub(p.plan_misses);
+                    // max_us keeps the lifetime maximum: a delta of maxima
+                    // is not meaningful
+                }
+                (e.calls > 0).then_some(e)
+            })
+            .collect();
+        families.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.digest.cmp(&b.digest)));
+        let mut top_misses: Vec<sqldb::DigestEntry> = families
+            .iter()
+            .filter(|e| e.plan_misses > 0)
+            .cloned()
+            .collect();
+        top_misses.sort_by(|a, b| {
+            b.plan_misses
+                .cmp(&a.plan_misses)
+                .then(a.digest.cmp(&b.digest))
+        });
+        top_misses.truncate(DIGEST_MISS_TOP_K);
+        DigestReport {
+            mode: mode.to_owned(),
+            families,
+            top_misses,
+        }
+    }
+
+    /// Aggregate plan-cache outcome over this run's families:
+    /// `(hits, misses)`.
+    pub fn plan_cache_totals(&self) -> (u64, u64) {
+        self.families
+            .iter()
+            .fold((0, 0), |(h, m), e| (h + e.plan_hits, m + e.plan_misses))
+    }
+}
+
 /// Everything a run reports (result + provenance + metrics).
 #[derive(Debug, Clone)]
 pub struct ExecutionReport {
@@ -77,6 +166,10 @@ pub struct ExecutionReport {
     /// Per-run delta of the engine's execution statistics, when the driver
     /// can see the engine directly (`local://` drivers; `None` over TCP).
     pub engine_stats: Option<sqldb::StatsSnapshot>,
+    /// Per-run statement-digest attribution tagged with the execution
+    /// mode, when the driver can see the engine's digest table (`local://`
+    /// drivers with digest collection enabled; `None` over TCP).
+    pub digests: Option<DigestReport>,
     /// True when the run stopped early on cancellation (deadline, Ctrl-C or
     /// a programmatic [`dbcp::CancelToken`]); `result` then holds the
     /// partial state at the cancellation point.
@@ -188,12 +281,20 @@ impl SQLoop {
         let started = Instant::now();
         let metrics_before = obs::global().snapshot();
         let engine_before = self.driver.engine_stats();
+        let digests_before = self.driver.digest_stats();
         let mut report = self.execute_inner(sql, started)?;
         report.metrics = obs::global().snapshot().delta_since(&metrics_before);
         report.engine_stats = match (self.driver.engine_stats(), engine_before) {
             (Some(now), Some(before)) => Some(now.delta_since(&before)),
             _ => None,
         };
+        if let (Some(before), Some(after)) = (digests_before, self.driver.digest_stats()) {
+            report.digests = Some(DigestReport::from_snapshots(
+                report.strategy.mode_label(),
+                before,
+                after,
+            ));
+        }
         if let (Some(path), Some(data)) = (&self.config.trace.json_path, &report.trace_data) {
             if let Err(e) = obs::write_trace_json(path, data, Some(&report.metrics)) {
                 eprintln!("sqloop: could not write trace to {}: {e}", path.display());
@@ -232,6 +333,7 @@ impl SQLoop {
                     trace_data: None,
                     metrics: RegistrySnapshot::default(),
                     engine_stats: None,
+                    digests: None,
                     cancelled: false,
                     checkpoint: None,
                 })
@@ -260,6 +362,7 @@ impl SQLoop {
                     trace_data: None,
                     metrics: RegistrySnapshot::default(),
                     engine_stats: None,
+                    digests: None,
                     cancelled: false,
                     checkpoint: None,
                 })
@@ -342,6 +445,7 @@ impl SQLoop {
                 trace_data: None,
                 metrics: RegistrySnapshot::default(),
                 engine_stats: None,
+                digests: None,
                 cancelled: out.cancelled,
                 checkpoint,
             })
@@ -380,6 +484,7 @@ impl SQLoop {
                             trace_data: None,
                             metrics: RegistrySnapshot::default(),
                             engine_stats: None,
+                            digests: None,
                             cancelled: run.outcome.cancelled,
                             checkpoint: run.checkpoint,
                         },

@@ -14,7 +14,9 @@
 //! `\mode single|sync|async|asyncp`, `\threads n`, `\partitions n`,
 //! `\priority lowest|highest <scalar query with {}>`, `\timing on|off`,
 //! `\trace on|off|json <path>`, `\checkpoint <dir> [interval]|off`,
-//! `\resume <path>|off`, `\deadline <ms>|off`, `\stats`, `\prepared`
+//! `\resume <path>|off`, `\deadline <ms>|off`, `\stats`, `\profile on|off`
+//! (per-operator actuals), `\top [misses] [k]` (statement digests),
+//! `\slow [<ms> [sample]|off]` (slow-statement log), `\prepared`
 //! (plan-cache counters), `\engine` (show target), `\help`, `\q`.
 //!
 //! Flags: `--checkpoint <dir>[:interval]`, `--resume <path>`,
@@ -393,6 +395,25 @@ fn print_report(report: &ExecutionReport, timing: bool) {
     if !report.recovery.is_clean() {
         println!("-- recovery: {}", report.recovery);
     }
+    // ROADMAP read-off: which statement families the plan cache loses on,
+    // tagged with the scheduler mode that produced them
+    if matches!(
+        report.strategy,
+        Strategy::IterativeSingle { .. } | Strategy::IterativeParallel { .. }
+    ) {
+        if let Some(dg) = &report.digests {
+            let (hits, misses) = dg.plan_cache_totals();
+            if let Some(rate) = (hits * 100).checked_div(hits + misses) {
+                println!(
+                    "-- plan cache [{}]: {hits} hit(s) / {misses} miss(es) ({rate}% hit rate)",
+                    dg.mode,
+                );
+                for e in dg.top_misses.iter().take(3) {
+                    println!("   miss family: {} ({} parse(s))", e.digest, e.plan_misses);
+                }
+            }
+        }
+    }
     if let (Some(summary), Some(data)) = (&report.trace, &report.trace_data) {
         println!("-- trace: {summary}");
         for line in obs::timeline(data, 64) {
@@ -444,6 +465,9 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
             println!("\\limits numeric on|off           NaN/Inf divergence probes");
             println!("\\limits timeout <ms>|off         per-statement engine deadline");
             println!("\\stats                           metric deltas since last \\stats");
+            println!("\\profile on|off                  per-operator actuals (EXPLAIN ANALYZE)");
+            println!("\\top [k] | \\top misses [k]       statement digests by time / cache misses");
+            println!("\\slow [<ms> [sample]|off]        show / configure the slow-statement log");
             println!("\\prepared                        plan-cache hit/miss/eviction counters");
             println!("\\engine                          show target engine + config");
             println!("\\q                               quit");
@@ -677,6 +701,93 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
             }
             shell.stats_base = now;
         }
+        "\\profile" => match parts.next() {
+            Some(v @ ("on" | "off")) => {
+                let on = v == "on";
+                match sqloop
+                    .driver()
+                    .connect()
+                    .and_then(|mut c| c.set_profiling(on))
+                {
+                    Ok(()) => println!(
+                        "profiling {v} (per-operator actuals feed EXPLAIN ANALYZE \
+                         and the sqldb.op.* metrics)"
+                    ),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+            _ => usage("\\profile on|off"),
+        },
+        "\\top" => {
+            let (misses, k) = match parts.next() {
+                Some("misses") => (
+                    true,
+                    parts.next().and_then(|v| v.parse().ok()).unwrap_or(10u32),
+                ),
+                Some(v) => match v.parse::<u32>() {
+                    Ok(n) if n >= 1 => (false, n),
+                    _ => {
+                        usage("\\top [k] | \\top misses [k]");
+                        return true;
+                    }
+                },
+                None => (false, 10),
+            };
+            let rows = sqloop.driver().connect().and_then(|mut c| {
+                if misses {
+                    c.digest_top_misses(k)
+                } else {
+                    c.digest_top(k)
+                }
+            });
+            match rows {
+                Ok(r) if r.rows.is_empty() => {
+                    println!("no digest activity recorded yet");
+                }
+                Ok(r) => print_result(&r),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        "\\slow" => match parts.next() {
+            None => match sqloop.driver().connect().and_then(|mut c| c.slow_log()) {
+                Ok(r) if r.rows.is_empty() => {
+                    println!(
+                        "slow log empty — \\slow <ms> [sample] sets the threshold \
+                         (0 = off, default)"
+                    );
+                }
+                Ok(r) => print_result(&r),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            Some("off") => {
+                match sqloop
+                    .driver()
+                    .connect()
+                    .and_then(|mut c| c.configure_slow_log(0, 1))
+                {
+                    Ok(()) => println!("slow log off"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+            Some(v) => match v.parse::<u64>() {
+                Ok(ms) if ms >= 1 => {
+                    let sample = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1u64);
+                    match sqloop
+                        .driver()
+                        .connect()
+                        .and_then(|mut c| c.configure_slow_log(ms * 1000, sample))
+                    {
+                        Ok(()) => println!(
+                            "slow log: statements over {ms} ms retained \
+                             (sampling 1 in {})",
+                            sample.max(1)
+                        ),
+                        Err(e) => eprintln!("error: {e}"),
+                    }
+                }
+                _ => usage("\\slow [<ms> [sample] | off]"),
+            },
+        },
         "\\prepared" => match sqloop.driver().plan_cache_stats() {
             Some(s) => {
                 println!("plan cache: {} entr(ies) cached", s.entries);

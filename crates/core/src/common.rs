@@ -6,8 +6,10 @@ use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{DataMode, Termination};
 use crate::translate::{translate_query_to_sql, translate_sql};
 use dbcp::{Connection, PreparedStatement};
+use obs::{EventKind, TraceHandle};
 use sqldb::ast::{SelectStmt, SetExpr, TableFactor};
 use sqldb::{DataType, DbError, EngineProfile, StmtOutput, Value};
+use std::sync::Arc;
 
 /// Quoted-name helpers for the scratch objects SQLoop manages.
 #[derive(Debug, Clone)]
@@ -53,6 +55,67 @@ impl CteNames {
     /// Message table created by partition `p`'s `seq`-th Compute task.
     pub fn message(&self, p: usize, seq: u64) -> String {
         format!("{}__msg_{}_{}", self.table, p, seq)
+    }
+}
+
+/// Per-round plan-cache attribution: snapshots the process-wide
+/// `sqldb.plan_cache.hit`/`.miss` counters at each round boundary and emits
+/// one [`EventKind::PlanCache`] trace event carrying the round's deltas,
+/// tagged with the scheduler mode. This makes "where do the parallel-mode
+/// cache misses come from" answerable round by round from the trace,
+/// without guessing from end-of-run totals.
+///
+/// The counters are process-wide, so concurrent runs in one process blur
+/// each other's deltas — fine for the CLI and bench harness, which run one
+/// loop at a time.
+#[derive(Debug)]
+pub struct PlanCacheProbe {
+    hit: Arc<obs::Counter>,
+    miss: Arc<obs::Counter>,
+    last_hit: u64,
+    last_miss: u64,
+}
+
+impl PlanCacheProbe {
+    /// Starts a probe at the counters' current values.
+    pub fn new() -> PlanCacheProbe {
+        let reg = obs::global();
+        let hit = reg.counter("sqldb.plan_cache.hit");
+        let miss = reg.counter("sqldb.plan_cache.miss");
+        let (last_hit, last_miss) = (hit.get(), miss.get());
+        PlanCacheProbe {
+            hit,
+            miss,
+            last_hit,
+            last_miss,
+        }
+    }
+
+    /// Emits one [`EventKind::PlanCache`] event with the hit/miss delta
+    /// since the previous tick, tagged with the scheduler `mode`. The
+    /// baseline always advances, so enabling the trace mid-run starts
+    /// from current values rather than replaying history.
+    pub fn tick(&mut self, trace: &TraceHandle, round: u64, mode: &str) {
+        let (hit, miss) = (self.hit.get(), self.miss.get());
+        let (dh, dm) = (hit - self.last_hit, miss - self.last_miss);
+        self.last_hit = hit;
+        self.last_miss = miss;
+        if !trace.is_enabled() {
+            return;
+        }
+        let pct = (dh * 100).checked_div(dh + dm).unwrap_or(100);
+        trace.event(
+            EventKind::PlanCache,
+            None,
+            Some(round),
+            format!("mode={mode} hits={dh} misses={dm} hit_rate={pct}%"),
+        );
+    }
+}
+
+impl Default for PlanCacheProbe {
+    fn default() -> PlanCacheProbe {
+        PlanCacheProbe::new()
     }
 }
 

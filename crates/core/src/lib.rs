@@ -49,7 +49,7 @@ pub mod translate;
 pub mod watchdog;
 
 pub use analysis::{analyze, AnalysisOutcome, ParallelPlan};
-pub use api::{ExecutionReport, SQLoop, Strategy};
+pub use api::{DigestReport, ExecutionReport, SQLoop, Strategy, DIGEST_MISS_TOP_K};
 pub use checkpoint::{CheckpointConfig, Checkpointer, LoopSnapshot};
 pub use config::{ExecutionMode, PrioritySpec, SqloopConfig, TraceConfig};
 pub use dbcp::CancelToken;

@@ -29,7 +29,7 @@ use crate::checkpoint::{
 };
 use crate::common::{
     create_cte_table, refresh_delta_snapshot, run, run_query, CteNames, CteSchema, DeltaRefresher,
-    TerminationProbe,
+    PlanCacheProbe, TerminationProbe,
 };
 use crate::config::{ExecutionMode, SqloopConfig};
 use crate::error::{SqloopError, SqloopResult};
@@ -504,6 +504,7 @@ fn run_parallel_inner(
         task_failures: 0,
         aborting: false,
         trace,
+        cache_probe: PlanCacheProbe::new(),
         round: start_round + 1,
         cancel: &config.cancel,
         checkpointer,
@@ -783,6 +784,8 @@ struct Scheduler<'a> {
     aborting: bool,
     /// Trace recorder (no-op when tracing is off).
     trace: &'a TraceHandle,
+    /// Per-round plan-cache hit/miss attribution, emitted at round ticks.
+    cache_probe: PlanCacheProbe,
     /// Current 1-based round/wave, stamped into tasks for the trace.
     round: u64,
     /// Cooperative cancellation, checked at quiesce points and while
@@ -1072,6 +1075,8 @@ impl Scheduler<'_> {
                     format!("{changed} row(s) changed"),
                 );
             }
+            self.cache_probe
+                .tick(self.trace, rounds, self.config.mode.label());
             // a cancelled round ran partially — its (under-counted) change
             // tally must not drive a termination decision
             if !self.cancel.cancelled() && self.tc_check(rounds, changed)? {
@@ -1301,6 +1306,8 @@ impl Scheduler<'_> {
                         format!("{round_changed} row(s) changed"),
                     );
                 }
+                self.cache_probe
+                    .tick(self.trace, rounds, self.config.mode.label());
                 self.round = rounds + 1;
                 let done = match self.tc {
                     // capped partitions can hold pending deltas forever, so
@@ -1424,6 +1431,8 @@ impl Scheduler<'_> {
                         format!("{wave_changed} row(s) changed"),
                     );
                 }
+                self.cache_probe
+                    .tick(self.trace, rounds, self.config.mode.label());
                 self.round = rounds + 1;
                 // virtual-iteration boundary: evaluate data/delta conditions
                 match self.tc {

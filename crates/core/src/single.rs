@@ -10,7 +10,7 @@ use crate::checkpoint::{
 };
 use crate::common::{
     create_cte_table, refresh_delta_snapshot, rewrite_table_refs, run, run_query, CteNames,
-    CteSchema, DeltaRefresher, TerminationProbe,
+    CteSchema, DeltaRefresher, PlanCacheProbe, TerminationProbe,
 };
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{IterativeCte, RecursiveCte};
@@ -420,6 +420,7 @@ fn iterative_loop(
         .transpose()?;
 
     let mut cancelled = false;
+    let mut cache_probe = PlanCacheProbe::new();
     loop {
         if cancel.cancelled() {
             trace.event(
@@ -478,6 +479,7 @@ fn iterative_loop(
                 end_us: trace.now_us(),
             });
         }
+        cache_probe.tick(trace, iterations, "Single");
 
         // the termination probe and delta refresh also run engine statements
         // that can trip the memory budget — keep them governed too

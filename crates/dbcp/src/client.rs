@@ -2,8 +2,8 @@
 
 use crate::driver::{mint_epoch, Connection, Driver, PipelineOutcome};
 use crate::wire::{
-    decode_response, encode_request, read_frame, write_frame, PipelineStep, Request, Response,
-    MAGIC,
+    decode_response, encode_request, read_frame, write_frame, MetricsCmd, PipelineStep, Request,
+    Response, MAGIC,
 };
 use sqldb::{DbError, DbResult, EngineProfile, IsolationLevel, StmtOutput, Value};
 use std::io::{Read, Write};
@@ -265,6 +265,11 @@ impl Connection for TcpConnection {
 
     fn prepared_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    fn metrics(&mut self, cmd: &MetricsCmd) -> DbResult<StmtOutput> {
+        self.round_trip(&Request::Metrics(cmd.clone()))?
+            .into_output()
     }
 
     fn run_pipeline(&mut self, steps: &[PipelineStep]) -> DbResult<PipelineOutcome> {

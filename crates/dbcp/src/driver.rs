@@ -6,7 +6,7 @@
 //! number of concurrent [`Connection`]s, which is how SQLoop turns worker
 //! threads into engine-side parallelism.
 
-use crate::wire::PipelineStep;
+use crate::wire::{MetricsCmd, PipelineStep};
 use sqldb::{
     Database, DbError, DbResult, EngineProfile, IsolationLevel, QueryResult, Session, StmtHandle,
     StmtOutput, Value,
@@ -202,8 +202,112 @@ pub trait Connection: Send {
         })
     }
 
+    /// Evaluates a metrics command against the engine on the other side
+    /// of this connection: live scrape, digest tables, slow log, and the
+    /// profiling/slow-log switches. The typed helpers below are the
+    /// intended entry points; this is the single transport hook they all
+    /// route through.
+    ///
+    /// The default errors with [`DbError::Unsupported`] for transports
+    /// predating the capability.
+    ///
+    /// # Errors
+    /// Transport failures (remote), or [`DbError::Unsupported`].
+    fn metrics(&mut self, cmd: &MetricsCmd) -> DbResult<StmtOutput> {
+        let _ = cmd;
+        Err(DbError::Unsupported(
+            "this connection does not expose engine metrics".into(),
+        ))
+    }
+
+    /// The engine's full Prometheus text scrape (registry series plus
+    /// digest top-K and slow-log state).
+    ///
+    /// # Errors
+    /// As [`Connection::metrics`], plus a malformed payload.
+    fn metrics_prometheus(&mut self) -> DbResult<String> {
+        match self.metrics(&MetricsCmd::Prometheus)? {
+            StmtOutput::Rows(r) => match r.scalar() {
+                Some(Value::Text(t)) => Ok(t.clone()),
+                _ => Err(DbError::Connection("malformed metrics payload".into())),
+            },
+            other => Err(DbError::Connection(format!(
+                "unexpected metrics output {other:?}"
+            ))),
+        }
+    }
+
+    /// Top `k` statement digests by total time (see
+    /// [`crate::DIGEST_COLUMNS`] for the schema).
+    ///
+    /// # Errors
+    /// As [`Connection::metrics`].
+    fn digest_top(&mut self, k: u32) -> DbResult<QueryResult> {
+        metrics_rows(self.metrics(&MetricsCmd::DigestTop(k))?)
+    }
+
+    /// Top `k` statement digests by plan-cache misses — the families whose
+    /// texts never repeat, i.e. the answer to "where do my cache misses
+    /// come from". Same schema as [`Connection::digest_top`].
+    ///
+    /// # Errors
+    /// As [`Connection::metrics`].
+    fn digest_top_misses(&mut self, k: u32) -> DbResult<QueryResult> {
+        metrics_rows(self.metrics(&MetricsCmd::DigestTopMisses(k))?)
+    }
+
+    /// Recent slow statements (see [`crate::SLOW_LOG_COLUMNS`] for the
+    /// schema).
+    ///
+    /// # Errors
+    /// As [`Connection::metrics`].
+    fn slow_log(&mut self) -> DbResult<QueryResult> {
+        metrics_rows(self.metrics(&MetricsCmd::SlowLog)?)
+    }
+
+    /// Switches engine-side per-operator profiling on or off.
+    ///
+    /// # Errors
+    /// As [`Connection::metrics`].
+    fn set_profiling(&mut self, on: bool) -> DbResult<()> {
+        self.metrics(&MetricsCmd::SetProfiling(on)).map(|_| ())
+    }
+
+    /// Configures the engine's slow-statement log: statements at or above
+    /// `threshold_us` are counted, and every `sample_every`-th of them is
+    /// kept with its text. `threshold_us == 0` disables the log.
+    ///
+    /// # Errors
+    /// As [`Connection::metrics`].
+    fn configure_slow_log(&mut self, threshold_us: u64, sample_every: u64) -> DbResult<()> {
+        self.metrics(&MetricsCmd::SetSlowLog {
+            threshold_us,
+            sample_every,
+        })
+        .map(|_| ())
+    }
+
+    /// Clears the engine's digest table and slow log (counters and
+    /// histograms in the process registry are unaffected).
+    ///
+    /// # Errors
+    /// As [`Connection::metrics`].
+    fn reset_engine_stats(&mut self) -> DbResult<()> {
+        self.metrics(&MetricsCmd::ResetStats).map(|_| ())
+    }
+
     /// The engine profile on the other side of this connection.
     fn profile(&self) -> EngineProfile;
+}
+
+/// Shapes a metrics read-command output into its result set.
+fn metrics_rows(out: StmtOutput) -> DbResult<QueryResult> {
+    match out {
+        StmtOutput::Rows(r) => Ok(r),
+        other => Err(DbError::Connection(format!(
+            "unexpected metrics output {other:?}"
+        ))),
+    }
 }
 
 /// A connection factory (JDBC `DataSource` analog).
@@ -245,6 +349,28 @@ pub trait Driver: Send + Sync {
     fn plan_cache_stats(&self) -> Option<sqldb::PlanCacheStats> {
         None
     }
+
+    /// The engine's statement-digest table (all families, sorted by total
+    /// time), when observable from this driver. Remote drivers return
+    /// `None` — scrape through [`Connection::digest_top`] instead.
+    fn digest_stats(&self) -> Option<Vec<sqldb::DigestEntry>> {
+        None
+    }
+
+    /// Top `k` digest families by plan-cache misses, when observable from
+    /// this driver.
+    fn digest_top_misses(&self, k: usize) -> Option<Vec<sqldb::DigestEntry>> {
+        let _ = k;
+        None
+    }
+
+    /// Switches engine-side per-operator profiling, when the driver can
+    /// govern the engine directly. Returns `false` (the default) when the
+    /// capability is unavailable.
+    fn set_profiling(&self, on: bool) -> bool {
+        let _ = on;
+        false
+    }
 }
 
 /// In-process driver wrapping a [`Database`] instance directly.
@@ -267,10 +393,10 @@ impl LocalDriver {
 
 impl Driver for LocalDriver {
     fn connect(&self) -> DbResult<Box<dyn Connection>> {
-        Ok(Box::new(LocalConnection::from_session(
-            self.db.connect(),
-            self.db.profile(),
-        )))
+        Ok(Box::new(
+            LocalConnection::from_session(self.db.connect(), self.db.profile())
+                .with_database(self.db.clone()),
+        ))
     }
 
     fn profile(&self) -> EngineProfile {
@@ -293,6 +419,19 @@ impl Driver for LocalDriver {
     fn plan_cache_stats(&self) -> Option<sqldb::PlanCacheStats> {
         Some(self.db.plan_cache_stats())
     }
+
+    fn digest_stats(&self) -> Option<Vec<sqldb::DigestEntry>> {
+        Some(self.db.digest_stats())
+    }
+
+    fn digest_top_misses(&self, k: usize) -> Option<Vec<sqldb::DigestEntry>> {
+        Some(self.db.digest_top_misses(k))
+    }
+
+    fn set_profiling(&self, on: bool) -> bool {
+        self.db.set_profiling(on);
+        true
+    }
 }
 
 /// In-process connection: a thin adapter over a [`Session`].
@@ -303,6 +442,9 @@ pub struct LocalConnection {
     epoch: u64,
     prepared: HashMap<u64, StmtHandle>,
     next_stmt_id: u64,
+    /// Engine handle for metrics commands; `None` for bare sessions, which
+    /// makes [`Connection::metrics`] answer `Unsupported`.
+    db: Option<Database>,
 }
 
 impl LocalConnection {
@@ -314,7 +456,16 @@ impl LocalConnection {
             epoch: mint_epoch(),
             prepared: HashMap::new(),
             next_stmt_id: 1,
+            db: None,
         }
+    }
+
+    /// Attaches the engine handle, enabling [`Connection::metrics`] on
+    /// this connection. [`LocalDriver::connect`] does this automatically.
+    #[must_use]
+    pub fn with_database(mut self, db: Database) -> LocalConnection {
+        self.db = Some(db);
+        self
     }
 }
 
@@ -375,6 +526,15 @@ impl Connection for LocalConnection {
     fn set_statement_timeout(&mut self, timeout: Option<std::time::Duration>) -> DbResult<bool> {
         self.session.set_statement_timeout(timeout);
         Ok(true)
+    }
+
+    fn metrics(&mut self, cmd: &MetricsCmd) -> DbResult<StmtOutput> {
+        match &self.db {
+            Some(db) => Ok(crate::metrics_cmd::eval_metrics_cmd(db, cmd)),
+            None => Err(DbError::Unsupported(
+                "this connection wraps a bare session; metrics need a database handle".into(),
+            )),
+        }
     }
 
     fn profile(&self) -> EngineProfile {

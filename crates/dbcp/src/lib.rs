@@ -40,6 +40,7 @@ mod cancel;
 pub mod chaos;
 mod client;
 mod driver;
+mod metrics_cmd;
 mod pool;
 mod prepared;
 mod retry;
@@ -56,12 +57,13 @@ pub use client::{TcpConnection, TcpDriver, TcpTimeouts};
 pub use driver::{
     Connection, Driver, LocalConnection, LocalDriver, PipelineOutcome, MAX_PREPARED_PER_CONNECTION,
 };
+pub use metrics_cmd::{prometheus_dump, DIGEST_COLUMNS, PROMETHEUS_DIGEST_TOP_K, SLOW_LOG_COLUMNS};
 pub use pool::{Pool, PooledConnection};
 pub use prepared::PreparedStatement;
 pub use retry::{is_transient, RetryPolicy};
 pub use server::{Server, ServerConfig};
 pub use url::{driver_for_url, ConnectionUrl};
-pub use wire::PipelineStep;
+pub use wire::{MetricsCmd, PipelineStep};
 
 #[cfg(test)]
 mod integration {
@@ -129,6 +131,62 @@ mod integration {
         let r = s.query("SELECT COUNT(*) FROM n").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(100));
         server.shutdown();
+    }
+
+    #[test]
+    fn metrics_scrape_over_the_wire() {
+        let db = Database::new(EngineProfile::Postgres);
+        let server = Server::bind(db, "127.0.0.1:0").unwrap();
+        let driver = TcpDriver::connect(&server.addr().to_string()).unwrap();
+        let mut c = driver.connect().unwrap();
+        c.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        for id in 0..3 {
+            c.execute(&format!("INSERT INTO t VALUES ({id})")).unwrap();
+        }
+
+        // the scrape validates and names the insert family
+        let text = c.metrics_prometheus().unwrap();
+        obs::validate_prometheus_text(&text).unwrap();
+        assert!(
+            text.contains("digest=\"insert into t values (?)\""),
+            "{text}"
+        );
+
+        // digest table over the wire, sorted by total time
+        let top = c.digest_top(16).unwrap();
+        assert_eq!(top.columns, DIGEST_COLUMNS.to_vec());
+        assert!(top.rows.iter().any(
+            |r| r[0] == Value::Text("insert into t values (?)".into()) && r[1] == Value::Int(3)
+        ));
+
+        // misses view: each insert text is unique, so the family shows 3
+        let misses = c.digest_top_misses(4).unwrap();
+        assert!(misses.rows.iter().any(
+            |r| r[0] == Value::Text("insert into t values (?)".into()) && r[8] == Value::Int(3)
+        ));
+
+        // setters answer Done and take effect server-side
+        c.set_profiling(true).unwrap();
+        c.configure_slow_log(1, 1).unwrap();
+        c.execute("SELECT COUNT(*) FROM t").unwrap();
+        let slow = c.slow_log().unwrap();
+        assert_eq!(slow.columns, SLOW_LOG_COLUMNS.to_vec());
+        c.reset_engine_stats().unwrap();
+        let cleared = c.digest_top(16).unwrap();
+        assert!(cleared.rows.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn bare_session_connection_reports_metrics_unsupported() {
+        let db = Database::new(EngineProfile::Postgres);
+        let mut c = LocalConnection::from_session(db.connect(), db.profile());
+        let err = c.metrics_prometheus();
+        assert!(matches!(err, Err(DbError::Unsupported(_))), "{err:?}");
+        // driver-minted connections have the handle attached
+        let driver = LocalDriver::new(db);
+        let mut c = driver.connect().unwrap();
+        assert!(c.metrics_prometheus().is_ok());
     }
 
     #[test]

@@ -418,6 +418,11 @@ fn serve_client(mut stream: TcpStream, db: Database, gov: Arc<Governor>) -> DbRe
                     Response::PipelineResults { outputs, error }
                 }
             },
+            // metrics never touch tables, so they bypass load shedding:
+            // an operator must be able to scrape an overloaded server
+            Request::Metrics(cmd) => {
+                Response::from_result(Ok(crate::metrics_cmd::eval_metrics_cmd(&db, &cmd)))
+            }
         };
         write_frame(&mut stream, &encode_response(&response))?;
     }

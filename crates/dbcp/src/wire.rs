@@ -49,6 +49,36 @@ pub enum Request {
     /// Pipelined sequence of steps sent in one round-trip; the server stops
     /// at the first failure and returns the successful prefix plus the error.
     Pipeline(Vec<PipelineStep>),
+    /// Observability scrape / control (Prometheus dump, digest top-K,
+    /// slow log, profiling toggles). Read commands answer with `Rows`,
+    /// setters with `Done`.
+    Metrics(MetricsCmd),
+}
+
+/// One observability command carried by [`Request::Metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsCmd {
+    /// Full metrics snapshot in Prometheus text exposition format
+    /// (answered as a 1-column, 1-row result set holding the dump).
+    Prometheus,
+    /// Top-`k` statement digests by total time, as a typed result set.
+    DigestTop(u32),
+    /// Top-`k` statement digests by plan-cache misses (miss attribution).
+    DigestTopMisses(u32),
+    /// Retained slow-statement records, oldest first.
+    SlowLog,
+    /// Turn per-operator runtime profiling on or off, server-wide.
+    SetProfiling(bool),
+    /// Configure the slow-statement log: threshold in µs (0 disables)
+    /// and keep-every-n sampling.
+    SetSlowLog {
+        /// Statements at or over this many microseconds are recorded.
+        threshold_us: u64,
+        /// Keep every n-th qualifying statement.
+        sample_every: u64,
+    },
+    /// Drop all digest entries and slow-log records.
+    ResetStats,
 }
 
 /// One step of a [`Request::Pipeline`].
@@ -281,6 +311,34 @@ pub fn encode_request(req: &Request) -> Bytes {
                 }
             }
         }
+        Request::Metrics(cmd) => {
+            buf.put_u8(14);
+            match cmd {
+                MetricsCmd::Prometheus => buf.put_u8(0),
+                MetricsCmd::DigestTop(k) => {
+                    buf.put_u8(1);
+                    buf.put_u32(*k);
+                }
+                MetricsCmd::DigestTopMisses(k) => {
+                    buf.put_u8(2);
+                    buf.put_u32(*k);
+                }
+                MetricsCmd::SlowLog => buf.put_u8(3),
+                MetricsCmd::SetProfiling(on) => {
+                    buf.put_u8(4);
+                    buf.put_u8(u8::from(*on));
+                }
+                MetricsCmd::SetSlowLog {
+                    threshold_us,
+                    sample_every,
+                } => {
+                    buf.put_u8(5);
+                    buf.put_u64(*threshold_us);
+                    buf.put_u64(*sample_every);
+                }
+                MetricsCmd::ResetStats => buf.put_u8(6),
+            }
+        }
     }
     buf.freeze()
 }
@@ -486,6 +544,39 @@ pub fn decode_request(mut buf: Bytes) -> DbResult<Request> {
             }
             Ok(Request::Pipeline(steps))
         }
+        14 => {
+            need(&mut buf, 1, "metrics command tag")?;
+            let cmd = match buf.get_u8() {
+                0 => MetricsCmd::Prometheus,
+                1 => {
+                    need(&mut buf, 4, "digest top k")?;
+                    MetricsCmd::DigestTop(buf.get_u32())
+                }
+                2 => {
+                    need(&mut buf, 4, "digest top misses k")?;
+                    MetricsCmd::DigestTopMisses(buf.get_u32())
+                }
+                3 => MetricsCmd::SlowLog,
+                4 => {
+                    need(&mut buf, 1, "profiling flag")?;
+                    MetricsCmd::SetProfiling(buf.get_u8() != 0)
+                }
+                5 => {
+                    need(&mut buf, 16, "slow log config")?;
+                    MetricsCmd::SetSlowLog {
+                        threshold_us: buf.get_u64(),
+                        sample_every: buf.get_u64(),
+                    }
+                }
+                6 => MetricsCmd::ResetStats,
+                t => {
+                    return Err(DbError::Connection(format!(
+                        "unknown metrics command tag {t}"
+                    )))
+                }
+            };
+            Ok(Request::Metrics(cmd))
+        }
         t => Err(DbError::Connection(format!("unknown request tag {t}"))),
     }
 }
@@ -644,6 +735,33 @@ mod tests {
                 params: vec![],
             },
         ]));
+        roundtrip_req(Request::Metrics(MetricsCmd::Prometheus));
+        roundtrip_req(Request::Metrics(MetricsCmd::DigestTop(10)));
+        roundtrip_req(Request::Metrics(MetricsCmd::DigestTopMisses(5)));
+        roundtrip_req(Request::Metrics(MetricsCmd::SlowLog));
+        roundtrip_req(Request::Metrics(MetricsCmd::SetProfiling(true)));
+        roundtrip_req(Request::Metrics(MetricsCmd::SetProfiling(false)));
+        roundtrip_req(Request::Metrics(MetricsCmd::SetSlowLog {
+            threshold_us: 2500,
+            sample_every: 4,
+        }));
+        roundtrip_req(Request::Metrics(MetricsCmd::ResetStats));
+    }
+
+    #[test]
+    fn truncated_metrics_frames_rejected() {
+        let enc = encode_request(&Request::Metrics(MetricsCmd::SetSlowLog {
+            threshold_us: 1,
+            sample_every: 2,
+        }));
+        for cut in 0..enc.len() {
+            assert!(decode_request(enc.slice(0..cut)).is_err(), "cut at {cut}");
+        }
+        // unknown metrics sub-command is a clean decode error
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u8(14);
+        buf.put_u8(250);
+        assert!(decode_request(buf.freeze()).is_err());
     }
 
     #[test]

@@ -181,12 +181,20 @@ pub fn timeline(data: &TraceData, width: usize) -> Vec<String> {
 /// assert_eq!(parsed.get("events").unwrap().as_array().unwrap().len(), 1);
 /// ```
 pub fn trace_to_json(data: &TraceData, metrics: Option<&RegistrySnapshot>) -> String {
+    // spans arrive in cross-thread mutex order, which varies run to run;
+    // sort on stable keys so exports diff cleanly in CI snapshots
+    let mut spans: Vec<&crate::trace::Span> = data.spans.iter().collect();
+    spans.sort_by_key(|s| (s.start_us, s.end_us, s.worker, s.partition, s.kind.label()));
+    let mut events: Vec<&crate::trace::Event> = data.events.iter().collect();
+    events.sort_by(|a, b| {
+        (a.at_us, a.kind.label(), &a.detail).cmp(&(b.at_us, b.kind.label(), &b.detail))
+    });
     let mut out = String::with_capacity(256 + data.spans.len() * 128);
     out.push_str("{\n");
     let _ = writeln!(out, "  \"version\": 1,");
     let _ = writeln!(out, "  \"duration_us\": {},", data.duration_us);
     out.push_str("  \"spans\": [");
-    for (i, s) in data.spans.iter().enumerate() {
+    for (i, s) in spans.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         let _ = write!(
             out,
@@ -205,7 +213,7 @@ pub fn trace_to_json(data: &TraceData, metrics: Option<&RegistrySnapshot>) -> St
         );
     }
     out.push_str("\n  ],\n  \"events\": [");
-    for (i, e) in data.events.iter().enumerate() {
+    for (i, e) in events.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         let _ = write!(
             out,
@@ -298,6 +306,143 @@ pub fn validate_trace_json(
     Ok((span_counts, event_counts))
 }
 
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------
+
+/// Maps a dotted metric name (`sqldb.plan_cache.hit`) to a Prometheus
+/// metric name (`sqldb_plan_cache_hit`): dots become underscores and any
+/// other character outside `[a-zA-Z0-9_:]` is dropped to an underscore.
+fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escapes a label value per the Prometheus text format (backslash, quote
+/// and newline).
+pub fn prometheus_label_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a [`RegistrySnapshot`] in the Prometheus text exposition format.
+///
+/// Counters get a `_total` suffix, histograms expand to cumulative
+/// `_bucket{le="..."}` series (upper bounds in microseconds, matching the
+/// registry's power-of-two buckets) plus `_sum` (µs) and `_count`. Series
+/// are emitted in sorted name order, so the dump is byte-stable for a
+/// given snapshot.
+///
+/// # Examples
+/// ```
+/// let reg = obs::MetricsRegistry::new();
+/// reg.counter("demo.hits").add(3);
+/// let text = obs::prometheus_text(&reg.snapshot());
+/// assert!(text.contains("demo_hits_total 3"));
+/// assert!(obs::validate_prometheus_text(&text).is_ok());
+/// ```
+pub fn prometheus_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let p = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {p}_total counter");
+        let _ = writeln!(out, "{p}_total {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let p = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {p} gauge");
+        let _ = writeln!(out, "{p} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let p = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {p}_us histogram");
+        let mut cumulative = 0u64;
+        for (i, b) in h.buckets.iter().enumerate() {
+            cumulative += b;
+            if i + 1 == h.buckets.len() {
+                let _ = writeln!(out, "{p}_us_bucket{{le=\"+Inf\"}} {cumulative}");
+            } else {
+                // bucket i holds observations in [2^(i-1), 2^i) µs
+                // (bucket 0 is exactly 0 µs), so its inclusive upper
+                // bound is 2^i - 1
+                let le = (1u64 << i) - 1;
+                let _ = writeln!(out, "{p}_us_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{p}_us_sum {}", h.total_us);
+        let _ = writeln!(out, "{p}_us_count {}", h.count);
+    }
+    out
+}
+
+/// Validates a Prometheus text dump: every non-comment line must be
+/// `name{labels} value`, names must be legal, and no series (name plus
+/// label set) may repeat. Returns the number of samples.
+///
+/// # Errors
+/// A message naming the first offending line.
+pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // split the series key (name + optional {labels}) from the value
+        let (series, value) = match line.rfind('}') {
+            Some(close) => {
+                let rest = line[close + 1..].trim();
+                (&line[..=close], rest)
+            }
+            None => match line.split_once(' ') {
+                Some((s, v)) => (s, v.trim()),
+                None => return Err(format!("line {}: no value: {line:?}", lineno + 1)),
+            },
+        };
+        let name_part = series.split('{').next().unwrap_or("");
+        if name_part.is_empty()
+            || !name_part.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+        {
+            return Err(format!(
+                "line {}: bad metric name {name_part:?}",
+                lineno + 1
+            ));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return Err(format!(
+                "line {}: unterminated labels: {line:?}",
+                lineno + 1
+            ));
+        }
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            return Err(format!("line {}: bad value {value:?}", lineno + 1));
+        }
+        if !seen.insert(series.to_owned()) {
+            return Err(format!("line {}: duplicate series {series:?}", lineno + 1));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,13 +508,13 @@ mod tests {
             Some(3)
         );
         // the escaped detail string survives the roundtrip
-        let detail = parsed.get("events").unwrap().as_array().unwrap()[0]
-            .get("detail")
+        assert!(parsed
+            .get("events")
             .unwrap()
-            .as_str()
+            .as_array()
             .unwrap()
-            .to_owned();
-        assert_eq!(detail, "replay \"quoted\"");
+            .iter()
+            .any(|e| e.get("detail").and_then(|d| d.as_str()) == Some("replay \"quoted\"")));
     }
 
     #[test]
@@ -400,5 +545,84 @@ mod tests {
         assert!(validate_trace_json("{}").is_err());
         assert!(validate_trace_json("not json").is_err());
         assert!(validate_trace_json(r#"{"version": 2, "spans": [], "events": []}"#).is_err());
+    }
+
+    #[test]
+    fn json_export_is_order_stable() {
+        // identical span sets recorded in different arrival orders must
+        // serialize identically (satellite: stable CI diffs)
+        let record = |order: &[usize]| {
+            let t = TraceHandle::new(true);
+            let spans = [
+                (0u32, 10u64, SpanKind::Compute),
+                (1, 10, SpanKind::Gather),
+                (0, 30, SpanKind::Compute),
+            ];
+            for &i in order {
+                let (worker, start, kind) = spans[i];
+                t.span(Span {
+                    kind,
+                    partition: Some(i as u32),
+                    iteration: Some(1),
+                    worker: Some(worker),
+                    attempt: 1,
+                    rows: 1,
+                    outcome: SpanOutcome::Ok,
+                    start_us: start,
+                    end_us: start + 5,
+                });
+            }
+            t.event(EventKind::Round, None, Some(1), "b");
+            t.event(EventKind::Round, None, Some(1), "a");
+            let mut data = t.data().unwrap();
+            data.duration_us = 100; // pin the wall-clock-derived field
+            let mut events = std::mem::take(&mut data.events);
+            for e in &mut events {
+                e.at_us = 50;
+            }
+            data.events = events;
+            trace_to_json(&data, None)
+        };
+        assert_eq!(record(&[0, 1, 2]), record(&[2, 1, 0]));
+    }
+
+    #[test]
+    fn prometheus_dump_is_valid_and_complete() {
+        let reg = crate::metrics::MetricsRegistry::new();
+        reg.counter("sqldb.plan_cache.hit").add(7);
+        reg.gauge("dbcp.server.open_connections").set(2);
+        reg.histogram("sqldb.stmt.select")
+            .observe(std::time::Duration::from_micros(100));
+        let text = prometheus_text(&reg.snapshot());
+        let samples = validate_prometheus_text(&text).unwrap();
+        // 1 counter + 1 gauge + 24 buckets + sum + count
+        assert_eq!(samples, 1 + 1 + crate::metrics::HISTOGRAM_BUCKETS + 2);
+        assert!(text.contains("sqldb_plan_cache_hit_total 7"));
+        assert!(text.contains("dbcp_server_open_connections 2"));
+        assert!(text.contains("sqldb_stmt_select_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("sqldb_stmt_select_us_sum 100"));
+        assert!(text.contains("sqldb_stmt_select_us_count 1"));
+        // byte-stable for the same snapshot
+        assert_eq!(text, prometheus_text(&reg.snapshot()));
+    }
+
+    #[test]
+    fn prometheus_validator_catches_malformed_lines() {
+        assert!(validate_prometheus_text("ok_name 1\n").is_ok());
+        assert!(validate_prometheus_text("9bad 1\n").is_err());
+        assert!(validate_prometheus_text("name notanumber\n").is_err());
+        assert!(validate_prometheus_text("dup 1\ndup 2\n").is_err());
+        assert!(validate_prometheus_text("x{le=\"1\"} 1\nx{le=\"2\"} 1\n").is_ok());
+        assert!(validate_prometheus_text("x{le=\"1\"} 1\nx{le=\"1\"} 2\n").is_err());
+        assert!(validate_prometheus_text("justaname\n").is_err());
+        assert_eq!(validate_prometheus_text("# just a comment\n"), Ok(0));
+    }
+
+    #[test]
+    fn label_escape_handles_sql_text() {
+        let nasty = "SELECT \"a\\b\"\nFROM t";
+        let esc = prometheus_label_escape(nasty);
+        assert!(!esc.contains('\n'));
+        assert_eq!(esc, "SELECT \\\"a\\\\b\\\"\\nFROM t");
     }
 }

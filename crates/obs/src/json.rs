@@ -81,13 +81,38 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            // DEL is legal unescaped JSON but breaks terminals and diff
+            // tools, so it gets the same treatment as the C0 range
+            c if (c as u32) < 0x20 || c == '\u{7f}' => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
     }
     out
+}
+
+/// Renders a float as a JSON number token. JSON has no NaN/Infinity
+/// literals, so non-finite values serialize as `null` — a parseable
+/// document beats a syntax error in a metrics pipeline.
+///
+/// # Examples
+/// ```
+/// assert_eq!(obs::json::num(1.5), "1.5");
+/// assert_eq!(obs::json::num(f64::NAN), "null");
+/// assert_eq!(obs::json::num(f64::INFINITY), "null");
+/// ```
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // keep integral floats recognizably numeric-float ("1.0", not "1")
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".into()
+    }
 }
 
 /// Parses a complete JSON document.
@@ -302,6 +327,36 @@ mod tests {
         assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
         assert_eq!(parse("{}").unwrap(), Json::Obj(BTreeMap::new()));
         assert_eq!(parse(" [ ] ").unwrap(), Json::Arr(vec![]));
+    }
+
+    /// Satellite requirement: adversarial statement text — embedded NULs,
+    /// DEL, ANSI escapes, quotes and backslash soup — must produce a
+    /// document this module's own parser accepts and roundtrips exactly.
+    #[test]
+    fn adversarial_statement_text_roundtrips() {
+        let nasty = "SELECT '\u{0}\u{1b}[31mevil\u{7f}' AS \"q\\\"uote\";\n\r\t-- \\u0000";
+        let escaped = escape(nasty);
+        assert!(!escaped.contains('\u{0}'), "raw NUL must not survive");
+        assert!(!escaped.contains('\u{7f}'), "raw DEL must not survive");
+        assert!(escaped.contains("\\u0000"));
+        assert!(escaped.contains("\\u007f"));
+        let doc = format!("{{\"sql\": \"{escaped}\"}}");
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("sql").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn num_serializes_non_finite_as_null() {
+        assert_eq!(num(2.5), "2.5");
+        assert_eq!(num(3.0), "3.0");
+        assert_eq!(num(-0.0), "-0.0");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NEG_INFINITY), "null");
+        // every finite rendering must parse back as a number
+        for v in [2.5, 3.0, 1e300, -7.25] {
+            assert_eq!(parse(&num(v)).unwrap().as_f64(), Some(v));
+        }
     }
 
     #[test]

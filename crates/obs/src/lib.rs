@@ -51,7 +51,10 @@ pub mod json;
 mod metrics;
 mod trace;
 
-pub use export::{timeline, trace_to_json, validate_trace_json, write_trace_json, TraceSummary};
+pub use export::{
+    prometheus_label_escape, prometheus_text, timeline, trace_to_json, validate_prometheus_text,
+    validate_trace_json, write_trace_json, TraceSummary,
+};
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
     HISTOGRAM_BUCKETS,

@@ -405,6 +405,61 @@ mod tests {
         assert_eq!(HistogramSnapshot::default().percentile_us(0.5), 0);
     }
 
+    /// Satellite requirement: quantile edge cases on the power-of-two
+    /// histogram — empty, single sample, saturating bucket, monotonicity.
+    #[test]
+    fn percentile_empty_histogram_is_zero() {
+        let s = HistogramSnapshot::default();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.percentile_us(p), 0);
+        }
+    }
+
+    #[test]
+    fn percentile_single_sample_lands_in_its_bucket() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(700)); // bucket 10: [512, 1024)
+        let s = h.snapshot();
+        for p in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(s.percentile_us(p), 1 << 10, "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_saturating_bucket_reports_top_bound() {
+        let h = Histogram::default();
+        // far beyond the last boundary: everything piles into the
+        // unbounded final bucket
+        h.observe(Duration::from_secs(100_000));
+        h.observe(Duration::from_secs(400_000));
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 2);
+        assert_eq!(s.percentile_us(0.5), 1 << (HISTOGRAM_BUCKETS - 1));
+        assert_eq!(s.percentile_us(1.0), 1 << (HISTOGRAM_BUCKETS - 1));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let h = Histogram::default();
+        for us in [1u64, 3, 9, 40, 200, 1_000, 60_000, 2_000_000] {
+            for _ in 0..5 {
+                h.observe(Duration::from_micros(us));
+            }
+        }
+        let s = h.snapshot();
+        let mut last = 0;
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            let v = s.percentile_us(p);
+            assert!(v >= last, "p{i}: {v} < {last}");
+            last = v;
+        }
+        assert!(s.percentile_us(0.5) <= s.percentile_us(0.99));
+        // out-of-range p clamps instead of panicking
+        assert_eq!(s.percentile_us(-1.0), s.percentile_us(0.0));
+        assert_eq!(s.percentile_us(2.0), s.percentile_us(1.0));
+    }
+
     #[test]
     fn snapshot_diff_is_per_run_not_cumulative() {
         let reg = MetricsRegistry::new();

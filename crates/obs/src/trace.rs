@@ -85,6 +85,9 @@ pub enum EventKind {
     Downgrade,
     /// A scheduler round / iteration boundary.
     Round,
+    /// Per-round plan-cache attribution: hit/miss deltas over the round,
+    /// tagged with the scheduler mode in the detail string.
+    PlanCache,
     /// A Sync-mode phase barrier completed.
     Barrier,
     /// A task attempt failed (transient or not).
@@ -110,6 +113,7 @@ impl EventKind {
             EventKind::Reconnect => "reconnect",
             EventKind::Downgrade => "downgrade",
             EventKind::Round => "round",
+            EventKind::PlanCache => "plan_cache",
             EventKind::Barrier => "barrier",
             EventKind::Fault => "fault",
             EventKind::SampleFailed => "sample_failed",

@@ -54,8 +54,15 @@ pub enum Statement {
     },
     /// A query.
     Select(SelectStmt),
-    /// `EXPLAIN <query>` — textual plan output.
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <query>` — textual plan output; with `ANALYZE`
+    /// the statement is executed and the plan is annotated with
+    /// per-operator actuals.
+    Explain {
+        /// `ANALYZE` was present: execute and report runtime actuals.
+        analyze: bool,
+        /// The explained statement.
+        stmt: Box<Statement>,
+    },
     /// `BEGIN [TRANSACTION]`.
     Begin,
     /// `COMMIT`.
@@ -80,7 +87,7 @@ impl Statement {
             Statement::Update(_) => "update",
             Statement::Delete { .. } => "delete",
             Statement::Select(_) => "select",
-            Statement::Explain(_) => "explain",
+            Statement::Explain { .. } => "explain",
             Statement::Begin => "begin",
             Statement::Commit => "commit",
             Statement::Rollback => "rollback",

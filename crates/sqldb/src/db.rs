@@ -10,8 +10,10 @@
 use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::dialect_check::validate;
+use crate::digest::{normalize_sql, DigestEntry, DigestStats, SlowLog, SlowStatement};
 use crate::error::{DbError, DbResult};
 use crate::exec::{ExecLimits, Executor, QueryResult, StmtOutput};
+use crate::op_profile::OpProfiler;
 use crate::parser::{parse_script, parse_statement};
 use crate::plan_cache::{substitute_params, CachedPlan, PlanCache, PlanCacheStats};
 use crate::profile::EngineProfile;
@@ -20,7 +22,7 @@ use crate::txn::{apply_undo, IsolationLevel, LockManager, LockMode, UndoLog};
 use crate::value::Value;
 use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,6 +37,9 @@ struct Shared {
     stats: Stats,
     next_session: AtomicU64,
     plan_cache: PlanCache,
+    digests: DigestStats,
+    slow: SlowLog,
+    profiling: AtomicBool,
 }
 
 /// A shared, thread-safe database instance.
@@ -71,6 +76,9 @@ impl Database {
                 stats: Stats::new(),
                 next_session: AtomicU64::new(1),
                 plan_cache: PlanCache::default(),
+                digests: DigestStats::new(),
+                slow: SlowLog::default(),
+                profiling: AtomicBool::new(false),
             }),
         }
     }
@@ -144,6 +152,72 @@ impl Database {
     pub fn set_plan_cache_capacity(&self, capacity: usize) {
         self.shared.plan_cache.set_capacity(capacity);
     }
+
+    /// All statement-digest entries, sorted by total time descending.
+    pub fn digest_stats(&self) -> Vec<DigestEntry> {
+        self.shared.digests.snapshot()
+    }
+
+    /// The top-`k` statement families by plan-cache misses — the miss
+    /// attribution view: which families keep being re-parsed.
+    pub fn digest_top_misses(&self, k: usize) -> Vec<DigestEntry> {
+        self.shared.digests.top_misses(k)
+    }
+
+    /// Turns digest collection on or off (on by default).
+    pub fn set_digests_enabled(&self, on: bool) {
+        self.shared.digests.set_enabled(on);
+    }
+
+    /// Whether digest collection is currently on.
+    pub fn digests_enabled(&self) -> bool {
+        self.shared.digests.enabled()
+    }
+
+    /// Drops all digest entries (collection state is unchanged).
+    pub fn reset_digests(&self) {
+        self.shared.digests.reset();
+    }
+
+    /// Turns per-operator runtime profiling on or off (off by default).
+    /// While on, every statement execution flushes per-operator
+    /// rows-out / calls / elapsed aggregates into the process metrics
+    /// registry under `sqldb.op.<kind>.*`.
+    pub fn set_profiling(&self, on: bool) {
+        self.shared.profiling.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether per-operator profiling is on.
+    pub fn profiling(&self) -> bool {
+        self.shared.profiling.load(Ordering::Relaxed)
+    }
+
+    /// Configures the slow-statement log: statements at or over
+    /// `threshold_us` are recorded (0 disables), keeping every
+    /// `sample_every`-th qualifying statement.
+    pub fn set_slow_log(&self, threshold_us: u64, sample_every: u64) {
+        self.shared.slow.configure(threshold_us, sample_every);
+    }
+
+    /// Current slow-log `(threshold_us, sample_every)`.
+    pub fn slow_log_config(&self) -> (u64, u64) {
+        self.shared.slow.config()
+    }
+
+    /// Retained slow-statement records, oldest first.
+    pub fn slow_log(&self) -> Vec<SlowStatement> {
+        self.shared.slow.snapshot()
+    }
+
+    /// Statements that crossed the slow-log threshold (sampled or not).
+    pub fn slow_log_over_threshold(&self) -> u64 {
+        self.shared.slow.over_threshold()
+    }
+
+    /// Drops slow-log records and resets its counters.
+    pub fn reset_slow_log(&self) {
+        self.shared.slow.reset();
+    }
 }
 
 /// A prepared statement: the SQL is parsed and validated once, then executed
@@ -156,6 +230,7 @@ impl Database {
 #[derive(Debug, Clone)]
 pub struct StmtHandle {
     sql: Arc<str>,
+    digest: Arc<str>,
     param_count: usize,
     plan: Arc<Mutex<Arc<CachedPlan>>>,
 }
@@ -164,6 +239,12 @@ impl StmtHandle {
     /// The SQL text this handle was prepared from.
     pub fn sql(&self) -> &str {
         &self.sql
+    }
+
+    /// The statement-family digest ([`normalize_sql`]) of the handle's
+    /// SQL, precomputed at prepare time.
+    pub fn digest(&self) -> &str {
+        &self.digest
     }
 
     /// Number of `?` placeholders the statement declares.
@@ -234,32 +315,64 @@ impl Session {
     /// Parse, validation, lock-timeout and execution errors. A failed
     /// statement is rolled back atomically; an open transaction stays usable.
     pub fn execute(&mut self, sql: &str) -> DbResult<StmtOutput> {
-        let plan = self.plan_for(sql)?;
-        self.execute_statement(&plan.stmt)
+        let (plan, plan_hit) = self.plan_for(sql)?;
+        if !self.shared.digests.enabled() && self.shared.slow.config().0 == 0 {
+            return self.execute_statement(&plan.stmt);
+        }
+        let started = std::time::Instant::now();
+        let result = self.execute_statement(&plan.stmt);
+        self.observe_statement(None, sql, started, &result, plan_hit);
+        result
+    }
+
+    /// Records one finished statement into the digest table and slow log.
+    fn observe_statement(
+        &self,
+        digest: Option<&str>,
+        sql: &str,
+        started: std::time::Instant,
+        result: &DbResult<StmtOutput>,
+        plan_hit: Option<bool>,
+    ) {
+        let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let (rows, error) = match result {
+            Ok(StmtOutput::Rows(r)) => (r.rows.len() as u64, false),
+            Ok(StmtOutput::Affected(n)) => (*n, false),
+            Ok(StmtOutput::Done) => (0, false),
+            Err(_) => (0, true),
+        };
+        self.shared
+            .digests
+            .record(digest, sql, elapsed_us, rows, error, plan_hit);
+        self.shared.slow.record(sql, elapsed_us, rows);
     }
 
     /// Fetches a still-valid cached plan for `sql`, or parses one — caching
     /// it when the statement is cacheable (queries and DML; one-shot DDL
     /// would only churn the LRU, see [`crate::plan_cache::is_cacheable`]).
-    fn plan_for(&self, sql: &str) -> DbResult<Arc<CachedPlan>> {
+    ///
+    /// The second element attributes the plan-cache outcome: `Some(true)`
+    /// for a hit, `Some(false)` for a fresh parse of a cacheable
+    /// statement, `None` for uncacheable statements.
+    fn plan_for(&self, sql: &str) -> DbResult<(Arc<CachedPlan>, Option<bool>)> {
         let key = PlanCache::key(self.shared.profile, sql);
         if let Some(plan) = self.shared.plan_cache.get(&key) {
-            return Ok(plan);
+            return Ok((plan, Some(true)));
         }
         let started = std::time::Instant::now();
         let stmt = parse_statement(sql)?;
-        let plan = if crate::plan_cache::is_cacheable(&stmt) {
+        let (plan, outcome) = if crate::plan_cache::is_cacheable(&stmt) {
             self.shared.plan_cache.count_miss();
             let (reads, writes) = collect_lock_sets(&stmt, &self.shared.catalog);
             let deps = reads.union(&writes).cloned().collect();
-            self.shared.plan_cache.insert(key, stmt, deps)
+            (self.shared.plan_cache.insert(key, stmt, deps), Some(false))
         } else {
-            self.shared.plan_cache.uncached(stmt)
+            (self.shared.plan_cache.uncached(stmt), None)
         };
         obs::global()
             .histogram("sqldb.plan")
             .observe(started.elapsed());
-        Ok(plan)
+        Ok((plan, outcome))
     }
 
     /// Parses and validates `sql` once, returning a reusable handle.
@@ -269,12 +382,13 @@ impl Session {
     /// Parse errors only; execution errors surface per execution.
     pub fn prepare(&mut self, sql: &str) -> DbResult<StmtHandle> {
         let started = std::time::Instant::now();
-        let plan = self.plan_for(sql)?;
+        let (plan, _) = self.plan_for(sql)?;
         obs::global()
             .histogram("sqldb.prepare")
             .observe(started.elapsed());
         Ok(StmtHandle {
             sql: Arc::from(sql),
+            digest: Arc::from(normalize_sql(sql)),
             param_count: plan.param_count,
             plan: Arc::new(Mutex::new(plan)),
         })
@@ -301,17 +415,17 @@ impl Session {
                 params.len()
             )));
         }
-        let plan = {
+        let (plan, plan_hit) = {
             let pinned = handle.plan.lock().clone();
             if self.shared.plan_cache.is_current(&pinned) {
                 self.shared.plan_cache.note_hit();
-                pinned
+                (pinned, Some(true))
             } else {
                 // transparent re-prepare after DDL (counted as miss +
                 // invalidation by the cache lookup inside plan_for)
-                let fresh = self.plan_for(&handle.sql)?;
+                let (fresh, outcome) = self.plan_for(&handle.sql)?;
                 *handle.plan.lock() = fresh.clone();
-                fresh
+                (fresh, outcome)
             }
         };
         let started = std::time::Instant::now();
@@ -324,6 +438,13 @@ impl Session {
         obs::global()
             .histogram("sqldb.execute_prepared")
             .observe(started.elapsed());
+        self.observe_statement(
+            Some(&handle.digest),
+            &handle.sql,
+            started,
+            &result,
+            plan_hit,
+        );
         result
     }
 
@@ -396,7 +517,12 @@ impl Session {
         };
 
         let mark = self.undo.len();
-        let executor = Executor::new(
+        let profiler = if self.shared.profiling.load(Ordering::Relaxed) {
+            Some(OpProfiler::new())
+        } else {
+            None
+        };
+        let mut executor = Executor::new(
             &self.shared.catalog,
             self.shared.profile,
             &self.shared.stats,
@@ -407,7 +533,13 @@ impl Session {
                 .statement_timeout
                 .map(|t| std::time::Instant::now() + t),
         });
+        if let Some(p) = profiler.as_ref() {
+            executor = executor.with_profiler(p);
+        }
         let result = executor.run_statement(stmt, &mut self.undo);
+        if let Some(p) = profiler.as_ref() {
+            flush_op_profile(p);
+        }
         match result {
             Ok(output) => {
                 // DDL outdates cached plans depending on the changed object
@@ -527,6 +659,36 @@ impl Drop for Session {
     }
 }
 
+/// Flushes a statement's operator-profile tree into the process metrics
+/// registry: per operator kind (first word of the label, lowercased),
+/// `sqldb.op.<kind>.rows_out`, `.calls` and `.time_us` counters. Times
+/// are inclusive of children, so kinds are comparable to each other only
+/// as an attribution hint, not a strict decomposition.
+fn flush_op_profile(prof: &OpProfiler) {
+    let registry = obs::global();
+    for root in prof.take() {
+        let mut nodes = Vec::new();
+        root.flatten(&mut nodes);
+        for node in nodes {
+            let kind = node
+                .label
+                .split_whitespace()
+                .next()
+                .unwrap_or("op")
+                .to_ascii_lowercase();
+            registry
+                .counter(&format!("sqldb.op.{kind}.rows_out"))
+                .add(node.rows_out);
+            registry
+                .counter(&format!("sqldb.op.{kind}.calls"))
+                .add(node.calls);
+            registry
+                .counter(&format!("sqldb.op.{kind}.time_us"))
+                .add(node.elapsed_us);
+        }
+    }
+}
+
 /// Computes the (read, write) table-lock sets for a statement, expanding
 /// views to their underlying tables.
 fn collect_lock_sets(stmt: &Statement, catalog: &Catalog) -> (HashSet<String>, HashSet<String>) {
@@ -578,8 +740,8 @@ fn collect_lock_sets(stmt: &Statement, catalog: &Catalog) -> (HashSet<String>, H
 
     match stmt {
         Statement::Select(q) => add_query(q, catalog, &mut reads, 0),
-        Statement::Explain(inner) => {
-            if let Statement::Select(q) = inner.as_ref() {
+        Statement::Explain { stmt, .. } => {
+            if let Statement::Select(q) = stmt.as_ref() {
                 add_query(q, catalog, &mut reads, 0);
             }
         }
@@ -825,6 +987,94 @@ mod tests {
         let mut s = db.connect();
         s.query("SELECT * FROM t").unwrap();
         assert!(db.stats().statements > before);
+    }
+
+    #[test]
+    fn digests_aggregate_families_and_attribute_cache_outcomes() {
+        let db = db();
+        db.reset_digests();
+        let mut s = db.connect();
+        // same family, different literals: first parse is a miss, the
+        // repeat of identical text is a hit, a new literal is a miss again
+        s.query("SELECT v FROM t WHERE id = 1").unwrap();
+        s.query("SELECT v FROM t WHERE id = 1").unwrap();
+        s.query("SELECT v FROM t WHERE id = 2").unwrap();
+        let snap = db.digest_stats();
+        let fam = snap
+            .iter()
+            .find(|e| e.digest == "select v from t where id = ?")
+            .expect("family tracked");
+        assert_eq!(fam.calls, 3);
+        assert_eq!(fam.plan_hits, 1);
+        assert_eq!(fam.plan_misses, 2);
+        assert_eq!(fam.rows, 3);
+        assert_eq!(db.digest_top_misses(1)[0].digest, fam.digest);
+    }
+
+    #[test]
+    fn prepared_executions_share_the_handle_digest() {
+        let db = db();
+        db.reset_digests();
+        let mut s = db.connect();
+        let h = s.prepare("SELECT v FROM t WHERE id = ?").unwrap();
+        assert_eq!(h.digest(), "select v from t where id = ?");
+        for i in 1..=2 {
+            s.execute_prepared(&h, &[Value::Int(i)]).unwrap();
+        }
+        let snap = db.digest_stats();
+        let fam = snap
+            .iter()
+            .find(|e| e.digest == "select v from t where id = ?")
+            .expect("family tracked");
+        assert_eq!(fam.calls, 2);
+        assert_eq!(fam.plan_hits, 2, "pinned prepared plans count as hits");
+    }
+
+    #[test]
+    fn digest_collection_can_be_disabled() {
+        let db = db();
+        db.reset_digests();
+        db.set_digests_enabled(false);
+        assert!(!db.digests_enabled());
+        let mut s = db.connect();
+        s.query("SELECT v FROM t").unwrap();
+        assert!(db.digest_stats().is_empty());
+        db.set_digests_enabled(true);
+        s.query("SELECT v FROM t").unwrap();
+        assert_eq!(db.digest_stats().len(), 1);
+    }
+
+    #[test]
+    fn slow_log_captures_over_threshold_statements() {
+        let db = db();
+        db.set_slow_log(1, 1); // 1µs: everything qualifies
+        let mut s = db.connect();
+        s.query("SELECT * FROM t").unwrap();
+        assert!(db.slow_log_over_threshold() >= 1);
+        let log = db.slow_log();
+        assert!(log.iter().any(|e| e.sql == "SELECT * FROM t"), "{log:?}");
+        db.reset_slow_log();
+        assert!(db.slow_log().is_empty());
+        db.set_slow_log(0, 1); // off
+        s.query("SELECT * FROM t").unwrap();
+        assert_eq!(db.slow_log_over_threshold(), 0);
+    }
+
+    #[test]
+    fn profiling_flushes_operator_counters() {
+        let db = db();
+        let registry = obs::global();
+        let before = registry.counter("sqldb.op.seqscan.rows_out").get();
+        let mut s = db.connect();
+        s.query("SELECT * FROM t").unwrap();
+        // off by default: no counters move
+        assert_eq!(registry.counter("sqldb.op.seqscan.rows_out").get(), before);
+        db.set_profiling(true);
+        assert!(db.profiling());
+        s.query("SELECT * FROM t").unwrap();
+        let after = registry.counter("sqldb.op.seqscan.rows_out").get();
+        assert_eq!(after - before, 2, "one scan of the 2-row table");
+        db.set_profiling(false);
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub fn for_each_expr(stmt: &Statement, f: &mut impl FnMut(&Expr)) {
             }
         }
         Statement::CreateView(cv) => visit_query(&cv.query, f),
-        Statement::Explain(inner) => for_each_expr(inner, f),
+        Statement::Explain { stmt, .. } => for_each_expr(stmt, f),
         _ => {}
     }
 }
@@ -225,7 +225,7 @@ pub fn for_each_expr_mut(stmt: &mut Statement, f: &mut impl FnMut(&mut Expr)) {
             }
         }
         Statement::CreateView(cv) => mut_query(&mut cv.query, f),
-        Statement::Explain(inner) => for_each_expr_mut(inner, f),
+        Statement::Explain { stmt, .. } => for_each_expr_mut(stmt, f),
         _ => {}
     }
 }

@@ -5,6 +5,7 @@ use crate::bind::{bind_scalar, bind_with_aggregates, AggSpec, BoundExpr, Scope, 
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
 use crate::join::{join_rels, split_conjuncts, Rel};
+use crate::op_profile::{us_since, OpProfiler};
 use crate::profile::EngineProfile;
 use crate::stats::Stats;
 use crate::storage::Table;
@@ -75,6 +76,7 @@ pub struct Executor<'a> {
     profile: EngineProfile,
     stats: &'a Stats,
     limits: ExecLimits,
+    prof: Option<&'a OpProfiler>,
 }
 
 impl<'a> Executor<'a> {
@@ -85,6 +87,7 @@ impl<'a> Executor<'a> {
             profile,
             stats,
             limits: ExecLimits::default(),
+            prof: None,
         }
     }
 
@@ -92,6 +95,19 @@ impl<'a> Executor<'a> {
     pub fn with_limits(mut self, limits: ExecLimits) -> Executor<'a> {
         self.limits = limits;
         self
+    }
+
+    /// Attaches a runtime operator profiler; every execution phase then
+    /// records rows-out / input-calls / elapsed into it. The cost when no
+    /// profiler is attached is one branch per phase.
+    pub fn with_profiler(mut self, prof: &'a OpProfiler) -> Executor<'a> {
+        self.prof = Some(prof);
+        self
+    }
+
+    /// Starts a phase timer only when a profiler is attached.
+    fn prof_start(&self) -> Option<Instant> {
+        self.prof.map(|_| Instant::now())
     }
 
     fn check_deadline(&self) -> DbResult<()> {
@@ -128,6 +144,29 @@ impl<'a> Executor<'a> {
         self.run_query_depth(q, 0)
     }
 
+    /// Executes `q` with operator profiling attached and renders the plan
+    /// tree annotated with per-operator actuals (`EXPLAIN ANALYZE`).
+    fn analyze_query(&self, q: &SelectStmt) -> DbResult<Vec<String>> {
+        let prof = OpProfiler::new();
+        let sub = Executor {
+            prof: Some(&prof),
+            ..*self
+        };
+        let start = Instant::now();
+        let result = sub.run_query(q)?;
+        let total_us = us_since(start);
+        let mut lines = Vec::new();
+        for root in prof.take() {
+            root.render(0, &mut lines);
+        }
+        lines.push(format!(
+            "Execution: rows={} time_us={}",
+            result.rows.len(),
+            total_us
+        ));
+        Ok(lines)
+    }
+
     fn run_query_depth(&self, q: &SelectStmt, depth: usize) -> DbResult<QueryResult> {
         if depth > MAX_DEPTH {
             return Err(DbError::Invalid(
@@ -137,10 +176,31 @@ impl<'a> Executor<'a> {
         self.check_deadline()?;
         let mut result = self.exec_set_expr(&q.body, depth)?;
         if !q.order_by.is_empty() {
+            let t0 = self.prof_start();
+            let rows_in = result.rows.len() as u64;
             self.apply_order_by(&mut result, &q.order_by)?;
+            if let Some(p) = self.prof {
+                p.wrap(
+                    1,
+                    format!("Sort ({} keys)", q.order_by.len()),
+                    result.rows.len() as u64,
+                    rows_in,
+                    t0.map(us_since).unwrap_or(0),
+                );
+            }
         }
         if let Some(n) = q.limit {
+            let rows_in = result.rows.len() as u64;
             result.rows.truncate(n as usize);
+            if let Some(p) = self.prof {
+                p.wrap(
+                    1,
+                    format!("Limit {n}"),
+                    result.rows.len() as u64,
+                    rows_in,
+                    0,
+                );
+            }
         }
         self.check_row_cap(result.rows.len())?;
         Ok(result)
@@ -150,6 +210,7 @@ impl<'a> Executor<'a> {
         match body {
             SetExpr::Select(s) => self.exec_select(s, depth),
             SetExpr::Values(rows) => {
+                let t0 = self.prof_start();
                 let scope = Scope::new();
                 let mut out = Vec::with_capacity(rows.len());
                 let mut arity = None;
@@ -164,12 +225,20 @@ impl<'a> Executor<'a> {
                     out.push(row);
                 }
                 let n = arity.unwrap_or(0);
+                if let Some(p) = self.prof {
+                    p.leaf(
+                        format!("Values ({} rows)", rows.len()),
+                        out.len() as u64,
+                        t0.map(us_since).unwrap_or(0),
+                    );
+                }
                 Ok(QueryResult {
                     columns: (1..=n).map(|i| format!("column{i}")).collect(),
                     rows: out,
                 })
             }
             SetExpr::SetOp { op, left, right } => {
+                let t0 = self.prof_start();
                 let l = self.exec_set_expr(left, depth)?;
                 let r = self.exec_set_expr(right, depth)?;
                 if !l.rows.is_empty() && !r.rows.is_empty() && l.rows[0].len() != r.rows[0].len() {
@@ -177,12 +246,26 @@ impl<'a> Executor<'a> {
                         "UNION inputs differ in column count".into(),
                     ));
                 }
+                let rows_in = (l.rows.len() + r.rows.len()) as u64;
                 let mut rows = l.rows;
                 rows.extend(r.rows);
                 let rows = match op {
                     SetOperator::UnionAll => rows,
                     SetOperator::Union => dedupe(rows),
                 };
+                if let Some(p) = self.prof {
+                    let label = match op {
+                        SetOperator::Union => "Union (deduplicating)".to_string(),
+                        SetOperator::UnionAll => "Union All".to_string(),
+                    };
+                    p.wrap(
+                        2,
+                        label,
+                        rows.len() as u64,
+                        rows_in,
+                        t0.map(us_since).unwrap_or(0),
+                    );
+                }
                 Ok(QueryResult {
                     columns: l.columns,
                     rows,
@@ -194,21 +277,39 @@ impl<'a> Executor<'a> {
     fn exec_select(&self, s: &Select, depth: usize) -> DbResult<QueryResult> {
         // FROM
         let mut rel = if s.from.is_empty() {
-            Rel::unit()
+            let unit = Rel::unit();
+            if let Some(p) = self.prof {
+                p.leaf("Result (no tables)".to_string(), unit.rows.len() as u64, 0);
+            }
+            unit
         } else {
             let mut rel: Option<Rel> = None;
             for tr in &s.from {
                 let right = self.build_table_ref(tr, depth)?;
                 rel = Some(match rel {
                     None => right,
-                    Some(left) => join_rels(
-                        left,
-                        right,
-                        JoinType::Cross,
-                        None,
-                        self.profile.join_strategy(),
-                        self.stats,
-                    )?,
+                    Some(left) => {
+                        let t0 = self.prof_start();
+                        let rows_in = (left.rows.len() + right.rows.len()) as u64;
+                        let joined = join_rels(
+                            left,
+                            right,
+                            JoinType::Cross,
+                            None,
+                            self.profile.join_strategy(),
+                            self.stats,
+                        )?;
+                        if let Some(p) = self.prof {
+                            p.wrap(
+                                2,
+                                "NestedLoop (cross join)".to_string(),
+                                joined.rows.len() as u64,
+                                rows_in,
+                                t0.map(us_since).unwrap_or(0),
+                            );
+                        }
+                        joined
+                    }
                 });
             }
             rel.expect("non-empty from")
@@ -228,6 +329,8 @@ impl<'a> Executor<'a> {
 
         // WHERE
         if let Some(pred) = &s.selection {
+            let t0 = self.prof_start();
+            let rows_in = rel.rows.len() as u64;
             let bound = bind_scalar(pred, &rel.scope)?;
             let mut kept = Vec::with_capacity(rel.rows.len());
             for (i, row) in rel.rows.into_iter().enumerate() {
@@ -239,6 +342,15 @@ impl<'a> Executor<'a> {
                 }
             }
             rel.rows = kept;
+            if let Some(p) = self.prof {
+                p.wrap(
+                    1,
+                    "Filter".to_string(),
+                    rel.rows.len() as u64,
+                    rows_in,
+                    t0.map(us_since).unwrap_or(0),
+                );
+            }
         }
 
         let has_aggregates = s
@@ -251,13 +363,36 @@ impl<'a> Executor<'a> {
                 .unwrap_or(false);
 
         let mut result = if has_aggregates || !s.group_by.is_empty() {
-            self.exec_aggregate(s, &rel)?
+            let t0 = self.prof_start();
+            let rows_in = rel.rows.len() as u64;
+            let out = self.exec_aggregate(s, &rel)?;
+            if let Some(p) = self.prof {
+                p.wrap(
+                    1,
+                    format!("HashAggregate (group by {} keys)", s.group_by.len()),
+                    out.rows.len() as u64,
+                    rows_in,
+                    t0.map(us_since).unwrap_or(0),
+                );
+            }
+            out
         } else {
             self.exec_project(s, &rel)?
         };
 
         if s.distinct {
+            let t0 = self.prof_start();
+            let rows_in = result.rows.len() as u64;
             result.rows = dedupe(result.rows);
+            if let Some(p) = self.prof {
+                p.wrap(
+                    1,
+                    "Distinct".to_string(),
+                    result.rows.len() as u64,
+                    rows_in,
+                    t0.map(us_since).unwrap_or(0),
+                );
+            }
         }
         Ok(result)
     }
@@ -443,6 +578,8 @@ impl<'a> Executor<'a> {
         let mut rel = self.build_factor(&tr.base, depth)?;
         for j in &tr.joins {
             let right = self.build_factor(&j.factor, depth)?;
+            let t0 = self.prof_start();
+            let rows_in = (rel.rows.len() + right.rows.len()) as u64;
             rel = join_rels(
                 rel,
                 right,
@@ -451,6 +588,17 @@ impl<'a> Executor<'a> {
                 self.profile.join_strategy(),
                 self.stats,
             )?;
+            if let Some(p) = self.prof {
+                let label = crate::explain::join_description(self.catalog, self.profile, j)
+                    .unwrap_or_else(|_| "Join".to_string());
+                p.wrap(
+                    2,
+                    label,
+                    rel.rows.len() as u64,
+                    rows_in,
+                    t0.map(us_since).unwrap_or(0),
+                );
+            }
         }
         Ok(rel)
     }
@@ -459,10 +607,26 @@ impl<'a> Executor<'a> {
         match f {
             TableFactor::Table { name, alias } => {
                 let visible = alias.as_deref().unwrap_or(name).to_owned();
+                let label = match alias {
+                    Some(a) => format!("{name} AS {a}"),
+                    None => name.clone(),
+                };
                 if let Some(view) = self.catalog.view(name) {
+                    let t0 = self.prof_start();
                     let result = self.run_query_depth(&view, depth + 1)?;
+                    if let Some(p) = self.prof {
+                        let rows = result.rows.len() as u64;
+                        p.wrap(
+                            1,
+                            format!("View {label}"),
+                            rows,
+                            rows,
+                            t0.map(us_since).unwrap_or(0),
+                        );
+                    }
                     return Ok(rel_from_result(result, visible));
                 }
+                let t0 = self.prof_start();
                 let handle = self.catalog.table(name)?;
                 let (columns, rows) = {
                     let t = handle.read();
@@ -476,6 +640,13 @@ impl<'a> Executor<'a> {
                     )
                 };
                 self.stats.add_rows_scanned(rows.len() as u64);
+                if let Some(p) = self.prof {
+                    p.leaf(
+                        format!("SeqScan {label}"),
+                        rows.len() as u64,
+                        t0.map(us_since).unwrap_or(0),
+                    );
+                }
                 let mut scope = Scope::new();
                 scope.push(ScopeRelation {
                     qualifier: visible,
@@ -488,7 +659,18 @@ impl<'a> Executor<'a> {
                 })
             }
             TableFactor::Derived { subquery, alias } => {
+                let t0 = self.prof_start();
                 let result = self.run_query_depth(subquery, depth + 1)?;
+                if let Some(p) = self.prof {
+                    let rows = result.rows.len() as u64;
+                    p.wrap(
+                        1,
+                        format!("Subquery AS {alias}"),
+                        rows,
+                        rows,
+                        t0.map(us_since).unwrap_or(0),
+                    );
+                }
                 Ok(rel_from_result(result, alias.clone()))
             }
         }
@@ -509,9 +691,13 @@ impl<'a> Executor<'a> {
     pub fn run_statement(&self, stmt: &Statement, undo: &mut UndoLog) -> DbResult<StmtOutput> {
         match stmt {
             Statement::Select(q) => Ok(StmtOutput::Rows(self.run_query(q)?)),
-            Statement::Explain(inner) => match inner.as_ref() {
+            Statement::Explain { analyze, stmt } => match stmt.as_ref() {
                 Statement::Select(q) => {
-                    let lines = crate::explain::explain_query(self.catalog, self.profile, q)?;
+                    let lines = if *analyze {
+                        self.analyze_query(q)?
+                    } else {
+                        crate::explain::explain_query(self.catalog, self.profile, q)?
+                    };
                     Ok(StmtOutput::Rows(QueryResult {
                         columns: vec!["plan".into()],
                         rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
@@ -1391,6 +1577,84 @@ mod tests {
         let ctx = seeded(EngineProfile::Postgres);
         let r = ctx.query("SELECT a.id, b.id FROM t AS a, t AS b");
         assert_eq!(r.rows.len(), 9);
+    }
+
+    #[test]
+    fn explain_analyze_reports_actual_rows_across_profiles() {
+        for p in EngineProfile::ALL {
+            let ctx = seeded(p);
+            ctx.exec("CREATE TABLE e (src INT, dst INT)").unwrap();
+            ctx.exec("INSERT INTO e VALUES (1,2),(2,3),(3,1),(1,3)")
+                .unwrap();
+            let out = ctx
+                .exec(
+                    "EXPLAIN ANALYZE SELECT t.id, e.dst FROM t JOIN e ON t.id = e.src \
+                     WHERE e.dst > 1 ORDER BY t.id LIMIT 3",
+                )
+                .unwrap();
+            let lines: Vec<String> = match out {
+                StmtOutput::Rows(r) => r
+                    .rows
+                    .iter()
+                    .map(|row| match &row[0] {
+                        Value::Text(t) => t.clone(),
+                        other => other.to_string(),
+                    })
+                    .collect(),
+                _ => panic!("expected rows"),
+            };
+            // root operator is the LIMIT; its actual cardinality is the
+            // query's result cardinality
+            assert!(
+                lines[0].starts_with("Limit 3 (actual rows=3"),
+                "profile {p:?}: {lines:?}"
+            );
+            assert!(
+                lines.iter().any(|l| l.contains("SeqScan t")),
+                "profile {p:?}: {lines:?}"
+            );
+            assert!(
+                lines
+                    .iter()
+                    .any(|l| l.contains("Join") && l.contains("actual rows=4")),
+                "profile {p:?}: {lines:?}"
+            );
+            assert!(
+                lines.last().unwrap().starts_with("Execution: rows=3 "),
+                "profile {p:?}: {lines:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_analyze_rejects_dml() {
+        let ctx = seeded(EngineProfile::Postgres);
+        let err = ctx.exec("EXPLAIN ANALYZE INSERT INTO t VALUES (9, 0.0, 'z')");
+        assert!(matches!(err, Err(DbError::Unsupported(_))), "{err:?}");
+    }
+
+    #[test]
+    fn profiler_tree_mirrors_execution_phases() {
+        let ctx = seeded(EngineProfile::Postgres);
+        let q = parse_query("SELECT tag, COUNT(*) FROM t WHERE v > 1.0 GROUP BY tag").unwrap();
+        let prof = OpProfiler::new();
+        Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
+            .with_profiler(&prof)
+            .run_query(&q)
+            .unwrap();
+        let roots = prof.take();
+        assert_eq!(roots.len(), 1);
+        let agg = &roots[0];
+        assert_eq!(agg.label, "HashAggregate (group by 1 keys)");
+        assert_eq!(agg.rows_out, 2);
+        assert_eq!(agg.calls, 3);
+        let filter = &agg.children[0];
+        assert_eq!(filter.label, "Filter");
+        assert_eq!(filter.rows_out, 3);
+        let scan = &filter.children[0];
+        assert_eq!(scan.label, "SeqScan t");
+        assert_eq!(scan.rows_out, 3);
+        assert_eq!(scan.calls, 3);
     }
 
     #[test]

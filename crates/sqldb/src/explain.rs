@@ -134,7 +134,14 @@ fn explain_table_ref(
     Ok(())
 }
 
-fn join_description(catalog: &Catalog, profile: EngineProfile, j: &Join) -> DbResult<String> {
+/// The operator label [`crate::join::join_rels`] will effectively execute
+/// for `j` — shared with the runtime profiler so `EXPLAIN` and
+/// `EXPLAIN ANALYZE` speak the same vocabulary.
+pub(crate) fn join_description(
+    catalog: &Catalog,
+    profile: EngineProfile,
+    j: &Join,
+) -> DbResult<String> {
     let kind = match j.join_type {
         JoinType::Inner => "Join",
         JoinType::Left => "LeftJoin",
@@ -310,6 +317,40 @@ mod tests {
         assert!(text.contains("HashAggregate"), "{text}");
         assert!(text.contains("Subquery AS x"), "{text}");
         assert!(text.contains("View vv"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_speaks_the_same_operator_vocabulary() {
+        // every operator EXPLAIN names must appear in the ANALYZE tree too
+        let sql = "SELECT nodes.id FROM nodes JOIN edges ON nodes.id = edges.src \
+                   WHERE edges.weight > 0.0 ORDER BY nodes.id";
+        for profile in EngineProfile::ALL {
+            let d = db(profile);
+            let mut s = d.connect();
+            let mut ops = |prefix: &str| -> Vec<String> {
+                match s.execute(&format!("{prefix} {sql}")).unwrap() {
+                    crate::StmtOutput::Rows(r) => r
+                        .rows
+                        .iter()
+                        .map(|row| {
+                            let line = row[0].to_string();
+                            let op = line.trim_start();
+                            op.split(" (actual").next().unwrap_or(op).to_string()
+                        })
+                        .filter(|l| !l.starts_with("Execution:"))
+                        .collect(),
+                    _ => panic!("expected rows"),
+                }
+            };
+            let planned = ops("EXPLAIN");
+            let actual = ops("EXPLAIN ANALYZE");
+            for op in &planned {
+                assert!(
+                    actual.contains(op),
+                    "{profile:?}: planned op {op:?} missing from analyze {actual:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -40,11 +40,13 @@ pub mod budget;
 pub mod catalog;
 mod db;
 pub mod dialect_check;
+pub mod digest;
 mod error;
 pub mod exec;
 pub mod explain;
 pub mod join;
 pub mod lexer;
+pub mod op_profile;
 pub mod parser;
 pub mod plan_cache;
 pub mod profile;
@@ -59,8 +61,13 @@ pub mod value;
 pub use budget::{row_bytes, MemoryBudget};
 pub use db::StmtHandle;
 pub use db::{Database, Session, DEFAULT_LOCK_TIMEOUT};
+pub use digest::{
+    normalize_sql, DigestEntry, DigestStats, SlowLog, SlowStatement, DIGEST_CAPACITY,
+    SLOW_LOG_CAPACITY,
+};
 pub use error::{DbError, DbResult};
 pub use exec::{ExecLimits, QueryResult, StmtOutput};
+pub use op_profile::{OpNode, OpProfiler};
 pub use plan_cache::{PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use profile::{Dialect, EngineProfile, JoinStrategy};
 pub use snapshot::TableDump;

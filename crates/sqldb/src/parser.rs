@@ -304,8 +304,12 @@ impl Parser {
     /// Returns [`DbError::Parse`] on malformed input.
     pub fn parse_statement(&mut self) -> DbResult<Statement> {
         if self.eat_keyword("explain") {
+            let analyze = self.eat_keyword("analyze");
             let inner = self.parse_statement()?;
-            return Ok(Statement::Explain(Box::new(inner)));
+            return Ok(Statement::Explain {
+                analyze,
+                stmt: Box::new(inner),
+            });
         }
         if self.peek_keyword("create") {
             return self.parse_create();

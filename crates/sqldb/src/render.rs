@@ -127,9 +127,13 @@ impl<'a> Renderer<'a> {
                 }
             }
             Statement::Select(q) => self.query(q),
-            Statement::Explain(inner) => {
-                self.push("EXPLAIN ");
-                self.statement(inner);
+            Statement::Explain { analyze, stmt } => {
+                self.push(if *analyze {
+                    "EXPLAIN ANALYZE "
+                } else {
+                    "EXPLAIN "
+                });
+                self.statement(stmt);
             }
             Statement::Begin => self.push("BEGIN"),
             Statement::Commit => self.push("COMMIT"),

@@ -252,6 +252,204 @@ fn downgrade_is_recorded_as_a_trace_event() {
         .any(|s| s.kind == SpanKind::Iteration && s.outcome == SpanOutcome::Ok));
 }
 
+/// Extracts `N` from the first `actual rows=N` annotation on a plan line.
+fn actual_rows(line: &str) -> Option<u64> {
+    let tail = line.split("actual rows=").nth(1)?;
+    tail.split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
+#[test]
+fn explain_analyze_root_actuals_match_cardinality_in_all_profiles() {
+    // the statement shapes of the fig4 loops: aggregation over edges, a
+    // self-join (message exchange), and a sorted/limited read-out
+    let queries = [
+        "SELECT src, COUNT(*) FROM edges GROUP BY src ORDER BY src",
+        "SELECT a.src, b.dst FROM edges AS a JOIN edges AS b ON a.dst = b.src",
+        "SELECT src, dst FROM edges ORDER BY src LIMIT 7",
+    ];
+    let graph = graphgen::web_graph(40, 3, 2);
+    for profile in sqldb::EngineProfile::ALL {
+        let db = Database::new(profile);
+        let driver: Arc<dyn Driver> = Arc::new(LocalDriver::new(db));
+        let mut conn = driver.connect().unwrap();
+        workloads::load_edges(conn.as_mut(), &graph).unwrap();
+        for q in queries {
+            let result = match conn.execute(q).unwrap() {
+                sqldb::StmtOutput::Rows(r) => r,
+                other => panic!("{profile:?}: expected rows, got {other:?}"),
+            };
+            let plan = match conn.execute(&format!("EXPLAIN ANALYZE {q}")).unwrap() {
+                sqldb::StmtOutput::Rows(r) => r,
+                other => panic!("{profile:?}: expected plan rows, got {other:?}"),
+            };
+            let lines: Vec<String> = plan.rows.iter().map(|r| r[0].to_string()).collect();
+            // oracle: the root operator's actual cardinality is the query's
+            // result cardinality, and the Execution footer agrees
+            let root = actual_rows(&lines[0])
+                .unwrap_or_else(|| panic!("{profile:?}: no actuals on root of {lines:?}"));
+            assert_eq!(
+                root,
+                result.rows.len() as u64,
+                "{profile:?} {q}: root actual rows vs cardinality ({lines:?})"
+            );
+            let footer = lines.last().unwrap();
+            assert!(
+                footer.starts_with(&format!("Execution: rows={}", result.rows.len())),
+                "{profile:?} {q}: bad footer {footer:?}"
+            );
+            // every annotated operator carries monotone, parseable actuals
+            assert!(
+                lines
+                    .iter()
+                    .filter(|l| l.contains("actual rows="))
+                    .all(|l| actual_rows(l).is_some()),
+                "{profile:?} {q}: unparseable actuals in {lines:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn profiled_loop_emits_op_metrics_and_a_valid_prometheus_dump() {
+    let graph = graphgen::web_graph(40, 3, 2);
+    let db = Database::new(EngineProfile::Postgres);
+    db.set_profiling(true);
+    let driver: Arc<dyn Driver> = Arc::new(LocalDriver::new(db.clone()));
+    let mut conn = driver.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), &graph).unwrap();
+    drop(conn);
+    let report = SQLoop::new(driver)
+        .with_config(traced(ExecutionMode::Sync))
+        .execute_detailed(&workloads::queries::pagerank(4))
+        .unwrap();
+    // with profiling on, per-operator actuals flow into the registry
+    let op_rows: u64 = report
+        .metrics
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("sqldb.op.") && name.ends_with(".rows_out"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert!(op_rows > 0, "operator counters absent: {:?}", {
+        report.metrics.counters.keys().collect::<Vec<_>>()
+    });
+    // the live scrape of the same engine parses and has no duplicate series
+    let dump = dbcp::prometheus_dump(&db);
+    obs::validate_prometheus_text(&dump).expect("scrape must parse");
+    assert!(
+        dump.contains("sqldb_digest_calls_total{digest="),
+        "digest series missing from scrape"
+    );
+}
+
+#[test]
+fn plan_cache_round_attribution_is_tagged_with_the_mode() {
+    let graph = graphgen::web_graph(40, 3, 2);
+    for (mode, label) in [
+        (ExecutionMode::Single, "Single"),
+        (ExecutionMode::Sync, "Sync"),
+        (ExecutionMode::Async, "Async"),
+        (ExecutionMode::AsyncPrio, "AsyncP"),
+    ] {
+        let report = SQLoop::new(loaded_driver(&graph))
+            .with_config(traced(mode))
+            .execute_detailed(&workloads::queries::pagerank(4))
+            .unwrap();
+        let data = report.trace_data.as_ref().expect("trace enabled");
+        let ticks: Vec<_> = data
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::PlanCache)
+            .collect();
+        assert!(!ticks.is_empty(), "{label}: no plan-cache round events");
+        for t in &ticks {
+            assert!(
+                t.detail.starts_with(&format!("mode={label} ")),
+                "{label}: bad tag {:?}",
+                t.detail
+            );
+            assert!(t.detail.contains(" hits=") && t.detail.contains(" misses="));
+            assert!(t.iteration.is_some(), "{label}: tick without a round");
+        }
+        // the per-run digest report carries the same mode and, in the
+        // parallel modes, names the message-table families the cache
+        // misses on — the ROADMAP read-off
+        let digests = report.digests.as_ref().expect("local driver sees digests");
+        assert_eq!(digests.mode, label);
+        assert!(!digests.families.is_empty(), "{label}: no digest families");
+        if mode != ExecutionMode::Single {
+            assert!(
+                digests
+                    .top_misses
+                    .iter()
+                    .any(|e| e.digest.contains("__msg_n_n")),
+                "{label}: message-table misses unattributed: {:?}",
+                digests
+                    .top_misses
+                    .iter()
+                    .map(|e| &e.digest)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn digest_stats_survive_a_checkpoint_resume_cycle() {
+    use sqloop::CheckpointConfig;
+    // chain diameter 24 → SSSP needs ~25 rounds; cap at 6 for the "crash"
+    let graph = graphgen::chain(24);
+    let dir = std::env::temp_dir().join(format!("sqloop-digest-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let db = Database::new(EngineProfile::Postgres);
+    let driver: Arc<dyn Driver> = Arc::new(LocalDriver::new(db.clone()));
+    let mut conn = driver.connect().unwrap();
+    workloads::load_edges(conn.as_mut(), &graph).unwrap();
+    drop(conn);
+    db.reset_digests();
+
+    let mut config = SqloopConfig {
+        mode: ExecutionMode::Single,
+        checkpoint: Some(CheckpointConfig::new(&dir).every(1)),
+        ..SqloopConfig::default()
+    };
+    config.max_iterations = 6;
+    let err = SQLoop::new(driver.clone())
+        .with_config(config.clone())
+        .execute(&workloads::queries::sssp_all(0))
+        .unwrap_err();
+    assert!(format!("{err}").contains("iteration"), "unexpected: {err}");
+    let calls_after_crash: u64 = db.digest_stats().iter().map(|e| e.calls).sum();
+    assert!(calls_after_crash > 0, "crashed run recorded no digests");
+
+    // resume against the same engine: the digest table keeps accumulating
+    // and the resumed run still gets a per-run attribution report
+    config.max_iterations = 10_000;
+    config.resume_from = Some(dir.clone());
+    let report = SQLoop::new(driver)
+        .with_config(config)
+        .execute_detailed(&workloads::queries::sssp_all(0))
+        .unwrap();
+    assert_eq!(report.result.rows.len(), graph.node_count() as usize);
+    let calls_after_resume: u64 = db.digest_stats().iter().map(|e| e.calls).sum();
+    assert!(
+        calls_after_resume > calls_after_crash,
+        "resume must extend the digest table ({calls_after_resume} <= {calls_after_crash})"
+    );
+    let digests = report.digests.as_ref().expect("digest report on resume");
+    assert_eq!(digests.mode, "Single");
+    assert!(!digests.families.is_empty());
+    // the scrape endpoint sees the merged history
+    let dump = dbcp::prometheus_dump(&db);
+    obs::validate_prometheus_text(&dump).expect("scrape must parse after resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn per_run_metrics_capture_pool_and_statement_activity() {
     let graph = graphgen::web_graph(40, 3, 2);
