@@ -2,7 +2,7 @@
 //! strategy, run it, report what happened (paper Fig. 2).
 
 use crate::analysis::{analyze, AnalysisOutcome};
-use crate::checkpoint::{load_latest, Checkpointer};
+use crate::checkpoint::{load_latest_recovering, Checkpointer};
 use crate::config::{ExecutionMode, SqloopConfig};
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{parse, IterativeCte, SqloopQuery};
@@ -178,6 +178,10 @@ pub struct ExecutionReport {
     /// [`SqloopConfig::checkpoint`] was configured and at least one
     /// snapshot was taken.
     pub checkpoint: Option<PathBuf>,
+    /// Human-readable note when resuming had to fall back past corrupt or
+    /// unreadable snapshots (quarantined files, older generations used).
+    /// `None` on a clean load or when the run did not resume.
+    pub recovery_note: Option<String>,
 }
 
 /// The SQLoop middleware instance.
@@ -336,6 +340,7 @@ impl SQLoop {
                     digests: None,
                     cancelled: false,
                     checkpoint: None,
+                    recovery_note: None,
                 })
             }
             SqloopQuery::Recursive(cte) => {
@@ -365,6 +370,7 @@ impl SQLoop {
                     digests: None,
                     cancelled: false,
                     checkpoint: None,
+                    recovery_note: None,
                 })
             }
             SqloopQuery::Iterative(cte) => self.execute_iterative(&cte, started),
@@ -397,8 +403,13 @@ impl SQLoop {
             // a resume snapshot only applies here when Single is the
             // configured mode: after a downgrade the snapshot describes the
             // parallel layout and the fingerprint check would reject it
+            let mut recovery_note: Option<String> = None;
             let resume = match &self.config.resume_from {
-                Some(path) if self.config.mode == ExecutionMode::Single => Some(load_latest(path)?),
+                Some(path) if self.config.mode == ExecutionMode::Single => {
+                    let recovered = load_latest_recovering(path)?;
+                    recovery_note = recovered.note;
+                    Some(recovered.snapshot)
+                }
                 _ => None,
             };
             let mut checkpointer = match &self.config.checkpoint {
@@ -448,6 +459,7 @@ impl SQLoop {
                 digests: None,
                 cancelled: out.cancelled,
                 checkpoint,
+                recovery_note,
             })
         };
 
@@ -487,6 +499,7 @@ impl SQLoop {
                             digests: None,
                             cancelled: run.outcome.cancelled,
                             checkpoint: run.checkpoint,
+                            recovery_note: run.recovery_note,
                         },
                         // budget exhausted on a transient fault: the engine
                         // is flaky, not the query — degrade to the

@@ -29,7 +29,8 @@
 //! by the URL (`local://postgres|mysql|mariadb`), with admission control:
 //! `--max-connections <n>` caps concurrent clients, `--shed-high-water <n>`
 //! sheds statements under load, `--statement-timeout-ms` bounds every
-//! statement and `--max-mem` bounds the engine. Ctrl-C stops the server.
+//! statement and `--max-mem` bounds the engine. Ctrl-C drains the server:
+//! in-flight statements finish under `--drain-ms` before it exits.
 
 use sqloop::{
     CheckpointConfig, ExecutionMode, ExecutionReport, PrioritySpec, SQLoop, Strategy, TraceConfig,
@@ -122,12 +123,14 @@ fn serve(url: &str, addr: &str, cfg: dbcp::ServerConfig, max_mem: Option<u64>) -
     };
     println!("serving {profile:?} on {} — Ctrl-C stops", server.addr());
     println!(
-        "limits: max-connections {}, shed high water {}, statement timeout {}, max-mem {}",
+        "limits: max-connections {}, shed high water {}, statement timeout {}, max-mem {}, \
+         drain {} ms",
         cfg.max_connections,
         cfg.shed_high_water,
         cfg.statement_timeout
             .map_or("off".to_string(), |d| format!("{} ms", d.as_millis())),
         max_mem.map_or("off".to_string(), format_bytes),
+        cfg.drain_timeout.as_millis(),
     );
     install_sigint_handler();
     while !SIGINT_HIT.load(Ordering::SeqCst) {
@@ -198,6 +201,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--drain-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => server_cfg.drain_timeout = std::time::Duration::from_millis(ms),
+                None => {
+                    eprintln!("--drain-ms needs a shutdown drain budget in milliseconds");
+                    std::process::exit(2);
+                }
+            },
             "--serve" => match args.next() {
                 Some(addr) => serve_addr = Some(addr),
                 None => {
@@ -233,8 +243,8 @@ fn main() {
                      [--max-mem <bytes[K|M|G]>] [--max-rounds <n>] \
                      [--statement-timeout-ms <n>]\n\
                      sqloop-cli [URL] --serve <addr> [--max-connections <n>] \
-                     [--shed-high-water <n>] [--statement-timeout-ms <n>] \
-                     [--max-mem <bytes>]"
+                     [--shed-high-water <n>] [--drain-ms <n>] \
+                     [--statement-timeout-ms <n>] [--max-mem <bytes>]"
                 );
                 return;
             }
@@ -324,8 +334,12 @@ fn main() {
         }
         match shell.sqloop.execute_detailed(sql) {
             Ok(report) => {
-                // a resume snapshot applies to exactly one statement
-                if shell.sqloop.config().resume_from.is_some() {
+                // a resume snapshot applies to exactly one *loop* run —
+                // passthrough setup statements (CREATE TABLE, INSERTs before
+                // the rerun) must not consume it
+                if report.strategy != sqloop::Strategy::Passthrough
+                    && shell.sqloop.config().resume_from.is_some()
+                {
                     shell.sqloop.config_mut().resume_from = None;
                 }
                 print_report(&report, shell.timing);
@@ -391,6 +405,9 @@ fn print_report(report: &ExecutionReport, timing: bool) {
     }
     if let Some(path) = &report.checkpoint {
         println!("-- checkpoint: {}", path.display());
+    }
+    if let Some(note) = &report.recovery_note {
+        println!("-- resume: {note}");
     }
     if !report.recovery.is_clean() {
         println!("-- recovery: {}", report.recovery);

@@ -7,21 +7,37 @@
 //! mode and partition count so a checkpoint can never silently resume a
 //! *different* run.
 //!
-//! Crash consistency comes from three properties:
+//! Crash consistency comes from four properties (see DESIGN.md §15 for the
+//! crash-point analysis):
 //!
 //! 1. every snapshot file ends in an FNV-64 checksum over its full content,
 //!    so truncation or corruption is detected, never misread;
 //! 2. snapshot and manifest writes go to a `.tmp` sibling first and are
-//!    moved into place with an atomic rename — a crash mid-write leaves the
-//!    previous checkpoint intact and at worst a stray `.tmp`;
-//! 3. the manifest (`MANIFEST.json`) names the latest complete snapshot, so
-//!    resume never has to guess which file is whole.
+//!    moved into place with an atomic rename, with full fsync discipline —
+//!    file contents *and* the parent directory after every rename — so a
+//!    power cut can neither tear a published file nor lose the rename;
+//! 3. the manifest (`MANIFEST.json`) names the latest complete snapshot and
+//!    is only written *after* that snapshot is durable; rotated snapshots
+//!    are deleted only *after* the manifest durably stops naming them;
+//! 4. recovery ([`load_latest_recovering`]) never trusts a single file: a
+//!    corrupt snapshot is quarantined to `<name>.corrupt` and resume falls
+//!    back through older manifest generations — and, when the manifest
+//!    itself is unreadable or names only missing files, through
+//!    orphaned-but-valid `*.sqloop` files found by directory scan.
+//!
+//! All file I/O is routed through the [`CkptIo`] VFS so the identical
+//! sequence runs against the real filesystem or the
+//! [`TornFs`](crate::ckpt_io::TornFs) storage
+//! fault injector (`ckpt_io.rs`); the crash-matrix harness in
+//! `tests/tests/crash_matrix.rs` enumerates every crash point of the
+//! write → manifest → rotate sequence in all four execution modes.
 //!
 //! Checkpoints are only taken at **quiesce points** (no task in flight, no
 //! unread message table), which is why the snapshot does not need message
 //! tables or partial-task state — the partition tables alone are the loop
 //! state. See `parallel.rs` for how each scheduler reaches that point.
 
+use crate::ckpt_io::{CkptIo, RealFs};
 use crate::common::run;
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::IterativeCte;
@@ -32,6 +48,7 @@ use sqldb::snapshot::TableDump;
 use sqldb::{Column, DataType, Value};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Where and how often to checkpoint (see [`crate::SqloopConfig`]).
@@ -287,6 +304,7 @@ impl LoopSnapshot {
 #[derive(Debug)]
 pub struct Checkpointer {
     config: CheckpointConfig,
+    io: Arc<dyn CkptIo>,
     /// File names of complete snapshots, oldest first.
     history: Vec<String>,
     /// Path of the most recently written snapshot.
@@ -300,18 +318,29 @@ impl Checkpointer {
     /// # Errors
     /// [`SqloopError::Checkpoint`] when the directory cannot be created.
     pub fn new(config: CheckpointConfig) -> SqloopResult<Checkpointer> {
-        std::fs::create_dir_all(&config.dir).map_err(|e| {
+        Checkpointer::with_io(config, Arc::new(RealFs))
+    }
+
+    /// As [`Checkpointer::new`], routing all file I/O through `io` — the
+    /// real filesystem in production, [`crate::TornFs`] under fault
+    /// injection.
+    ///
+    /// # Errors
+    /// [`SqloopError::Checkpoint`] when the directory cannot be created.
+    pub fn with_io(config: CheckpointConfig, io: Arc<dyn CkptIo>) -> SqloopResult<Checkpointer> {
+        io.create_dir_all(&config.dir).map_err(|e| {
             ckpt_err(format!(
                 "cannot create checkpoint dir {}: {e}",
                 config.dir.display()
             ))
         })?;
-        let history = match read_manifest(&config.dir.join(MANIFEST_NAME)) {
+        let history = match read_manifest(&*io, &config.dir.join(MANIFEST_NAME)) {
             Ok(m) => m.history,
             Err(_) => Vec::new(),
         };
         Ok(Checkpointer {
             config,
+            io,
             history,
             last_path: None,
         })
@@ -327,9 +356,12 @@ impl Checkpointer {
         self.last_path.as_deref()
     }
 
-    /// Durably writes `snap`: snapshot file first (tmp + rename), then the
-    /// manifest pointing at it, then rotation of snapshots beyond
-    /// `keep_last`. Returns the snapshot path.
+    /// Durably writes `snap`: snapshot file first (tmp + fsync + rename +
+    /// dir fsync), then the manifest pointing at it (same discipline), then
+    /// rotation of snapshots beyond `keep_last` — deletion strictly *after*
+    /// the manifest durably stops naming the dropped generations, so no
+    /// crash point can leave the manifest pointing only at deleted files.
+    /// Returns the snapshot path.
     ///
     /// # Errors
     /// [`SqloopError::Checkpoint`] on any I/O failure.
@@ -339,19 +371,22 @@ impl Checkpointer {
         let path = self.config.dir.join(&file_name);
         let encoded = snap.encode();
         let bytes = encoded.len() as u64;
-        write_atomic(&path, &encoded)?;
+        write_atomic(&*self.io, &path, &encoded)?;
         if self.history.last().map(String::as_str) != Some(file_name.as_str()) {
             self.history.retain(|h| h != &file_name);
             self.history.push(file_name.clone());
         }
-        // rotate *before* writing the manifest so the manifest never names
-        // a deleted file
+        let mut dropped = Vec::new();
         while self.history.len() > self.config.keep_last.max(1) {
-            let old = self.history.remove(0);
-            let _ = std::fs::remove_file(self.config.dir.join(old));
+            dropped.push(self.history.remove(0));
         }
         let manifest = render_manifest(snap, &file_name, &self.history);
-        write_atomic(&self.config.dir.join(MANIFEST_NAME), &manifest)?;
+        write_atomic(&*self.io, &self.config.dir.join(MANIFEST_NAME), &manifest)?;
+        for old in dropped {
+            // best-effort: a crash between the manifest write and this
+            // delete merely leaves an orphaned (still valid) snapshot
+            let _ = self.io.remove_file(&self.config.dir.join(old));
+        }
         let reg = obs::global();
         reg.counter("sqloop.checkpoint.writes").inc();
         reg.counter("sqloop.checkpoint.bytes").add(bytes);
@@ -362,16 +397,21 @@ impl Checkpointer {
     }
 }
 
-fn write_atomic(path: &Path, contents: &str) -> SqloopResult<()> {
-    use std::io::Write as _;
+/// Tmp + rename with full fsync discipline: the payload is synced before
+/// the rename and the parent directory after it, so a power cut can never
+/// publish a torn file or un-publish a completed rename.
+fn write_atomic(io: &dyn CkptIo, path: &Path, contents: &str) -> SqloopResult<()> {
     let tmp = path.with_extension("tmp");
-    let io = |e: std::io::Error| ckpt_err(format!("writing {}: {e}", path.display()));
-    {
-        let mut f = std::fs::File::create(&tmp).map_err(io)?;
-        f.write_all(contents.as_bytes()).map_err(io)?;
-        f.sync_all().map_err(io)?;
-    }
-    std::fs::rename(&tmp, path).map_err(io)
+    let err = |e: std::io::Error| ckpt_err(format!("writing {}: {e}", path.display()));
+    let fsyncs = obs::global().counter("sqloop.ckpt.fsyncs");
+    io.write_file(&tmp, contents.as_bytes()).map_err(err)?;
+    io.sync_file(&tmp).map_err(err)?;
+    fsyncs.inc();
+    io.rename(&tmp, path).map_err(err)?;
+    io.sync_dir(path.parent().unwrap_or(Path::new(".")))
+        .map_err(err)?;
+    fsyncs.inc();
+    Ok(())
 }
 
 fn render_manifest(snap: &LoopSnapshot, latest: &str, history: &[String]) -> String {
@@ -396,8 +436,9 @@ struct Manifest {
     history: Vec<String>,
 }
 
-fn read_manifest(path: &Path) -> SqloopResult<Manifest> {
-    let text = std::fs::read_to_string(path)
+fn read_manifest(io: &dyn CkptIo, path: &Path) -> SqloopResult<Manifest> {
+    let text = io
+        .read_to_string(path)
         .map_err(|e| ckpt_err(format!("cannot read manifest {}: {e}", path.display())))?;
     let doc = obs::json::parse(&text).map_err(|e| {
         ckpt_err(format!(
@@ -422,33 +463,169 @@ fn read_manifest(path: &Path) -> SqloopResult<Manifest> {
     Ok(Manifest { latest, history })
 }
 
+/// A snapshot recovered by [`load_latest_recovering`], with the story of
+/// how it was found.
+#[derive(Debug, Clone)]
+pub struct RecoveredSnapshot {
+    /// The loaded (checksum-verified) snapshot.
+    pub snapshot: LoopSnapshot,
+    /// Newer candidates that had to be skipped (corrupt or missing) before
+    /// this one loaded; `0` on a clean first-try load.
+    pub fallbacks: u64,
+    /// Corrupt snapshot files moved aside to `<name>.corrupt`.
+    pub quarantined: Vec<PathBuf>,
+    /// Human-readable recovery note (`None` when the load was clean) —
+    /// surfaced on [`crate::ExecutionReport::recovery_note`].
+    pub note: Option<String>,
+}
+
 /// Loads the most recent snapshot reachable from `path`, which may be a
 /// checkpoint directory, a `MANIFEST.json`, or a snapshot file directly.
+///
+/// Convenience wrapper over [`load_latest_recovering`] that discards the
+/// recovery details.
 ///
 /// # Errors
 /// [`SqloopError::Checkpoint`] when nothing loadable (and checksum-valid)
 /// is found.
 pub fn load_latest(path: &Path) -> SqloopResult<LoopSnapshot> {
-    let snapshot_path = if path.is_dir() {
-        let manifest = read_manifest(&path.join(MANIFEST_NAME))?;
-        path.join(manifest.latest)
-    } else if path.file_name().and_then(|n| n.to_str()) == Some(MANIFEST_NAME) {
-        let manifest = read_manifest(path)?;
-        path.parent()
-            .unwrap_or(Path::new("."))
-            .join(manifest.latest)
+    load_latest_recovering(path).map(|r| r.snapshot)
+}
+
+/// [`load_latest`] with corruption fallback: a corrupt newest snapshot is
+/// quarantined to `<name>.corrupt` and the load falls back through older
+/// manifest generations; when the manifest itself is torn, unreadable, or
+/// names only missing files, orphaned `*.sqloop` files found by directory
+/// scan are tried newest-first. Bumps `sqloop.ckpt.corrupt_detected` per
+/// corrupt file and `sqloop.ckpt.fallback_loads` when the load did not
+/// succeed on the first candidate.
+///
+/// # Errors
+/// [`SqloopError::Checkpoint`] when no candidate loads — never a wrong
+/// answer: every returned snapshot passed its checksum.
+pub fn load_latest_recovering(path: &Path) -> SqloopResult<RecoveredSnapshot> {
+    load_latest_recover_with(&RealFs, path)
+}
+
+/// [`load_latest_recovering`] over an explicit [`CkptIo`] (fault-injection
+/// harnesses pass [`crate::TornFs`]).
+///
+/// # Errors
+/// As [`load_latest_recovering`].
+pub fn load_latest_recover_with(io: &dyn CkptIo, path: &Path) -> SqloopResult<RecoveredSnapshot> {
+    let is_manifest = path.file_name().and_then(|n| n.to_str()) == Some(MANIFEST_NAME);
+    if !path.is_dir() && !is_manifest {
+        // explicit snapshot file: load exactly that file, no fallback and
+        // no quarantine — the caller named one precise artifact
+        let text = io
+            .read_to_string(path)
+            .map_err(|e| ckpt_err(format!("cannot read snapshot {}: {e}", path.display())))?;
+        let snap = LoopSnapshot::decode(&text)?;
+        obs::global().counter("sqloop.checkpoint.resumes").inc();
+        return Ok(RecoveredSnapshot {
+            snapshot: snap,
+            fallbacks: 0,
+            quarantined: Vec::new(),
+            note: None,
+        });
+    }
+    let dir = if is_manifest {
+        path.parent().unwrap_or(Path::new(".")).to_path_buf()
     } else {
         path.to_path_buf()
     };
-    let text = std::fs::read_to_string(&snapshot_path).map_err(|e| {
-        ckpt_err(format!(
-            "cannot read snapshot {}: {e}",
-            snapshot_path.display()
-        ))
-    })?;
-    let snap = LoopSnapshot::decode(&text)?;
-    obs::global().counter("sqloop.checkpoint.resumes").inc();
-    Ok(snap)
+
+    // candidate order: manifest `latest`, then older manifest generations
+    // (newest first), then orphaned snapshot files from a directory scan
+    // (newest first — zero-padded round numbers sort lexically)
+    let mut trouble: Vec<String> = Vec::new();
+    let mut candidates: Vec<String> = Vec::new();
+    match read_manifest(io, &dir.join(MANIFEST_NAME)) {
+        Ok(m) => {
+            candidates.push(m.latest.clone());
+            for h in m.history.iter().rev() {
+                if !candidates.contains(h) {
+                    candidates.push(h.clone());
+                }
+            }
+        }
+        Err(e) => trouble.push(format!("manifest unusable ({e})")),
+    }
+    if let Ok(names) = io.list_dir(&dir) {
+        let mut orphans: Vec<String> = names
+            .into_iter()
+            .filter(|n| n.ends_with(".sqloop"))
+            .collect();
+        orphans.sort_by(|a, b| b.cmp(a));
+        for o in orphans {
+            if !candidates.contains(&o) {
+                candidates.push(o);
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return Err(ckpt_err(format!(
+            "no snapshot candidates in {}: {}",
+            dir.display(),
+            trouble.join("; ")
+        )));
+    }
+
+    let reg = obs::global();
+    let mut fallbacks = 0u64;
+    let mut quarantined = Vec::new();
+    for name in &candidates {
+        let snap_path = dir.join(name);
+        let text = match io.read_to_string(&snap_path) {
+            Ok(t) => t,
+            Err(e) => {
+                trouble.push(format!("{name}: unreadable ({e})"));
+                fallbacks += 1;
+                continue;
+            }
+        };
+        match LoopSnapshot::decode(&text) {
+            Ok(snapshot) => {
+                reg.counter("sqloop.checkpoint.resumes").inc();
+                let note = if fallbacks > 0 || !trouble.is_empty() {
+                    reg.counter("sqloop.ckpt.fallback_loads").inc();
+                    Some(format!(
+                        "recovered from {name} (round {}) after: {}",
+                        snapshot.round,
+                        trouble.join("; ")
+                    ))
+                } else {
+                    None
+                };
+                return Ok(RecoveredSnapshot {
+                    snapshot,
+                    fallbacks,
+                    quarantined,
+                    note,
+                });
+            }
+            Err(e) => {
+                reg.counter("sqloop.ckpt.corrupt_detected").inc();
+                fallbacks += 1;
+                // move the bad file aside so the next save cannot collide
+                // with it and operators can inspect (or salvage) it later
+                let bad = dir.join(format!("{name}.corrupt"));
+                match io.rename(&snap_path, &bad) {
+                    Ok(()) => {
+                        trouble.push(format!("{name}: corrupt, quarantined ({e})"));
+                        quarantined.push(bad);
+                    }
+                    Err(_) => trouble.push(format!("{name}: corrupt ({e})")),
+                }
+            }
+        }
+    }
+    Err(ckpt_err(format!(
+        "no loadable snapshot in {} — tried {} candidate(s): {}",
+        dir.display(),
+        candidates.len(),
+        trouble.join("; ")
+    )))
 }
 
 /// Verifies a loaded snapshot against the resuming run's identity.

@@ -1,0 +1,547 @@
+//! Checkpoint storage virtualization and fault injection (DESIGN.md §15).
+//!
+//! Every byte the checkpoint pipeline moves — snapshot files, the manifest,
+//! rotation deletes — goes through the small [`CkptIo`] VFS so the *same*
+//! write→rename→sync sequence can run against the real filesystem
+//! ([`RealFs`], with full fsync discipline: file contents **and** the
+//! parent directory after every rename) or against the deterministic fault
+//! injector [`TornFs`].
+//!
+//! `TornFs` models the storage failure modes a power cut or flaky disk
+//! actually produces, FoundationDB-style — enumerated, not hoped away:
+//!
+//! * **crash before/after any operation** — all data that was written but
+//!   never `sync_file`d, and every rename that was never `sync_dir`d, is
+//!   dropped (a rename whose *source* was never synced durably lands as a
+//!   zero-length file, the classic ext4 foot-gun);
+//! * **torn write** — a write is truncated at byte *k* and the process
+//!   dies;
+//! * **bit flip** — one bit of a written payload is flipped and the write
+//!   otherwise succeeds (latent media corruption, surfacing only at read);
+//! * **failed rename** — the rename returns an I/O error without taking
+//!   effect;
+//! * **duplicated rename** — the rename behaves like a copy, leaving the
+//!   source in place (seen on crash-recovered journaling filesystems).
+//!
+//! `TornFs` maintains an explicit model of *durable* state next to the real
+//! scratch directory; [`TornFs::crash`] rewrites the directory to exactly
+//! the durable contents, so recovery code can then be exercised against the
+//! precise post-power-cut image with plain filesystem reads.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The checkpoint pipeline's view of storage: just enough surface to write
+/// a file atomically (tmp + rename) with explicit durability points.
+///
+/// Implementations must be usable from multiple threads (the parallel
+/// schedulers checkpoint from the scheduler thread while workers run).
+pub trait CkptIo: Send + Sync + std::fmt::Debug {
+    /// Creates `dir` and any missing parents.
+    ///
+    /// # Errors
+    /// Underlying I/O errors.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Reads a whole file as UTF-8.
+    ///
+    /// # Errors
+    /// Underlying I/O errors (including invalid UTF-8).
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Creates/truncates `path` and writes `contents` (no durability
+    /// implied — follow with [`CkptIo::sync_file`]).
+    ///
+    /// # Errors
+    /// Underlying I/O errors.
+    fn write_file(&self, path: &Path, contents: &[u8]) -> io::Result<()>;
+    /// Forces `path`'s contents to stable storage.
+    ///
+    /// # Errors
+    /// Underlying I/O errors.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Atomically replaces `to` with `from` (no durability implied —
+    /// follow with [`CkptIo::sync_dir`] on the parent).
+    ///
+    /// # Errors
+    /// Underlying I/O errors.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Forces `dir`'s entries (renames, creates, deletes) to stable
+    /// storage.
+    ///
+    /// # Errors
+    /// Underlying I/O errors.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Deletes a file.
+    ///
+    /// # Errors
+    /// Underlying I/O errors.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// File names (not paths) of `dir`'s entries, sorted ascending.
+    ///
+    /// # Errors
+    /// Underlying I/O errors.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// True when `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production [`CkptIo`]: `std::fs` with full fsync discipline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl CkptIo for RealFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn write_file(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        std::fs::write(path, contents)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // a directory opens like a file on unix; platforms where it does
+        // not (or where directory fsync is meaningless) get a best-effort
+        // no-op rather than a hard failure
+        match std::fs::File::open(dir) {
+            Ok(d) => d.sync_all().or(Ok(())),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// One injected storage fault. Operations are numbered from 1 in the order
+/// [`TornFs`] executes mutating calls (`write_file`, `sync_file`, `rename`,
+/// `sync_dir`, `remove_file`); `op` pins the fault to one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// Power cut immediately before mutating operation `op` runs: all
+    /// un-synced writes and un-`sync_dir`ed renames are lost.
+    Crash {
+        /// 1-based mutating-operation index.
+        op: u64,
+    },
+    /// The write at `op` persists only its first `keep` bytes, then the
+    /// process dies as in [`StorageFault::Crash`].
+    TornWrite {
+        /// 1-based mutating-operation index (must be a `write_file`).
+        op: u64,
+        /// Bytes of the payload that reach stable storage.
+        keep: usize,
+    },
+    /// One bit of the payload written at `op` is flipped; the write (and
+    /// the rest of the run) otherwise succeeds.
+    BitFlip {
+        /// 1-based mutating-operation index (must be a `write_file`).
+        op: u64,
+        /// Bit offset, taken modulo the payload length.
+        bit: u64,
+    },
+    /// The rename at `op` fails with an I/O error and has no effect.
+    FailRename {
+        /// 1-based mutating-operation index (must be a `rename`).
+        op: u64,
+    },
+    /// The rename at `op` behaves like a copy: the destination appears but
+    /// the source remains.
+    DuplicateRename {
+        /// 1-based mutating-operation index (must be a `rename`).
+        op: u64,
+    },
+}
+
+impl StorageFault {
+    /// The 1-based mutating-operation index this fault is armed for.
+    pub fn op(&self) -> u64 {
+        match self {
+            StorageFault::Crash { op }
+            | StorageFault::TornWrite { op, .. }
+            | StorageFault::BitFlip { op, .. }
+            | StorageFault::FailRename { op }
+            | StorageFault::DuplicateRename { op } => *op,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TornState {
+    /// Mutating operations executed so far.
+    ops: u64,
+    fault: Option<StorageFault>,
+    /// What stable storage holds right now: path → contents. Writes enter
+    /// on `sync_file`; renames move entries on `sync_dir`.
+    durable: BTreeMap<PathBuf, Vec<u8>>,
+    /// Renames performed but not yet made durable by a `sync_dir`:
+    /// `(from, to, duplicated)`.
+    pending_renames: Vec<(PathBuf, PathBuf, bool)>,
+    crashed: bool,
+}
+
+/// Deterministic storage-fault injector over one real scratch directory.
+///
+/// All mutating operations act on the real directory *and* update an
+/// explicit durable model; [`TornFs::crash`] (triggered by the configured
+/// [`StorageFault`], or called directly) rewrites the directory to exactly
+/// the durable state — the post-power-cut image.
+#[derive(Debug)]
+pub struct TornFs {
+    root: PathBuf,
+    state: Mutex<TornState>,
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected storage fault: {what}"))
+}
+
+impl TornFs {
+    /// Wraps `root` (which must exist). Files already present are
+    /// considered durable — they survive any injected crash.
+    pub fn new(root: impl Into<PathBuf>, fault: Option<StorageFault>) -> TornFs {
+        let root = root.into();
+        let mut durable = BTreeMap::new();
+        if let Ok(entries) = std::fs::read_dir(&root) {
+            for entry in entries.filter_map(Result::ok) {
+                let path = entry.path();
+                if let Ok(bytes) = std::fs::read(&path) {
+                    durable.insert(path, bytes);
+                }
+            }
+        }
+        TornFs {
+            root,
+            state: Mutex::new(TornState {
+                ops: 0,
+                fault,
+                durable,
+                pending_renames: Vec::new(),
+                crashed: false,
+            }),
+        }
+    }
+
+    /// Mutating operations executed so far (use a fault-free dry run to
+    /// enumerate the crash matrix).
+    pub fn op_count(&self) -> u64 {
+        self.state.lock().unwrap().ops
+    }
+
+    /// True once a crash fault has fired (or [`TornFs::crash`] was called).
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// Simulates the power cut now: the scratch directory is rewritten to
+    /// exactly the durable state and every later operation on this `TornFs`
+    /// fails.
+    pub fn crash(&self) {
+        let mut state = self.state.lock().unwrap();
+        Self::crash_locked(&self.root, &mut state);
+    }
+
+    fn crash_locked(root: &Path, state: &mut TornState) {
+        state.crashed = true;
+        state.pending_renames.clear();
+        if let Ok(entries) = std::fs::read_dir(root) {
+            for entry in entries.filter_map(Result::ok) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        for (path, bytes) in &state.durable {
+            let _ = std::fs::write(path, bytes);
+        }
+    }
+
+    /// Advances the op counter; fires a pending [`StorageFault::Crash`].
+    /// Returns the 1-based index of the current operation.
+    fn begin_op(&self, state: &mut TornState) -> io::Result<u64> {
+        if state.crashed {
+            return Err(injected("filesystem crashed"));
+        }
+        state.ops += 1;
+        let op = state.ops;
+        if let Some(StorageFault::Crash { op: at }) = state.fault {
+            if op == at {
+                Self::crash_locked(&self.root, state);
+                return Err(injected("power cut"));
+            }
+        }
+        Ok(op)
+    }
+}
+
+impl CkptIo for TornFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        // directory creation happens once, before the write sequence under
+        // test — not a numbered crash point
+        std::fs::create_dir_all(dir)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        if self.state.lock().unwrap().crashed {
+            return Err(injected("filesystem crashed"));
+        }
+        std::fs::read_to_string(path)
+    }
+
+    fn write_file(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        let op = self.begin_op(&mut state)?;
+        match state.fault {
+            Some(StorageFault::TornWrite { op: at, keep }) if op == at => {
+                // the torn prefix did reach the platters before the cut
+                let torn = &contents[..keep.min(contents.len())];
+                state.durable.insert(path.to_path_buf(), torn.to_vec());
+                Self::crash_locked(&self.root, &mut state);
+                Err(injected("torn write"))
+            }
+            Some(StorageFault::BitFlip { op: at, bit }) if op == at && !contents.is_empty() => {
+                let mut flipped = contents.to_vec();
+                let bit = (bit % (flipped.len() as u64 * 8)) as usize;
+                flipped[bit / 8] ^= 1 << (bit % 8);
+                std::fs::write(path, &flipped)
+            }
+            _ => std::fs::write(path, contents),
+        }
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        self.begin_op(&mut state)?;
+        let bytes = std::fs::read(path)?;
+        state.durable.insert(path.to_path_buf(), bytes);
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        let op = self.begin_op(&mut state)?;
+        match state.fault {
+            Some(StorageFault::FailRename { op: at }) if op == at => Err(injected("rename failed")),
+            Some(StorageFault::DuplicateRename { op: at }) if op == at => {
+                std::fs::copy(from, to)?;
+                state
+                    .pending_renames
+                    .push((from.to_path_buf(), to.to_path_buf(), true));
+                Ok(())
+            }
+            _ => {
+                std::fs::rename(from, to)?;
+                state
+                    .pending_renames
+                    .push((from.to_path_buf(), to.to_path_buf(), false));
+                Ok(())
+            }
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        self.begin_op(&mut state)?;
+        let applied: Vec<_> = state
+            .pending_renames
+            .iter()
+            .filter(|(from, ..)| from.parent() == Some(dir))
+            .cloned()
+            .collect();
+        state
+            .pending_renames
+            .retain(|(from, ..)| from.parent() != Some(dir));
+        for (from, to, duplicated) in applied {
+            // a rename whose source was never file-synced lands durably as
+            // a zero-length file — exactly the ext4 rename-without-fsync
+            // failure mode
+            let content = if duplicated {
+                state.durable.get(&from).cloned().unwrap_or_default()
+            } else {
+                state.durable.remove(&from).unwrap_or_default()
+            };
+            state.durable.insert(to, content);
+        }
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        self.begin_op(&mut state)?;
+        state.durable.remove(path);
+        state
+            .pending_renames
+            .retain(|(from, to, _)| from != path && to != path);
+        std::fs::remove_file(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        if self.state.lock().unwrap().crashed {
+            return Err(injected("filesystem crashed"));
+        }
+        RealFs.list_dir(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sqloop_tornfs_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// The canonical atomic-write sequence against a TornFs.
+    fn atomic_write(io: &dyn CkptIo, path: &Path, contents: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        io.write_file(&tmp, contents)?;
+        io.sync_file(&tmp)?;
+        io.rename(&tmp, path)?;
+        io.sync_dir(path.parent().unwrap())
+    }
+
+    #[test]
+    fn unsynced_data_is_lost_on_crash() {
+        let dir = scratch("unsynced");
+        let fs = TornFs::new(&dir, None);
+        fs.write_file(&dir.join("a"), b"hello").unwrap();
+        // no sync_file: the write sits in the page cache only
+        fs.crash();
+        assert!(!dir.join("a").exists(), "un-synced write must vanish");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn synced_file_survives_but_unsynced_rename_is_zero_length() {
+        let dir = scratch("rename");
+        let fs = TornFs::new(&dir, None);
+        // synced file survives a crash
+        fs.write_file(&dir.join("keep"), b"durable").unwrap();
+        fs.sync_file(&dir.join("keep")).unwrap();
+        // renamed but never dir-synced: present in the live view...
+        fs.write_file(&dir.join("b.tmp"), b"payload").unwrap();
+        fs.rename(&dir.join("b.tmp"), &dir.join("b")).unwrap();
+        assert!(dir.join("b").exists());
+        fs.crash();
+        assert_eq!(std::fs::read(dir.join("keep")).unwrap(), b"durable");
+        assert!(!dir.join("b").exists(), "un-dir-synced rename must vanish");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rename_of_unsynced_source_lands_as_zero_length_file() {
+        let dir = scratch("zero");
+        let fs = TornFs::new(&dir, None);
+        fs.write_file(&dir.join("c.tmp"), b"payload").unwrap();
+        // rename + dir sync, but the *file* itself was never synced
+        fs.rename(&dir.join("c.tmp"), &dir.join("c")).unwrap();
+        fs.sync_dir(&dir).unwrap();
+        fs.crash();
+        assert_eq!(
+            std::fs::read(dir.join("c")).unwrap(),
+            b"",
+            "entry is durable, data blocks are not"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_sync_discipline_survives_any_crash() {
+        let dir = scratch("full");
+        let fs = TornFs::new(&dir, None);
+        atomic_write(&fs, &dir.join("d"), b"all the way down").unwrap();
+        fs.crash();
+        assert_eq!(std::fs::read(dir.join("d")).unwrap(), b"all the way down");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_fault_fires_at_the_configured_op_and_preexisting_files_survive() {
+        let dir = scratch("at-op");
+        std::fs::write(dir.join("old"), b"previous generation").unwrap();
+        // ops: 1 write, 2 sync_file, 3 rename, 4 sync_dir → cut before 3
+        let fs = TornFs::new(&dir, Some(StorageFault::Crash { op: 3 }));
+        let err = atomic_write(&fs, &dir.join("e"), b"doomed").unwrap_err();
+        assert!(err.to_string().contains("power cut"), "{err}");
+        assert!(fs.crashed());
+        assert!(!dir.join("e").exists());
+        assert_eq!(
+            std::fs::read(dir.join("old")).unwrap(),
+            b"previous generation"
+        );
+        // the filesystem stays dead after the cut
+        assert!(fs.write_file(&dir.join("f"), b"x").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_keeps_a_prefix() {
+        let dir = scratch("torn");
+        let fs = TornFs::new(&dir, Some(StorageFault::TornWrite { op: 1, keep: 4 }));
+        let err = fs.write_file(&dir.join("g"), b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        assert_eq!(std::fs::read(dir.join("g")).unwrap(), b"0123");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let dir = scratch("flip");
+        let fs = TornFs::new(&dir, Some(StorageFault::BitFlip { op: 1, bit: 9 }));
+        atomic_write(&fs, &dir.join("h"), &[0x00, 0x00]).unwrap();
+        assert_eq!(std::fs::read(dir.join("h")).unwrap(), vec![0x00, 0x02]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_and_duplicated_renames() {
+        let dir = scratch("renames");
+        let fs = TornFs::new(&dir, Some(StorageFault::FailRename { op: 3 }));
+        let err = atomic_write(&fs, &dir.join("i"), b"x").unwrap_err();
+        assert!(err.to_string().contains("rename failed"), "{err}");
+        assert!(dir.join("i.tmp").exists() && !dir.join("i").exists());
+
+        let dir2 = scratch("renames2");
+        let fs = TornFs::new(&dir2, Some(StorageFault::DuplicateRename { op: 3 }));
+        atomic_write(&fs, &dir2.join("j"), b"x").unwrap();
+        assert!(
+            dir2.join("j.tmp").exists() && dir2.join("j").exists(),
+            "duplicated rename leaves both names"
+        );
+        fs.crash();
+        assert_eq!(std::fs::read(dir2.join("j")).unwrap(), b"x");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+}

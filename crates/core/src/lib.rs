@@ -36,6 +36,7 @@
 pub mod analysis;
 mod api;
 pub mod checkpoint;
+pub mod ckpt_io;
 pub mod common;
 mod config;
 mod error;
@@ -50,7 +51,8 @@ pub mod watchdog;
 
 pub use analysis::{analyze, AnalysisOutcome, ParallelPlan};
 pub use api::{DigestReport, ExecutionReport, SQLoop, Strategy, DIGEST_MISS_TOP_K};
-pub use checkpoint::{CheckpointConfig, Checkpointer, LoopSnapshot};
+pub use checkpoint::{CheckpointConfig, Checkpointer, LoopSnapshot, RecoveredSnapshot};
+pub use ckpt_io::{CkptIo, RealFs, StorageFault, TornFs};
 pub use config::{ExecutionMode, PrioritySpec, SqloopConfig, TraceConfig};
 pub use dbcp::CancelToken;
 pub use error::{SqloopError, SqloopResult};

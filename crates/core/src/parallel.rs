@@ -24,7 +24,7 @@
 
 use crate::analysis::ParallelPlan;
 use crate::checkpoint::{
-    check_fingerprint, dump_table_sql, load_latest, restore_table_sql, run_fingerprint,
+    check_fingerprint, dump_table_sql, load_latest_recovering, restore_table_sql, run_fingerprint,
     trace_checkpoint, Checkpointer, LoopSnapshot, PartSnap,
 };
 use crate::common::{
@@ -70,6 +70,9 @@ pub struct ParallelRun {
     pub recovery: RecoveryCounters,
     /// Path of the last checkpoint written (when checkpointing is on).
     pub checkpoint: Option<PathBuf>,
+    /// Human-readable note when resume had to fall back past corrupt or
+    /// unreadable snapshots (`None` on a clean load or a fresh run).
+    pub recovery_note: Option<String>,
 }
 
 #[derive(Debug, Clone)]
@@ -325,9 +328,12 @@ fn run_parallel_inner(
     let names = CteNames::new(&cte.name);
 
     let fingerprint = run_fingerprint(cte, config.mode.label(), config.partitions);
+    let mut recovery_note: Option<String> = None;
     let resume_snap = match &config.resume_from {
         Some(path) => {
-            let snap = load_latest(path)?;
+            let recovered = load_latest_recovering(path)?;
+            let snap = recovered.snapshot;
+            recovery_note = recovered.note;
             check_fingerprint(&snap, fingerprint, config.mode.label())?;
             if snap.parts.len() != config.partitions {
                 return Err(SqloopError::Checkpoint(format!(
@@ -587,6 +593,7 @@ fn run_parallel_inner(
                 samples,
                 recovery: stats.recovery,
                 checkpoint: checkpoint_path,
+                recovery_note,
             })
         }
         Err(e) => {

@@ -19,15 +19,20 @@ use crate::wire::{
 };
 use sqldb::{Database, DbError, DbResult, StmtHandle, StmtOutput};
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How often an idle client handler polls its socket (and the drain flag)
+/// while waiting for the next frame. Bounds how long an idle connection can
+/// delay a drain.
+const DRAIN_POLL: Duration = Duration::from_millis(25);
 
 /// Admission-control and load-shed settings for a [`Server`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Maximum concurrent client connections (`0` = unlimited). A
     /// connection past the limit completes the handshake, receives
@@ -42,6 +47,23 @@ pub struct ServerConfig {
     /// (`None` = off). Clients may override their own via
     /// [`Request::SetStatementTimeout`].
     pub statement_timeout: Option<Duration>,
+    /// How long [`Server::shutdown`] waits for in-flight statements to
+    /// finish and their responses to be written before abandoning the
+    /// handler threads (default 5 s). Idle connections close within
+    /// one 25 ms poll tick of the drain starting; only handlers mid-statement
+    /// use the budget.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_connections: 0,
+            shed_high_water: 0,
+            statement_timeout: None,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
 }
 
 /// Shared admission/shed state, updated by every client thread.
@@ -131,13 +153,23 @@ impl Drop for StmtGuard {
 
 /// A running database server.
 ///
-/// Dropping the handle signals shutdown; the listener thread exits after the
-/// next accept wake-up and client threads exit when their peers disconnect.
+/// Dropping the handle (or calling [`Server::shutdown`]) drains: the
+/// listener stops accepting, in-flight statements finish and flush their
+/// responses under [`ServerConfig::drain_timeout`], idle connections close
+/// within one poll tick, and the handler threads are joined.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// Set first during shutdown: handlers finish the statement they are
+    /// executing, write its response, then close instead of waiting for
+    /// another frame.
+    draining: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    /// Every spawned client-handler thread, so shutdown can join them under
+    /// the drain deadline. The accept loop prunes finished entries as it
+    /// admits new connections, bounding growth to the live-handler count.
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     governor: Arc<Governor>,
 }
 
@@ -163,16 +195,22 @@ impl Server {
             .map_err(|e| DbError::Connection(format!("local_addr: {e}")))?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
+        let draining = Arc::new(AtomicBool::new(false));
+        let drain_flag = draining.clone();
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let registry = handlers.clone();
         let governor = Arc::new(Governor::new(cfg));
         let gov = governor.clone();
         let accept_thread = std::thread::Builder::new()
             .name("dbcp-accept".into())
-            .spawn(move || accept_loop(listener, db, flag, gov))
+            .spawn(move || accept_loop(listener, db, flag, drain_flag, registry, gov))
             .map_err(|e| DbError::Connection(format!("spawn: {e}")))?;
         Ok(Server {
             addr,
             shutdown,
+            draining,
             accept_thread: Some(accept_thread),
+            handlers,
             governor,
         })
     }
@@ -187,17 +225,62 @@ impl Server {
         self.governor.conns.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown and waits for the accept loop to finish.
+    /// Gracefully shuts the server down: stops accepting, lets in-flight
+    /// statements finish and their responses reach the wire under
+    /// [`ServerConfig::drain_timeout`], then closes. Handlers still running
+    /// at the deadline are abandoned (counted in
+    /// `dbcp.server.drain_abandoned`) rather than blocking shutdown forever.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
+        // phase 1: stop accepting. The drain flag goes up first so a
+        // handler that checks it after the listener poke already sees it.
+        self.draining.store(true, Ordering::SeqCst);
         self.shutdown.store(true, Ordering::SeqCst);
         // poke the listener so accept() returns
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
+        }
+        // phase 2: drain. Idle handlers notice the flag within DRAIN_POLL
+        // and exit; handlers mid-statement get the full budget to finish
+        // and flush their response.
+        let deadline = Instant::now() + self.governor.cfg.drain_timeout;
+        loop {
+            let mut live = {
+                let mut reg = self.handlers.lock().unwrap_or_else(|p| p.into_inner());
+                std::mem::take(&mut *reg)
+            };
+            let still_running: Vec<JoinHandle<()>> = live
+                .drain(..)
+                .filter_map(|h| {
+                    if h.is_finished() {
+                        let _ = h.join();
+                        None
+                    } else {
+                        Some(h)
+                    }
+                })
+                .collect();
+            if still_running.is_empty() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                // abandon the stragglers: they hold only a session that
+                // rolls back on drop, and counting them makes the abandon
+                // visible to operators
+                obs::global()
+                    .counter("dbcp.server.drain_abandoned")
+                    .add(still_running.len() as u64);
+                break;
+            }
+            {
+                let mut reg = self.handlers.lock().unwrap_or_else(|p| p.into_inner());
+                reg.extend(still_running);
+            }
+            std::thread::sleep(DRAIN_POLL);
         }
     }
 }
@@ -210,7 +293,14 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, db: Database, shutdown: Arc<AtomicBool>, gov: Arc<Governor>) {
+fn accept_loop(
+    listener: TcpListener,
+    db: Database,
+    shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    gov: Arc<Governor>,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -221,6 +311,7 @@ fn accept_loop(listener: TcpListener, db: Database, shutdown: Arc<AtomicBool>, g
                     Some(guard) => {
                         let db = db.clone();
                         let gov = gov.clone();
+                        let drain = draining.clone();
                         let spawned =
                             std::thread::Builder::new()
                                 .name("dbcp-conn".into())
@@ -228,10 +319,15 @@ fn accept_loop(listener: TcpListener, db: Database, shutdown: Arc<AtomicBool>, g
                                     // the guard rides inside the thread so a
                                     // panicking handler still releases its slot
                                     let _guard = guard;
-                                    let _ = serve_client(stream, db, gov);
+                                    let _ = serve_client(stream, db, gov, drain);
                                 });
-                        // spawn failure drops the guard: slot released
-                        let _ = spawned;
+                        // spawn failure drops the guard: slot released;
+                        // successes are registered so shutdown can join them
+                        if let Ok(handle) = spawned {
+                            let mut reg = handlers.lock().unwrap_or_else(|p| p.into_inner());
+                            reg.retain(|h| !h.is_finished());
+                            reg.push(handle);
+                        }
                     }
                     None => {
                         // reject off the accept thread so a slow client
@@ -277,7 +373,44 @@ fn serve_rejected(mut stream: TcpStream) -> DbResult<()> {
     write_frame(&mut stream, &encode_response(&resp))
 }
 
-fn serve_client(mut stream: TcpStream, db: Database, gov: Arc<Governor>) -> DbResult<()> {
+/// Waits for the next frame without consuming bytes until one has started
+/// to arrive, so a drain can close an idle connection at any poll tick
+/// without corrupting the stream framing mid-read.
+///
+/// Returns `None` when the connection should close: peer gone, a socket
+/// error, or the server started draining while the connection was idle.
+fn await_frame(stream: &mut TcpStream, draining: &AtomicBool) -> Option<bytes::Bytes> {
+    let mut probe = [0u8; 1];
+    loop {
+        if stream.set_read_timeout(Some(DRAIN_POLL)).is_err() {
+            return None;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return None, // orderly close
+            Ok(_) => {
+                // a frame is arriving: read it whole with no poll timeout
+                // (read_exact + a timeout could drop bytes mid-frame)
+                if stream.set_read_timeout(None).is_err() {
+                    return None;
+                }
+                return read_frame(stream).ok();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if draining.load(Ordering::SeqCst) {
+                    return None; // idle during a drain: close now
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn serve_client(
+    mut stream: TcpStream,
+    db: Database,
+    gov: Arc<Governor>,
+    draining: Arc<AtomicBool>,
+) -> DbResult<()> {
     stream
         .set_nodelay(true)
         .map_err(|e| DbError::Connection(format!("nodelay: {e}")))?;
@@ -300,9 +433,11 @@ fn serve_client(mut stream: TcpStream, db: Database, gov: Arc<Governor>) -> DbRe
     let mut prepared: HashMap<u64, StmtHandle> = HashMap::new();
     let mut next_stmt_id: u64 = 1;
     loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(f) => f,
-            Err(_) => return Ok(()), // peer went away; session drop rolls back
+        let frame = match await_frame(&mut stream, &draining) {
+            Some(f) => f,
+            // peer went away or the server is draining and this connection
+            // is idle; session drop rolls back any open transaction
+            None => return Ok(()),
         };
         let request = decode_request(frame)?;
         let response = match request {

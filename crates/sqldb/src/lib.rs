@@ -70,7 +70,7 @@ pub use exec::{ExecLimits, QueryResult, StmtOutput};
 pub use op_profile::{OpNode, OpProfiler};
 pub use plan_cache::{PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use profile::{Dialect, EngineProfile, JoinStrategy};
-pub use snapshot::TableDump;
+pub use snapshot::{SalvageReport, TableDump};
 pub use stats::{Stats, StatsSnapshot};
 pub use txn::IsolationLevel;
 pub use types::{Column, DataType, Schema};

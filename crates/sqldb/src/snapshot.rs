@@ -154,6 +154,86 @@ impl TableDump {
             rows,
         })
     }
+
+    /// Best-effort decode for damaged dumps — the forensic companion to the
+    /// strict [`TableDump::decode`].
+    ///
+    /// Quarantined checkpoint files (`*.corrupt`) still hold data an
+    /// operator may want back. This parser requires an intact header
+    /// (magic, name, pk, columns, row count) but then keeps the longest
+    /// prefix of rows that decode cleanly, dropping everything at and after
+    /// the first torn or malformed row, and ignoring trailing junk. The
+    /// accompanying [`SalvageReport`] says exactly how much survived, so a
+    /// salvaged table can never be mistaken for a faithful one.
+    ///
+    /// # Errors
+    /// Returns [`DbError::Invalid`] only when the header itself is damaged —
+    /// without a trustworthy schema there is nothing safe to salvage.
+    pub fn decode_salvage(text: &str) -> DbResult<(TableDump, SalvageReport)> {
+        let header_end = Self::header_span(text)?;
+        let header = &text[..header_end];
+        let declared = header
+            .lines()
+            .next_back()
+            .and_then(|l| l.strip_prefix("rows "))
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or_else(|| DbError::Invalid("table dump: bad row count".into()))?;
+        // re-declare zero rows so the strict decoder validates just the
+        // header fields (magic, name, pk, columns)
+        let rows_line_len =
+            header.lines().next_back().map_or(0, |l| l.len()) + usize::from(header.ends_with('\n'));
+        let rows_line_start = header_end - rows_line_len;
+        let mut dump = TableDump::decode(&format!("{}rows 0\n", &header[..rows_line_start]))?;
+        debug_assert!(dump.rows.is_empty());
+        let arity = dump.columns.len();
+        let body: Vec<&str> = text[header_end..].lines().take(declared).collect();
+        for line in &body {
+            let row: DbResult<Row> = line.split('\t').map(decode_value).collect();
+            match row {
+                Ok(row) if row.len() == arity => dump.rows.push(row),
+                _ => break,
+            }
+        }
+        let report = SalvageReport {
+            rows_kept: dump.rows.len(),
+            rows_dropped: declared - dump.rows.len(),
+            truncated: body.len() < declared,
+        };
+        Ok((dump, report))
+    }
+
+    /// Byte offset one past the `rows N` line, validating nothing else —
+    /// shared by [`TableDump::decode_salvage`] to split header from rows.
+    fn header_span(text: &str) -> DbResult<usize> {
+        let bad = |what: &str| DbError::Invalid(format!("table dump: {what}"));
+        let mut offset = 0usize;
+        for line in text.split_inclusive('\n') {
+            offset += line.len();
+            if line.trim_end_matches('\n').starts_with("rows ") {
+                return Ok(offset);
+            }
+        }
+        Err(bad("missing rows line"))
+    }
+}
+
+/// What [`TableDump::decode_salvage`] managed to pull out of a damaged dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Rows that decoded cleanly (the kept prefix).
+    pub rows_kept: usize,
+    /// Declared rows that were torn, malformed, or missing.
+    pub rows_dropped: usize,
+    /// The file ended before the declared row count — a torn tail rather
+    /// than in-place corruption.
+    pub truncated: bool,
+}
+
+impl SalvageReport {
+    /// Nothing was lost: every declared row decoded.
+    pub fn complete(&self) -> bool {
+        self.rows_dropped == 0 && !self.truncated
+    }
 }
 
 fn encode_value(out: &mut String, v: &Value) {
@@ -357,6 +437,85 @@ mod tests {
         // bad tag
         assert!(decode_value("x1").is_err());
         assert!(decode_value("").is_err());
+    }
+
+    #[test]
+    fn salvage_recovers_the_valid_prefix_of_a_truncated_dump() {
+        let d = dump2();
+        let text = d.encode();
+        // cut mid-way through the second row: the first row must survive
+        let second_row_at = text.rfind("i2").unwrap();
+        let (got, report) = TableDump::decode_salvage(&text[..second_row_at + 1]).unwrap();
+        assert_eq!(got.name, d.name);
+        assert_eq!(got.columns, d.columns);
+        assert_eq!(got.rows, vec![d.rows[0].clone()]);
+        assert_eq!(
+            report,
+            SalvageReport {
+                rows_kept: 1,
+                rows_dropped: 1,
+                truncated: false, // the torn second row is present, just bad
+            }
+        );
+
+        // cut before the second row line even starts: now it is a torn tail
+        let (_, report) = TableDump::decode_salvage(&text[..second_row_at]).unwrap();
+        assert!(report.truncated);
+        assert_eq!(report.rows_dropped, 1);
+    }
+
+    #[test]
+    fn salvage_stops_at_the_first_corrupt_row_and_ignores_trailing_junk() {
+        let mut big = dump2();
+        big.rows.push(vec![Value::Int(3), Value::Float(1.5)]);
+        let text = big.encode();
+        // corrupt the middle row's value tag
+        let corrupted = text.replacen("i2", "z2", 1);
+        let (got, report) = TableDump::decode_salvage(&corrupted).unwrap();
+        assert_eq!(got.rows, vec![big.rows[0].clone()]);
+        assert_eq!(report.rows_kept, 1);
+        assert_eq!(report.rows_dropped, 2);
+        assert!(!report.truncated);
+        assert!(!report.complete());
+
+        // junk past the declared row count is ignored, not fatal
+        let trailing = format!("{text}garbage that never decodes\n");
+        let (got, report) = TableDump::decode_salvage(&trailing).unwrap();
+        assert_eq!(got, big);
+        assert!(report.complete());
+    }
+
+    #[test]
+    fn salvage_of_an_intact_dump_is_lossless() {
+        let d = dump2();
+        let (got, report) = TableDump::decode_salvage(&d.encode()).unwrap();
+        assert_eq!(got, d);
+        assert_eq!(
+            report,
+            SalvageReport {
+                rows_kept: 2,
+                rows_dropped: 0,
+                truncated: false
+            }
+        );
+        assert!(report.complete());
+    }
+
+    #[test]
+    fn salvage_refuses_a_damaged_header() {
+        let text = dump2().encode();
+        // no rows line at all
+        let cut = &text[..text.find("rows ").unwrap()];
+        assert!(matches!(
+            TableDump::decode_salvage(cut),
+            Err(DbError::Invalid(_))
+        ));
+        // bad magic: schema cannot be trusted
+        let bad_magic = text.replacen("sqldb-table v1", "sqldb-table v9", 1);
+        assert!(TableDump::decode_salvage(&bad_magic).is_err());
+        // unknown column type
+        let bad_col = text.replacen("col v FLOAT", "col v BLOB", 1);
+        assert!(TableDump::decode_salvage(&bad_col).is_err());
     }
 
     #[test]

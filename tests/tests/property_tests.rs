@@ -3,7 +3,9 @@
 //! * the wire codec round-trips arbitrary results;
 //! * partition bucketing is total and stable;
 //! * hash-join ≡ block-nested-loop on random inputs;
-//! * parallel SSSP ≡ Dijkstra on random graphs.
+//! * parallel SSSP ≡ Dijkstra on random graphs;
+//! * snapshot decode/load survive arbitrary truncation and bit flips
+//!   without panicking and without ever returning a corrupted snapshot.
 
 use dbcp::wire;
 use proptest::prelude::*;
@@ -139,6 +141,133 @@ proptest! {
         let hash = mk(EngineProfile::Postgres);
         let bnl = mk(EngineProfile::MySql);
         prop_assert_eq!(hash, bnl);
+    }
+}
+
+// -- snapshot corruption --------------------------------------------------
+
+fn arb_snapshot() -> impl Strategy<Value = sqloop::LoopSnapshot> {
+    use sqloop::checkpoint::PartSnap;
+    use sqloop::LoopSnapshot;
+    (
+        (any::<u64>(), 0u64..1000, 0u64..1000),
+        (
+            proptest::collection::vec(
+                (any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>()),
+                0..5,
+            ),
+            proptest::collection::vec(any::<u64>(), 0..4),
+            proptest::collection::vec((any::<i64>(), -1e6f64..1e6), 0..12),
+        ),
+    )
+        .prop_map(
+            |((fingerprint, round, last_change), (parts, seeds, cells))| LoopSnapshot {
+                fingerprint,
+                mode: "Sync".into(),
+                round,
+                last_change,
+                parts: parts
+                    .into_iter()
+                    .map(|(computes, msg_seq, pending, prefer_compute)| PartSnap {
+                        computes,
+                        msg_seq,
+                        pending,
+                        prefer_compute,
+                    })
+                    .collect(),
+                seeds,
+                tables: vec![sqldb::snapshot::TableDump {
+                    name: "cte__pt0".into(),
+                    columns: vec![
+                        sqldb::Column::new("node", sqldb::DataType::Int),
+                        sqldb::Column::new("delta", sqldb::DataType::Float),
+                    ],
+                    primary_key: Some(0),
+                    rows: cells
+                        .into_iter()
+                        .map(|(k, v)| vec![Value::Int(k), Value::Float(v)])
+                        .collect(),
+                }],
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Truncating an encoded snapshot at any byte offset never panics the
+    /// decoder, and anything it accepts is byte-for-byte the original.
+    #[test]
+    fn snapshot_decode_survives_truncation(snap in arb_snapshot(), cut in 0.0f64..1.0) {
+        let text = snap.encode();
+        let mut at = (text.len() as f64 * cut) as usize;
+        while !text.is_char_boundary(at) {
+            at -= 1;
+        }
+        match sqloop::LoopSnapshot::decode(&text[..at]) {
+            Ok(got) => prop_assert_eq!(got, snap, "truncation at {} accepted", at),
+            Err(sqloop::SqloopError::Checkpoint(_)) => {}
+            Err(other) => prop_assert!(false, "wrong error type: {}", other),
+        }
+    }
+
+    /// Flipping any single bit never panics the decoder and never yields a
+    /// snapshot that differs from the one that was written.
+    #[test]
+    fn snapshot_decode_survives_bit_flips(snap in arb_snapshot(), pos in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = snap.encode().into_bytes();
+        let at = ((bytes.len() as f64 * pos) as usize).min(bytes.len() - 1);
+        bytes[at] ^= 1 << bit;
+        // a flip can leave the file non-UTF-8; that is the read-layer's
+        // error path and equally must not produce a wrong snapshot
+        if let Ok(text) = String::from_utf8(bytes) {
+            match sqloop::LoopSnapshot::decode(&text) {
+                Ok(got) => prop_assert_eq!(got, snap, "flip at byte {} bit {} accepted", at, bit),
+                Err(sqloop::SqloopError::Checkpoint(_)) => {}
+                Err(other) => prop_assert!(false, "wrong error type: {}", other),
+            }
+        }
+    }
+}
+
+proptest! {
+    // disk-backed corruption property: fewer cases, real files
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `load_latest` on a damaged snapshot *file* (truncated and bit-flipped,
+    /// possibly invalid UTF-8) is a typed error or the exact original —
+    /// never a panic, never a silently different snapshot.
+    #[test]
+    fn snapshot_load_never_returns_damaged_data(
+        snap in arb_snapshot(),
+        cut in 0.0f64..1.0001,
+        flip in proptest::option::of((0.0f64..1.0, 0u8..8)),
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let mut bytes = snap.encode().into_bytes();
+        bytes.truncate((bytes.len() as f64 * cut) as usize);
+        if let (Some((pos, bit)), false) = (flip, bytes.is_empty()) {
+            let at = ((bytes.len() as f64 * pos) as usize).min(bytes.len() - 1);
+            bytes[at] ^= 1 << bit;
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "sqloop-prop-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt_r00000001.sqloop");
+        std::fs::write(&path, &bytes).unwrap();
+        let outcome = sqloop::checkpoint::load_latest(&path);
+        match outcome {
+            // accepting is only legal when the content still checksums to the
+            // original (e.g. only a trailing newline was lost)
+            Ok(got) => prop_assert_eq!(got, snap, "cut {:?}, flip {:?}", cut, flip),
+            Err(sqloop::SqloopError::Checkpoint(_)) => {}
+            Err(other) => prop_assert!(false, "wrong error type: {}", other),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 
