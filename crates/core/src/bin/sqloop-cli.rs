@@ -159,6 +159,7 @@ fn main() {
     let mut max_mem = None;
     let mut max_rounds = None;
     let mut statement_timeout = None;
+    let mut stall_timeout = None;
     let mut serve_addr: Option<String> = None;
     let mut server_cfg = dbcp::ServerConfig::default();
     let mut args = std::env::args().skip(1);
@@ -184,6 +185,18 @@ fn main() {
                 }
                 _ => {
                     eprintln!("--statement-timeout-ms needs a number of milliseconds");
+                    std::process::exit(2);
+                }
+            },
+            "--stall-timeout-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => {
+                    stall_timeout = Some(std::time::Duration::from_millis(ms));
+                }
+                _ => {
+                    eprintln!(
+                        "--stall-timeout-ms needs a number of milliseconds \
+                         (set it above the worst-case round time)"
+                    );
                     std::process::exit(2);
                 }
             },
@@ -241,7 +254,7 @@ fn main() {
                     "sqloop-cli [URL] [--checkpoint <dir>[:interval]] \
                      [--resume <path>] [--deadline-ms <n>] \
                      [--max-mem <bytes[K|M|G]>] [--max-rounds <n>] \
-                     [--statement-timeout-ms <n>]\n\
+                     [--statement-timeout-ms <n>] [--stall-timeout-ms <n>]\n\
                      sqloop-cli [URL] --serve <addr> [--max-connections <n>] \
                      [--shed-high-water <n>] [--drain-ms <n>] \
                      [--statement-timeout-ms <n>] [--max-mem <bytes>]"
@@ -272,6 +285,7 @@ fn main() {
     sqloop.config_mut().max_mem = max_mem;
     sqloop.config_mut().watchdog.max_rounds = max_rounds;
     sqloop.config_mut().statement_timeout = statement_timeout;
+    sqloop.config_mut().stall_timeout = stall_timeout;
 
     install_sigint_handler();
     // the watcher turns the async-signal flag into a cooperative
@@ -481,6 +495,7 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
             println!("\\limits window <n>|off           divergence watchdog trend window");
             println!("\\limits numeric on|off           NaN/Inf divergence probes");
             println!("\\limits timeout <ms>|off         per-statement engine deadline");
+            println!("\\limits stall <ms>|off           supervisor stall verdict threshold");
             println!("\\stats                           metric deltas since last \\stats");
             println!("\\profile on|off                  per-operator actuals (EXPLAIN ANALYZE)");
             println!("\\top [k] | \\top misses [k]       statement digests by time / cache misses");
@@ -638,6 +653,11 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
                     c.deadline
                         .map_or_else(off, |d| format!("{} ms", d.as_millis()))
                 );
+                println!(
+                    "stall timeout    : {}",
+                    c.stall_timeout
+                        .map_or_else(off, |d| format!("{} ms", d.as_millis()))
+                );
                 match sqloop.driver().memory_used() {
                     Some(n) => println!("engine memory    : {} in use", format_bytes(n)),
                     None => println!("engine memory    : not observable over this driver"),
@@ -697,7 +717,21 @@ fn meta_command(cmd: &str, shell: &mut Shell) -> bool {
                 }
                 _ => usage("\\limits timeout <ms> | \\limits timeout off"),
             },
-            _ => usage("\\limits [mem|rounds|window|numeric|timeout <value>|off]"),
+            (Some("stall"), Some("off")) => {
+                sqloop.config_mut().stall_timeout = None;
+                println!("stall timeout off");
+            }
+            (Some("stall"), Some(v)) => match v.parse::<u64>() {
+                Ok(ms) if ms >= 1 => {
+                    sqloop.config_mut().stall_timeout = Some(std::time::Duration::from_millis(ms));
+                    println!(
+                        "stall timeout = {ms} ms (workers silent past this are \
+                         abandoned and replaced; set it above the worst-case round time)"
+                    );
+                }
+                _ => usage("\\limits stall <ms> | \\limits stall off"),
+            },
+            _ => usage("\\limits [mem|rounds|window|numeric|timeout|stall <value>|off]"),
         },
         "\\stats" => {
             let now = obs::global().snapshot();

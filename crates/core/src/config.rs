@@ -219,6 +219,18 @@ pub struct SqloopConfig {
     /// Per-statement execution deadline pushed onto every connection the
     /// run opens (`None` = off).
     pub statement_timeout: Option<Duration>,
+    /// Heartbeat silence after which the supervisor abandons a busy
+    /// worker, spawns a replacement, and replays its task (`None` = no
+    /// stall remediation; barriers still poll for worker deaths).
+    /// Distinct from the numeric watchdog: this is about *liveness* of a
+    /// worker thread, not convergence of the iterating state. Set it
+    /// comfortably above the worst-case duration of one partition round —
+    /// abandoning a worker that is merely slow risks re-executing its
+    /// in-flight statements. See DESIGN.md §16.
+    pub stall_timeout: Option<Duration>,
+    /// How long barrier waits block before checking worker liveness
+    /// (heartbeats, dead threads). Bounds stall/panic detection latency.
+    pub supervisor_poll: Duration,
 }
 
 impl Default for SqloopConfig {
@@ -249,6 +261,8 @@ impl Default for SqloopConfig {
             watchdog: WatchdogConfig::default(),
             max_mem: None,
             statement_timeout: None,
+            stall_timeout: None,
+            supervisor_poll: Duration::from_millis(20),
         }
     }
 }
@@ -291,6 +305,17 @@ impl SqloopConfig {
         }
         if self.max_mem == Some(0) {
             return Err("max_mem must be at least 1 byte".into());
+        }
+        if self.supervisor_poll.is_zero() {
+            return Err("supervisor_poll must be non-zero".into());
+        }
+        if let Some(st) = self.stall_timeout {
+            if st.is_zero() {
+                return Err("stall_timeout must be non-zero".into());
+            }
+            if st < self.supervisor_poll {
+                return Err("stall_timeout must be at least supervisor_poll".into());
+            }
         }
         Ok(())
     }
@@ -392,6 +417,34 @@ mod tests {
             },
             max_mem: Some(64 << 20),
             statement_timeout: Some(Duration::from_secs(30)),
+            ..SqloopConfig::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn supervision_validation() {
+        let c = SqloopConfig::default();
+        assert!(c.stall_timeout.is_none(), "stall remediation is opt-in");
+        assert!(!c.supervisor_poll.is_zero(), "barriers always poll");
+        let c = SqloopConfig {
+            stall_timeout: Some(Duration::ZERO),
+            ..SqloopConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SqloopConfig {
+            supervisor_poll: Duration::ZERO,
+            ..SqloopConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SqloopConfig {
+            stall_timeout: Some(Duration::from_millis(5)),
+            supervisor_poll: Duration::from_millis(20),
+            ..SqloopConfig::default()
+        };
+        assert!(c.validate().is_err(), "stall_timeout below the poll tick");
+        let c = SqloopConfig {
+            stall_timeout: Some(Duration::from_secs(30)),
             ..SqloopConfig::default()
         };
         assert!(c.validate().is_ok());

@@ -47,6 +47,32 @@ pub enum SqloopError {
         /// The round/iteration at which the budget tripped.
         round: u64,
     },
+    /// A worker thread panicked — caught at the worker's `catch_unwind`
+    /// boundary, discovered when a worker thread exited mid-task, or
+    /// surfaced when every worker died with tasks still in flight.
+    /// Retryable: the connection is dropped (the engine session rolls
+    /// back on drop), a replacement worker replays the task, and the
+    /// downgrade path can finish the run single-threaded.
+    WorkerPanic {
+        /// The panicking worker's id (`None` when the whole pool died
+        /// and no single culprit is known).
+        worker: Option<u32>,
+        /// The panic payload (or a description of how the death was
+        /// detected).
+        detail: String,
+    },
+    /// A worker's heartbeat went silent past the configured
+    /// `stall_timeout` while a task was in flight, and the supervisor
+    /// abandoned it. Retryable: a replacement worker replays the
+    /// partition's round from the failed statement.
+    WorkerStalled {
+        /// The stalled worker's id.
+        worker: u32,
+        /// The partition whose task was abandoned.
+        partition: usize,
+        /// How long the heartbeat had been silent when the verdict fired.
+        waited_ms: u64,
+    },
     /// A parallel Compute/Gather task failed after `attempt` attempts;
     /// `source` is the error of the last attempt. Produced when the
     /// scheduler's replay budget is exhausted (or immediately for errors
@@ -80,6 +106,8 @@ impl SqloopError {
             ),
             SqloopError::Task { source, .. } => source.is_retryable(),
             SqloopError::Worker(_) => true,
+            SqloopError::WorkerPanic { .. } => true,
+            SqloopError::WorkerStalled { .. } => true,
             _ => false,
         }
     }
@@ -93,6 +121,18 @@ impl fmt::Display for SqloopError {
             SqloopError::Config(m) => write!(f, "configuration error: {m}"),
             SqloopError::Db(e) => write!(f, "engine error: {e}"),
             SqloopError::Worker(m) => write!(f, "worker failure: {m}"),
+            SqloopError::WorkerPanic { worker, detail } => match worker {
+                Some(w) => write!(f, "worker {w} panicked: {detail}"),
+                None => write!(f, "panic absorbed: {detail}"),
+            },
+            SqloopError::WorkerStalled {
+                worker,
+                partition,
+                waited_ms,
+            } => write!(
+                f,
+                "worker {worker} stalled on partition {partition}: no heartbeat for {waited_ms}ms"
+            ),
             SqloopError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             SqloopError::NumericDivergence {
                 partition,
@@ -184,6 +224,22 @@ mod tests {
         assert!(!SqloopError::Semantic("x".into()).is_retryable());
         assert!(!SqloopError::Config("x".into()).is_retryable());
         assert!(SqloopError::Worker("pool died".into()).is_retryable());
+        assert!(SqloopError::WorkerPanic {
+            worker: Some(2),
+            detail: "chaos: injected panic".into(),
+        }
+        .is_retryable());
+        assert!(SqloopError::WorkerPanic {
+            worker: None,
+            detail: "every worker exited".into(),
+        }
+        .is_retryable());
+        assert!(SqloopError::WorkerStalled {
+            worker: 1,
+            partition: 4,
+            waited_ms: 500,
+        }
+        .is_retryable());
         assert!(!SqloopError::Checkpoint("bad checksum".into()).is_retryable());
         // load shedding backs off and retries; governance verdicts do not
         assert!(SqloopError::from(DbError::Overloaded("shed".into())).is_retryable());
@@ -226,6 +282,31 @@ mod tests {
         let text = b.to_string();
         assert!(text.contains("max_rounds"), "{text}");
         assert!(text.contains("round 50"), "{text}");
+    }
+
+    #[test]
+    fn supervision_errors_display_their_evidence() {
+        let p = SqloopError::WorkerPanic {
+            worker: Some(3),
+            detail: "chaos: injected panic".into(),
+        };
+        let text = p.to_string();
+        assert!(text.contains("worker 3"), "{text}");
+        assert!(text.contains("injected panic"), "{text}");
+        let pool = SqloopError::WorkerPanic {
+            worker: None,
+            detail: "every worker exited with 2 task(s) in flight".into(),
+        };
+        assert!(pool.to_string().contains("every worker exited"), "{pool}");
+        let s = SqloopError::WorkerStalled {
+            worker: 1,
+            partition: 4,
+            waited_ms: 750,
+        };
+        let text = s.to_string();
+        assert!(text.contains("worker 1"), "{text}");
+        assert!(text.contains("partition 4"), "{text}");
+        assert!(text.contains("750ms"), "{text}");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod parallel_sql;
 pub mod progress;
 mod router;
 pub mod single;
+pub mod supervisor;
 pub mod translate;
 pub mod watchdog;
 

@@ -37,16 +37,17 @@ use crate::grammar::{IterativeCte, Termination};
 use crate::parallel_sql::SqlGen;
 use crate::progress::{ProgressSample, RecoveryCounters, Sampler};
 use crate::single::RunOutcome;
+use crate::supervisor::{now_us, panic_detail, HeartbeatSlot, SupervisorMetrics, STATE_BUSY};
 use crate::translate::{translate_query_to_sql, translate_sql};
 use crate::watchdog::{Governance, Watchdog};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dbcp::{CancelToken, Connection, Driver, PipelineStep, PreparedStatement, RetryPolicy};
 use obs::{EventKind, Span, SpanKind, SpanOutcome, TraceHandle};
 use sqldb::{DataType, DbError, Row, StmtOutput, Value};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Report of one parallel run.
 #[derive(Debug, Clone)]
@@ -81,8 +82,13 @@ enum TaskKind {
     Gather { read_until: usize },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Task {
+    /// Scheduler-unique dispatch id, assigned at dispatch time. The
+    /// supervisor keys its in-flight map by it, so a result coming back
+    /// from an abandoned worker (whose task was replayed under a new id)
+    /// can be recognized and discarded.
+    task_id: u64,
     partition: usize,
     kind: TaskKind,
     stmts: Vec<String>,
@@ -425,34 +431,15 @@ fn run_parallel_inner(
 
     // worker pool: one connection per thread, opened lazily inside the
     // worker under a retry policy — a refused connect becomes a retryable
-    // task failure instead of aborting the whole run before it starts
+    // task failure instead of aborting the whole run before it starts.
+    // The pool keeps its own ends of both channels so it can mint
+    // replacement workers for abandoned ones mid-run.
     let (task_tx, task_rx) = unbounded::<Task>();
     let (done_tx, done_rx) = unbounded::<Done>();
-    let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(config.threads);
-    for i in 0..config.threads {
-        let drv = Arc::clone(driver);
-        let policy = RetryPolicy {
-            max_attempts: config.reconnect_attempts,
-            base_delay: config.retry_backoff,
-            jitter_seed: i as u64 + 1,
-            ..RetryPolicy::default()
-        };
-        let rx = task_rx.clone();
-        let tx = done_tx.clone();
-        let wtrace = trace.clone();
-        let wcancel = config.cancel.clone();
-        let wtimeout = config.statement_timeout;
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("sqloop-worker-{i}"))
-                .spawn(move || {
-                    worker_loop(drv, policy, rx, tx, i as u32, wtrace, wcancel, wtimeout)
-                })
-                .map_err(|e| SqloopError::Config(format!("spawn worker: {e}")))?,
-        );
+    let mut pool = WorkerPool::new(driver, config, trace, task_rx, done_tx);
+    for _ in 0..config.threads {
+        pool.spawn_worker()?;
     }
-    drop(task_rx);
-    drop(done_tx);
 
     let parts = match &resume_snap {
         Some(snap) => snap
@@ -485,6 +472,7 @@ fn run_parallel_inner(
             config.partitions
         ],
     };
+    let sup = pool.sup.clone();
     let mut scheduler = Scheduler {
         gen: &gen,
         config,
@@ -492,6 +480,10 @@ fn run_parallel_inner(
         main: main.as_mut(),
         task_tx: &task_tx,
         done_rx: &done_rx,
+        pool: &mut pool,
+        dispatched: HashMap::new(),
+        next_task_id: 1,
+        sup,
         parts,
         msgs: Vec::new(),
         in_flight: 0,
@@ -508,6 +500,9 @@ fn run_parallel_inner(
         retries: 0,
         reconnects: 0,
         task_failures: 0,
+        worker_panics: 0,
+        stalls: 0,
+        replacements: 0,
         aborting: false,
         trace,
         cache_probe: PlanCacheProbe::new(),
@@ -534,7 +529,7 @@ fn run_parallel_inner(
             "single mode must use the single-threaded executor".into(),
         )),
     };
-    let stats = SchedStats {
+    let mut stats = SchedStats {
         computes: scheduler.computes,
         gathers: scheduler.gathers,
         messages: scheduler.messages,
@@ -544,6 +539,9 @@ fn run_parallel_inner(
             task_retries: scheduler.retries,
             worker_reconnects: scheduler.reconnects,
             task_failures: scheduler.task_failures,
+            worker_panics: scheduler.worker_panics,
+            stalls: scheduler.stalls,
+            worker_replacements: scheduler.replacements,
             downgraded: false,
         },
     };
@@ -553,13 +551,14 @@ fn run_parallel_inner(
         .as_ref()
         .and_then(|c| c.last_path().map(Path::to_path_buf));
     drop(scheduler);
-    *recovery_out = stats.recovery;
 
-    // stop workers and collect them
+    // stop workers and collect them; panics that escaped a worker loop
+    // surface here as counted recoveries, never silently — and abandoned
+    // workers (possibly hung forever) are detached, not joined, so
+    // cleanup can't re-wedge a run the supervisor already saved
     drop(task_tx);
-    for h in handles {
-        let _ = h.join();
-    }
+    stats.recovery.worker_panics += pool.shutdown();
+    *recovery_out = stats.recovery;
     let samples = sampler.map(Sampler::stop).unwrap_or_default();
 
     let finish = |main: &mut dyn Connection| -> SqloopResult<()> {
@@ -612,8 +611,9 @@ struct SchedStats {
     recovery: RecoveryCounters,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
+/// Everything one worker thread needs, bundled so replacements are spawned
+/// from the same recipe as the initial pool.
+struct WorkerCtx {
     driver: Arc<dyn Driver>,
     policy: RetryPolicy,
     rx: Receiver<Task>,
@@ -622,10 +622,181 @@ fn worker_loop(
     trace: TraceHandle,
     cancel: CancelToken,
     statement_timeout: Option<std::time::Duration>,
-) {
+    /// This worker's heartbeat, shared with the supervisor.
+    slot: Arc<HeartbeatSlot>,
+    /// The pool's clock epoch heartbeats are stamped against.
+    epoch: Instant,
+    sup: SupervisorMetrics,
+}
+
+/// One spawned worker as the supervisor sees it.
+struct WorkerHandle {
+    id: u32,
+    slot: Arc<HeartbeatSlot>,
+    handle: std::thread::JoinHandle<()>,
+    /// Set when the supervisor gave up on this worker (stall or death
+    /// verdict). Abandoned workers are replaced, their task replayed, and
+    /// their thread detached at shutdown if it never finished.
+    abandoned: bool,
+}
+
+/// The run's worker pool: spawns the initial `sqloop-worker-{id}` threads
+/// and mints replacements for abandoned ones mid-run. It keeps its own
+/// clones of both channel ends so a replacement can be wired up at any
+/// time; `shutdown` drops them so idle workers see the task stream end.
+struct WorkerPool {
+    driver: Arc<dyn Driver>,
+    reconnect_attempts: u32,
+    retry_backoff: std::time::Duration,
+    statement_timeout: Option<std::time::Duration>,
+    cancel: CancelToken,
+    trace: TraceHandle,
+    task_rx: Receiver<Task>,
+    done_tx: Sender<Done>,
+    /// Clock origin for heartbeat timestamps.
+    epoch: Instant,
+    sup: SupervisorMetrics,
+    workers: Vec<WorkerHandle>,
+    next_id: u32,
+}
+
+impl WorkerPool {
+    fn new(
+        driver: &Arc<dyn Driver>,
+        config: &SqloopConfig,
+        trace: &TraceHandle,
+        task_rx: Receiver<Task>,
+        done_tx: Sender<Done>,
+    ) -> WorkerPool {
+        WorkerPool {
+            driver: Arc::clone(driver),
+            reconnect_attempts: config.reconnect_attempts,
+            retry_backoff: config.retry_backoff,
+            statement_timeout: config.statement_timeout,
+            cancel: config.cancel.clone(),
+            trace: trace.clone(),
+            task_rx,
+            done_tx,
+            epoch: Instant::now(),
+            sup: SupervisorMetrics::new(),
+            workers: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Spawns a named `sqloop-worker-{id}` thread wired to the pool's
+    /// channels; returns its id.
+    fn spawn_worker(&mut self) -> SqloopResult<u32> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let slot = Arc::new(HeartbeatSlot::new(now_us(self.epoch)));
+        let ctx = WorkerCtx {
+            driver: Arc::clone(&self.driver),
+            policy: RetryPolicy {
+                max_attempts: self.reconnect_attempts,
+                base_delay: self.retry_backoff,
+                jitter_seed: u64::from(id) + 1,
+                ..RetryPolicy::default()
+            },
+            rx: self.task_rx.clone(),
+            tx: self.done_tx.clone(),
+            worker: id,
+            trace: self.trace.clone(),
+            cancel: self.cancel.clone(),
+            statement_timeout: self.statement_timeout,
+            slot: Arc::clone(&slot),
+            epoch: self.epoch,
+            sup: self.sup.clone(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("sqloop-worker-{id}"))
+            .spawn(move || worker_loop(ctx))
+            .map_err(|e| SqloopError::Config(format!("spawn worker: {e}")))?;
+        self.workers.push(WorkerHandle {
+            id,
+            slot,
+            handle,
+            abandoned: false,
+        });
+        Ok(id)
+    }
+
+    /// True when every non-abandoned worker thread has exited — with tasks
+    /// still in flight, that means nobody is left to finish them.
+    fn all_live_finished(&self) -> bool {
+        let mut any_live = false;
+        for w in &self.workers {
+            if w.abandoned {
+                continue;
+            }
+            any_live = true;
+            if !w.handle.is_finished() {
+                return false;
+            }
+        }
+        any_live
+    }
+
+    /// Joins the workers and returns how many panicked outside a task body
+    /// (the per-task `catch_unwind` makes that rare). Abandoned workers
+    /// that never finished — e.g. hung forever inside an injected stall —
+    /// are detached instead of joined, so shutdown can't re-wedge a run
+    /// the supervisor already saved; their panics (if any) were accounted
+    /// by the verdict that abandoned them.
+    fn shutdown(self) -> u64 {
+        drop(self.task_rx);
+        drop(self.done_tx);
+        let mut panics = 0u64;
+        for w in self.workers {
+            if w.abandoned {
+                if w.handle.is_finished() {
+                    let _ = w.handle.join();
+                }
+                continue;
+            }
+            if let Err(payload) = w.handle.join() {
+                panics += 1;
+                self.sup.panics_caught.inc();
+                self.trace.event(
+                    EventKind::Panic,
+                    None,
+                    None,
+                    format!(
+                        "worker {} panicked outside a task: {}",
+                        w.id,
+                        panic_detail(payload.as_ref())
+                    ),
+                );
+            }
+        }
+        panics
+    }
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    let WorkerCtx {
+        driver,
+        policy,
+        rx,
+        tx,
+        worker,
+        trace,
+        cancel,
+        statement_timeout,
+        slot,
+        epoch,
+        sup,
+    } = ctx;
     let mut conn: Option<Box<dyn Connection>> = None;
     let mut ever_connected = false;
     for task in rx.iter() {
+        slot.begin_task(
+            now_us(epoch),
+            task.task_id,
+            task.partition,
+            task.round,
+            task.start_at,
+        );
         let started = std::time::Instant::now();
         let span_start = trace.now_us();
         let mut changed = 0u64;
@@ -646,6 +817,7 @@ fn worker_loop(
                         let _ = c.set_statement_timeout(statement_timeout);
                     }
                     conn = Some(c);
+                    slot.beat(now_us(epoch));
                 }
                 Err(e) => {
                     error = Some((at, SqloopError::from(e)));
@@ -670,8 +842,15 @@ fn worker_loop(
                             }
                         }
                     }
-                    match c.run_pipeline(&steps) {
-                        Ok(outcome) => {
+                    // the panic boundary: one panicking statement (an
+                    // engine bug, an injected chaos panic) must degrade
+                    // into a retryable task failure, never take the
+                    // process down or wedge the run
+                    let pipe = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        c.run_pipeline(&steps)
+                    }));
+                    match pipe {
+                        Ok(Ok(outcome)) => {
                             let executed = outcome.outputs.len();
                             for out in outcome.outputs {
                                 match out {
@@ -695,7 +874,7 @@ fn worker_loop(
                                 None => translate_err,
                             };
                         }
-                        Err(e) => {
+                        Ok(Err(e)) => {
                             // transport failure mid-batch: how far the batch
                             // got is unknown at statement granularity, so
                             // this attempt's outputs are discarded and the
@@ -708,6 +887,33 @@ fn worker_loop(
                             changed = 0;
                             rows_outputs.clear();
                             error = Some((at, SqloopError::from(e)));
+                        }
+                        Err(payload) => {
+                            // a panic unwound through the driver: the
+                            // connection's state is unknown, so drop it
+                            // (the engine session rolls back and releases
+                            // its locks on drop) and report a typed,
+                            // retryable WorkerPanic — faults inject before
+                            // their statement takes effect, so replaying
+                            // from `at` is as safe as any transport replay
+                            conn = None;
+                            changed = 0;
+                            rows_outputs.clear();
+                            sup.panics_caught.inc();
+                            let detail = panic_detail(payload.as_ref());
+                            trace.event(
+                                EventKind::Panic,
+                                Some(task.partition as u32),
+                                Some(task.round),
+                                format!("worker {worker} caught a panic: {detail}"),
+                            );
+                            error = Some((
+                                at,
+                                SqloopError::WorkerPanic {
+                                    worker: Some(worker),
+                                    detail,
+                                },
+                            ));
                         }
                     }
                 }
@@ -742,6 +948,15 @@ fn worker_loop(
                 end_us: trace.now_us(),
             });
         }
+        // completion handshake: exactly one of {this CAS, the supervisor's
+        // abandon CAS} wins. Losing means the supervisor already replayed
+        // this task on a replacement — sending the result now would apply
+        // the round's non-idempotent final UPDATE twice, so discard it and
+        // exit (the replacement has this worker's job).
+        if !slot.try_complete() {
+            sup.zombie_results_dropped.inc();
+            return;
+        }
         let done = Done {
             task,
             changed,
@@ -753,6 +968,7 @@ fn worker_loop(
         if tx.send(done).is_err() {
             return;
         }
+        slot.finish(now_us(epoch));
     }
 }
 
@@ -763,6 +979,16 @@ struct Scheduler<'a> {
     main: &'a mut dyn Connection,
     task_tx: &'a Sender<Task>,
     done_rx: &'a Receiver<Done>,
+    /// The worker pool: the supervisor inspects heartbeats, abandons stuck
+    /// workers and spawns replacements through it.
+    pool: &'a mut WorkerPool,
+    /// Tasks currently dispatched, keyed by task id — the supervisor's
+    /// in-flight map and the zombie-result filter.
+    dispatched: HashMap<u64, Task>,
+    /// Next scheduler-unique task id.
+    next_task_id: u64,
+    /// Supervision metrics (shared with the pool's workers).
+    sup: SupervisorMetrics,
     parts: Vec<PartState>,
     msgs: Vec<MsgState>,
     in_flight: usize,
@@ -786,6 +1012,13 @@ struct Scheduler<'a> {
     reconnects: u64,
     /// Task failures observed (each failed attempt counts once).
     task_failures: u64,
+    /// Worker panics absorbed (caught at the task boundary or dead-thread
+    /// verdicts), counted when their failed `Done` is processed.
+    worker_panics: u64,
+    /// Stall verdicts rendered by the supervisor.
+    stalls: u64,
+    /// Replacement workers spawned for abandoned ones.
+    replacements: u64,
     /// Set on the first unrecoverable task failure: stop replaying, let
     /// the remaining in-flight tasks drain so the run can abort cleanly.
     aborting: bool,
@@ -831,6 +1064,7 @@ impl Scheduler<'_> {
         }
         stmts.push(self.gen.compute_update_sql(x));
         Task {
+            task_id: 0, // assigned at dispatch
             partition: x,
             kind: TaskKind::Compute { msg_table: msg },
             stmts,
@@ -857,6 +1091,7 @@ impl Scheduler<'_> {
         }
         let sql = self.gen.gather_sql(x, &tables);
         Some(Task {
+            task_id: 0, // assigned at dispatch
             partition: x,
             kind: TaskKind::Gather { read_until: len },
             stmts: vec![sql],
@@ -868,12 +1103,157 @@ impl Scheduler<'_> {
         })
     }
 
-    fn dispatch(&mut self, task: Task) -> SqloopResult<()> {
+    fn dispatch(&mut self, mut task: Task) -> SqloopResult<()> {
+        task.task_id = self.next_task_id;
+        self.next_task_id += 1;
         self.parts[task.partition].in_flight = true;
         self.in_flight += 1;
+        self.dispatched.insert(task.task_id, task.clone());
         self.task_tx
             .send(task)
             .map_err(|_| SqloopError::Worker("worker pool shut down unexpectedly".into()))
+    }
+
+    /// Receives the next completion, supervising the pool while waiting.
+    ///
+    /// This replaces every bare `recv()` on the scheduler's barrier paths:
+    /// the wait is bounded by `supervisor_poll`, and each timeout tick runs
+    /// a supervision pass over the worker heartbeats, so a panicked or
+    /// stalled worker becomes a typed verdict instead of an infinite block.
+    /// Completions for tasks no longer in the dispatch map (a worker that
+    /// lost the completion race but still had its `Done` buffered) are
+    /// discarded.
+    fn recv_done(&mut self) -> SqloopResult<Done> {
+        loop {
+            match self.done_rx.recv_timeout(self.config.supervisor_poll) {
+                Ok(d) => {
+                    if !self.dispatched.contains_key(&d.task.task_id) {
+                        self.sup.zombie_results_dropped.inc();
+                        continue;
+                    }
+                    return Ok(d);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(d) = self.supervise()? {
+                        return Ok(d);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // the pool holds a sender clone for replacements, so
+                    // this can only mean the pool itself is gone
+                    return Err(SqloopError::WorkerPanic {
+                        worker: None,
+                        detail: format!(
+                            "every worker exited with {} task(s) in flight",
+                            self.in_flight
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// One supervision pass over the worker heartbeats.
+    ///
+    /// A busy worker whose thread has exited (panicked past the task-level
+    /// `catch_unwind`) or whose heartbeat has been silent past
+    /// `stall_timeout` is abandoned via the completion-race CAS, its task
+    /// turned into a synthetic failed [`Done`] (so [`Self::handle_done`]
+    /// applies the ordinary replay/budget/abort logic), and a replacement
+    /// worker is spawned. Returns that verdict, if any.
+    fn supervise(&mut self) -> SqloopResult<Option<Done>> {
+        if self.in_flight == 0 {
+            return Ok(None);
+        }
+        let now = now_us(self.pool.epoch);
+        let stall_us = self.config.stall_timeout.map(|t| t.as_micros() as u64);
+        for i in 0..self.pool.workers.len() {
+            let (worker_id, task_id, dead, silent_us) = {
+                let w = &self.pool.workers[i];
+                if w.abandoned || w.slot.state() != STATE_BUSY {
+                    continue;
+                }
+                let dead = w.handle.is_finished();
+                let silent = now.saturating_sub(w.slot.beat_us());
+                (w.id, w.slot.task_id(), dead, silent)
+            };
+            let stalled = !dead && stall_us.map(|t| silent_us > t).unwrap_or(false);
+            if !dead && !stalled {
+                continue;
+            }
+            // the completion race: if the worker sends its Done first, the
+            // CAS fails and this verdict is void — take the real result
+            if !self.pool.workers[i].slot.try_abandon() {
+                continue;
+            }
+            self.pool.workers[i].abandoned = true;
+            let Some(task) = self.dispatched.remove(&task_id) else {
+                // raced with a completion already consumed; nothing to
+                // replay, but the worker is gone — replace it below
+                self.pool.spawn_worker()?;
+                self.replacements += 1;
+                self.sup.worker_replacements.inc();
+                continue;
+            };
+            let e = if dead {
+                self.sup.panics_caught.inc();
+                self.trace.event(
+                    EventKind::Panic,
+                    Some(task.partition as u32),
+                    Some(task.round),
+                    format!("worker {worker_id} thread exited mid-task"),
+                );
+                SqloopError::WorkerPanic {
+                    worker: Some(worker_id),
+                    detail: "worker thread exited mid-task".into(),
+                }
+            } else {
+                self.stalls += 1;
+                self.sup.stalls_detected.inc();
+                self.trace.event(
+                    EventKind::Stall,
+                    Some(task.partition as u32),
+                    Some(task.round),
+                    format!(
+                        "worker {worker_id} heartbeat silent for {}ms — abandoning",
+                        silent_us / 1000
+                    ),
+                );
+                SqloopError::WorkerStalled {
+                    worker: worker_id,
+                    partition: task.partition,
+                    waited_ms: silent_us / 1000,
+                }
+            };
+            let replacement = self.pool.spawn_worker()?;
+            self.replacements += 1;
+            self.sup.worker_replacements.inc();
+            self.trace.event(
+                EventKind::Replace,
+                Some(task.partition as u32),
+                Some(task.round),
+                format!("spawned worker {replacement} to replace {worker_id}"),
+            );
+            let failed_at = task.start_at;
+            return Ok(Some(Done {
+                task,
+                changed: 0,
+                rows_outputs: Vec::new(),
+                elapsed: std::time::Duration::ZERO,
+                error: Some((failed_at, e)),
+                reconnects: 0,
+            }));
+        }
+        if self.pool.all_live_finished() {
+            return Err(SqloopError::WorkerPanic {
+                worker: None,
+                detail: format!(
+                    "every worker exited with {} task(s) in flight",
+                    self.in_flight
+                ),
+            });
+        }
+        Ok(None)
     }
 
     /// Processes one completion; returns the number of changed rows.
@@ -883,6 +1263,7 @@ impl Scheduler<'_> {
     /// replay budget runs out — then the failure is wrapped as
     /// [`SqloopError::Task`] and the scheduler aborts.
     fn handle_done(&mut self, d: Done) -> SqloopResult<u64> {
+        self.dispatched.remove(&d.task.task_id);
         self.in_flight -= 1;
         let x = d.task.partition;
         self.parts[x].in_flight = false;
@@ -902,6 +1283,9 @@ impl Scheduler<'_> {
         }
         if let Some((failed_at, e)) = d.error {
             self.task_failures += 1;
+            if matches!(e, SqloopError::WorkerPanic { .. }) {
+                self.worker_panics += 1;
+            }
             self.trace.event(
                 EventKind::Fault,
                 Some(x as u32),
@@ -1127,10 +1511,14 @@ impl Scheduler<'_> {
                     None => Ok(changed),
                 };
             }
-            let d = self
-                .done_rx
-                .recv()
-                .map_err(|_| SqloopError::Worker("worker pool died".into()))?;
+            let d = match self.recv_done() {
+                Ok(d) => d,
+                Err(e) => {
+                    // an unrecoverable pool failure (all workers dead)
+                    // cannot drain in-flight work — surface it now
+                    return Err(first_error.unwrap_or(e));
+                }
+            };
             match self.handle_done(d) {
                 Ok(n) => changed += n,
                 Err(e) => {
@@ -1367,10 +1755,10 @@ impl Scheduler<'_> {
                 rounds += 1;
                 return Ok((self.report_rounds(rounds), round_changed));
             }
-            let d = self
-                .done_rx
-                .recv()
-                .map_err(|_| SqloopError::Worker("worker pool died".into()))?;
+            let d = match self.recv_done() {
+                Ok(d) => d,
+                Err(e) => return Err(self.fail(first_error.unwrap_or(e), rounds, round_changed)),
+            };
             match self.handle_done(d) {
                 Ok(c) => round_changed += c,
                 Err(e) => {
@@ -1413,10 +1801,10 @@ impl Scheduler<'_> {
                 rounds += 1;
                 return Ok((self.report_rounds(rounds), wave_changed));
             }
-            let d = self
-                .done_rx
-                .recv()
-                .map_err(|_| SqloopError::Worker("worker pool died".into()))?;
+            let d = match self.recv_done() {
+                Ok(d) => d,
+                Err(e) => return Err(self.fail(first_error.unwrap_or(e), rounds, wave_changed)),
+            };
             match self.handle_done(d) {
                 Ok(c) => wave_changed += c,
                 Err(e) => {
@@ -1510,10 +1898,7 @@ impl Scheduler<'_> {
     fn drain(&mut self) -> SqloopResult<u64> {
         let mut changed = 0u64;
         while self.in_flight > 0 {
-            let d = self
-                .done_rx
-                .recv()
-                .map_err(|_| SqloopError::Worker("worker pool died".into()))?;
+            let d = self.recv_done()?;
             changed += self.handle_done(d)?;
         }
         Ok(changed)

@@ -32,6 +32,14 @@ pub struct RecoveryCounters {
     /// Task failures observed, transient or not (each replayed dispatch
     /// that fails again counts once more).
     pub task_failures: u64,
+    /// Worker panics absorbed: caught at the task boundary, discovered at
+    /// thread join, or dead-thread verdicts mid-task.
+    pub worker_panics: u64,
+    /// Stall verdicts: busy workers whose heartbeat went silent past the
+    /// stall timeout and were abandoned.
+    pub stalls: u64,
+    /// Replacement workers spawned for abandoned (stalled or dead) ones.
+    pub worker_replacements: u64,
     /// `true` when parallel execution was abandoned and the run finished
     /// on the single-threaded executor.
     pub downgraded: bool,
@@ -48,16 +56,22 @@ impl std::fmt::Display for RecoveryCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} task failure(s), {} replay(s), {} reconnect(s){}",
-            self.task_failures,
-            self.task_retries,
-            self.worker_reconnects,
-            if self.downgraded {
-                ", downgraded to single-threaded"
-            } else {
-                ""
-            }
-        )
+            "{} task failure(s), {} replay(s), {} reconnect(s)",
+            self.task_failures, self.task_retries, self.worker_reconnects,
+        )?;
+        if self.worker_panics > 0 {
+            write!(f, ", {} worker panic(s)", self.worker_panics)?;
+        }
+        if self.stalls > 0 {
+            write!(f, ", {} stall(s)", self.stalls)?;
+        }
+        if self.worker_replacements > 0 {
+            write!(f, ", {} worker(s) replaced", self.worker_replacements)?;
+        }
+        if self.downgraded {
+            write!(f, ", downgraded to single-threaded")?;
+        }
+        Ok(())
     }
 }
 
@@ -200,14 +214,31 @@ mod tests {
             task_retries: 4,
             worker_reconnects: 2,
             task_failures: 5,
+            worker_panics: 1,
+            stalls: 2,
+            worker_replacements: 3,
             downgraded: true,
         };
         assert!(!busy.is_clean());
         let text = busy.to_string();
         assert!(text.contains("4 replay(s)"), "{text}");
         assert!(text.contains("2 reconnect(s)"), "{text}");
+        assert!(text.contains("1 worker panic(s)"), "{text}");
+        assert!(text.contains("2 stall(s)"), "{text}");
+        assert!(text.contains("3 worker(s) replaced"), "{text}");
         assert!(text.contains("downgraded"), "{text}");
-        assert!(!clean.to_string().contains("downgraded"));
+        let clean_text = clean.to_string();
+        assert!(!clean_text.contains("downgraded"));
+        // supervision counters stay silent on clean runs
+        assert!(!clean_text.contains("panic"), "{clean_text}");
+        assert!(!clean_text.contains("stall"), "{clean_text}");
+        // a supervised recovery alone makes the run non-clean
+        let stalled = RecoveryCounters {
+            stalls: 1,
+            worker_replacements: 1,
+            ..RecoveryCounters::default()
+        };
+        assert!(!stalled.is_clean());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::common::{
 };
 use crate::error::{SqloopError, SqloopResult};
 use crate::grammar::{IterativeCte, RecursiveCte};
+use crate::supervisor::panic_detail;
 use crate::translate::{translate_query_to_sql, translate_sql};
 use crate::watchdog::Governance;
 use dbcp::{CancelToken, Connection, PreparedStatement};
@@ -439,11 +440,33 @@ fn iterative_loop(
             break;
         }
         let span_start = trace.now_us();
-        let round_result = (|| -> SqloopResult<u64> {
-            clear_tmp.execute(&mut *conn, &[])?;
-            fill_tmp.execute(&mut *conn, &[])?;
-            Ok(apply.execute(&mut *conn, &[])?.rows_affected())
-        })();
+        // panic boundary: a panicking statement (an engine bug, an injected
+        // chaos panic) must degrade into a typed error, never unwind
+        // through the caller — the session is rolled back first so any
+        // locks the panic left held are released
+        let round_result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> SqloopResult<u64> {
+                clear_tmp.execute(&mut *conn, &[])?;
+                fill_tmp.execute(&mut *conn, &[])?;
+                Ok(apply.execute(&mut *conn, &[])?.rows_affected())
+            }))
+            .unwrap_or_else(|payload| {
+                let detail = panic_detail(payload.as_ref());
+                let _ = conn.execute("ROLLBACK");
+                obs::global()
+                    .counter("sqloop.supervisor.panics_caught")
+                    .inc();
+                trace.event(
+                    EventKind::Panic,
+                    None,
+                    Some(iterations),
+                    format!("absorbed a panicking statement: {detail}"),
+                );
+                Err(SqloopError::WorkerPanic {
+                    worker: None,
+                    detail: format!("single-threaded iteration {}: {detail}", iterations + 1),
+                })
+            });
         let updated = match round_result {
             Ok(u) => u,
             // the engine's memory budget tripped mid-round; statement

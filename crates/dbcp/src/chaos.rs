@@ -36,6 +36,21 @@ pub enum FaultKind {
     /// [`DbError::Connection`] and every later use of this connection
     /// fails the same way.
     Drop,
+    /// The statement hangs for [`ChaosConfig::stall`] (interruptible via
+    /// [`ChaosStats::heal_stalls`]) and then runs normally — a slow
+    /// statement, not a dead worker. Long enough to trip a tight
+    /// stall detector, which is exactly the hazard [`FaultKind`] exists
+    /// to exercise.
+    StallMs,
+    /// The statement hangs forever: the injecting thread sleeps until
+    /// [`ChaosStats::heal_stalls`] releases it, then fails with
+    /// [`DbError::Connection`] *without executing* — so a supervisor that
+    /// abandoned the worker and replayed its task elsewhere never sees
+    /// the statement applied twice. Models a truly hung worker.
+    StallForever,
+    /// The statement panics (`panic!`) before executing — models a bug in
+    /// the driver/engine boundary unwinding through a worker thread.
+    Panic,
 }
 
 /// Relative weights for randomly chosen fault kinds (a zero weight
@@ -50,6 +65,11 @@ pub struct FaultWeights {
     pub latency: u32,
     /// Weight of [`FaultKind::Drop`].
     pub drop: u32,
+    /// Weight of [`FaultKind::StallMs`] (off by default — stalls change
+    /// run timing, so tests opt in).
+    pub stall: u32,
+    /// Weight of [`FaultKind::Panic`] (off by default).
+    pub panic: u32,
 }
 
 impl Default for FaultWeights {
@@ -59,6 +79,8 @@ impl Default for FaultWeights {
             stmt_error: 4,
             latency: 2,
             drop: 1,
+            stall: 0,
+            panic: 0,
         }
     }
 }
@@ -85,6 +107,9 @@ pub struct ChaosConfig {
     pub weights: FaultWeights,
     /// Delay injected by [`FaultKind::Latency`].
     pub latency: Duration,
+    /// How long a [`FaultKind::StallMs`] statement hangs before
+    /// proceeding.
+    pub stall: Duration,
     /// Total fault budget across the driver (`None` = unlimited). Once
     /// spent, the outage "heals" and operations pass through untouched.
     pub max_faults: Option<u64>,
@@ -107,6 +132,7 @@ impl Default for ChaosConfig {
             fault_rate: 0.05,
             weights: FaultWeights::default(),
             latency: Duration::from_millis(2),
+            stall: Duration::from_millis(50),
             max_faults: None,
             match_substring: None,
             schedule: Vec::new(),
@@ -134,6 +160,11 @@ struct StatsInner {
     stmt_errors: AtomicU64,
     latencies: AtomicU64,
     drops: AtomicU64,
+    stalls: AtomicU64,
+    panics: AtomicU64,
+    /// When set, every in-flight or future stall (finite or forever)
+    /// releases immediately instead of sleeping.
+    stalls_released: std::sync::atomic::AtomicBool,
 }
 
 /// Counters of everything a [`ChaosDriver`] injected. Cheap to clone;
@@ -172,6 +203,29 @@ impl ChaosStats {
         self.0.drops.load(Ordering::Relaxed)
     }
 
+    /// Injected stalls (finite and forever).
+    pub fn stalls(&self) -> u64 {
+        self.0.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Injected panics.
+    pub fn panics(&self) -> u64 {
+        self.0.panics.load(Ordering::Relaxed)
+    }
+
+    /// Releases every stalled thread, now and in the future. A released
+    /// [`FaultKind::StallForever`] fails with [`DbError::Connection`]
+    /// without executing its statement; a released [`FaultKind::StallMs`]
+    /// stops sleeping and proceeds. Call this at the end of a stall test
+    /// so abandoned worker threads exit instead of leaking.
+    pub fn heal_stalls(&self) {
+        self.0.stalls_released.store(true, Ordering::SeqCst);
+    }
+
+    fn stalls_released(&self) -> bool {
+        self.0.stalls_released.load(Ordering::SeqCst)
+    }
+
     /// Tries to claim one unit of fault budget.
     fn claim(&self, max: Option<u64>) -> bool {
         match max {
@@ -208,6 +262,10 @@ impl ChaosStats {
             FaultKind::StmtError => (&self.0.stmt_errors, "dbcp.chaos.injected.stmt_error"),
             FaultKind::Latency => (&self.0.latencies, "dbcp.chaos.injected.latency"),
             FaultKind::Drop => (&self.0.drops, "dbcp.chaos.injected.drop"),
+            FaultKind::StallMs | FaultKind::StallForever => {
+                (&self.0.stalls, "dbcp.chaos.injected.stall")
+            }
+            FaultKind::Panic => (&self.0.panics, "dbcp.chaos.injected.panic"),
         };
         counter.fetch_add(1, Ordering::Relaxed);
         let reg = obs::global();
@@ -215,6 +273,9 @@ impl ChaosStats {
         reg.counter(name).inc();
     }
 }
+
+/// How often a stalled thread re-checks [`ChaosStats::heal_stalls`].
+const STALL_POLL: Duration = Duration::from_millis(5);
 
 /// SplitMix64 — deterministic, cheap, good enough for fault placement.
 #[derive(Debug, Clone)]
@@ -298,8 +359,14 @@ fn draw_fault(
         (&[FaultKind::ConnectRefused], &[w.connect_refused])
     } else {
         (
-            &[FaultKind::StmtError, FaultKind::Latency, FaultKind::Drop],
-            &[w.stmt_error, w.latency, w.drop],
+            &[
+                FaultKind::StmtError,
+                FaultKind::Latency,
+                FaultKind::Drop,
+                FaultKind::StallMs,
+                FaultKind::Panic,
+            ],
+            &[w.stmt_error, w.latency, w.drop, w.stall, w.panic],
         )
     };
     let total: u64 = weights.iter().map(|&x| u64::from(x)).sum();
@@ -412,6 +479,35 @@ impl ChaosConnection {
                 self.driver_stats.record(FaultKind::Drop);
                 self.dropped = true;
                 Err(DbError::Connection("chaos: connection dropped".into()))
+            }
+            Some(FaultKind::StallMs) => {
+                self.driver_stats.record(FaultKind::StallMs);
+                let deadline = std::time::Instant::now() + self.config.stall;
+                while std::time::Instant::now() < deadline {
+                    if self.driver_stats.stalls_released() {
+                        break;
+                    }
+                    std::thread::sleep(STALL_POLL.min(self.config.stall));
+                }
+                Ok(())
+            }
+            Some(FaultKind::StallForever) => {
+                self.driver_stats.record(FaultKind::StallForever);
+                while !self.driver_stats.stalls_released() {
+                    std::thread::sleep(STALL_POLL);
+                }
+                // released: fail WITHOUT executing, and poison the
+                // connection — by now a supervisor has replayed this
+                // statement elsewhere, so running it here would apply it
+                // twice
+                self.dropped = true;
+                Err(DbError::Connection(
+                    "chaos: stalled connection released without executing".into(),
+                ))
+            }
+            Some(FaultKind::Panic) => {
+                self.driver_stats.record(FaultKind::Panic);
+                panic!("chaos: injected panic before statement");
             }
         }
     }
@@ -579,6 +675,7 @@ mod tests {
                 stmt_error: 1,
                 latency: 0,
                 drop: 0,
+                ..FaultWeights::default()
             },
             ..ChaosConfig::seeded(7, 1.0)
         };
@@ -598,6 +695,7 @@ mod tests {
                 stmt_error: 1,
                 latency: 0,
                 drop: 0,
+                ..FaultWeights::default()
             },
             ..ChaosConfig::seeded(5, 1.0)
         };
@@ -622,6 +720,7 @@ mod tests {
                 stmt_error: 0,
                 latency: 0,
                 drop: 1,
+                ..FaultWeights::default()
             },
             ..ChaosConfig::seeded(3, 1.0)
         };
@@ -649,6 +748,7 @@ mod tests {
                     stmt_error: 0,
                     latency: 0,
                     drop: 1,
+                    ..FaultWeights::default()
                 },
                 ..ChaosConfig::seeded(3, 1.0)
             },
@@ -698,6 +798,7 @@ mod tests {
                 stmt_error: 0,
                 latency: 0,
                 drop: 0,
+                ..FaultWeights::default()
             },
             ..ChaosConfig::seeded(11, 1.0)
         };
@@ -711,6 +812,79 @@ mod tests {
     }
 
     #[test]
+    fn stall_ms_delays_then_proceeds() {
+        let config = ChaosConfig {
+            fault_rate: 0.0,
+            stall: Duration::from_millis(30),
+            schedule: vec![ScheduledFault {
+                nth_op: 1,
+                kind: FaultKind::StallMs,
+            }],
+            ..ChaosConfig::seeded(0, 0.0)
+        };
+        let (driver, stats) = with_chaos(local(), config);
+        let mut conn = (driver.as_ref() as &dyn Driver).connect().unwrap();
+        let t0 = std::time::Instant::now();
+        conn.execute("SELECT a FROM t").unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "stall should delay the statement"
+        );
+        assert_eq!(stats.stalls(), 1);
+        // the connection stays healthy afterwards
+        conn.execute("SELECT a FROM t").unwrap();
+    }
+
+    #[test]
+    fn stall_forever_blocks_until_healed_and_never_executes() {
+        let config = ChaosConfig {
+            fault_rate: 0.0,
+            schedule: vec![ScheduledFault {
+                nth_op: 1,
+                kind: FaultKind::StallForever,
+            }],
+            ..ChaosConfig::seeded(0, 0.0)
+        };
+        let (driver, stats) = with_chaos(local(), config);
+        let mut conn = (driver.as_ref() as &dyn Driver).connect().unwrap();
+        let stats2 = stats.clone();
+        let h = std::thread::spawn(move || conn.execute("INSERT INTO t VALUES (2)"));
+        // the statement is stalled, not running
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(!h.is_finished(), "StallForever must hang until healed");
+        stats2.heal_stalls();
+        let out = h.join().unwrap();
+        assert!(matches!(out, Err(DbError::Connection(_))), "{out:?}");
+        assert_eq!(stats.stalls(), 1);
+        // the row was NOT inserted: a healed stall must not execute
+        let mut check = (driver.as_ref() as &dyn Driver).connect().unwrap();
+        let rows = check.query("SELECT a FROM t").unwrap().rows;
+        assert_eq!(rows.len(), 1, "stalled INSERT must not have applied");
+    }
+
+    #[test]
+    fn panic_fault_unwinds_before_the_statement_runs() {
+        let config = ChaosConfig {
+            fault_rate: 0.0,
+            schedule: vec![ScheduledFault {
+                nth_op: 1,
+                kind: FaultKind::Panic,
+            }],
+            ..ChaosConfig::seeded(0, 0.0)
+        };
+        let (driver, stats) = with_chaos(local(), config);
+        let mut conn = (driver.as_ref() as &dyn Driver).connect().unwrap();
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            conn.execute("INSERT INTO t VALUES (3)")
+        }));
+        assert!(out.is_err(), "the injected panic must unwind");
+        assert_eq!(stats.panics(), 1);
+        let mut check = (driver.as_ref() as &dyn Driver).connect().unwrap();
+        let rows = check.query("SELECT a FROM t").unwrap().rows;
+        assert_eq!(rows.len(), 1, "panicked INSERT must not have applied");
+    }
+
+    #[test]
     fn skip_connections_shields_early_connections() {
         let config = ChaosConfig {
             skip_connections: 1,
@@ -719,6 +893,7 @@ mod tests {
                 stmt_error: 1,
                 latency: 0,
                 drop: 1,
+                ..FaultWeights::default()
             },
             ..ChaosConfig::seeded(13, 1.0)
         };

@@ -104,6 +104,40 @@ mod integration {
     }
 
     #[test]
+    fn panicking_statement_errors_one_frame_not_the_connection() {
+        let db = Database::new(EngineProfile::Postgres);
+        {
+            let mut s = db.connect();
+            s.execute("CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+                .unwrap();
+            s.execute("INSERT INTO t VALUES (1, 1.0)").unwrap();
+        }
+        let server = Server::bind(db.clone(), "127.0.0.1:0").unwrap();
+        let driver = TcpDriver::connect(&server.addr().to_string()).unwrap();
+        let mut c = driver.connect().unwrap();
+        let caught = obs::global().counter("dbcp.server.panics_caught");
+        let before = caught.get();
+
+        // the injected panic unwinds inside the handler's per-frame
+        // boundary: this client sees a typed, retryable error...
+        db.set_panic_probe(Some("t"), 1);
+        let err = c.execute("UPDATE t SET v = 2.0");
+        assert!(matches!(err, Err(DbError::TxnAborted(_))), "{err:?}");
+        assert_eq!(caught.get() - before, 1);
+
+        // ...and the SAME connection keeps working: recovery released the
+        // locks the panic left held, so the next statement succeeds
+        c.execute("UPDATE t SET v = 3.0").unwrap();
+        let r = c.query("SELECT v FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(3.0));
+
+        // a second client is also unaffected
+        let mut c2 = driver.connect().unwrap();
+        c2.execute("DELETE FROM t").unwrap();
+        server.shutdown();
+    }
+
+    #[test]
     fn tcp_concurrent_clients() {
         let db = Database::new(EngineProfile::Postgres);
         {

@@ -244,6 +244,7 @@ mod tests {
                     stmt_error: 0,
                     latency: 0,
                     drop: 1,
+                    ..FaultWeights::default()
                 },
                 ..ChaosConfig::seeded(1, 1.0)
             },
@@ -279,6 +280,7 @@ mod tests {
                     stmt_error: 0,
                     latency: 0,
                     drop: 1,
+                    ..FaultWeights::default()
                 },
                 ..ChaosConfig::seeded(2, 1.0)
             },
@@ -308,6 +310,7 @@ mod tests {
                     stmt_error: 0,
                     latency: 0,
                     drop: 0,
+                    ..FaultWeights::default()
                 },
                 ..ChaosConfig::seeded(3, 1.0)
             },

@@ -17,11 +17,11 @@ use crate::wire::{
     decode_request, encode_response, read_frame, write_frame, PipelineStep, Request, Response,
     MAGIC,
 };
-use sqldb::{Database, DbError, DbResult, StmtHandle, StmtOutput};
+use sqldb::{Database, DbError, DbResult, Session, StmtHandle, StmtOutput};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -30,6 +30,10 @@ use std::time::{Duration, Instant};
 /// while waiting for the next frame. Bounds how long an idle connection can
 /// delay a drain.
 const DRAIN_POLL: Duration = Duration::from_millis(25);
+
+/// Process-wide connection sequence, so every handler thread gets a unique
+/// `dbcp-conn-{id}` name a stack dump can be correlated against.
+static CONN_SEQ: AtomicU64 = AtomicU64::new(1);
 
 /// Admission-control and load-shed settings for a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -312,15 +316,15 @@ fn accept_loop(
                         let db = db.clone();
                         let gov = gov.clone();
                         let drain = draining.clone();
-                        let spawned =
-                            std::thread::Builder::new()
-                                .name("dbcp-conn".into())
-                                .spawn(move || {
-                                    // the guard rides inside the thread so a
-                                    // panicking handler still releases its slot
-                                    let _guard = guard;
-                                    let _ = serve_client(stream, db, gov, drain);
-                                });
+                        let conn_id = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
+                        let spawned = std::thread::Builder::new()
+                            .name(format!("dbcp-conn-{conn_id}"))
+                            .spawn(move || {
+                                // the guard rides inside the thread so a
+                                // panicking handler still releases its slot
+                                let _guard = guard;
+                                let _ = serve_client(stream, db, gov, drain);
+                            });
                         // spawn failure drops the guard: slot released;
                         // successes are registered so shutdown can join them
                         if let Ok(handle) = spawned {
@@ -440,126 +444,160 @@ fn serve_client(
             None => return Ok(()),
         };
         let request = decode_request(frame)?;
-        let response = match request {
-            Request::Close => return Ok(()),
-            Request::Execute(sql) => match gov.start_statement() {
-                Err(e) => Response::Error(e),
-                Ok(_stmt) => Response::from_result(session.execute(&sql)),
-            },
-            Request::Batch(stmts) => match gov.start_statement() {
-                Err(e) => Response::Error(e),
-                Ok(_stmt) => {
-                    let mut items = Vec::with_capacity(stmts.len());
-                    let mut failed = None;
-                    for s in &stmts {
-                        match session.execute(s) {
-                            Ok(out) => items.push(Response::from_result(Ok(out))),
-                            Err(e) => {
-                                failed = Some(e);
-                                break;
-                            }
+        if matches!(request, Request::Close) {
+            return Ok(());
+        }
+        // per-frame panic boundary: one panicking statement costs its
+        // issuer one errored response, never the connection (or, by
+        // unwinding into the runtime, the server). Recovery rolls the
+        // session back so locks a mid-statement panic left held in the
+        // shared lock table are released before the next frame.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eval_request(
+                request,
+                &db,
+                &mut session,
+                &gov,
+                &mut prepared,
+                &mut next_stmt_id,
+            )
+        }))
+        .unwrap_or_else(|payload| {
+            session.recover_after_panic();
+            obs::global().counter("dbcp.server.panics_caught").inc();
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Response::Error(DbError::TxnAborted(format!(
+                "statement panicked (transaction rolled back): {detail}"
+            )))
+        });
+        write_frame(&mut stream, &encode_response(&response))?;
+    }
+}
+
+/// Evaluates one decoded request against the connection's session.
+/// `Request::Close` is handled by the caller (it ends the connection).
+fn eval_request(
+    request: Request,
+    db: &Database,
+    session: &mut Session,
+    gov: &Arc<Governor>,
+    prepared: &mut HashMap<u64, StmtHandle>,
+    next_stmt_id: &mut u64,
+) -> Response {
+    match request {
+        Request::Close => Response::Done,
+        Request::Execute(sql) => match gov.start_statement() {
+            Err(e) => Response::Error(e),
+            Ok(_stmt) => Response::from_result(session.execute(&sql)),
+        },
+        Request::Batch(stmts) => match gov.start_statement() {
+            Err(e) => Response::Error(e),
+            Ok(_stmt) => {
+                let mut items = Vec::with_capacity(stmts.len());
+                let mut failed = None;
+                for s in &stmts {
+                    match session.execute(s) {
+                        Ok(out) => items.push(Response::from_result(Ok(out))),
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
                         }
                     }
-                    match failed {
-                        Some(e) => Response::Error(e),
-                        None => Response::BatchResults(items),
-                    }
                 }
-            },
-            Request::Begin => Response::from_result(session.begin().map(|()| StmtOutput::Done)),
-            Request::Commit => Response::from_result(session.commit().map(|()| StmtOutput::Done)),
-            Request::Rollback => {
-                Response::from_result(session.rollback().map(|()| StmtOutput::Done))
+                match failed {
+                    Some(e) => Response::Error(e),
+                    None => Response::BatchResults(items),
+                }
             }
-            Request::SetIsolation(level) => {
-                session.set_isolation(level);
-                Response::Done
-            }
-            Request::SetStatementTimeout(ms) => {
-                let timeout = match ms {
-                    0 => None,
-                    n => Some(Duration::from_millis(n)),
-                };
-                session.set_statement_timeout(timeout);
-                Response::Done
-            }
-            Request::Profile => Response::ProfileIs(db.profile()),
-            Request::Prepare(sql) => {
-                if prepared.len() >= MAX_PREPARED_PER_CONNECTION {
-                    Response::Error(DbError::BudgetExceeded(format!(
+        },
+        Request::Begin => Response::from_result(session.begin().map(|()| StmtOutput::Done)),
+        Request::Commit => Response::from_result(session.commit().map(|()| StmtOutput::Done)),
+        Request::Rollback => Response::from_result(session.rollback().map(|()| StmtOutput::Done)),
+        Request::SetIsolation(level) => {
+            session.set_isolation(level);
+            Response::Done
+        }
+        Request::SetStatementTimeout(ms) => {
+            let timeout = match ms {
+                0 => None,
+                n => Some(Duration::from_millis(n)),
+            };
+            session.set_statement_timeout(timeout);
+            Response::Done
+        }
+        Request::Profile => Response::ProfileIs(db.profile()),
+        Request::Prepare(sql) => {
+            if prepared.len() >= MAX_PREPARED_PER_CONNECTION {
+                Response::Error(DbError::BudgetExceeded(format!(
                         "connection holds {MAX_PREPARED_PER_CONNECTION} prepared statements; close some first"
                     )))
-                } else {
-                    match session.prepare(&sql) {
-                        Ok(handle) => {
-                            let stmt_id = next_stmt_id;
-                            next_stmt_id += 1;
-                            let param_count = handle.param_count() as u32;
-                            prepared.insert(stmt_id, handle);
-                            Response::Prepared {
-                                stmt_id,
-                                param_count,
-                            }
-                        }
-                        Err(e) => Response::Error(e),
-                    }
-                }
-            }
-            Request::ExecutePrepared { stmt_id, params } => match gov.start_statement() {
-                Err(e) => Response::Error(e),
-                Ok(_stmt) => match prepared.get(&stmt_id) {
-                    Some(handle) => {
-                        let handle = handle.clone();
-                        Response::from_result(session.execute_prepared(&handle, &params))
-                    }
-                    None => {
-                        Response::Error(DbError::NotFound(format!("prepared statement {stmt_id}")))
-                    }
-                },
-            },
-            Request::ClosePrepared(stmt_id) => {
-                // idempotent: unknown ids are fine (client may retry)
-                prepared.remove(&stmt_id);
-                Response::Done
-            }
-            Request::Pipeline(steps) => match gov.start_statement() {
-                Err(e) => Response::Error(e),
-                Ok(_stmt) => {
-                    let mut outputs = Vec::with_capacity(steps.len());
-                    let mut error = None;
-                    for step in &steps {
-                        let result = match step {
-                            PipelineStep::Execute(sql) => session.execute(sql),
-                            PipelineStep::Prepared { stmt_id, params } => {
-                                match prepared.get(stmt_id) {
-                                    Some(handle) => {
-                                        let handle = handle.clone();
-                                        session.execute_prepared(&handle, params)
-                                    }
-                                    None => Err(DbError::NotFound(format!(
-                                        "prepared statement {stmt_id}"
-                                    ))),
-                                }
-                            }
-                        };
-                        match result {
-                            Ok(out) => outputs.push(Response::from_result(Ok(out))),
-                            Err(e) => {
-                                error = Some(e);
-                                break;
-                            }
+            } else {
+                match session.prepare(&sql) {
+                    Ok(handle) => {
+                        let stmt_id = *next_stmt_id;
+                        *next_stmt_id += 1;
+                        let param_count = handle.param_count() as u32;
+                        prepared.insert(stmt_id, handle);
+                        Response::Prepared {
+                            stmt_id,
+                            param_count,
                         }
                     }
-                    Response::PipelineResults { outputs, error }
+                    Err(e) => Response::Error(e),
                 }
-            },
-            // metrics never touch tables, so they bypass load shedding:
-            // an operator must be able to scrape an overloaded server
-            Request::Metrics(cmd) => {
-                Response::from_result(Ok(crate::metrics_cmd::eval_metrics_cmd(&db, &cmd)))
             }
-        };
-        write_frame(&mut stream, &encode_response(&response))?;
+        }
+        Request::ExecutePrepared { stmt_id, params } => match gov.start_statement() {
+            Err(e) => Response::Error(e),
+            Ok(_stmt) => match prepared.get(&stmt_id) {
+                Some(handle) => {
+                    let handle = handle.clone();
+                    Response::from_result(session.execute_prepared(&handle, &params))
+                }
+                None => Response::Error(DbError::NotFound(format!("prepared statement {stmt_id}"))),
+            },
+        },
+        Request::ClosePrepared(stmt_id) => {
+            // idempotent: unknown ids are fine (client may retry)
+            prepared.remove(&stmt_id);
+            Response::Done
+        }
+        Request::Pipeline(steps) => match gov.start_statement() {
+            Err(e) => Response::Error(e),
+            Ok(_stmt) => {
+                let mut outputs = Vec::with_capacity(steps.len());
+                let mut error = None;
+                for step in &steps {
+                    let result = match step {
+                        PipelineStep::Execute(sql) => session.execute(sql),
+                        PipelineStep::Prepared { stmt_id, params } => match prepared.get(stmt_id) {
+                            Some(handle) => {
+                                let handle = handle.clone();
+                                session.execute_prepared(&handle, params)
+                            }
+                            None => Err(DbError::NotFound(format!("prepared statement {stmt_id}"))),
+                        },
+                    };
+                    match result {
+                        Ok(out) => outputs.push(Response::from_result(Ok(out))),
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                Response::PipelineResults { outputs, error }
+            }
+        },
+        // metrics never touch tables, so they bypass load shedding:
+        // an operator must be able to scrape an overloaded server
+        Request::Metrics(cmd) => {
+            Response::from_result(Ok(crate::metrics_cmd::eval_metrics_cmd(db, &cmd)))
+        }
     }
 }
 

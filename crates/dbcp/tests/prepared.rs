@@ -218,6 +218,7 @@ fn chaos_match_substring_scopes_prepared_execution() {
                 stmt_error: 1,
                 latency: 0,
                 drop: 0,
+                ..dbcp::FaultWeights::default()
             },
             match_substring: Some("hot".into()),
             ..ChaosConfig::default()

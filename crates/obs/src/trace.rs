@@ -103,6 +103,14 @@ pub enum EventKind {
     /// The resource watchdog rendered a verdict (budget exhausted or
     /// numeric divergence) and the run aborted governed.
     Watchdog,
+    /// The supervisor judged a busy worker stalled (heartbeat silent past
+    /// the stall timeout) and abandoned it.
+    Stall,
+    /// A worker panic was absorbed: caught at the task boundary,
+    /// discovered at thread join, or a dead-thread verdict mid-task.
+    Panic,
+    /// A replacement worker was spawned for an abandoned one.
+    Replace,
 }
 
 impl EventKind {
@@ -121,6 +129,9 @@ impl EventKind {
             EventKind::Resume => "resume",
             EventKind::Cancel => "cancel",
             EventKind::Watchdog => "watchdog",
+            EventKind::Stall => "stall",
+            EventKind::Panic => "panic",
+            EventKind::Replace => "replace",
         }
     }
 }

@@ -40,6 +40,8 @@ struct Shared {
     digests: DigestStats,
     slow: SlowLog,
     profiling: AtomicBool,
+    /// Armed panic-injection probe: `(table-name substring, shots left)`.
+    panic_probe: Mutex<Option<(String, u64)>>,
 }
 
 /// A shared, thread-safe database instance.
@@ -79,6 +81,7 @@ impl Database {
                 digests: DigestStats::new(),
                 slow: SlowLog::default(),
                 profiling: AtomicBool::new(false),
+                panic_probe: Mutex::new(None),
             }),
         }
     }
@@ -217,6 +220,19 @@ impl Database {
     /// Drops slow-log records and resets its counters.
     pub fn reset_slow_log(&self) {
         self.shared.slow.reset();
+    }
+
+    /// Arms the panic-injection probe (a test hook for panic-recovery
+    /// paths): the next `times` statements whose lock set contains a table
+    /// name containing `pattern` panic *after* acquiring their locks and
+    /// *before* touching any data — the worst moment, because the session
+    /// still owns entries in the shared lock table. Pass `None` to disarm.
+    ///
+    /// Callers that absorb the panic with `catch_unwind` must call
+    /// [`Session::recover_after_panic`] (or drop the session) to release
+    /// those locks and undo any open transaction.
+    pub fn set_panic_probe(&self, pattern: Option<&str>, times: u64) {
+        *self.shared.panic_probe.lock() = pattern.map(|p| (p.to_string(), times));
     }
 }
 
@@ -509,6 +525,11 @@ impl Session {
             }
         }
 
+        // the armed panic probe fires here — locks acquired, no data
+        // touched yet — so recovery paths are exercised while this
+        // session still owns entries in the shared lock table
+        self.maybe_fire_panic_probe(&reads, &writes);
+
         // resolve the owning table up front: execution removes the
         // registration, but its cached plans must be outdated afterwards
         let dropped_index_table = match stmt {
@@ -647,6 +668,40 @@ impl Session {
             self.shared.locks.release_all(self.sid, &self.held);
             self.held.clear();
         }
+    }
+
+    /// Fires the database's panic probe when armed and matched; see
+    /// [`Database::set_panic_probe`].
+    fn maybe_fire_panic_probe(&self, reads: &HashSet<String>, writes: &HashSet<String>) {
+        let mut probe = self.shared.panic_probe.lock();
+        let Some((pattern, times)) = probe.as_mut() else {
+            return;
+        };
+        if *times == 0
+            || !reads
+                .iter()
+                .chain(writes.iter())
+                .any(|t| t.contains(&**pattern))
+        {
+            return;
+        }
+        *times -= 1;
+        let fired = pattern.clone();
+        if *times == 0 {
+            *probe = None;
+        }
+        drop(probe);
+        panic!("sqldb: injected panic probe on {fired}");
+    }
+
+    /// Puts the session back into a usable state after a panic was caught
+    /// unwinding through one of its statements: applies any pending undo,
+    /// releases every lock the session still holds in the shared lock
+    /// table, and closes the open transaction. Equivalent to the rollback
+    /// a dropped session performs, for callers that keep the session alive
+    /// behind a `catch_unwind` boundary.
+    pub fn recover_after_panic(&mut self) {
+        let _ = self.rollback();
     }
 }
 
@@ -1091,5 +1146,43 @@ mod tests {
         assert!(w.execute("DELETE FROM t").is_err());
         s.execute("COMMIT").unwrap();
         w.execute("DELETE FROM t").unwrap();
+    }
+
+    #[test]
+    fn panic_probe_fires_after_locks_and_recovery_releases_them() {
+        let db = db();
+        let mut s = db.connect();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (9, 9.0)").unwrap();
+        db.set_panic_probe(Some("t"), 1);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.execute("UPDATE t SET v = 0.0")
+        }));
+        assert!(panicked.is_err(), "probe should panic");
+        // the panic left the session owning its locks: a second session
+        // cannot write the table
+        let mut w = db.connect();
+        w.set_lock_timeout(Duration::from_millis(50));
+        assert!(matches!(
+            w.execute("DELETE FROM t"),
+            Err(DbError::LockTimeout(_))
+        ));
+        // recovery rolls the open transaction back and releases the locks
+        s.recover_after_panic();
+        let rows = w.query("SELECT COUNT(*) FROM t WHERE id = 9").unwrap();
+        assert_eq!(rows.rows[0][0], Value::Int(0), "insert undone");
+        w.execute("DELETE FROM t").unwrap();
+        // one-shot probe disarmed itself: statements run normally again
+        s.execute("INSERT INTO t VALUES (1, 1.0)").unwrap();
+    }
+
+    #[test]
+    fn panic_probe_ignores_unmatched_tables_and_disarms() {
+        let db = db();
+        let mut s = db.connect();
+        db.set_panic_probe(Some("elsewhere"), 5);
+        s.query("SELECT * FROM t").unwrap();
+        db.set_panic_probe(None, 0);
+        s.query("SELECT * FROM t").unwrap();
     }
 }

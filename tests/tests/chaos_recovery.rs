@@ -57,6 +57,7 @@ fn storm(seed: u64, fault_rate: f64) -> ChaosConfig {
             stmt_error: 4,
             latency: 2,
             drop: 1,
+            ..FaultWeights::default()
         },
         latency: Duration::from_millis(1),
         ..ChaosConfig::seeded(seed, fault_rate)
@@ -168,6 +169,7 @@ fn replays_are_counted_in_the_report() {
             stmt_error: 1,
             latency: 0,
             drop: 0,
+            ..FaultWeights::default()
         },
         ..ChaosConfig::seeded(17, 0.10)
     };
@@ -204,6 +206,7 @@ fn permanent_fault_downgrades_to_single_threaded() {
             stmt_error: 1,
             latency: 0,
             drop: 0,
+            ..FaultWeights::default()
         },
         ..ChaosConfig::seeded(1, 1.0)
     };
@@ -254,6 +257,7 @@ fn downgrade_rerun_retries_through_the_tail_of_an_outage() {
             stmt_error: 1,
             latency: 0,
             drop: 0,
+            ..FaultWeights::default()
         },
         // one worker with task_retries 2 burns 3 faults before the
         // downgrade; the remaining budget lands on the rerun attempts
@@ -288,6 +292,7 @@ fn downgrade_can_be_disabled() {
             stmt_error: 1,
             latency: 0,
             drop: 0,
+            ..FaultWeights::default()
         },
         ..ChaosConfig::seeded(2, 1.0)
     };
@@ -330,6 +335,7 @@ fn downgrade_cleans_up_parallel_scratch_state() {
                 stmt_error: 1,
                 latency: 0,
                 drop: 0,
+                ..FaultWeights::default()
             },
             skip_connections: 1,
             ..ChaosConfig::seeded(3, 1.0)

@@ -56,6 +56,7 @@ fn storm(seed: u64, fault_rate: f64) -> ChaosConfig {
             stmt_error: 4,
             latency: 2,
             drop: 1,
+            ..FaultWeights::default()
         },
         latency: Duration::from_millis(1),
         skip_connections: 1,

@@ -59,6 +59,7 @@ fn storm(seed: u64, fault_rate: f64) -> ChaosConfig {
             stmt_error: 4,
             latency: 2,
             drop: 1,
+            ..FaultWeights::default()
         },
         latency: Duration::from_millis(1),
         skip_connections: 1,
@@ -256,6 +257,7 @@ fn deadline_returns_cancelled_report_with_partial_results() {
             stmt_error: 0,
             latency: 1,
             drop: 0,
+            ..FaultWeights::default()
         },
         latency: Duration::from_millis(2),
         skip_connections: 1,
@@ -307,6 +309,7 @@ fn programmatic_cancel_stops_the_run() {
             stmt_error: 0,
             latency: 1,
             drop: 0,
+            ..FaultWeights::default()
         },
         latency: Duration::from_millis(2),
         skip_connections: 1,
@@ -434,6 +437,7 @@ fn failed_run_leaves_no_scratch_tables() {
             stmt_error: 1,
             latency: 0,
             drop: 0,
+            ..FaultWeights::default()
         },
         max_faults: Some(2),
         skip_connections: 1,
@@ -480,6 +484,7 @@ fn cancelled_run_cleans_up_but_keeps_the_checkpoint() {
             stmt_error: 0,
             latency: 1,
             drop: 0,
+            ..FaultWeights::default()
         },
         latency: Duration::from_millis(2),
         skip_connections: 1,

@@ -157,6 +157,7 @@ fn chaos_faults_surface_as_trace_events_matching_recovery_counters() {
                 stmt_error: 1,
                 latency: 0,
                 drop: 0,
+                ..FaultWeights::default()
             },
             ..ChaosConfig::seeded(17, 0.10)
         },
@@ -229,6 +230,7 @@ fn downgrade_is_recorded_as_a_trace_event() {
                 stmt_error: 1,
                 latency: 0,
                 drop: 0,
+                ..FaultWeights::default()
             },
             ..ChaosConfig::seeded(1, 1.0)
         },
