@@ -56,6 +56,15 @@ impl CteNames {
     pub fn message(&self, p: usize, seq: u64) -> String {
         format!("{}__msg_{}_{}", self.table, p, seq)
     }
+
+    /// Reusable message slot `k` owned by partition `p`. Unlike
+    /// [`CteNames::message`], slot names do not embed a per-round sequence
+    /// number: the scheduler truncates and refills a bounded pool of slots,
+    /// so every statement text is generation-stable and the engine's plan
+    /// cache keeps hitting round after round.
+    pub fn message_slot(&self, p: usize, k: usize) -> String {
+        format!("{}__msgslot_{}_{}", self.table, p, k)
+    }
 }
 
 /// Per-round plan-cache attribution: snapshots the process-wide

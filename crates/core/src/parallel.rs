@@ -98,6 +98,11 @@ struct Task {
     attempt: u32,
     /// Replay resume point: the worker executes `stmts[start_at..]`.
     start_at: usize,
+    /// Statements below this index are scratch maintenance (message-slot
+    /// `DELETE`/`INSERT`) whose affected-row counts must NOT feed the
+    /// convergence delta; only `stmts[changed_from..]` contribute to
+    /// [`Done::changed`].
+    changed_from: usize,
     /// Changed-row count accumulated by earlier attempts' statements.
     acc_changed: u64,
     /// `Rows` outputs accumulated by earlier attempts' statements.
@@ -142,6 +147,9 @@ struct PartState {
 #[derive(Debug)]
 struct MsgState {
     name: String,
+    /// Partition that produced the message — the slot returns to this
+    /// partition's free list once every reader has consumed it.
+    partition: usize,
     live: bool,
     /// Destination partitions with matching rows (`None` = broadcast).
     targets: Option<Vec<usize>>,
@@ -473,6 +481,7 @@ fn run_parallel_inner(
         ],
     };
     let sup = pool.sup.clone();
+    let npartitions = parts.len();
     let mut scheduler = Scheduler {
         gen: &gen,
         config,
@@ -492,6 +501,8 @@ fn run_parallel_inner(
         messages: 0,
         rr: 0,
         all_msgs: Vec::new(),
+        free_slots: vec![Vec::new(); npartitions],
+        slots_created: vec![0; npartitions],
         needs_delta: cte.termination.needs_delta_snapshot(),
         probe,
         refresher,
@@ -852,9 +863,15 @@ fn worker_loop(ctx: WorkerCtx) {
                     match pipe {
                         Ok(Ok(outcome)) => {
                             let executed = outcome.outputs.len();
-                            for out in outcome.outputs {
+                            for (i, out) in outcome.outputs.into_iter().enumerate() {
                                 match out {
-                                    StmtOutput::Affected(n) => changed += n,
+                                    // slot-maintenance DELETE/INSERT counts
+                                    // are bookkeeping, not convergence delta
+                                    StmtOutput::Affected(n) => {
+                                        if at + i >= task.changed_from {
+                                            changed += n;
+                                        }
+                                    }
                                     StmtOutput::Rows(r) => rows_outputs.push(r),
                                     StmtOutput::Done => {}
                                 }
@@ -997,6 +1014,15 @@ struct Scheduler<'a> {
     messages: u64,
     rr: usize,
     all_msgs: Vec<String>,
+    /// Per-partition free lists of reusable message-slot tables. A Compute
+    /// pops a slot (creating one only when the list is empty), truncates
+    /// and refills it; the slot returns here when its message is consumed.
+    /// Steady state: the pool stops growing and every per-round statement
+    /// text is byte-identical across rounds, so the engine plan cache
+    /// serves them without re-parsing.
+    free_slots: Vec<Vec<String>>,
+    /// Per-partition count of slots ever created (next slot index).
+    slots_created: Vec<usize>,
     needs_delta: bool,
     /// Termination probe, prepared once at plan time.
     probe: TerminationProbe,
@@ -1050,18 +1076,36 @@ impl Scheduler<'_> {
     // -- task construction -------------------------------------------------
 
     fn build_compute(&mut self, x: usize) -> Task {
-        let seq = self.parts[x].msg_seq;
+        // msg_seq stays a per-partition Compute ordinal (checkpointed for
+        // format stability) but no longer names the message table: slots
+        // have generation-stable names, so the statement texts below are
+        // byte-identical every round and stay hot in the plan cache.
         self.parts[x].msg_seq += 1;
-        let msg = self.gen.names().message(x, seq);
-        self.all_msgs.push(msg.clone());
-        let mut stmts = vec![
-            format!("DROP TABLE IF EXISTS {msg}"),
-            self.gen.compute_message_sql(x, &msg),
-            self.gen.message_count_sql(&msg),
-        ];
+        let mut stmts = Vec::with_capacity(6);
+        let msg = match self.free_slots[x].pop() {
+            Some(slot) => {
+                stmts.push(self.gen.clear_message_slot_sql(&slot));
+                slot
+            }
+            None => {
+                let k = self.slots_created[x];
+                self.slots_created[x] += 1;
+                let slot = self.gen.names().message_slot(x, k);
+                self.all_msgs.push(slot.clone());
+                // a crashed earlier run may have left the table behind;
+                // replays resume at the failed statement, so neither DDL
+                // re-runs after it succeeded
+                stmts.push(format!("DROP TABLE IF EXISTS {slot}"));
+                stmts.push(self.gen.create_message_slot_sql(&slot));
+                slot
+            }
+        };
+        stmts.push(self.gen.insert_message_sql(x, &msg));
+        stmts.push(self.gen.message_count_sql(&msg));
         if self.gen.routing_enabled() {
             stmts.push(self.gen.touched_partitions_sql(&msg));
         }
+        let changed_from = stmts.len();
         stmts.push(self.gen.compute_update_sql(x));
         Task {
             task_id: 0, // assigned at dispatch
@@ -1071,6 +1115,7 @@ impl Scheduler<'_> {
             round: self.round,
             attempt: 1,
             start_at: 0,
+            changed_from,
             acc_changed: 0,
             acc_rows: Vec::new(),
         }
@@ -1080,11 +1125,15 @@ impl Scheduler<'_> {
     /// prefixes. `None` when there is nothing to read.
     fn build_gather(&mut self, x: usize) -> Option<Task> {
         let len = self.msgs.len();
-        let tables: Vec<&str> = self.msgs[self.parts[x].cursor..len]
+        let mut tables: Vec<&str> = self.msgs[self.parts[x].cursor..len]
             .iter()
             .filter(|m| m.live && m.targets.as_ref().map(|t| t.contains(&x)).unwrap_or(true))
             .map(|m| m.name.as_str())
             .collect();
+        // canonical order: worker completion order varies run to run, but
+        // the slot SET is stable — sorting makes the gather text
+        // generation-stable so it stays hot in the plan cache too
+        tables.sort_unstable();
         if tables.is_empty() {
             self.parts[x].cursor = len;
             return None;
@@ -1098,6 +1147,7 @@ impl Scheduler<'_> {
             round: self.round,
             attempt: 1,
             start_at: 0,
+            changed_from: 0,
             acc_changed: 0,
             acc_rows: Vec::new(),
         })
@@ -1351,11 +1401,14 @@ impl Scheduler<'_> {
                     });
                     self.msgs.push(MsgState {
                         name: msg_table.clone(),
+                        partition: x,
                         live: true,
                         targets,
                     });
                 } else {
-                    let _ = run(self.main, &format!("DROP TABLE IF EXISTS {msg_table}"));
+                    // empty message: hand the slot straight back — no DROP;
+                    // the next reuse truncates it with a cached DELETE
+                    self.free_slots[x].push(msg_table.clone());
                 }
             }
             TaskKind::Gather { read_until } => {
@@ -1375,15 +1428,18 @@ impl Scheduler<'_> {
         Ok(changed)
     }
 
-    /// Drops message tables every partition has consumed (GC; the paper
-    /// leaves this implicit).
+    /// Recycles message slots every partition has consumed (GC; the paper
+    /// leaves this implicit). Slots go back to their owner's free list
+    /// instead of being dropped — the next Compute truncates and refills
+    /// them with statements the plan cache already knows.
     fn gc_messages(&mut self) {
         let min_cursor = self.parts.iter().map(|p| p.cursor).min().unwrap_or(0);
         for i in 0..min_cursor.min(self.msgs.len()) {
             if self.msgs[i].live {
-                let name = self.msgs[i].name.clone();
-                let _ = run(self.main, &format!("DROP TABLE IF EXISTS {name}"));
                 self.msgs[i].live = false;
+                let owner = self.msgs[i].partition;
+                let name = self.msgs[i].name.clone();
+                self.free_slots[owner].push(name);
             }
         }
     }

@@ -251,6 +251,50 @@ impl SqlGen {
     /// Statement 1 of Compute(x): build the message table from partition
     /// `x`'s pending deltas, grouped by destination id.
     pub fn compute_message_sql(&self, x: usize, msg_table: &str) -> String {
+        format!(
+            "CREATE TABLE {msg_table} AS {}",
+            self.message_select_body(x)
+        )
+    }
+
+    /// `CREATE TABLE <slot> (…)` for a reusable message slot — the
+    /// generation-stable replacement for per-round `CREATE TABLE … AS`.
+    /// Slot names carry no round number, so every round's statements are
+    /// textually identical and the plan cache serves them without a parse.
+    pub fn create_message_slot_sql(&self, slot: &str) -> String {
+        let id_ty = self.schema.types[0];
+        if self.is_avg() {
+            format!("CREATE TABLE {slot} (id {id_ty}, vsum FLOAT, vcnt FLOAT)")
+        } else {
+            format!("CREATE TABLE {slot} (id {id_ty}, val FLOAT)")
+        }
+    }
+
+    /// `DELETE FROM <slot>`: truncates a reused message slot before the
+    /// refill (which also makes a replayed Compute idempotent — the replay
+    /// clears whatever a half-finished predecessor left behind).
+    pub fn clear_message_slot_sql(&self, slot: &str) -> String {
+        format!("DELETE FROM {slot}")
+    }
+
+    /// Statement 1 of Compute(x) in slot form: `INSERT INTO <slot> SELECT …`
+    /// with the same body [`SqlGen::compute_message_sql`] materializes.
+    pub fn insert_message_sql(&self, x: usize, slot: &str) -> String {
+        let cols = if self.is_avg() {
+            "id, vsum, vcnt"
+        } else {
+            "id, val"
+        };
+        format!(
+            "INSERT INTO {slot} ({cols}) {}",
+            self.message_select_body(x)
+        )
+    }
+
+    /// The shared `SELECT` body both message-table forms project: partition
+    /// `x`'s pending deltas joined to the (materialized) edges, aggregated
+    /// per destination id.
+    fn message_select_body(&self, x: usize) -> String {
         let msg_expr = render_expr(&self.plan.message_expr);
         let agg = self.plan.aggregate;
         let projection = if self.is_avg() {
@@ -296,8 +340,7 @@ impl SqlGen {
             )
         };
         format!(
-            "CREATE TABLE {msg_table} AS SELECT {dst_ref} AS id, {projection} \
-             FROM {from} WHERE {} GROUP BY {dst_ref}",
+            "SELECT {dst_ref} AS id, {projection} FROM {from} WHERE {} GROUP BY {dst_ref}",
             filters.join(" AND "),
         )
     }
@@ -510,6 +553,9 @@ mod tests {
         check_all_dialects(&g.create_mjoin_sql());
         check_all_dialects(&g.join_index_sql());
         check_all_dialects(&g.compute_message_sql(1, "pr__msg_1_0"));
+        check_all_dialects(&g.create_message_slot_sql("pr__msgslot_1_0"));
+        check_all_dialects(&g.clear_message_slot_sql("pr__msgslot_1_0"));
+        check_all_dialects(&g.insert_message_sql(1, "pr__msgslot_1_0"));
         check_all_dialects(&g.compute_update_sql(1));
         check_all_dialects(&g.message_count_sql("pr__msg_1_0"));
         check_all_dialects(&g.gather_sql(2, &["pr__msg_1_0", "pr__msg_3_4"]));
@@ -536,6 +582,31 @@ mod tests {
         assert!(sql.contains("!= 0.0"), "{sql}");
         // the 0.85 scale is folded into the per-message expression
         assert!(sql.contains("0.85"), "{sql}");
+    }
+
+    #[test]
+    fn slot_statements_are_generation_stable() {
+        let g = pagerank_gen(4, true);
+        // the slot form carries no round number: refilling the same slot in
+        // two different rounds produces byte-identical SQL (the templating
+        // property the plan cache depends on)
+        let a = g.insert_message_sql(1, "pr__msgslot_1_0");
+        let b = g.insert_message_sql(1, "pr__msgslot_1_0");
+        assert_eq!(a, b);
+        assert!(
+            a.starts_with("INSERT INTO pr__msgslot_1_0 (id, val) SELECT"),
+            "{a}"
+        );
+        // and shares its select body with the CTAS form
+        let ctas = g.compute_message_sql(1, "m");
+        let body = a.split_once(" SELECT").unwrap().1;
+        assert!(ctas.ends_with(&format!("SELECT{body}")), "{ctas}\n{a}");
+        let ddl = g.create_message_slot_sql("pr__msgslot_1_0");
+        assert_eq!(ddl, "CREATE TABLE pr__msgslot_1_0 (id INT, val FLOAT)");
+        assert_eq!(
+            g.clear_message_slot_sql("pr__msgslot_1_0"),
+            "DELETE FROM pr__msgslot_1_0"
+        );
     }
 
     #[test]

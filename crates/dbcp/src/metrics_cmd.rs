@@ -198,6 +198,20 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_dump_carries_vectorized_exec_series() {
+        let db = db_with_traffic();
+        let mut s = db.connect();
+        s.execute("SELECT v FROM t WHERE v > 0.5").unwrap();
+        let text = prometheus_dump(&db);
+        obs::validate_prometheus_text(&text).unwrap();
+        // the registry is process-wide, so only presence (not exact counts)
+        // is assertable here
+        assert!(text.contains("sqloop_exec_batches_total"), "{text}");
+        assert!(text.contains("sqloop_exec_rows_per_batch"), "{text}");
+        assert!(text.contains("sqloop_exec_kernel_vector_total"), "{text}");
+    }
+
+    #[test]
     fn digest_label_with_quotes_stays_valid() {
         let db = Database::new(EngineProfile::Postgres);
         let mut s = db.connect();

@@ -1,0 +1,1224 @@
+//! Columnar batches and compiled expression kernels — the vectorized
+//! executor's data plane.
+//!
+//! The row executor walks a [`BoundExpr`] tree once per row, paying an enum
+//! match and a `Value` clone per node per row (the interpretation overhead
+//! Neumann's compilation paper targets). The vectorized executor instead
+//! compiles each bound expression **once per statement** into a [`Kernel`]
+//! and evaluates it over [`ColumnBatch`]es: typed column vectors (`Vec<i64>`
+//! / `Vec<f64>` / …) with a validity bitmap, so the hot loops are plain
+//! slices of machine types.
+//!
+//! # Semantics contract
+//!
+//! The batch path must be observationally identical to the row path —
+//! results, row order, *and* errors. Three rules deliver that:
+//!
+//! 1. Kernels replicate `Value` semantics exactly: comparisons use
+//!    `f64::total_cmp` (NaN-aware, `-0.0 < 0.0`), integer arithmetic stays
+//!    checked, NULL propagates through the validity bitmap.
+//! 2. `AND`/`OR` are vectorized eagerly only when the right operand is
+//!    provably infallible; otherwise the whole node falls back to row-wise
+//!    evaluation so short-circuiting still suppresses right-side errors.
+//! 3. If a kernel errors anywhere in a batch, the driver re-evaluates that
+//!    batch row-by-row with the original [`BoundExpr`] — rows are stored in
+//!    order, so the rerun surfaces exactly the row path's first error (or
+//!    succeeds, for errors the row path would have skipped).
+
+use crate::ast::{BinaryOp, UnaryOp};
+use crate::bind::BoundExpr;
+use crate::error::{DbError, DbResult};
+use crate::value::{Row, Value};
+use std::cmp::Ordering;
+
+/// Typed payload of one column in a batch. Lanes whose validity bit is
+/// clear hold an arbitrary placeholder and must never be read as data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColData {
+    /// All non-null lanes are `Value::Int`.
+    Int(Vec<i64>),
+    /// All non-null lanes are `Value::Float`.
+    Float(Vec<f64>),
+    /// All non-null lanes are `Value::Bool`.
+    Bool(Vec<bool>),
+    /// Mixed types, text, or anything the typed layouts cannot hold;
+    /// lanes carry full `Value`s (`Value::Null` where validity is clear).
+    Mixed(Vec<Value>),
+}
+
+/// One column vector plus its validity bitmap (`true` = non-null).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Col {
+    /// Typed lane data.
+    pub data: ColData,
+    /// Per-lane non-null flags.
+    pub valid: Vec<bool>,
+}
+
+impl Col {
+    /// A column of `len` NULLs.
+    pub fn nulls(len: usize) -> Col {
+        Col {
+            data: ColData::Mixed(vec![Value::Null; len]),
+            valid: vec![false; len],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// True when the column has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.valid.is_empty()
+    }
+
+    /// Reconstructs the `Value` at `lane`.
+    pub fn value_at(&self, lane: usize) -> Value {
+        if !self.valid[lane] {
+            return Value::Null;
+        }
+        match &self.data {
+            ColData::Int(v) => Value::Int(v[lane]),
+            ColData::Float(v) => Value::Float(v[lane]),
+            ColData::Bool(v) => Value::Bool(v[lane]),
+            ColData::Mixed(v) => v[lane].clone(),
+        }
+    }
+
+    /// Builds a typed column from owned values (single pass; falls back to
+    /// the `Mixed` layout as soon as two non-null lanes disagree on type).
+    pub fn from_values(values: Vec<Value>) -> Col {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Tag {
+            Unseen,
+            Int,
+            Float,
+            Bool,
+            Mixed,
+        }
+        let mut tag = Tag::Unseen;
+        for v in &values {
+            let t = match v {
+                Value::Null => continue,
+                Value::Int(_) => Tag::Int,
+                Value::Float(_) => Tag::Float,
+                Value::Bool(_) => Tag::Bool,
+                Value::Text(_) => Tag::Mixed,
+            };
+            if tag == Tag::Unseen {
+                tag = t;
+            } else if tag != t {
+                tag = Tag::Mixed;
+            }
+            if tag == Tag::Mixed {
+                break;
+            }
+        }
+        let valid: Vec<bool> = values.iter().map(|v| !v.is_null()).collect();
+        let data = match tag {
+            Tag::Int => ColData::Int(
+                values
+                    .iter()
+                    .map(|v| if let Value::Int(i) = v { *i } else { 0 })
+                    .collect(),
+            ),
+            Tag::Float => ColData::Float(
+                values
+                    .iter()
+                    .map(|v| if let Value::Float(f) = v { *f } else { 0.0 })
+                    .collect(),
+            ),
+            Tag::Bool => ColData::Bool(
+                values
+                    .iter()
+                    .map(|v| matches!(v, Value::Bool(true)))
+                    .collect(),
+            ),
+            Tag::Unseen | Tag::Mixed => ColData::Mixed(values),
+        };
+        Col { data, valid }
+    }
+
+    /// Keeps only the lanes whose `keep` flag is set.
+    pub fn compact(&self, keep: &[bool]) -> Col {
+        let pick = |i: &usize| keep[*i];
+        let idx: Vec<usize> = (0..self.len()).filter(pick).collect();
+        let valid = idx.iter().map(|&i| self.valid[i]).collect();
+        let data = match &self.data {
+            ColData::Int(v) => ColData::Int(idx.iter().map(|&i| v[i]).collect()),
+            ColData::Float(v) => ColData::Float(idx.iter().map(|&i| v[i]).collect()),
+            ColData::Bool(v) => ColData::Bool(idx.iter().map(|&i| v[i]).collect()),
+            ColData::Mixed(v) => ColData::Mixed(idx.iter().map(|&i| v[i].clone()).collect()),
+        };
+        Col { data, valid }
+    }
+}
+
+/// A fixed-size batch of rows in columnar layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnBatch {
+    len: usize,
+    cols: Vec<Col>,
+}
+
+impl ColumnBatch {
+    /// Builds a batch from row-major data, consuming the rows.
+    pub fn from_rows(rows: Vec<Row>, arity: usize) -> ColumnBatch {
+        let len = rows.len();
+        let mut columns: Vec<Vec<Value>> = (0..arity).map(|_| Vec::with_capacity(len)).collect();
+        for mut row in rows {
+            // right-to-left pop moves values without shifting
+            for c in (0..arity).rev() {
+                let v = if c < row.len() {
+                    row.pop().unwrap_or(Value::Null)
+                } else {
+                    Value::Null
+                };
+                columns[c].push(v);
+            }
+        }
+        ColumnBatch {
+            len,
+            cols: columns.into_iter().map(Col::from_values).collect(),
+        }
+    }
+
+    /// Builds a batch directly from pre-built columns (the batched-scan
+    /// entry point). All columns must share `len` lanes.
+    pub fn from_cols(cols: Vec<Col>, len: usize) -> ColumnBatch {
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        ColumnBatch { len, cols }
+    }
+
+    /// Splits row-major data into batches of at most `batch_size` rows.
+    pub fn chunk_rows(rows: Vec<Row>, arity: usize, batch_size: usize) -> Vec<ColumnBatch> {
+        let batch_size = batch_size.max(1);
+        let mut out = Vec::with_capacity(rows.len() / batch_size + 1);
+        if rows.is_empty() {
+            return out;
+        }
+        let mut rest = rows;
+        loop {
+            if rest.len() <= batch_size {
+                out.push(ColumnBatch::from_rows(rest, arity));
+                return out;
+            }
+            let tail = rest.split_off(batch_size);
+            out.push(ColumnBatch::from_rows(rest, arity));
+            rest = tail;
+        }
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The `i`-th column.
+    pub fn col(&self, i: usize) -> &Col {
+        &self.cols[i]
+    }
+
+    /// Reconstructs the row at `lane`.
+    pub fn row_at(&self, lane: usize) -> Row {
+        self.cols.iter().map(|c| c.value_at(lane)).collect()
+    }
+
+    /// Materializes all rows, appending to `out`.
+    pub fn append_rows_to(&self, out: &mut Vec<Row>) {
+        for lane in 0..self.len {
+            out.push(self.row_at(lane));
+        }
+    }
+
+    /// Keeps only the lanes whose `keep` flag is set.
+    pub fn compact(&self, keep: &[bool]) -> ColumnBatch {
+        let len = keep.iter().filter(|k| **k).count();
+        ColumnBatch {
+            len,
+            cols: self.cols.iter().map(|c| c.compact(keep)).collect(),
+        }
+    }
+}
+
+/// Result of one kernel evaluation over a batch: a fresh column, a borrowed
+/// input column (projection of a bare column reference never copies), or a
+/// broadcast constant.
+#[derive(Debug)]
+pub enum EvalOut {
+    /// A newly computed column.
+    Owned(Col),
+    /// Input column `i` of the batch, unchanged.
+    Ref(usize),
+    /// The same value in every lane.
+    Const(Value),
+}
+
+impl EvalOut {
+    /// The `Value` at `lane`, resolving references against `batch`.
+    pub fn value_at(&self, batch: &ColumnBatch, lane: usize) -> Value {
+        match self {
+            EvalOut::Owned(c) => c.value_at(lane),
+            EvalOut::Ref(i) => batch.col(*i).value_at(lane),
+            EvalOut::Const(v) => v.clone(),
+        }
+    }
+
+    fn as_operand<'a>(&'a self, batch: &'a ColumnBatch) -> Operand<'a> {
+        match self {
+            EvalOut::Owned(c) => Operand::Col(c),
+            EvalOut::Ref(i) => Operand::Col(batch.col(*i)),
+            EvalOut::Const(v) => Operand::Const(v),
+        }
+    }
+
+    /// The lanes as a plain `&[i64]` when the output is a fully-valid
+    /// `Int` column. The single-key hash aggregate keys directly off this
+    /// slice, skipping per-lane `Value` construction; `None` for constants,
+    /// other layouts, or any NULL lane.
+    pub fn as_int_lanes<'a>(&'a self, batch: &'a ColumnBatch) -> Option<&'a [i64]> {
+        let c = match self {
+            EvalOut::Owned(c) => c,
+            EvalOut::Ref(i) => batch.col(*i),
+            EvalOut::Const(_) => return None,
+        };
+        match &c.data {
+            ColData::Int(v) if c.valid.iter().all(|&ok| ok) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The lanes as a plain `&[f64]` when the output is a fully-valid
+    /// `Float` column — same contract as [`EvalOut::as_int_lanes`], used by
+    /// the aggregate accumulators to skip per-lane `Value` construction.
+    pub fn as_float_lanes<'a>(&'a self, batch: &'a ColumnBatch) -> Option<&'a [f64]> {
+        let c = match self {
+            EvalOut::Owned(c) => c,
+            EvalOut::Ref(i) => batch.col(*i),
+            EvalOut::Const(_) => return None,
+        };
+        match &c.data {
+            ColData::Float(v) if c.valid.iter().all(|&ok| ok) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The per-lane `is_truthy` mask (`true` only for a valid `Bool(true)`
+    /// lane — exactly [`Value::is_truthy`]).
+    pub fn truthy_mask(&self, batch: &ColumnBatch) -> Vec<bool> {
+        let n = batch.len();
+        match self.as_operand(batch) {
+            Operand::Const(v) => vec![v.is_truthy(); n],
+            Operand::Col(c) => match &c.data {
+                ColData::Bool(b) => (0..n).map(|i| c.valid[i] && b[i]).collect(),
+                ColData::Mixed(v) => v.iter().map(Value::is_truthy).collect(),
+                _ => vec![false; n],
+            },
+        }
+    }
+}
+
+enum Operand<'a> {
+    Col(&'a Col),
+    Const(&'a Value),
+}
+
+impl<'a> Operand<'a> {
+    fn value_at(&self, lane: usize) -> Value {
+        match self {
+            Operand::Col(c) => c.value_at(lane),
+            Operand::Const(v) => (*v).clone(),
+        }
+    }
+}
+
+/// Lane classification for three-valued `AND`/`OR`: exactly `Bool(true)`,
+/// exactly `Bool(false)`, or anything else (NULL and non-boolean values
+/// take the same `else => Null` arm in the row evaluator).
+#[derive(Clone, Copy, PartialEq)]
+enum Tri {
+    True,
+    False,
+    Other,
+}
+
+fn tri_lanes(op: &Operand<'_>, n: usize) -> Vec<Tri> {
+    let of_value = |v: &Value| match v {
+        Value::Bool(true) => Tri::True,
+        Value::Bool(false) => Tri::False,
+        _ => Tri::Other,
+    };
+    match op {
+        Operand::Const(v) => vec![of_value(v); n],
+        Operand::Col(c) => match &c.data {
+            ColData::Bool(b) => (0..n)
+                .map(|i| {
+                    if !c.valid[i] {
+                        Tri::Other
+                    } else if b[i] {
+                        Tri::True
+                    } else {
+                        Tri::False
+                    }
+                })
+                .collect(),
+            ColData::Mixed(v) => v.iter().map(of_value).collect(),
+            _ => vec![Tri::Other; n],
+        },
+    }
+}
+
+/// A compiled per-batch evaluation plan for one bound expression.
+#[derive(Debug, Clone)]
+pub enum Kernel {
+    /// Pass input column `i` through.
+    Column(usize),
+    /// Broadcast a constant.
+    Literal(Value),
+    /// Vectorized binary operator.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand kernel.
+        left: Box<Kernel>,
+        /// Right operand kernel.
+        right: Box<Kernel>,
+    },
+    /// Vectorized unary operator.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Operand kernel.
+        inner: Box<Kernel>,
+    },
+    /// Vectorized `IS [NOT] NULL` (reads only the validity bitmap).
+    IsNull {
+        /// Operand kernel.
+        inner: Box<Kernel>,
+        /// `IS NOT NULL` when set.
+        negated: bool,
+    },
+    /// Row-wise interpretation of a subtree the vectorizer does not cover
+    /// (CASE, casts, builtins, IN lists, fallible AND/OR right sides, …).
+    Fallback(BoundExpr),
+}
+
+/// True when evaluating `e` can never return an error for any row: bare
+/// columns and literals, and comparison/logic trees built from them
+/// (`sql_eq`/`sql_cmp` and the three-valued connectives are total).
+/// Arithmetic is fallible (integer overflow, division by zero, type
+/// errors), as are casts, builtins, and `NOT` on non-boolean input.
+fn infallible(e: &BoundExpr) -> bool {
+    match e {
+        BoundExpr::Literal(_) | BoundExpr::Column(_) => true,
+        BoundExpr::IsNull { expr, .. } => infallible(expr),
+        BoundExpr::Binary { left, op, right } => {
+            matches!(
+                op,
+                BinaryOp::Eq
+                    | BinaryOp::NotEq
+                    | BinaryOp::Lt
+                    | BinaryOp::LtEq
+                    | BinaryOp::Gt
+                    | BinaryOp::GtEq
+                    | BinaryOp::And
+                    | BinaryOp::Or
+            ) && infallible(left)
+                && infallible(right)
+        }
+        BoundExpr::Between {
+            expr, low, high, ..
+        } => infallible(expr) && infallible(low) && infallible(high),
+        BoundExpr::InList { expr, list, .. } => infallible(expr) && list.iter().all(infallible),
+        _ => false,
+    }
+}
+
+/// Process-wide kernel-dispatch counters (exported via the obs registry).
+fn count_vector_node() {
+    obs::global().counter("sqloop.exec.kernel.vector").inc();
+}
+
+fn count_fallback_node() {
+    obs::global().counter("sqloop.exec.kernel.fallback").inc();
+}
+
+impl Kernel {
+    /// Compiles a bound expression into a kernel tree. Subtrees the
+    /// vectorizer cannot evaluate with identical semantics compile to
+    /// [`Kernel::Fallback`] (row-wise interpretation inside the batch).
+    pub fn compile(expr: &BoundExpr) -> Kernel {
+        match expr {
+            BoundExpr::Literal(v) => {
+                count_vector_node();
+                Kernel::Literal(v.clone())
+            }
+            BoundExpr::Column(i) => {
+                count_vector_node();
+                Kernel::Column(*i)
+            }
+            BoundExpr::Binary { left, op, right } => {
+                // eager vectorized AND/OR would evaluate right sides the
+                // row path short-circuits past — only safe when the right
+                // side cannot error
+                if matches!(op, BinaryOp::And | BinaryOp::Or) && !infallible(right) {
+                    count_fallback_node();
+                    return Kernel::Fallback(expr.clone());
+                }
+                count_vector_node();
+                Kernel::Binary {
+                    op: *op,
+                    left: Box::new(Kernel::compile(left)),
+                    right: Box::new(Kernel::compile(right)),
+                }
+            }
+            BoundExpr::Unary { op, expr: inner } => {
+                count_vector_node();
+                Kernel::Unary {
+                    op: *op,
+                    inner: Box::new(Kernel::compile(inner)),
+                }
+            }
+            BoundExpr::IsNull {
+                expr: inner,
+                negated,
+            } => {
+                count_vector_node();
+                Kernel::IsNull {
+                    inner: Box::new(Kernel::compile(inner)),
+                    negated: *negated,
+                }
+            }
+            other => {
+                count_fallback_node();
+                Kernel::Fallback(other.clone())
+            }
+        }
+    }
+
+    /// Evaluates the kernel over one batch.
+    ///
+    /// # Errors
+    /// Returns the first error in kernel evaluation order. Callers must
+    /// treat any error as "re-evaluate this batch row-wise" — see the
+    /// module docs — which [`CompiledExpr::try_eval`]'s callers do.
+    pub fn eval(&self, batch: &ColumnBatch) -> DbResult<EvalOut> {
+        match self {
+            Kernel::Column(i) => {
+                if *i >= batch.arity() {
+                    return Err(DbError::Eval(format!("row too short for column {i}")));
+                }
+                Ok(EvalOut::Ref(*i))
+            }
+            Kernel::Literal(v) => Ok(EvalOut::Const(v.clone())),
+            Kernel::Binary { op, left, right } => {
+                let l = left.eval(batch)?;
+                let r = right.eval(batch)?;
+                eval_binary_cols(*op, &l, &r, batch)
+            }
+            Kernel::Unary { op, inner } => {
+                let v = inner.eval(batch)?;
+                eval_unary_col(*op, &v, batch)
+            }
+            Kernel::IsNull { inner, negated } => {
+                let v = inner.eval(batch)?;
+                let n = batch.len();
+                let lanes: Vec<bool> = match v.as_operand(batch) {
+                    Operand::Const(c) => vec![c.is_null() != *negated; n],
+                    Operand::Col(c) => c.valid.iter().map(|&ok| ok == *negated).collect(),
+                };
+                Ok(EvalOut::Owned(Col {
+                    data: ColData::Bool(lanes),
+                    valid: vec![true; n],
+                }))
+            }
+            Kernel::Fallback(expr) => {
+                let mut out = Vec::with_capacity(batch.len());
+                for lane in 0..batch.len() {
+                    out.push(expr.eval(&batch.row_at(lane), &[])?);
+                }
+                Ok(EvalOut::Owned(Col::from_values(out)))
+            }
+        }
+    }
+}
+
+fn eval_binary_cols(
+    op: BinaryOp,
+    l: &EvalOut,
+    r: &EvalOut,
+    batch: &ColumnBatch,
+) -> DbResult<EvalOut> {
+    let n = batch.len();
+    let lo = l.as_operand(batch);
+    let ro = r.as_operand(batch);
+    match op {
+        BinaryOp::And | BinaryOp::Or => {
+            let lt = tri_lanes(&lo, n);
+            let rt = tri_lanes(&ro, n);
+            let mut data = vec![false; n];
+            let mut valid = vec![false; n];
+            for i in 0..n {
+                let out = if op == BinaryOp::And {
+                    match (lt[i], rt[i]) {
+                        (Tri::False, _) | (_, Tri::False) => Some(false),
+                        (Tri::True, Tri::True) => Some(true),
+                        _ => None,
+                    }
+                } else {
+                    match (lt[i], rt[i]) {
+                        (Tri::True, _) | (_, Tri::True) => Some(true),
+                        (Tri::False, Tri::False) => Some(false),
+                        _ => None,
+                    }
+                };
+                if let Some(b) = out {
+                    data[i] = b;
+                    valid[i] = true;
+                }
+            }
+            Ok(EvalOut::Owned(Col {
+                data: ColData::Bool(data),
+                valid,
+            }))
+        }
+        BinaryOp::Eq
+        | BinaryOp::NotEq
+        | BinaryOp::Lt
+        | BinaryOp::LtEq
+        | BinaryOp::Gt
+        | BinaryOp::GtEq => Ok(EvalOut::Owned(eval_cmp_cols(op, &lo, &ro, n))),
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+            eval_arith_cols(op, &lo, &ro, n)
+        }
+        BinaryOp::Concat => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let a = lo.value_at(i);
+                let b = ro.value_at(i);
+                out.push(if a.is_null() || b.is_null() {
+                    Value::Null
+                } else {
+                    Value::Text(format!("{a}{b}"))
+                });
+            }
+            Ok(EvalOut::Owned(Col::from_values(out)))
+        }
+    }
+}
+
+fn cmp_to_bool(op: BinaryOp, o: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => o == Ordering::Equal,
+        BinaryOp::NotEq => o != Ordering::Equal,
+        BinaryOp::Lt => o == Ordering::Less,
+        BinaryOp::LtEq => o != Ordering::Greater,
+        BinaryOp::Gt => o == Ordering::Greater,
+        BinaryOp::GtEq => o != Ordering::Less,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Vectorized comparison with [`Value::sql_cmp`] semantics: NULL lanes
+/// compare to NULL, numeric lanes use `total_cmp` (so NaN equals NaN and
+/// `-0.0 < 0.0`, matching the row path exactly).
+fn eval_cmp_cols(op: BinaryOp, lo: &Operand<'_>, ro: &Operand<'_>, n: usize) -> Col {
+    let mut data = vec![false; n];
+    let mut valid = vec![false; n];
+    // typed fast paths over numeric columns; everything else goes lane-wise
+    // through Value::sql_cmp (identical semantics, just slower)
+    match (lo, ro) {
+        (Operand::Col(a), Operand::Col(b)) => match (&a.data, &b.data) {
+            (ColData::Int(x), ColData::Int(y)) => {
+                for i in 0..n {
+                    if a.valid[i] && b.valid[i] {
+                        valid[i] = true;
+                        data[i] = cmp_to_bool(op, x[i].cmp(&y[i]));
+                    }
+                }
+            }
+            (ColData::Float(x), ColData::Float(y)) => {
+                for i in 0..n {
+                    if a.valid[i] && b.valid[i] {
+                        valid[i] = true;
+                        data[i] = cmp_to_bool(op, x[i].total_cmp(&y[i]));
+                    }
+                }
+            }
+            (ColData::Int(x), ColData::Float(y)) => {
+                for i in 0..n {
+                    if a.valid[i] && b.valid[i] {
+                        valid[i] = true;
+                        data[i] = cmp_to_bool(op, (x[i] as f64).total_cmp(&y[i]));
+                    }
+                }
+            }
+            (ColData::Float(x), ColData::Int(y)) => {
+                for i in 0..n {
+                    if a.valid[i] && b.valid[i] {
+                        valid[i] = true;
+                        data[i] = cmp_to_bool(op, x[i].total_cmp(&(y[i] as f64)));
+                    }
+                }
+            }
+            _ => {
+                for i in 0..n {
+                    if let Some(o) = a.value_at(i).sql_cmp(&b.value_at(i)) {
+                        valid[i] = true;
+                        data[i] = cmp_to_bool(op, o);
+                    }
+                }
+            }
+        },
+        (Operand::Col(a), Operand::Const(k)) | (Operand::Const(k), Operand::Col(a)) => {
+            let flipped = matches!(lo, Operand::Const(_));
+            let ord = |x: Ordering| if flipped { x.reverse() } else { x };
+            if k.is_null() {
+                // all lanes NULL
+            } else {
+                match (&a.data, k) {
+                    (ColData::Int(x), Value::Int(kv)) => {
+                        for i in 0..n {
+                            if a.valid[i] {
+                                valid[i] = true;
+                                data[i] = cmp_to_bool(op, ord(x[i].cmp(kv)));
+                            }
+                        }
+                    }
+                    (ColData::Float(x), Value::Float(kv)) => {
+                        for i in 0..n {
+                            if a.valid[i] {
+                                valid[i] = true;
+                                data[i] = cmp_to_bool(op, ord(x[i].total_cmp(kv)));
+                            }
+                        }
+                    }
+                    (ColData::Int(x), Value::Float(kv)) => {
+                        for i in 0..n {
+                            if a.valid[i] {
+                                valid[i] = true;
+                                data[i] = cmp_to_bool(op, ord((x[i] as f64).total_cmp(kv)));
+                            }
+                        }
+                    }
+                    (ColData::Float(x), Value::Int(kv)) => {
+                        let kf = *kv as f64;
+                        for i in 0..n {
+                            if a.valid[i] {
+                                valid[i] = true;
+                                data[i] = cmp_to_bool(op, ord(x[i].total_cmp(&kf)));
+                            }
+                        }
+                    }
+                    _ => {
+                        for i in 0..n {
+                            if let Some(o) = a.value_at(i).sql_cmp(k) {
+                                valid[i] = true;
+                                data[i] = cmp_to_bool(op, ord(o));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (Operand::Const(a), Operand::Const(b)) => {
+            if let Some(o) = a.sql_cmp(b) {
+                let v = cmp_to_bool(op, o);
+                data = vec![v; n];
+                valid = vec![true; n];
+            }
+        }
+    }
+    Col {
+        data: ColData::Bool(data),
+        valid,
+    }
+}
+
+/// Vectorized arithmetic. Pure-float lane combinations run as raw `f64`
+/// loops (IEEE semantics, infallible — identical to the row path's float
+/// promotion); anything involving integers, text, or mixed lanes calls the
+/// checked `Value` operators lane-wise so overflow/div-by-zero/type errors
+/// keep their exact row-path messages.
+fn eval_arith_cols(
+    op: BinaryOp,
+    lo: &Operand<'_>,
+    ro: &Operand<'_>,
+    n: usize,
+) -> DbResult<EvalOut> {
+    let float_op = |a: f64, b: f64| -> f64 {
+        match op {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::Mod => a % b,
+            _ => unreachable!(),
+        }
+    };
+    // float ⊗ float fast path
+    if let (Operand::Col(a), Operand::Col(b)) = (lo, ro) {
+        if let (ColData::Float(x), ColData::Float(y)) = (&a.data, &b.data) {
+            let mut data = vec![0.0f64; n];
+            let mut valid = vec![false; n];
+            for i in 0..n {
+                if a.valid[i] && b.valid[i] {
+                    valid[i] = true;
+                    data[i] = float_op(x[i], y[i]);
+                }
+            }
+            return Ok(EvalOut::Owned(Col {
+                data: ColData::Float(data),
+                valid,
+            }));
+        }
+    }
+    // float ⊗ float-constant fast paths
+    match (lo, ro) {
+        (Operand::Col(a), Operand::Const(Value::Float(k))) => {
+            if let ColData::Float(x) = &a.data {
+                let mut data = vec![0.0f64; n];
+                let mut valid = vec![false; n];
+                for i in 0..n {
+                    if a.valid[i] {
+                        valid[i] = true;
+                        data[i] = float_op(x[i], *k);
+                    }
+                }
+                return Ok(EvalOut::Owned(Col {
+                    data: ColData::Float(data),
+                    valid,
+                }));
+            }
+        }
+        (Operand::Const(Value::Float(k)), Operand::Col(b)) => {
+            if let ColData::Float(y) = &b.data {
+                let mut data = vec![0.0f64; n];
+                let mut valid = vec![false; n];
+                for i in 0..n {
+                    if b.valid[i] {
+                        valid[i] = true;
+                        data[i] = float_op(*k, y[i]);
+                    }
+                }
+                return Ok(EvalOut::Owned(Col {
+                    data: ColData::Float(data),
+                    valid,
+                }));
+            }
+        }
+        _ => {}
+    }
+    // generic lane-wise path through the checked Value operators
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = lo.value_at(i);
+        let b = ro.value_at(i);
+        out.push(match op {
+            BinaryOp::Add => a.add(&b)?,
+            BinaryOp::Sub => a.sub(&b)?,
+            BinaryOp::Mul => a.mul(&b)?,
+            BinaryOp::Div => a.div(&b)?,
+            BinaryOp::Mod => a.rem(&b)?,
+            _ => unreachable!(),
+        });
+    }
+    Ok(EvalOut::Owned(Col::from_values(out)))
+}
+
+fn eval_unary_col(op: UnaryOp, v: &EvalOut, batch: &ColumnBatch) -> DbResult<EvalOut> {
+    let n = batch.len();
+    let o = v.as_operand(batch);
+    match op {
+        UnaryOp::Neg => {
+            if let Operand::Col(c) = &o {
+                if let ColData::Float(x) = &c.data {
+                    let data: Vec<f64> = x.iter().map(|f| -f).collect();
+                    return Ok(EvalOut::Owned(Col {
+                        data: ColData::Float(data),
+                        valid: c.valid.clone(),
+                    }));
+                }
+            }
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(o.value_at(i).neg()?);
+            }
+            Ok(EvalOut::Owned(Col::from_values(out)))
+        }
+        UnaryOp::Not => {
+            if let Operand::Col(c) = &o {
+                if let ColData::Bool(b) = &c.data {
+                    let data: Vec<bool> = b.iter().map(|x| !x).collect();
+                    return Ok(EvalOut::Owned(Col {
+                        data: ColData::Bool(data),
+                        valid: c.valid.clone(),
+                    }));
+                }
+            }
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(match o.value_at(i) {
+                    Value::Null => Value::Null,
+                    Value::Bool(b) => Value::Bool(!b),
+                    other => {
+                        return Err(DbError::Eval(format!(
+                            "NOT requires boolean, got {}",
+                            other.type_name()
+                        )))
+                    }
+                });
+            }
+            Ok(EvalOut::Owned(Col::from_values(out)))
+        }
+    }
+}
+
+/// A bound expression compiled for batch evaluation, retaining the original
+/// tree for the row-wise error path.
+#[derive(Debug, Clone)]
+pub struct CompiledExpr {
+    kernel: Kernel,
+    expr: BoundExpr,
+}
+
+impl CompiledExpr {
+    /// Compiles `expr` (done once per statement execution).
+    pub fn new(expr: &BoundExpr) -> CompiledExpr {
+        CompiledExpr {
+            kernel: Kernel::compile(expr),
+            expr: expr.clone(),
+        }
+    }
+
+    /// The original bound expression.
+    pub fn expr(&self) -> &BoundExpr {
+        &self.expr
+    }
+
+    /// Evaluates the kernel only, with *no* row-wise rerun on error. Phases
+    /// that evaluate several expressions per batch (projection, grouping)
+    /// use this and fall back to row-wise evaluation of the whole batch
+    /// themselves, so cross-expression error ordering matches the row path.
+    ///
+    /// # Errors
+    /// May over-approximate: an error here can come from a lane/branch the
+    /// row path would never evaluate. Callers must rerun row-wise.
+    pub fn try_eval(&self, batch: &ColumnBatch) -> DbResult<EvalOut> {
+        self.kernel.eval(batch)
+    }
+
+    /// Evaluates over one batch with exact row-path semantics: if the
+    /// vectorized kernel errors anywhere in the batch, the batch is
+    /// re-evaluated row-by-row in order, which either reproduces the row
+    /// path's first error exactly or succeeds where eager evaluation
+    /// over-approximated (e.g. an error in an untaken CASE branch).
+    ///
+    /// # Errors
+    /// Exactly the errors the row-at-a-time evaluator would produce.
+    pub fn eval_batch(&self, batch: &ColumnBatch) -> DbResult<EvalOut> {
+        match self.kernel.eval(batch) {
+            Ok(out) => Ok(out),
+            Err(_) => {
+                let mut out = Vec::with_capacity(batch.len());
+                for lane in 0..batch.len() {
+                    out.push(self.expr.eval(&batch.row_at(lane), &[])?);
+                }
+                Ok(EvalOut::Owned(Col::from_values(out)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinaryOp;
+
+    fn batch_1col(values: Vec<Value>) -> ColumnBatch {
+        let rows: Vec<Row> = values.into_iter().map(|v| vec![v]).collect();
+        ColumnBatch::from_rows(rows, 1)
+    }
+
+    #[test]
+    fn from_rows_types_columns_and_round_trips() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(0.5), Value::Text("a".into())],
+            vec![Value::Null, Value::Float(f64::NAN), Value::Null],
+            vec![Value::Int(-3), Value::Null, Value::Text("b".into())],
+        ];
+        let b = ColumnBatch::from_rows(rows.clone(), 3);
+        assert_eq!(b.len(), 3);
+        assert!(matches!(b.col(0).data, ColData::Int(_)));
+        assert!(matches!(b.col(1).data, ColData::Float(_)));
+        assert!(matches!(b.col(2).data, ColData::Mixed(_)));
+        let mut out = Vec::new();
+        b.append_rows_to(&mut out);
+        // NaN round-trips bit-wise through the Float column
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], rows[0]);
+        assert!(matches!(out[1][1], Value::Float(f) if f.is_nan()));
+        assert_eq!(out[2], rows[2]);
+    }
+
+    #[test]
+    fn mixed_numeric_column_stays_mixed() {
+        let b = batch_1col(vec![Value::Int(1), Value::Float(2.0)]);
+        // Int and Float lanes must not be silently promoted: grouping and
+        // hashing treat Int(2) and Float(2.0) as equal but distinct values
+        assert!(matches!(b.col(0).data, ColData::Mixed(_)));
+    }
+
+    #[test]
+    fn chunk_rows_splits_exactly() {
+        let rows: Vec<Row> = (0..10).map(|i| vec![Value::Int(i)]).collect();
+        let batches = ColumnBatch::chunk_rows(rows, 1, 4);
+        assert_eq!(
+            batches.iter().map(ColumnBatch::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        assert_eq!(batches[2].col(0).value_at(1), Value::Int(9));
+    }
+
+    fn eval_both(expr: &BoundExpr, rows: Vec<Row>, arity: usize) -> (Vec<Value>, Vec<Value>) {
+        let row_results: Vec<Value> = rows
+            .iter()
+            .map(|r| expr.eval(r, &[]).expect("row eval"))
+            .collect();
+        let batch = ColumnBatch::from_rows(rows, arity);
+        let compiled = CompiledExpr::new(expr);
+        let out = compiled.eval_batch(&batch).expect("batch eval");
+        let batch_results: Vec<Value> = (0..batch.len()).map(|i| out.value_at(&batch, i)).collect();
+        (row_results, batch_results)
+    }
+
+    fn assert_same(expr: &BoundExpr, rows: Vec<Row>, arity: usize) {
+        let (row, batch) = eval_both(expr, rows, arity);
+        for (i, (r, b)) in row.iter().zip(&batch).enumerate() {
+            // compare through total_cmp so NaN == NaN
+            let same = match (r, b) {
+                (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+                _ => r == b,
+            };
+            assert!(same, "lane {i}: row={r:?} batch={b:?} for {expr:?}");
+        }
+    }
+
+    #[test]
+    fn comparison_kernels_match_row_semantics_on_hostile_floats() {
+        let hostile = vec![
+            vec![Value::Float(f64::NAN), Value::Float(f64::NAN)],
+            vec![Value::Float(0.0), Value::Float(-0.0)],
+            vec![Value::Float(f64::INFINITY), Value::Float(1.0)],
+            vec![Value::Float(f64::NEG_INFINITY), Value::Null],
+            vec![Value::Null, Value::Null],
+            vec![Value::Float(2.5), Value::Float(2.5)],
+        ];
+        for op in [
+            BinaryOp::Eq,
+            BinaryOp::NotEq,
+            BinaryOp::Lt,
+            BinaryOp::LtEq,
+            BinaryOp::Gt,
+            BinaryOp::GtEq,
+        ] {
+            let expr = BoundExpr::Binary {
+                left: Box::new(BoundExpr::Column(0)),
+                op,
+                right: Box::new(BoundExpr::Column(1)),
+            };
+            assert_same(&expr, hostile.clone(), 2);
+        }
+    }
+
+    #[test]
+    fn int_float_cross_comparison_matches() {
+        let rows = vec![
+            vec![Value::Int(3), Value::Float(3.0)],
+            vec![Value::Int(3), Value::Float(3.5)],
+            vec![Value::Int(i64::MAX), Value::Float(9.3e18)],
+            vec![Value::Null, Value::Float(1.0)],
+        ];
+        let expr = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column(0)),
+            op: BinaryOp::Eq,
+            right: Box::new(BoundExpr::Column(1)),
+        };
+        assert_same(&expr, rows, 2);
+    }
+
+    #[test]
+    fn arithmetic_kernels_match_and_propagate_null() {
+        let rows = vec![
+            vec![Value::Float(1.5), Value::Float(2.5)],
+            vec![Value::Float(f64::INFINITY), Value::Float(-1.0)],
+            vec![Value::Null, Value::Float(4.0)],
+            vec![Value::Float(1.0), Value::Null],
+            vec![Value::Int(7), Value::Float(2.0)],
+        ];
+        for op in [BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul, BinaryOp::Div] {
+            let expr = BoundExpr::Binary {
+                left: Box::new(BoundExpr::Column(0)),
+                op,
+                right: Box::new(BoundExpr::Column(1)),
+            };
+            assert_same(&expr, rows.clone(), 2);
+        }
+    }
+
+    #[test]
+    fn integer_overflow_keeps_row_path_error() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(i64::MAX), Value::Int(1)],
+        ];
+        let expr = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column(0)),
+            op: BinaryOp::Add,
+            right: Box::new(BoundExpr::Column(1)),
+        };
+        let batch = ColumnBatch::from_rows(rows, 2);
+        let err = CompiledExpr::new(&expr).eval_batch(&batch).unwrap_err();
+        assert!(err.to_string().contains("integer overflow in +"), "{err}");
+    }
+
+    #[test]
+    fn division_by_integer_zero_keeps_row_path_error() {
+        let rows = vec![vec![Value::Int(4), Value::Int(0)]];
+        let expr = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column(0)),
+            op: BinaryOp::Div,
+            right: Box::new(BoundExpr::Column(1)),
+        };
+        let batch = ColumnBatch::from_rows(rows, 2);
+        let err = CompiledExpr::new(&expr).eval_batch(&batch).unwrap_err();
+        assert!(err.to_string().contains("division by zero"), "{err}");
+    }
+
+    #[test]
+    fn and_with_fallible_right_side_short_circuits_like_rows() {
+        // b != 0 AND 10 / b > 1 — the row path never divides where b = 0;
+        // the kernel must compile this to a row-wise fallback, not error
+        let guard = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column(0)),
+            op: BinaryOp::NotEq,
+            right: Box::new(BoundExpr::Literal(Value::Int(0))),
+        };
+        let div = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Binary {
+                left: Box::new(BoundExpr::Literal(Value::Int(10))),
+                op: BinaryOp::Div,
+                right: Box::new(BoundExpr::Column(0)),
+            }),
+            op: BinaryOp::Gt,
+            right: Box::new(BoundExpr::Literal(Value::Int(1))),
+        };
+        let expr = BoundExpr::Binary {
+            left: Box::new(guard),
+            op: BinaryOp::And,
+            right: Box::new(div),
+        };
+        let rows = vec![
+            vec![Value::Int(0)],
+            vec![Value::Int(2)],
+            vec![Value::Int(100)],
+        ];
+        assert_same(&expr, rows, 1);
+    }
+
+    #[test]
+    fn and_or_three_valued_logic_matches() {
+        let mk = |c: usize| Box::new(BoundExpr::Column(c));
+        let rows: Vec<Row> = {
+            let vals = [Value::Bool(true), Value::Bool(false), Value::Null];
+            let mut rows = Vec::new();
+            for a in &vals {
+                for b in &vals {
+                    rows.push(vec![a.clone(), b.clone()]);
+                }
+            }
+            rows
+        };
+        for op in [BinaryOp::And, BinaryOp::Or] {
+            let expr = BoundExpr::Binary {
+                left: mk(0),
+                op,
+                right: mk(1),
+            };
+            assert_same(&expr, rows.clone(), 2);
+        }
+    }
+
+    #[test]
+    fn is_null_and_not_kernels_match() {
+        let rows = vec![
+            vec![Value::Null],
+            vec![Value::Bool(true)],
+            vec![Value::Bool(false)],
+        ];
+        let isn = BoundExpr::IsNull {
+            expr: Box::new(BoundExpr::Column(0)),
+            negated: false,
+        };
+        assert_same(&isn, rows.clone(), 1);
+        let not = BoundExpr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(BoundExpr::Column(0)),
+        };
+        assert_same(&not, rows, 1);
+    }
+
+    #[test]
+    fn fallback_covers_case_expressions() {
+        // CASE WHEN c0 > 0 THEN c0 ELSE 0 - c0 END
+        let cond = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column(0)),
+            op: BinaryOp::Gt,
+            right: Box::new(BoundExpr::Literal(Value::Int(0))),
+        };
+        let neg = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Literal(Value::Int(0))),
+            op: BinaryOp::Sub,
+            right: Box::new(BoundExpr::Column(0)),
+        };
+        let expr = BoundExpr::Case {
+            branches: vec![(cond, BoundExpr::Column(0))],
+            else_result: Some(Box::new(neg)),
+        };
+        let rows = vec![vec![Value::Int(-5)], vec![Value::Int(7)], vec![Value::Null]];
+        assert_same(&expr, rows, 1);
+    }
+
+    #[test]
+    fn compact_keeps_selected_lanes() {
+        let b = batch_1col(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let c = b.compact(&[true, false, true]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.col(0).value_at(0), Value::Int(1));
+        assert_eq!(c.col(0).value_at(1), Value::Int(3));
+    }
+
+    #[test]
+    fn truthy_mask_matches_is_truthy() {
+        let b = batch_1col(vec![
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Null,
+            Value::Int(1),
+        ]);
+        let out = Kernel::Column(0).eval(&b).unwrap();
+        assert_eq!(out.truthy_mask(&b), vec![true, false, false, false]);
+    }
+}

@@ -40,6 +40,13 @@ struct Shared {
     digests: DigestStats,
     slow: SlowLog,
     profiling: AtomicBool,
+    /// Whether queries run on the vectorized batch pipeline (`true`, the
+    /// default) or the row-at-a-time baseline.
+    vectorized: AtomicBool,
+    /// Rows-per-batch override for the vectorized pipeline (0 = use the
+    /// profile default). Results are identical at any size; the
+    /// equivalence suite exercises 1/3/default/4096.
+    batch_size: AtomicU64,
     /// Armed panic-injection probe: `(table-name substring, shots left)`.
     panic_probe: Mutex<Option<(String, u64)>>,
 }
@@ -81,6 +88,8 @@ impl Database {
                 digests: DigestStats::new(),
                 slow: SlowLog::default(),
                 profiling: AtomicBool::new(false),
+                vectorized: AtomicBool::new(true),
+                batch_size: AtomicU64::new(0),
                 panic_probe: Mutex::new(None),
             }),
         }
@@ -193,6 +202,36 @@ impl Database {
     /// Whether per-operator profiling is on.
     pub fn profiling(&self) -> bool {
         self.shared.profiling.load(Ordering::Relaxed)
+    }
+
+    /// Selects the query execution mode: `true` (the default) runs queries
+    /// on the vectorized columnar batch pipeline, `false` on the
+    /// row-at-a-time baseline. Both produce identical results; the row path
+    /// exists for benchmarking and equivalence testing.
+    pub fn set_vectorized(&self, on: bool) {
+        self.shared.vectorized.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether queries run on the vectorized batch pipeline.
+    pub fn vectorized(&self) -> bool {
+        self.shared.vectorized.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the profile's rows-per-batch for the vectorized pipeline
+    /// (`None` restores the profile default). Any size produces identical
+    /// results — this knob exists for tuning and the equivalence suite.
+    pub fn set_batch_size(&self, rows: Option<usize>) {
+        self.shared
+            .batch_size
+            .store(rows.unwrap_or(0) as u64, Ordering::Relaxed);
+    }
+
+    /// The configured rows-per-batch override (`None` = profile default).
+    pub fn batch_size(&self) -> Option<usize> {
+        match self.shared.batch_size.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n as usize),
+        }
     }
 
     /// Configures the slow-statement log: statements at or over
@@ -553,6 +592,11 @@ impl Session {
             deadline: self
                 .statement_timeout
                 .map(|t| std::time::Instant::now() + t),
+        })
+        .with_vectorized(self.shared.vectorized.load(Ordering::Relaxed))
+        .with_batch_size(match self.shared.batch_size.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n as usize),
         });
         if let Some(p) = profiler.as_ref() {
             executor = executor.with_profiler(p);

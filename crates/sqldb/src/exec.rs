@@ -1,6 +1,7 @@
 //! Query and DML execution over materialized relations.
 
 use crate::ast::*;
+use crate::batch::{ColumnBatch, CompiledExpr, EvalOut};
 use crate::bind::{bind_scalar, bind_with_aggregates, AggSpec, BoundExpr, Scope, ScopeRelation};
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
@@ -77,10 +78,15 @@ pub struct Executor<'a> {
     stats: &'a Stats,
     limits: ExecLimits,
     prof: Option<&'a OpProfiler>,
+    vectorized: bool,
+    /// Overrides [`EngineProfile::batch_size`] when set (testing/tuning).
+    batch_size: Option<usize>,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor with no per-statement limits.
+    /// Creates an executor with no per-statement limits. Queries run on
+    /// the vectorized batch pipeline by default; see
+    /// [`Self::with_vectorized`].
     pub fn new(catalog: &'a Catalog, profile: EngineProfile, stats: &'a Stats) -> Executor<'a> {
         Executor {
             catalog,
@@ -88,6 +94,8 @@ impl<'a> Executor<'a> {
             stats,
             limits: ExecLimits::default(),
             prof: None,
+            vectorized: true,
+            batch_size: None,
         }
     }
 
@@ -95,6 +103,29 @@ impl<'a> Executor<'a> {
     pub fn with_limits(mut self, limits: ExecLimits) -> Executor<'a> {
         self.limits = limits;
         self
+    }
+
+    /// Selects between the vectorized batch pipeline (`true`, the default)
+    /// and the historical row-at-a-time pipeline. Both produce identical
+    /// results; the row path is kept as the equivalence/benchmark baseline.
+    pub fn with_vectorized(mut self, on: bool) -> Executor<'a> {
+        self.vectorized = on;
+        self
+    }
+
+    /// Overrides the profile's rows-per-batch for the vectorized pipeline
+    /// (`None` restores the profile default). Results must be identical at
+    /// every batch size — the equivalence suite runs sizes 1/3/default/4096.
+    pub fn with_batch_size(mut self, rows: Option<usize>) -> Executor<'a> {
+        self.batch_size = rows;
+        self
+    }
+
+    /// Effective rows-per-batch: the override when set, else the profile's.
+    fn batch_rows(&self) -> usize {
+        self.batch_size
+            .unwrap_or_else(|| self.profile.batch_size())
+            .max(1)
     }
 
     /// Attaches a runtime operator profiler; every execution phase then
@@ -275,84 +306,6 @@ impl<'a> Executor<'a> {
     }
 
     fn exec_select(&self, s: &Select, depth: usize) -> DbResult<QueryResult> {
-        // FROM
-        let mut rel = if s.from.is_empty() {
-            let unit = Rel::unit();
-            if let Some(p) = self.prof {
-                p.leaf("Result (no tables)".to_string(), unit.rows.len() as u64, 0);
-            }
-            unit
-        } else {
-            let mut rel: Option<Rel> = None;
-            for tr in &s.from {
-                let right = self.build_table_ref(tr, depth)?;
-                rel = Some(match rel {
-                    None => right,
-                    Some(left) => {
-                        let t0 = self.prof_start();
-                        let rows_in = (left.rows.len() + right.rows.len()) as u64;
-                        let joined = join_rels(
-                            left,
-                            right,
-                            JoinType::Cross,
-                            None,
-                            self.profile.join_strategy(),
-                            self.stats,
-                        )?;
-                        if let Some(p) = self.prof {
-                            p.wrap(
-                                2,
-                                "NestedLoop (cross join)".to_string(),
-                                joined.rows.len() as u64,
-                                rows_in,
-                                t0.map(us_since).unwrap_or(0),
-                            );
-                        }
-                        joined
-                    }
-                });
-            }
-            rel.expect("non-empty from")
-        };
-        self.stats.add_rows_scanned(rel.rows.len() as u64);
-
-        // charge the materialized FROM output against the memory budget;
-        // the reservation refunds itself when the statement's intermediate
-        // state dies at the end of this scope
-        let _reservation =
-            self.catalog
-                .memory_budget()
-                .reserve(crate::budget::approx_rows_bytes(
-                    rel.rows.len(),
-                    rel.arity(),
-                ))?;
-
-        // WHERE
-        if let Some(pred) = &s.selection {
-            let t0 = self.prof_start();
-            let rows_in = rel.rows.len() as u64;
-            let bound = bind_scalar(pred, &rel.scope)?;
-            let mut kept = Vec::with_capacity(rel.rows.len());
-            for (i, row) in rel.rows.into_iter().enumerate() {
-                if i & 0xFFF == 0 {
-                    self.check_deadline()?;
-                }
-                if bound.eval(&row, &[])?.is_truthy() {
-                    kept.push(row);
-                }
-            }
-            rel.rows = kept;
-            if let Some(p) = self.prof {
-                p.wrap(
-                    1,
-                    "Filter".to_string(),
-                    rel.rows.len() as u64,
-                    rows_in,
-                    t0.map(us_since).unwrap_or(0),
-                );
-            }
-        }
-
         let has_aggregates = s
             .projections
             .iter()
@@ -361,23 +314,120 @@ impl<'a> Executor<'a> {
                 .as_ref()
                 .map(|h| h.contains_aggregate())
                 .unwrap_or(false);
+        let grouped = has_aggregates || !s.group_by.is_empty();
 
-        let mut result = if has_aggregates || !s.group_by.is_empty() {
-            let t0 = self.prof_start();
-            let rows_in = rel.rows.len() as u64;
-            let out = self.exec_aggregate(s, &rel)?;
-            if let Some(p) = self.prof {
-                p.wrap(
-                    1,
-                    format!("HashAggregate (group by {} keys)", s.group_by.len()),
-                    out.rows.len() as u64,
-                    rows_in,
-                    t0.map(us_since).unwrap_or(0),
-                );
-            }
+        let mut result = if let Some(out) = self.try_select_batched_scan(s, grouped)? {
             out
         } else {
-            self.exec_project(s, &rel)?
+            // FROM
+            let mut rel = if s.from.is_empty() {
+                let unit = Rel::unit();
+                if let Some(p) = self.prof {
+                    p.leaf("Result (no tables)".to_string(), unit.rows.len() as u64, 0);
+                }
+                unit
+            } else {
+                let mut rel: Option<Rel> = None;
+                for tr in &s.from {
+                    let right = self.build_table_ref(tr, depth)?;
+                    rel = Some(match rel {
+                        None => right,
+                        Some(left) => {
+                            let t0 = self.prof_start();
+                            let rows_in = (left.rows.len() + right.rows.len()) as u64;
+                            let joined = join_rels(
+                                left,
+                                right,
+                                JoinType::Cross,
+                                None,
+                                self.profile.join_strategy(),
+                                self.stats,
+                            )?;
+                            if let Some(p) = self.prof {
+                                p.wrap(
+                                    2,
+                                    "NestedLoop (cross join)".to_string(),
+                                    joined.rows.len() as u64,
+                                    rows_in,
+                                    t0.map(us_since).unwrap_or(0),
+                                );
+                            }
+                            joined
+                        }
+                    });
+                }
+                rel.expect("non-empty from")
+            };
+            self.stats.add_rows_scanned(rel.rows.len() as u64);
+
+            // charge the materialized FROM output against the memory budget;
+            // the reservation refunds itself when the statement's intermediate
+            // state dies at the end of this scope
+            let _reservation =
+                self.catalog
+                    .memory_budget()
+                    .reserve(crate::budget::approx_rows_bytes(
+                        rel.rows.len(),
+                        rel.arity(),
+                    ))?;
+
+            if self.vectorized {
+                let arity = rel.arity();
+                let nrows = rel.rows.len();
+                // the columnar conversion is a second intermediate; charge
+                // it like the row intermediate above
+                let _batches_reservation = self
+                    .catalog
+                    .memory_budget()
+                    .reserve(crate::budget::approx_rows_bytes(nrows, arity))?;
+                let Rel { scope, rows, .. } = rel;
+                let batches = ColumnBatch::chunk_rows(rows, arity, self.batch_rows());
+                self.exec_pipeline_batched(s, &scope, batches, arity, grouped)?
+            } else {
+                // WHERE
+                if let Some(pred) = &s.selection {
+                    let t0 = self.prof_start();
+                    let rows_in = rel.rows.len() as u64;
+                    let bound = bind_scalar(pred, &rel.scope)?;
+                    let mut kept = Vec::with_capacity(rel.rows.len());
+                    for (i, row) in rel.rows.into_iter().enumerate() {
+                        if i & 0xFFF == 0 {
+                            self.check_deadline()?;
+                        }
+                        if bound.eval(&row, &[])?.is_truthy() {
+                            kept.push(row);
+                        }
+                    }
+                    rel.rows = kept;
+                    if let Some(p) = self.prof {
+                        p.wrap(
+                            1,
+                            "Filter".to_string(),
+                            rel.rows.len() as u64,
+                            rows_in,
+                            t0.map(us_since).unwrap_or(0),
+                        );
+                    }
+                }
+
+                if grouped {
+                    let t0 = self.prof_start();
+                    let rows_in = rel.rows.len() as u64;
+                    let out = self.exec_aggregate(s, &rel)?;
+                    if let Some(p) = self.prof {
+                        p.wrap(
+                            1,
+                            format!("HashAggregate (group by {} keys)", s.group_by.len()),
+                            out.rows.len() as u64,
+                            rows_in,
+                            t0.map(us_since).unwrap_or(0),
+                        );
+                    }
+                    out
+                } else {
+                    self.exec_project(s, &rel)?
+                }
+            }
         };
 
         if s.distinct {
@@ -395,6 +445,385 @@ impl<'a> Executor<'a> {
             }
         }
         Ok(result)
+    }
+
+    /// Vectorized single-table fast path: when the FROM clause is one plain
+    /// table (no joins, views or subqueries), scan it straight into column
+    /// batches and run the batched pipeline without ever materializing a
+    /// row vector. Returns `Ok(None)` when the shape doesn't apply and the
+    /// caller must take the generic path.
+    fn try_select_batched_scan(&self, s: &Select, grouped: bool) -> DbResult<Option<QueryResult>> {
+        if !self.vectorized || s.from.len() != 1 || !s.from[0].joins.is_empty() {
+            return Ok(None);
+        }
+        let TableFactor::Table { name, alias } = &s.from[0].base else {
+            return Ok(None);
+        };
+        if self.catalog.view(name).is_some() {
+            return Ok(None);
+        }
+        let visible = alias.as_deref().unwrap_or(name).to_owned();
+        let label = match alias {
+            Some(a) => format!("{name} AS {a}"),
+            None => name.clone(),
+        };
+        let t0 = self.prof_start();
+        let handle = self.catalog.table(name)?;
+        let (columns, batches) = {
+            let t = handle.read();
+            (
+                t.schema()
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect::<Vec<_>>(),
+                t.scan_batches(self.batch_rows()),
+            )
+        };
+        let arity = columns.len();
+        let nrows: usize = batches.iter().map(ColumnBatch::len).sum();
+        // the row path counts scanned rows once at the scan and once as the
+        // FROM output; keep the stats identical across execution modes
+        self.stats.add_rows_scanned(nrows as u64);
+        self.stats.add_rows_scanned(nrows as u64);
+        if let Some(p) = self.prof {
+            p.leaf_batched(
+                format!("SeqScan {label}"),
+                nrows as u64,
+                t0.map(us_since).unwrap_or(0),
+                batches.len() as u64,
+            );
+        }
+        // charge the columnar FROM materialization exactly like the row
+        // path charges its row materialization
+        let _reservation = self
+            .catalog
+            .memory_budget()
+            .reserve(crate::budget::approx_rows_bytes(nrows, arity))?;
+        let mut scope = Scope::new();
+        scope.push(ScopeRelation {
+            qualifier: visible,
+            columns,
+        });
+        self.exec_pipeline_batched(s, &scope, batches, arity, grouped)
+            .map(Some)
+    }
+
+    /// Runs WHERE → aggregation/projection over column batches. Per-batch
+    /// deadline checks replace the row path's every-4096-rows checks, and
+    /// each operator records batch actuals into the profiler and the
+    /// process-wide `sqloop.exec.*` metrics.
+    fn exec_pipeline_batched(
+        &self,
+        s: &Select,
+        scope: &Scope,
+        mut batches: Vec<ColumnBatch>,
+        arity: usize,
+        grouped: bool,
+    ) -> DbResult<QueryResult> {
+        let input_batches = batches.len() as u64;
+        let input_rows: u64 = batches.iter().map(|b| b.len() as u64).sum();
+
+        // WHERE
+        if let Some(pred) = &s.selection {
+            let t0 = self.prof_start();
+            let filter = CompiledExpr::new(&bind_scalar(pred, scope)?);
+            let nb_in = batches.len() as u64;
+            let mut kept = Vec::with_capacity(batches.len());
+            let mut rows_out: u64 = 0;
+            for b in &batches {
+                self.check_deadline()?;
+                let out = filter.eval_batch(b)?;
+                let mask = out.truthy_mask(b);
+                let fb = b.compact(&mask);
+                rows_out += fb.len() as u64;
+                if !fb.is_empty() {
+                    kept.push(fb);
+                }
+            }
+            batches = kept;
+            if let Some(p) = self.prof {
+                p.wrap_batched(
+                    1,
+                    "Filter".to_string(),
+                    rows_out,
+                    input_rows,
+                    t0.map(us_since).unwrap_or(0),
+                    nb_in,
+                );
+            }
+        }
+
+        let result = if grouped {
+            let t0 = self.prof_start();
+            let rows_in: u64 = batches.iter().map(|b| b.len() as u64).sum();
+            let nb = batches.len() as u64;
+            let out = self.exec_aggregate_batched(s, scope, &batches, arity)?;
+            if let Some(p) = self.prof {
+                p.wrap_batched(
+                    1,
+                    format!("HashAggregate (group by {} keys)", s.group_by.len()),
+                    out.rows.len() as u64,
+                    rows_in,
+                    t0.map(us_since).unwrap_or(0),
+                    nb,
+                );
+            }
+            out
+        } else {
+            self.exec_project_batched(s, scope, &batches)?
+        };
+
+        note_exec_batches(input_batches, input_rows);
+        Ok(result)
+    }
+
+    /// Vectorized projection: every projection expression is compiled once
+    /// and evaluated per batch. A kernel error reruns that batch through
+    /// the row-at-a-time evaluator (which is authoritative), so error
+    /// ordering matches [`Self::exec_project`] exactly.
+    fn exec_project_batched(
+        &self,
+        s: &Select,
+        scope: &Scope,
+        batches: &[ColumnBatch],
+    ) -> DbResult<QueryResult> {
+        let mut columns = Vec::new();
+        let mut exprs: Vec<BoundExpr> = Vec::new();
+        for (i, item) in s.projections.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    for (off, name) in scope.flat_columns().into_iter().enumerate() {
+                        columns.push(name);
+                        exprs.push(BoundExpr::Column(off));
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let range = scope.relation_offsets(q)?;
+                    let names = scope.flat_columns();
+                    for off in range {
+                        columns.push(names[off].clone());
+                        exprs.push(BoundExpr::Column(off));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(projection_name(expr, alias.as_deref(), i));
+                    exprs.push(bind_scalar(expr, scope)?);
+                }
+            }
+        }
+        let compiled: Vec<CompiledExpr> = exprs.iter().map(CompiledExpr::new).collect();
+        let total: usize = batches.iter().map(ColumnBatch::len).sum();
+        let mut rows = Vec::with_capacity(total);
+        for b in batches {
+            self.check_deadline()?;
+            let outs: DbResult<Vec<EvalOut>> = compiled.iter().map(|c| c.try_eval(b)).collect();
+            match outs {
+                Ok(outs) => {
+                    for lane in 0..b.len() {
+                        let mut out = Vec::with_capacity(compiled.len());
+                        for o in &outs {
+                            out.push(o.value_at(b, lane));
+                        }
+                        rows.push(out);
+                        self.check_row_cap(rows.len())?;
+                    }
+                }
+                Err(_) => {
+                    for lane in 0..b.len() {
+                        let row = b.row_at(lane);
+                        let mut out = Vec::with_capacity(compiled.len());
+                        for c in &compiled {
+                            out.push(c.expr().eval(&row, &[])?);
+                        }
+                        rows.push(out);
+                        self.check_row_cap(rows.len())?;
+                    }
+                }
+            }
+        }
+        Ok(QueryResult { columns, rows })
+    }
+
+    /// Vectorized grouping: key and aggregate-argument expressions are
+    /// compiled once and evaluated per batch; group discovery order,
+    /// accumulator semantics and error ordering match
+    /// [`Self::exec_aggregate`] exactly (a kernel error reruns the batch
+    /// row-wise).
+    fn exec_aggregate_batched(
+        &self,
+        s: &Select,
+        scope: &Scope,
+        batches: &[ColumnBatch],
+        arity: usize,
+    ) -> DbResult<QueryResult> {
+        let mut key_exprs = Vec::with_capacity(s.group_by.len());
+        for g in &s.group_by {
+            key_exprs.push(bind_scalar(g, scope)?);
+        }
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        let mut columns = Vec::new();
+        let mut proj_exprs = Vec::new();
+        for (i, item) in s.projections.iter().enumerate() {
+            match item {
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(projection_name(expr, alias.as_deref(), i));
+                    proj_exprs.push(bind_with_aggregates(expr, scope, &mut aggs)?);
+                }
+                _ => {
+                    return Err(DbError::Invalid(
+                        "wildcard projections are not allowed with GROUP BY/aggregates".into(),
+                    ))
+                }
+            }
+        }
+        let having = match &s.having {
+            Some(h) => Some(bind_with_aggregates(h, scope, &mut aggs)?),
+            None => None,
+        };
+
+        let compiled_keys: Vec<CompiledExpr> = key_exprs.iter().map(CompiledExpr::new).collect();
+        let compiled_args: Vec<Option<CompiledExpr>> = aggs
+            .iter()
+            .map(|a| a.arg.as_ref().map(CompiledExpr::new))
+            .collect();
+
+        let mut groups: Vec<(Vec<AggAcc>, Row)> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        // Single-INT-key fast path: while every batch's key column has been a
+        // fully-valid Int vector, group through an i64-keyed map instead of
+        // allocating a `Vec<Value>` key per lane. The flag drops permanently
+        // the moment any batch breaks the invariant, because `Value` hashes
+        // numerically across types (Int(2) == Float(2.0)) and a typed lookup
+        // would then miss groups created through the generic index. Typed
+        // insertions mirror into the generic index so later generic batches
+        // keep grouping consistently.
+        let mut int_index: HashMap<i64, usize, std::hash::BuildHasherDefault<IntKeyHasher>> =
+            HashMap::default();
+        let mut typed_ok = compiled_keys.len() == 1;
+        for b in batches {
+            self.check_deadline()?;
+            let key_outs: DbResult<Vec<EvalOut>> =
+                compiled_keys.iter().map(|c| c.try_eval(b)).collect();
+            let arg_outs: DbResult<Vec<Option<EvalOut>>> = compiled_args
+                .iter()
+                .map(|c| c.as_ref().map(|c| c.try_eval(b)).transpose())
+                .collect();
+            match (key_outs, arg_outs) {
+                (Ok(key_outs), Ok(arg_outs)) => {
+                    let int_keys = if typed_ok {
+                        key_outs[0].as_int_lanes(b)
+                    } else {
+                        None
+                    };
+                    if let Some(ks) = int_keys {
+                        let float_args: Vec<Option<&[f64]>> = arg_outs
+                            .iter()
+                            .map(|o| o.as_ref().and_then(|o| o.as_float_lanes(b)))
+                            .collect();
+                        for lane in 0..b.len() {
+                            let gi = match int_index.entry(ks[lane]) {
+                                std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+                                std::collections::hash_map::Entry::Vacant(v) => {
+                                    let gi = groups.len();
+                                    v.insert(gi);
+                                    index.insert(vec![Value::Int(ks[lane])], gi);
+                                    groups.push((
+                                        aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
+                                        b.row_at(lane),
+                                    ));
+                                    gi
+                                }
+                            };
+                            let (accs, _) = &mut groups[gi];
+                            for ((acc, out), fs) in accs.iter_mut().zip(&arg_outs).zip(&float_args)
+                            {
+                                match fs {
+                                    Some(fs) => acc.update_float(fs[lane]),
+                                    None => acc.update(out.as_ref().map(|o| o.value_at(b, lane))),
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    typed_ok = false;
+                    for lane in 0..b.len() {
+                        let key: Vec<Value> =
+                            key_outs.iter().map(|o| o.value_at(b, lane)).collect();
+                        let gi = match index.entry(key) {
+                            std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+                            std::collections::hash_map::Entry::Vacant(v) => {
+                                let gi = groups.len();
+                                v.insert(gi);
+                                groups.push((
+                                    aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
+                                    b.row_at(lane),
+                                ));
+                                gi
+                            }
+                        };
+                        let (accs, _) = &mut groups[gi];
+                        for (acc, out) in accs.iter_mut().zip(&arg_outs) {
+                            acc.update(out.as_ref().map(|o| o.value_at(b, lane)));
+                        }
+                    }
+                }
+                _ => {
+                    typed_ok = false;
+                    for lane in 0..b.len() {
+                        let row = b.row_at(lane);
+                        let mut key = Vec::with_capacity(key_exprs.len());
+                        for k in &key_exprs {
+                            key.push(k.eval(&row, &[])?);
+                        }
+                        let gi = match index.entry(key) {
+                            std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+                            std::collections::hash_map::Entry::Vacant(v) => {
+                                let gi = groups.len();
+                                v.insert(gi);
+                                groups.push((
+                                    aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
+                                    row.clone(),
+                                ));
+                                gi
+                            }
+                        };
+                        let (accs, _) = &mut groups[gi];
+                        for (acc, spec) in accs.iter_mut().zip(&aggs) {
+                            let v = match &spec.arg {
+                                Some(e) => Some(e.eval(&row, &[])?),
+                                None => None,
+                            };
+                            acc.update(v);
+                        }
+                    }
+                }
+            }
+        }
+        // global aggregate over empty input still yields one group
+        if groups.is_empty() && key_exprs.is_empty() {
+            groups.push((
+                aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
+                vec![Value::Null; arity],
+            ));
+        }
+
+        let mut rows = Vec::with_capacity(groups.len());
+        for (accs, rep_row) in groups {
+            let agg_values: Vec<Value> = accs.into_iter().map(AggAcc::finish).collect();
+            if let Some(h) = &having {
+                if !h.eval(&rep_row, &agg_values)?.is_truthy() {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(proj_exprs.len());
+            for e in &proj_exprs {
+                out.push(e.eval(&rep_row, &agg_values)?);
+            }
+            rows.push(out);
+            self.check_row_cap(rows.len())?;
+        }
+        Ok(QueryResult { columns, rows })
     }
 
     fn exec_project(&self, s: &Select, rel: &Rel) -> DbResult<QueryResult> {
@@ -1106,6 +1535,31 @@ impl<'a> Executor<'a> {
 
 /// Per-group aggregate accumulator.
 #[derive(Debug)]
+/// Multiply-xorshift hasher for the single-INT-key aggregate index. The
+/// default SipHash dominates the per-lane grouping cost at this key width;
+/// group keys are not attacker-controlled hash-flood targets, so a two-op
+/// mix is enough.
+#[derive(Default)]
+struct IntKeyHasher(u64);
+
+impl std::hash::Hasher for IntKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
 enum AggAcc {
     /// Running SUM (NULL until the first non-NULL input).
     Sum(Option<Value>),
@@ -1194,6 +1648,33 @@ impl AggAcc {
         }
     }
 
+    /// Exactly `update(Some(Value::Float(f)))`, skipping the `Value`
+    /// round-trip in the accumulator states a float input can produce
+    /// (`Float + Float` adds to `Float`; `total_cmp` on two `Float`s is
+    /// `f64::total_cmp`). States only reachable through mixed-type inputs
+    /// delegate to the generic path.
+    fn update_float(&mut self, f: f64) {
+        match self {
+            AggAcc::Count(n) => *n += 1, // a typed float lane is never NULL
+            AggAcc::Avg { sum, n } => {
+                *sum += f;
+                *n += 1;
+            }
+            AggAcc::Sum(Some(Value::Float(cur))) => *cur += f,
+            AggAcc::Min(Some(Value::Float(cur))) => {
+                if f.total_cmp(cur) == std::cmp::Ordering::Less {
+                    *cur = f;
+                }
+            }
+            AggAcc::Max(Some(Value::Float(cur))) => {
+                if f.total_cmp(cur) == std::cmp::Ordering::Greater {
+                    *cur = f;
+                }
+            }
+            other => other.update(Some(Value::Float(f))),
+        }
+    }
+
     fn finish(self) -> Value {
         match self {
             AggAcc::Sum(v) | AggAcc::Min(v) | AggAcc::Max(v) => v.unwrap_or(Value::Null),
@@ -1216,6 +1697,20 @@ fn eval_conjuncts(conjuncts: &[BoundExpr], row: &Row) -> DbResult<bool> {
         }
     }
     Ok(true)
+}
+
+/// Records batch-level execution actuals into the process-wide metrics
+/// registry (`sqloop.exec.*`), picked up by the Prometheus scrape endpoint
+/// and the CLI `\stats` view.
+fn note_exec_batches(batches: u64, rows: u64) {
+    if batches == 0 {
+        return;
+    }
+    let reg = obs::global();
+    reg.counter("sqloop.exec.batches").add(batches);
+    reg.counter("sqloop.exec.batch_rows").add(rows);
+    reg.gauge("sqloop.exec.rows_per_batch")
+        .set((rows / batches) as i64);
 }
 
 fn dedupe(rows: Vec<Row>) -> Vec<Row> {
@@ -1735,5 +2230,122 @@ mod tests {
         assert_eq!(r.rows[2][2], Value::Float(0.85 * 0.15 * 0.5));
         // every node's new rank accumulates its delta
         assert_eq!(r.rows[1][1], Value::Float(0.15));
+    }
+
+    #[test]
+    fn vectorized_and_row_paths_agree() {
+        for p in EngineProfile::ALL {
+            let ctx = seeded(p);
+            ctx.exec("INSERT INTO t VALUES (7, NULL, NULL)").unwrap();
+            for sql in [
+                "SELECT id, v FROM t WHERE v > 1.0 ORDER BY id",
+                "SELECT tag, COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) \
+                 FROM t GROUP BY tag ORDER BY tag",
+                "SELECT a.id, b.tag FROM t AS a JOIN t AS b ON a.id = b.id \
+                 WHERE a.v >= 0.5 ORDER BY a.id",
+                "SELECT id, CASE WHEN v > 1.0 THEN 'hi' ELSE 'lo' END FROM t ORDER BY id",
+                "SELECT DISTINCT tag FROM t ORDER BY tag",
+                "SELECT COUNT(*) FROM t WHERE tag = 'a' AND v > 0.0",
+                "SELECT id + 1 AS id2, v * 2.0, -v FROM t ORDER BY id2",
+                "SELECT id FROM t WHERE v IS NULL OR tag = 'b' ORDER BY id",
+                "SELECT SUM(v) FROM t WHERE v > 100.0",
+            ] {
+                let q = parse_query(sql).unwrap();
+                let vec_out = Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
+                    .run_query(&q)
+                    .unwrap();
+                let row_out = Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
+                    .with_vectorized(false)
+                    .run_query(&q)
+                    .unwrap();
+                assert_eq!(vec_out, row_out, "profile {p:?} sql {sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_errors_match_row_path() {
+        for p in EngineProfile::ALL {
+            let ctx = seeded(p);
+            for sql in [
+                // division by zero reached through a batch kernel
+                "SELECT id / 0 FROM t",
+                // an error on the taken path of a fallible AND right side
+                "SELECT id FROM t WHERE v IS NOT NULL AND id / (id - id) > 0 ORDER BY id",
+                // an error hidden behind a short-circuiting AND must NOT fire
+                "SELECT id FROM t WHERE v IS NULL AND id / (id - id) > 0 ORDER BY id",
+            ] {
+                let q = parse_query(sql).unwrap();
+                let vec_out = Executor::new(&ctx.catalog, ctx.profile, &ctx.stats).run_query(&q);
+                let row_out = Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
+                    .with_vectorized(false)
+                    .run_query(&q);
+                match (vec_out, row_out) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "profile {p:?} sql {sql}"),
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a.to_string(), b.to_string(), "profile {p:?} sql {sql}")
+                    }
+                    (a, b) => panic!("paths disagree for {sql} on {p:?}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pipeline_reports_batch_actuals() {
+        // MySQL's 256-row batches over 600 rows → 3 batches at the scan
+        let ctx = Ctx::new(EngineProfile::MySql);
+        ctx.exec("CREATE TABLE big (id INT PRIMARY KEY, v FLOAT)")
+            .unwrap();
+        let tuples: Vec<String> = (0..600).map(|i| format!("({i}, {}.5)", i % 10)).collect();
+        ctx.exec(&format!("INSERT INTO big VALUES {}", tuples.join(",")))
+            .unwrap();
+        let q = parse_query("SELECT v, COUNT(*) FROM big WHERE id >= 0 GROUP BY v").unwrap();
+        let prof = OpProfiler::new();
+        let out = Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
+            .with_profiler(&prof)
+            .run_query(&q)
+            .unwrap();
+        assert_eq!(out.rows.len(), 10);
+        let roots = prof.take();
+        assert_eq!(roots.len(), 1);
+        let agg = &roots[0];
+        assert_eq!(agg.label, "HashAggregate (group by 1 keys)");
+        assert_eq!(agg.batches, 3);
+        assert_eq!(agg.calls, 600);
+        let filter = &agg.children[0];
+        assert_eq!(filter.label, "Filter");
+        assert_eq!(filter.batches, 3);
+        let scan = &filter.children[0];
+        assert_eq!(scan.label, "SeqScan big");
+        assert_eq!(scan.batches, 3);
+        let mut lines = Vec::new();
+        roots[0].render(0, &mut lines);
+        assert!(lines[0].contains("batches=3 rows/batch=200"), "{lines:?}");
+        // rows-out at the root must stay oracle-exact in either mode
+        let row_out = Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
+            .with_vectorized(false)
+            .run_query(&q)
+            .unwrap();
+        assert_eq!(out, row_out);
+    }
+
+    #[test]
+    fn columnar_intermediates_charged_and_refunded() {
+        // satellite regression: a memory squeeze during batched aggregation
+        // fails with the typed budget error and refunds every reservation
+        let ctx = seeded(EngineProfile::Postgres);
+        let budget = ctx.catalog.memory_budget().clone();
+        let base = budget.used();
+        budget.set_limit(Some(base + 1));
+        let q = parse_query("SELECT tag, SUM(v) FROM t GROUP BY tag").unwrap();
+        let err = Executor::new(&ctx.catalog, ctx.profile, &ctx.stats).run_query(&q);
+        assert!(matches!(err, Err(DbError::BudgetExceeded(_))), "{err:?}");
+        assert_eq!(budget.used(), base);
+        budget.set_limit(None);
+        assert!(Executor::new(&ctx.catalog, ctx.profile, &ctx.stats)
+            .run_query(&q)
+            .is_ok());
+        assert_eq!(budget.used(), base);
     }
 }

@@ -114,6 +114,59 @@ fn extract_equi_key(
     (key, residual)
 }
 
+/// Whether every value in `col` is `Int` or `Null` — the guard for the
+/// typed i64 join fast path. With both sides integer-only, exact i64
+/// equality coincides with [`Value::sql_eq`] (no cross-type numeric
+/// matching can occur), so a `HashMap<i64, _>` build is semantics-preserving.
+fn int_keys_only(rows: &[Row], col: usize) -> bool {
+    rows.iter()
+        .all(|r| matches!(r[col], Value::Int(_) | Value::Null))
+}
+
+/// Hash-join build table: candidate row indices by key. The typed variant
+/// skips per-probe `Value` hashing/equality entirely; the paper's graph
+/// workloads (integer node ids) always take it.
+enum KeyMap<'a> {
+    Int(HashMap<i64, Vec<usize>>),
+    Any(HashMap<&'a Value, Vec<usize>>),
+}
+
+impl<'a> KeyMap<'a> {
+    /// Builds the table over non-null keys, preserving row order within
+    /// each key's candidate list.
+    fn build(rows: &'a [Row], col: usize, typed: bool) -> KeyMap<'a> {
+        if typed {
+            let mut m: HashMap<i64, Vec<usize>> = HashMap::with_capacity(rows.len());
+            for (i, r) in rows.iter().enumerate() {
+                if let Value::Int(k) = r[col] {
+                    m.entry(k).or_default().push(i);
+                }
+            }
+            KeyMap::Int(m)
+        } else {
+            let mut m: HashMap<&Value, Vec<usize>> = HashMap::with_capacity(rows.len());
+            for (i, r) in rows.iter().enumerate() {
+                let kv = &r[col];
+                if !kv.is_null() {
+                    m.entry(kv).or_default().push(i);
+                }
+            }
+            KeyMap::Any(m)
+        }
+    }
+
+    /// Candidate row indices matching `kv` (never called with NULL).
+    fn get(&self, kv: &Value) -> Option<&[usize]> {
+        match self {
+            KeyMap::Int(m) => match kv {
+                Value::Int(k) => m.get(k).map(Vec::as_slice),
+                _ => None,
+            },
+            KeyMap::Any(m) => m.get(kv).map(Vec::as_slice),
+        }
+    }
+}
+
 /// Joins `left` and `right`, appending the right relation's scope.
 ///
 /// `on` is bound against the combined scope. The algorithm is chosen from
@@ -205,17 +258,13 @@ pub fn join_rels(
                 // hash join: build the hash table on the smaller relation
                 // (row order is not a relational guarantee, so the swap only
                 // changes output order, never the row multiset)
+                let typed =
+                    int_keys_only(&left.rows, key.left) && int_keys_only(&right.rows, key.right);
                 if left.rows.len() < right.rows.len() {
                     // build on left, probe with right; LEFT JOIN padding needs
                     // per-build-row matched flags since matches arrive in
                     // probe order
-                    let mut table: HashMap<&Value, Vec<usize>> = HashMap::new();
-                    for (i, lrow) in left.rows.iter().enumerate() {
-                        let kv = &lrow[key.left];
-                        if !kv.is_null() {
-                            table.entry(kv).or_default().push(i);
-                        }
-                    }
+                    let table = KeyMap::build(&left.rows, key.left, typed);
                     let mut matched = vec![false; left.rows.len()];
                     for rrow in &right.rows {
                         let kv = &rrow[key.right];
@@ -244,21 +293,15 @@ pub fn join_rels(
                     }
                 } else {
                     // build on right, probe with left
-                    let mut table: HashMap<&Value, Vec<&Row>> = HashMap::new();
-                    for rrow in &right.rows {
-                        let kv = &rrow[key.right];
-                        if !kv.is_null() {
-                            table.entry(kv).or_default().push(rrow);
-                        }
-                    }
+                    let table = KeyMap::build(&right.rows, key.right, typed);
                     for lrow in &left.rows {
                         let kv = &lrow[key.left];
                         let mut matched = false;
                         if !kv.is_null() {
                             if let Some(cands) = table.get(kv) {
-                                for rrow in cands {
+                                for &i in cands {
                                     let mut combined = lrow.clone();
-                                    combined.extend(rrow.iter().cloned());
+                                    combined.extend(right.rows[i].iter().cloned());
                                     if matches_residual(&combined)? {
                                         matched = true;
                                         out_rows.push(combined);
@@ -279,6 +322,10 @@ pub fn join_rels(
                     JoinStrategy::BlockNestedLoop { buffer_rows } => buffer_rows.max(1),
                     JoinStrategy::Hash => unreachable!(),
                 };
+                // with integer-only keys on both sides the per-pair compare
+                // is one i64 equality instead of a Value dispatch
+                let typed =
+                    int_keys_only(&left.rows, key.left) && int_keys_only(&right.rows, key.right);
                 let mut matched = vec![false; left.rows.len()];
                 for (chunk_idx, chunk) in left.rows.chunks(buffer).enumerate() {
                     let base = chunk_idx * buffer;
@@ -287,14 +334,33 @@ pub fn join_rels(
                         if rkv.is_null() {
                             continue;
                         }
-                        for (off, lrow) in chunk.iter().enumerate() {
-                            stats.add_rows_joined(1);
-                            if lrow[key.left].sql_eq(rkv) == Some(true) {
-                                let mut combined = lrow.clone();
-                                combined.extend(rrow.iter().cloned());
-                                if matches_residual(&combined)? {
-                                    matched[base + off] = true;
-                                    out_rows.push(combined);
+                        // same per-pair totals as the scalar loop, one
+                        // atomic add per inner row instead of per pair
+                        stats.add_rows_joined(chunk.len() as u64);
+                        if typed {
+                            let rk = match rkv {
+                                Value::Int(k) => *k,
+                                _ => unreachable!("typed path guards Int-only keys"),
+                            };
+                            for (off, lrow) in chunk.iter().enumerate() {
+                                if matches!(lrow[key.left], Value::Int(lk) if lk == rk) {
+                                    let mut combined = lrow.clone();
+                                    combined.extend(rrow.iter().cloned());
+                                    if matches_residual(&combined)? {
+                                        matched[base + off] = true;
+                                        out_rows.push(combined);
+                                    }
+                                }
+                            }
+                        } else {
+                            for (off, lrow) in chunk.iter().enumerate() {
+                                if lrow[key.left].sql_eq(rkv) == Some(true) {
+                                    let mut combined = lrow.clone();
+                                    combined.extend(rrow.iter().cloned());
+                                    if matches_residual(&combined)? {
+                                        matched[base + off] = true;
+                                        out_rows.push(combined);
+                                    }
                                 }
                             }
                         }
@@ -560,6 +626,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn typed_fast_path_matches_generic_and_bails_on_mixed_keys() {
+        let stats = Stats::default();
+        // integer-only keys (plus NULLs) take the typed i64 build
+        let l = rel(
+            "l",
+            &["id"],
+            vec![vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(2)]],
+        );
+        let r = rel(
+            "r",
+            &["id"],
+            vec![vec![Value::Int(2)], vec![Value::Int(2)], vec![Value::Null]],
+        );
+        let on = parse_expression("l.id = r.id").unwrap();
+        let out = join_rels(l, r, JoinType::Inner, Some(&on), JoinStrategy::Hash, &stats).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        // a Float key on either side must disable the typed path so that
+        // cross-type numeric equality (Int 1 = Float 1.0) still matches
+        let l = rel("l", &["id"], vec![vec![Value::Int(1)]]);
+        let r = rel("r", &["id"], vec![vec![Value::Float(1.0)]]);
+        let out = join_rels(l, r, JoinType::Inner, Some(&on), JoinStrategy::Hash, &stats).unwrap();
+        assert_eq!(out.rows.len(), 1, "Int 1 must hash-match Float 1.0");
+        let l = rel("l", &["id"], vec![vec![Value::Int(1)]]);
+        let r = rel("r", &["id"], vec![vec![Value::Float(1.0)]]);
+        let out = join_rels(
+            l,
+            r,
+            JoinType::Inner,
+            Some(&on),
+            JoinStrategy::BlockNestedLoop { buffer_rows: 2 },
+            &stats,
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 1, "Int 1 must BNL-match Float 1.0");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ast;
+pub mod batch;
 pub mod bind;
 pub mod budget;
 pub mod catalog;

@@ -31,21 +31,35 @@ pub struct OpNode {
     pub calls: u64,
     /// Wall time spent in this operator *including* its children, µs.
     pub elapsed_us: u64,
+    /// Column batches this operator processed (0 when the operator ran on
+    /// the row-at-a-time path or predates the vectorized executor).
+    pub batches: u64,
     /// Input operators, outermost-input first.
     pub children: Vec<OpNode>,
 }
 
 impl OpNode {
-    /// Renders this subtree as indented `EXPLAIN ANALYZE` lines.
+    /// Renders this subtree as indented `EXPLAIN ANALYZE` lines. Operators
+    /// that ran vectorized append their batch actuals (`batches=…
+    /// rows/batch=…`); row-path operators keep the historical format.
     pub fn render(&self, depth: usize, out: &mut Vec<String>) {
-        out.push(format!(
-            "{}{} (actual rows={} calls={} time_us={})",
+        let mut line = format!(
+            "{}{} (actual rows={} calls={} time_us={}",
             "  ".repeat(depth),
             self.label,
             self.rows_out,
             self.calls,
             self.elapsed_us,
-        ));
+        );
+        if self.batches > 0 {
+            line.push_str(&format!(
+                " batches={} rows/batch={}",
+                self.batches,
+                self.calls / self.batches
+            ));
+        }
+        line.push(')');
+        out.push(line);
         for c in &self.children {
             c.render(depth + 1, out);
         }
@@ -82,6 +96,20 @@ impl OpProfiler {
             rows_out,
             calls: rows_out,
             elapsed_us,
+            batches: 0,
+            children: Vec::new(),
+        });
+    }
+
+    /// [`Self::leaf`] for a vectorized producer, recording how many column
+    /// batches it emitted.
+    pub fn leaf_batched(&self, label: String, rows_out: u64, elapsed_us: u64, batches: u64) {
+        self.stack.borrow_mut().push(OpNode {
+            label,
+            rows_out,
+            calls: rows_out,
+            elapsed_us,
+            batches,
             children: Vec::new(),
         });
     }
@@ -90,6 +118,20 @@ impl OpProfiler {
     /// to what is available, so a mismatched site degrades the tree shape
     /// instead of panicking mid-statement.
     pub fn wrap(&self, n: usize, label: String, rows_out: u64, calls: u64, elapsed_us: u64) {
+        self.wrap_batched(n, label, rows_out, calls, elapsed_us, 0);
+    }
+
+    /// [`Self::wrap`] for a vectorized consumer, recording how many column
+    /// batches it pulled from its inputs.
+    pub fn wrap_batched(
+        &self,
+        n: usize,
+        label: String,
+        rows_out: u64,
+        calls: u64,
+        elapsed_us: u64,
+        batches: u64,
+    ) {
         let mut stack = self.stack.borrow_mut();
         let n = n.min(stack.len());
         let at = stack.len() - n;
@@ -99,6 +141,7 @@ impl OpProfiler {
             rows_out,
             calls,
             elapsed_us,
+            batches,
             children,
         });
     }
@@ -168,6 +211,22 @@ mod tests {
             vec![
                 "Filter (actual rows=2 calls=4 time_us=12)",
                 "  SeqScan t (actual rows=4 calls=4 time_us=9)",
+            ]
+        );
+    }
+
+    #[test]
+    fn batched_nodes_render_batch_actuals() {
+        let p = OpProfiler::new();
+        p.leaf_batched("SeqScan t".into(), 10, 9, 3);
+        p.wrap_batched(1, "Filter".into(), 4, 10, 12, 3);
+        let mut lines = Vec::new();
+        p.take()[0].render(0, &mut lines);
+        assert_eq!(
+            lines,
+            vec![
+                "Filter (actual rows=4 calls=10 time_us=12 batches=3 rows/batch=3)",
+                "  SeqScan t (actual rows=10 calls=10 time_us=9 batches=3 rows/batch=3)",
             ]
         );
     }

@@ -103,6 +103,17 @@ impl EngineProfile {
             EngineProfile::MariaDb => JoinStrategy::BlockNestedLoop { buffer_rows: 4096 },
         }
     }
+
+    /// Rows per column batch in the vectorized executor. The three profiles
+    /// use deliberately different sizes (small / default / large, echoing
+    /// their join-buffer spread) so they stay architecturally distinct.
+    pub fn batch_size(&self) -> usize {
+        match self {
+            EngineProfile::MySql => 256,
+            EngineProfile::Postgres => 1024,
+            EngineProfile::MariaDb => 4096,
+        }
+    }
 }
 
 impl fmt::Display for EngineProfile {
@@ -186,6 +197,16 @@ mod tests {
             "\"a\"\"b\""
         );
         assert_eq!(EngineProfile::MySql.dialect().quote("col"), "`col`");
+    }
+
+    #[test]
+    fn batch_sizes_are_distinct_per_profile() {
+        let sizes: Vec<usize> = EngineProfile::ALL.iter().map(|p| p.batch_size()).collect();
+        assert!(sizes.iter().all(|&s| s >= 1));
+        let mut uniq = sizes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3, "profiles must use distinct batch sizes");
     }
 
     #[test]

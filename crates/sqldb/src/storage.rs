@@ -317,6 +317,45 @@ impl Table {
         self.iter().map(|(_, r)| r.clone()).collect()
     }
 
+    /// Copies all live rows out as column batches of at most `batch_size`
+    /// rows, in slot order — the vectorized executor's scan entry point.
+    /// Builds each typed column vector directly from the storage slots, so
+    /// a scan of an N-row table costs O(arity) vector allocations per
+    /// batch instead of N per-row allocations.
+    pub fn scan_batches(&self, batch_size: usize) -> Vec<crate::batch::ColumnBatch> {
+        use crate::batch::{Col, ColumnBatch};
+        let batch_size = batch_size.max(1);
+        let arity = self.schema.arity();
+        let mut out = Vec::with_capacity(self.live_count / batch_size + 1);
+        let mut columns: Vec<Vec<Value>> =
+            (0..arity).map(|_| Vec::with_capacity(batch_size)).collect();
+        let mut lanes = 0usize;
+        for (_, row) in self.iter() {
+            for (c, v) in row.iter().enumerate().take(arity) {
+                columns[c].push(v.clone());
+            }
+            lanes += 1;
+            if lanes == batch_size {
+                let cols = std::mem::replace(
+                    &mut columns,
+                    (0..arity).map(|_| Vec::with_capacity(batch_size)).collect(),
+                );
+                out.push(ColumnBatch::from_cols(
+                    cols.into_iter().map(Col::from_values).collect(),
+                    lanes,
+                ));
+                lanes = 0;
+            }
+        }
+        if lanes > 0 {
+            out.push(ColumnBatch::from_cols(
+                columns.into_iter().map(Col::from_values).collect(),
+                lanes,
+            ));
+        }
+        out
+    }
+
     /// Looks up a slot by primary key, if a PK exists.
     pub fn lookup_pk(&self, key: &Value) -> Option<usize> {
         self.pk_index.as_ref().and_then(|m| m.get(key).copied())
@@ -426,6 +465,26 @@ mod tests {
         t.insert(vec![Value::Int(2), Value::Float(1.5)]).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.scan().len(), 2);
+    }
+
+    #[test]
+    fn scan_batches_matches_scan_in_slot_order() {
+        let mut t = table();
+        for i in 0..7 {
+            t.insert(vec![Value::Int(i), Value::Float(i as f64 / 2.0)])
+                .unwrap();
+        }
+        t.delete_slot(2).unwrap();
+        let batches = t.scan_batches(3);
+        assert_eq!(
+            batches.iter().map(|b| b.len()).collect::<Vec<_>>(),
+            vec![3, 3]
+        );
+        let mut rows = Vec::new();
+        for b in &batches {
+            b.append_rows_to(&mut rows);
+        }
+        assert_eq!(rows, t.scan());
     }
 
     #[test]

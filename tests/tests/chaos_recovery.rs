@@ -192,7 +192,7 @@ fn replays_are_counted_in_the_report() {
 }
 
 /// A permanent outage of the message-table SQL (every statement touching a
-/// `__msg_` scratch table fails, forever) exhausts the replay budget; the
+/// `__msgslot_` scratch table fails, forever) exhausts the replay budget; the
 /// run must finish on the single-threaded executor — which never uses
 /// message tables — with correct results and the downgrade reported.
 #[test]
@@ -200,7 +200,7 @@ fn permanent_fault_downgrades_to_single_threaded() {
     let graph = graphgen::web_graph(40, 3, 2);
     let oracle = workloads::oracle::pagerank(&graph, 6);
     let chaos = ChaosConfig {
-        match_substring: Some("__msg_".into()),
+        match_substring: Some("__msgslot_".into()),
         weights: FaultWeights {
             connect_refused: 0,
             stmt_error: 1,
@@ -286,7 +286,7 @@ fn downgrade_rerun_retries_through_the_tail_of_an_outage() {
 fn downgrade_can_be_disabled() {
     let graph = graphgen::web_graph(30, 3, 2);
     let chaos = ChaosConfig {
-        match_substring: Some("__msg_".into()),
+        match_substring: Some("__msgslot_".into()),
         weights: FaultWeights {
             connect_refused: 0,
             stmt_error: 1,
@@ -329,7 +329,7 @@ fn downgrade_cleans_up_parallel_scratch_state() {
     let (driver, _) = with_chaos(
         clean,
         ChaosConfig {
-            match_substring: Some("__msg_".into()),
+            match_substring: Some("__msgslot_".into()),
             weights: FaultWeights {
                 connect_refused: 0,
                 stmt_error: 1,

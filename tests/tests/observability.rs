@@ -224,7 +224,7 @@ fn downgrade_is_recorded_as_a_trace_event() {
         clean,
         ChaosConfig {
             skip_connections: 1,
-            match_substring: Some("__msg_".into()),
+            match_substring: Some("__msgslot_".into()),
             weights: FaultWeights {
                 connect_refused: 0,
                 stmt_error: 1,
@@ -387,7 +387,7 @@ fn plan_cache_round_attribution_is_tagged_with_the_mode() {
                 digests
                     .top_misses
                     .iter()
-                    .any(|e| e.digest.contains("__msg_n_n")),
+                    .any(|e| e.digest.contains("__msgslot_n_n")),
                 "{label}: message-table misses unattributed: {:?}",
                 digests
                     .top_misses

@@ -297,7 +297,7 @@ fn perma_panicking_statements_exhaust_the_budget_and_downgrade() {
         &graph,
         ChaosConfig {
             weights: only(FaultKind::Panic),
-            match_substring: Some("__msg_".into()),
+            match_substring: Some("__msgslot_".into()),
             ..ChaosConfig::seeded(4, 1.0)
         },
     );
